@@ -1,0 +1,50 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every ``bench_*`` file regenerates one table or figure from the paper's
+evaluation (§VIII).  Benchmarks print their table to stdout (run with
+``pytest benchmarks/ --benchmark-only -s`` to see them live) and also write
+it under ``benchmarks/results/`` so EXPERIMENTS.md can reference stable
+artefacts.
+
+``OWL_BENCH_RUNS`` scales the fixed/random execution counts (default 30;
+the paper uses 100 — set ``OWL_BENCH_RUNS=100`` for the full protocol).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_runs(default: int = 30) -> int:
+    """Fixed/random run count for the leakage analyses."""
+    return int(os.environ.get("OWL_BENCH_RUNS", default))
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table rendering for terminal + artefact output."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows
+              else len(h)
+              for i, h in enumerate(headers)]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w)
+                               for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def emit_table(name: str, title: str, headers: Sequence[str],
+               rows: Sequence[Sequence[object]]) -> str:
+    """Print the table and persist it under benchmarks/results/."""
+    text = render_table(title, headers, rows)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text

@@ -1,0 +1,77 @@
+"""Ablation: A-DCFG aggregation vs DATA-style per-thread traces.
+
+§IV's scalability argument: recording one trace per thread makes memory
+grow linearly in the thread count, while folding warps into one A-DCFG
+de-duplicates control flow and repeated addresses.  This ablation sweeps
+the dummy workload's thread count and measures both representations, plus
+the analysis-side cost (one Myers diff per thread for DATA vs one graph
+comparison for Owl).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from _bench_utils import emit_table
+from repro.apps.dummy import dummy_program, fixed_input
+from repro.baselines.data_tool import record_per_thread
+from repro.tracing import TraceRecorder
+
+THREAD_SWEEP = (128, 512, 2048, 8192)
+
+
+def measure():
+    recorder = TraceRecorder()
+    rows = []
+    for n in THREAD_SWEEP:
+        secret = fixed_input(n)
+        owl_trace = recorder.record(dummy_program, secret)
+        per_thread = record_per_thread(dummy_program, secret)
+
+        started = time.perf_counter()
+        other = record_per_thread(dummy_program, fixed_input(n, value=9))
+        per_thread.diff_against(other)
+        data_diff_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        other_owl = recorder.record(dummy_program, fixed_input(n, value=9))
+        _ = owl_trace == other_owl
+        owl_diff_seconds = time.perf_counter() - started
+
+        rows.append({
+            "threads": n,
+            "owl_bytes": owl_trace.adcfg_bytes(),
+            "data_bytes": per_thread.memory_bytes(),
+            "owl_diff_s": owl_diff_seconds,
+            "data_diff_s": data_diff_seconds,
+        })
+    return rows
+
+
+def test_ablation_aggregation(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    emit_table(
+        "ablation_aggregation",
+        "Ablation: A-DCFG aggregation vs per-thread traces (dummy workload)",
+        ["Threads", "Owl A-DCFG bytes", "Per-thread bytes",
+         "ratio", "Owl diff s", "DATA diff s"],
+        [(r["threads"], r["owl_bytes"], r["data_bytes"],
+          f"{r['data_bytes'] / r['owl_bytes']:.1f}x",
+          f"{r['owl_diff_s']:.4f}", f"{r['data_diff_s']:.4f}")
+         for r in rows])
+
+    first, last = rows[0], rows[-1]
+    thread_growth = last["threads"] / first["threads"]
+
+    # per-thread memory tracks the thread count...
+    data_growth = last["data_bytes"] / first["data_bytes"]
+    assert data_growth > 0.5 * thread_growth
+    # ...while the A-DCFG saturates
+    owl_growth = last["owl_bytes"] / first["owl_bytes"]
+    assert owl_growth < 0.1 * thread_growth
+    # and the gap at scale is at least an order of magnitude
+    assert last["data_bytes"] > 10 * last["owl_bytes"]

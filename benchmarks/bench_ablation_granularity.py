@@ -1,0 +1,98 @@
+"""Ablation: attacker spatial resolution vs detected leakage.
+
+The paper's threat model grants a noise-free byte-level observer (§IV-B).
+Real attackers are coarser — cache-line probes resolve 64/128 bytes —
+so this ablation sweeps Owl's ``offset_granularity`` over the AES workload
+and over the scatter-gather countermeasure, measuring how detected leakage
+(count and bits per observation) decays with attacker resolution.
+
+Expected shape: AES's T-table leak survives cache-line granularity (the
+basis of real T-table attacks) and dies once a granule covers a whole
+table; scatter-gather is clean at stripe granularity while still leaking
+its documented ``index mod stripe`` residue to a byte-level observer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import bench_runs, emit_table
+from repro.apps.libgpucrypto import aes_program, random_key
+from repro.core import Owl, OwlConfig
+from repro.countermeasures import striped_lookup
+from repro.gpusim import kernel
+
+#: granularities in bytes: byte probe, cache-line probe, whole-table probe
+GRANULARITIES = (1, 64, 256 * 8)
+
+STRIPE_WIDTH = 8  # entries of 8 bytes: one 64-byte stripe
+
+
+@kernel()
+def striped_sbox_kernel(k, table, data, out):
+    k.block("entry")
+    tid = k.global_tid()
+    secret = k.load(data, tid)
+    k.store(out, tid,
+            striped_lookup(k, table, secret % 64, stripe_width=STRIPE_WIDTH))
+
+
+def striped_program(rt, secret):
+    table = rt.cudaMalloc(64, label="table")
+    rt.cudaMemcpyHtoD(table, np.arange(64))
+    data = rt.cudaMalloc(32, label="data")
+    rt.cudaMemcpyHtoD(data, np.full(32, secret))
+    out = rt.cudaMalloc(32, label="out")
+    rt.cuLaunchKernel(striped_sbox_kernel, 1, 32, table, data, out)
+
+
+def sweep(runs):
+    results = {}
+    for granularity in GRANULARITIES:
+        config = OwlConfig(fixed_runs=runs, random_runs=runs,
+                           offset_granularity=granularity, quantify=True)
+        results[("aes", granularity)] = Owl(
+            aes_program, name="aes", config=config).detect(
+            inputs=[bytes(range(16)), bytes(range(1, 17))],
+            random_input=random_key)
+    for granularity in (1, STRIPE_WIDTH * 8):
+        config = OwlConfig(fixed_runs=runs, random_runs=runs,
+                           offset_granularity=granularity, quantify=True)
+        results[("scatter-gather", granularity)] = Owl(
+            striped_program, name="sg", config=config).detect(
+            inputs=[3, 60],
+            random_input=lambda rng: int(rng.integers(0, 64)))
+    return results
+
+
+def test_ablation_granularity(benchmark):
+    runs = bench_runs()
+    results = benchmark.pedantic(sweep, args=(runs,), rounds=1, iterations=1)
+
+    rows = []
+    for (workload, granularity), result in results.items():
+        df = result.report.data_flow_leaks
+        max_bits = max((leak.bits for leak in df), default=0.0)
+        rows.append((workload, granularity, len(df), f"{max_bits:.3f}"))
+    emit_table("ablation_granularity",
+               "Ablation: detected data-flow leakage vs attacker resolution",
+               ["Workload", "Granularity (B)", "DF leaks",
+                "max bits/obs"], rows)
+
+    aes_fine = results[("aes", 1)].report.data_flow_leaks
+    aes_line = results[("aes", 64)].report.data_flow_leaks
+    aes_blind = results[("aes", 256 * 8)].report.data_flow_leaks
+    # T-table attacks work at cache-line granularity; a table-sized granule
+    # hides in-table variation entirely
+    assert len(aes_fine) >= len(aes_line) > 0
+    assert len(aes_blind) == 0
+
+    sg_fine = results[("scatter-gather", 1)].report.data_flow_leaks
+    sg_stripe = results[("scatter-gather", STRIPE_WIDTH * 8)]
+    assert sg_fine  # the residual mod-stripe leak
+    assert not sg_stripe.report.data_flow_leaks  # the scheme's guarantee
+
+    # quantification decays with resolution too
+    fine_bits = max(leak.bits for leak in aes_fine)
+    assert fine_bits > 0.0

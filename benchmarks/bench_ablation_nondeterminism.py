@@ -1,0 +1,113 @@
+"""Ablation: fixed-input repetition vs naive trace differencing.
+
+Owl re-executes the program with *fixed* inputs to learn which trace
+variation is nondeterministic, then demands that fixed-vs-random
+differences be statistically significant.  The naive alternative — diff
+two traces and report every difference, the failure mode the paper
+attributes to deterministic-observation tools — false-positives on any
+program with internal randomness.  This ablation measures both strategies
+on a noisy-but-leak-free program and on a noisy-and-leaky program.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import bench_runs, emit_table
+from repro.core import Owl, OwlConfig
+from repro.core.evidence import Evidence
+from repro.core.leakage import LeakageAnalyzer
+from repro.gpusim import kernel
+from repro.tracing import TraceRecorder
+
+TABLE = 64
+
+
+@kernel()
+def noisy_clean_kernel(k, data, noise_idx, table, out):
+    k.block("entry")
+    tid = k.global_tid()
+    secret = k.load(data, tid)
+    idx = k.load(noise_idx, tid)
+    k.load(table, idx % TABLE)     # nondeterministic, input-independent
+    k.store(out, tid, secret)
+    k.block("exit")
+
+
+@kernel()
+def noisy_leaky_kernel(k, data, noise_idx, table, out):
+    k.block("entry")
+    tid = k.global_tid()
+    secret = k.load(data, tid)
+    idx = k.load(noise_idx, tid)
+    k.load(table, idx % TABLE)     # noise access
+    k.load(table, secret % TABLE)  # genuine leak
+    k.store(out, tid, secret)
+    k.block("exit")
+
+
+#: seeded noise stream: random per run, reproducible across bench runs
+_NOISE_RNG = np.random.default_rng(4321)
+
+
+def make_program(kern):
+    def program(rt, secret):
+        rng = _NOISE_RNG
+        data = rt.cudaMalloc(32, label="data")
+        rt.cudaMemcpyHtoD(data, np.full(32, secret))
+        noise_idx = rt.cudaMalloc(32, label="noise_idx")
+        rt.cudaMemcpyHtoD(noise_idx, rng.integers(0, TABLE, 32))
+        table = rt.cudaMalloc(TABLE, label="table")
+        rt.cudaMemcpyHtoD(table, np.arange(TABLE))
+        out = rt.cudaMalloc(32, label="out")
+        rt.cuLaunchKernel(kern, 1, 32, data, noise_idx, table, out)
+    return program
+
+
+def naive_differencing_flags(program):
+    """The strawman: one trace per input, report any difference."""
+    recorder = TraceRecorder()
+    return recorder.record(program, 3) != recorder.record(program, 9)
+
+
+def owl_flags(program, runs):
+    owl = Owl(program, name="ablation",
+              config=OwlConfig(fixed_runs=runs, random_runs=runs))
+    result = owl.detect(
+        inputs=[3, 9], random_input=lambda rng: int(rng.integers(0, TABLE)))
+    return result.report.has_leaks
+
+
+def run_ablation(runs):
+    clean = make_program(noisy_clean_kernel)
+    leaky = make_program(noisy_leaky_kernel)
+    return {
+        ("clean", "naive"): naive_differencing_flags(clean),
+        ("clean", "owl"): owl_flags(clean, runs),
+        ("leaky", "naive"): naive_differencing_flags(leaky),
+        ("leaky", "owl"): owl_flags(leaky, runs),
+    }
+
+
+def test_ablation_nondeterminism(benchmark):
+    runs = bench_runs()
+    flags = benchmark.pedantic(run_ablation, args=(runs,), rounds=1,
+                               iterations=1)
+
+    emit_table(
+        "ablation_nondeterminism",
+        "Ablation: fixed-input repetition vs naive differencing",
+        ["Program (truth)", "Naive diff flags", "Owl flags"],
+        [("noisy, leak-free (no leak)", flags[("clean", "naive")],
+          flags[("clean", "owl")]),
+         ("noisy, leaky (leak)", flags[("leaky", "naive")],
+          flags[("leaky", "owl")])])
+
+    # naive differencing false-positives on the leak-free noisy program
+    assert flags[("clean", "naive")] is True
+    # Owl's distribution testing filters the noise...
+    assert flags[("clean", "owl")] is False
+    # ...without losing the genuine leak
+    assert flags[("leaky", "owl")] is True
+    assert flags[("leaky", "naive")] is True

@@ -1,0 +1,80 @@
+"""Exploitability: from Owl's AES finding to key bits (extension).
+
+Owl reports the T-table lookups as data-flow leaks; this bench closes the
+loop by mounting the classic cache-line elimination attack against the
+same kernel (the Jiang et al. attack the paper cites as its motivating
+GPU AES break) and measuring:
+
+* the elimination curve — surviving key candidates per byte vs traces;
+* the endpoint — the true 8-candidate line class for all 16 bytes, i.e.
+  5 of 8 bits per key byte (80/128 bits) from line-granular observation;
+* the timing channel — single-block encryption cycles vary with the key
+  for the leaky kernel and are constant for the patched one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import emit_table
+from repro.apps.libgpucrypto import aes_program_ct
+from repro.attacks import (
+    aes_single_block_program,
+    collect_observations,
+    recover_key_classes,
+    timing_distinguisher,
+    true_key_classes,
+)
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")  # FIPS-197 key
+TRACE_CHECKPOINTS = (1, 2, 5, 10, 20, 40)
+
+
+def run_attack():
+    observations = collect_observations(KEY, max(TRACE_CHECKPOINTS),
+                                        np.random.default_rng(3))
+    curve = []
+    for count in TRACE_CHECKPOINTS:
+        survivors = recover_key_classes(observations[:count])
+        mean_candidates = float(np.mean([len(s) for s in survivors]))
+        solved = sum(1 for s, e in zip(survivors, true_key_classes(KEY))
+                     if s == e)
+        curve.append((count, mean_candidates, solved))
+    final = recover_key_classes(observations)
+
+    plaintext = bytes(range(16))
+    keys = [KEY, bytes(range(16)), b"\x5a" * 16, bytes(range(1, 17))]
+    leaky_timings = timing_distinguisher(
+        aes_single_block_program, [(key, plaintext) for key in keys])
+    patched_timings = timing_distinguisher(aes_program_ct, keys)
+    return curve, final, leaky_timings, patched_timings
+
+
+def test_attack_aes(benchmark):
+    curve, final, leaky_timings, patched_timings = benchmark.pedantic(
+        run_attack, rounds=1, iterations=1)
+
+    rows = [(count, f"{mean_candidates:.1f}", f"{solved}/16")
+            for count, mean_candidates, solved in curve]
+    emit_table("attack_aes",
+               "AES cache-line attack: candidate elimination vs traces "
+               "(+ timing channel)",
+               ["Traces", "mean candidates/byte", "bytes at line-class"],
+               rows + [
+                   ("timing: leaky distinct cycle counts",
+                    len(set(leaky_timings.values())), ""),
+                   ("timing: patched distinct cycle counts",
+                    len(set(patched_timings.values())), ""),
+               ])
+
+    # elimination is monotone and converges to the 8-candidate class
+    means = [mean for _c, mean, _s in curve]
+    assert all(later <= earlier
+               for earlier, later in zip(means, means[1:]))
+    assert final == true_key_classes(KEY)
+    assert curve[-1][2] == 16
+
+    # the timing channel distinguishes keys only for the leaky kernel
+    assert len(set(leaky_timings.values())) > 1
+    assert len(set(patched_timings.values())) == 1

@@ -1,0 +1,97 @@
+"""Fig. 5: growth of Owl's trace size with input size.
+
+The paper plots trace size against input size for three workloads with
+three distinct growth patterns, plus the host-record series:
+
+* ① fixed threads — ``Tensor.__repr__`` uses 32 threads whatever the input,
+  so its trace size is constant;
+* ② volatile threads, bounded addresses — the dummy S-box program
+  saturates once every table entry has been touched;
+* ③ volatile threads, unbounded addresses — nvjpeg encoding touches one
+  pixel per thread, so the trace grows linearly;
+* malloc/launch records — host-side, flat in the input size.
+
+This bench regenerates all four series and asserts the growth-shape
+relations (saturating vs linear vs constant vs flat).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import emit_table
+from repro.apps.dummy import dummy_program
+from repro.apps.minitorch import tensor_repr_program
+from repro.apps.nvjpeg import synthetic_image
+from repro.apps.nvjpeg.encoder import encode_program
+from repro.tracing import TraceRecorder
+
+#: input sizes (elements / pixels) swept per workload
+DUMMY_SIZES = (128, 512, 2048, 8192, 32768)
+REPR_SIZES = (128, 512, 2048, 8192, 32768)
+JPEG_SIDES = ((8, 8), (16, 16), (32, 32), (48, 48), (64, 64))
+
+
+def sweep():
+    recorder = TraceRecorder()
+    rng = np.random.default_rng(0)
+    series = {"dummy": [], "repr": [], "jpeg": [], "malloc": [], "launch": []}
+
+    for n in DUMMY_SIZES:
+        trace = recorder.record(dummy_program, rng.integers(0, 256, n))
+        series["dummy"].append((n, trace.adcfg_bytes()))
+        series["malloc"].append((n, trace.malloc_bytes()))
+        series["launch"].append((n, trace.launch_bytes()))
+
+    for n in REPR_SIZES:
+        trace = recorder.record(tensor_repr_program, rng.standard_normal(n))
+        series["repr"].append((n, trace.adcfg_bytes()))
+
+    for height, width in JPEG_SIDES:
+        image = synthetic_image(height, width, seed=1)
+        trace = recorder.record(encode_program, image)
+        series["jpeg"].append((height * width, trace.adcfg_bytes()))
+    return series
+
+
+def test_fig5_trace_growth(benchmark):
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for name, points in series.items():
+        for x, size in points:
+            rows.append((name, x, size))
+    emit_table("fig5", "Fig. 5: trace size (bytes) by input size",
+               ["Series", "Input size", "Trace bytes"], rows)
+
+    dummy = [size for _x, size in series["dummy"]]
+    repr_sizes = [size for _x, size in series["repr"]]
+    jpeg = [size for _x, size in series["jpeg"]]
+    malloc = [size for _x, size in series["malloc"]]
+    launch = [size for _x, size in series["launch"]]
+
+    # ② dummy: early growth then plateau — late growth is a small fraction
+    # of early growth despite a much larger thread delta
+    early_growth = dummy[1] - dummy[0]
+    late_growth = dummy[-1] - dummy[-2]
+    assert early_growth > 0
+    assert late_growth < 0.25 * early_growth
+    assert dummy[-1] < 1.5 * dummy[2]
+
+    # ① repr: constant trace size (fixed 32 threads)
+    assert max(repr_sizes) - min(repr_sizes) <= 64  # near-constant bytes
+
+    # ③ jpeg: linear-ish — doubling pixels keeps scaling the trace
+    pixels = [x for x, _s in series["jpeg"]]
+    ratio_first = jpeg[1] / jpeg[0]
+    ratio_last = jpeg[-1] / jpeg[-2]
+    assert jpeg[-1] > 5 * jpeg[0]
+    assert ratio_last > 1.3  # still growing at the top of the sweep
+    # growth tracks pixel count within a factor of ~2
+    slope = (jpeg[-1] - jpeg[0]) / (pixels[-1] - pixels[0])
+    assert slope > 0
+
+    # host records: flat in input size
+    assert len(set(malloc)) == 1
+    assert len(set(launch)) == 1

@@ -1,0 +1,96 @@
+"""RQ3 (§VIII-D): are existing tools applicable to CUDA applications?
+
+The paper evaluates DATA (dynamic, Pin-based) and haybale-pitchfork
+(LLVM-IR symbolic execution) on CUDA workloads and reports:
+
+* DATA can surface *kernel leaks* (they originate in host control flow)
+  but cannot observe anything inside the GPU;
+* pitchfork floods the report with false positives — thread-id-indexed
+  accesses and predication-safe branches — because it models neither
+  threadIdx nor predicated execution.
+
+This bench measures both failure modes against Owl's results on the same
+programs and prints the comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import bench_runs, emit_table
+from repro.apps.libgpucrypto import aes_program, random_key
+from repro.apps.minitorch import make_op_program, serialize_program
+from repro.apps.minitorch.ops import fixed_op_input, make_random_input
+from repro.apps.minitorch.serialize import serialize_random_input
+from repro.baselines import data_tool_analyze, pitchfork_analyze
+from repro.core import Owl, OwlConfig
+
+
+def run_comparison(runs):
+    config = OwlConfig(fixed_runs=runs, random_runs=runs)
+
+    owl_aes = Owl(aes_program, name="aes", config=config).detect(
+        inputs=[bytes(range(16)), bytes(range(1, 17))],
+        random_input=random_key)
+    owl_serialize = Owl(serialize_program, name="serialize",
+                        config=config).detect(
+        inputs=[np.zeros(64), np.ones(64)],
+        random_input=serialize_random_input)
+    generate = make_random_input("maxpool2d")
+    owl_maxpool = Owl(make_op_program("maxpool2d"), name="maxpool2d",
+                      config=config).detect(
+        inputs=[fixed_op_input("maxpool2d"),
+                generate(np.random.default_rng(0))],
+        random_input=generate)
+
+    data_aes = data_tool_analyze(aes_program,
+                                 [bytes(range(16)), bytes(range(1, 17))])
+    data_serialize = data_tool_analyze(serialize_program,
+                                       [np.zeros(64), np.ones(64)])
+
+    pf_aes = pitchfork_analyze(aes_program, bytes(range(16)),
+                               secret_labels={"aes.round_keys"})
+    pf_maxpool = pitchfork_analyze(make_op_program("maxpool2d"),
+                                   fixed_op_input("maxpool2d"),
+                                   secret_labels={"maxpool2d.x"})
+    return (owl_aes, owl_serialize, owl_maxpool, data_aes, data_serialize,
+            pf_aes, pf_maxpool)
+
+
+def test_rq3_existing_tools(benchmark):
+    runs = bench_runs()
+    (owl_aes, owl_serialize, owl_maxpool, data_aes, data_serialize,
+     pf_aes, pf_maxpool) = benchmark.pedantic(
+        run_comparison, args=(runs,), rounds=1, iterations=1)
+
+    rows = [
+        ("AES device DF leaks", len(owl_aes.report.data_flow_leaks),
+         "0 (blind)", f"{len(pf_aes.memory_findings)} (noisy)"),
+        ("AES tid-only false positives", 0, "n/a",
+         len(pf_aes.tid_false_positives)),
+        ("serialize kernel leaks", len(owl_serialize.report.kernel_leaks),
+         len(data_serialize.kernel_differences), "n/a"),
+        ("maxpool2d CF reports (truth: 0)",
+         len(owl_maxpool.report.control_flow_leaks), "0 (blind)",
+         len(pf_maxpool.control_findings)),
+    ]
+    emit_table("rq3", "RQ3: existing tools on CUDA applications "
+               "(Owl vs DATA vs pitchfork)",
+               ["Metric", "Owl", "DATA", "pitchfork"], rows)
+
+    # DATA: sees the serialization kernel leak, nothing in AES
+    assert data_serialize.kernel_differences
+    assert not data_aes.found_kernel_leak
+    assert not data_aes.can_see_device_leaks
+
+    # Owl: sees the device leaks DATA misses
+    assert owl_aes.report.data_flow_leaks
+    assert owl_serialize.report.kernel_leaks
+
+    # pitchfork: flags far more than Owl on AES, including pure-tid noise,
+    # and invents control-flow findings where predication hides everything
+    assert len(pf_aes.findings) > len(owl_aes.report.leaks)
+    assert pf_aes.tid_false_positives
+    assert owl_maxpool.report.control_flow_leaks == []
+    assert pf_maxpool.control_findings

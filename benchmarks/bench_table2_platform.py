@@ -1,0 +1,49 @@
+"""Table II: parameters of the experiment platform.
+
+The paper's Table II lists the hardware/software stack (i9-12900, RTX
+A4000, Ubuntu, CUDA 12.0).  Our platform is the simulator, so the table
+reports the simulated device configuration plus the host Python stack —
+the environmental facts a reader needs to situate the measurements.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+
+import numpy as np
+
+from _bench_utils import emit_table
+from repro.gpusim import Device, DeviceConfig
+
+
+def gather_platform_rows():
+    config = DeviceConfig()
+    rows = [("Description", value) for value in ()]  # placeholder shape
+    rows = list(config.describe().items())
+    rows += [
+        ("Host OS", platform.system()),
+        ("Host kernel", platform.release()),
+        ("Python", sys.version.split()[0]),
+        ("NumPy", np.__version__),
+        ("Substrate", "repro.gpusim SIMT simulator (in place of "
+                      "NVBit + CUDA 12.0)"),
+    ]
+    return rows
+
+
+def test_table2_platform(benchmark):
+    rows = benchmark.pedantic(gather_platform_rows, rounds=1, iterations=1)
+    table = dict(rows)
+    # the simulated device must advertise the SIMT parameters the analysis
+    # depends on
+    assert table["Warp size"] == "32"
+    assert table["Device ASLR"] == "disabled"
+    assert "Simulated" in table["GPU (simulated)"]
+
+    # a launch on the described device actually works
+    device = Device(DeviceConfig())
+    assert device.config.warp_size == 32
+
+    emit_table("table2", "Table II: parameters of the experiment platform "
+               "(simulated)", ["Description", "Value"], rows)

@@ -1,0 +1,141 @@
+"""Table IV: Owl's performance during analysis of the three applications.
+
+Per function, the paper reports: per-trace size and collection time, the
+number of traces and time of evidence collection, distribution-test time,
+and the analysis' peak RAM and total time.  This bench regenerates every
+column for a representative subset of each application (AES, RSA, four
+minitorch functions, nvjpeg encode/decode).
+
+Absolute numbers are not comparable to the paper's testbed (their traces
+come from NVBit on an RTX A4000; ours from the simulator), but the cost
+*structure* they highlight is asserted: trace collection dominates while
+evidence merging and distribution testing are comparatively free, and the
+crypto/codec workloads carry much heavier traces than the small framework
+ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import bench_runs, emit_table
+from repro.apps.libgpucrypto import (
+    aes_program,
+    random_exponent,
+    random_key,
+    rsa_program,
+)
+from repro.apps.minitorch import (
+    make_op_program,
+    make_random_input,
+    serialize_program,
+    tensor_repr_program,
+)
+from repro.apps.minitorch.ops import fixed_op_input
+from repro.apps.minitorch.serialize import serialize_random_input
+from repro.apps.minitorch.tensor import repr_random_input
+from repro.apps.nvjpeg import (
+    decode_program,
+    encode_program,
+    random_image,
+    synthetic_image,
+)
+from repro.core import Owl, OwlConfig
+
+MINITORCH_OPS = ("maxpool2d", "conv2d", "linear", "mseloss")
+
+
+def workloads():
+    rng = np.random.default_rng(9)
+    table = {
+        "libgpucrypto/AES": (
+            aes_program, [bytes(range(16)), bytes(range(1, 17))], random_key),
+        "libgpucrypto/RSA": (
+            rsa_program, [0x6ACF8231, 0x7FD4C9A7], random_exponent),
+        "minitorch/Tensor.__repr__": (
+            tensor_repr_program,
+            [np.linspace(-2, 2, 64), np.linspace(-2, 2, 64) * 10_000],
+            repr_random_input),
+        "minitorch/serialize": (
+            serialize_program, [np.zeros(64), np.linspace(-2, 2, 64)],
+            serialize_random_input),
+        "nvjpeg/encoding": (
+            encode_program,
+            [synthetic_image(16, 16, seed=1), synthetic_image(16, 16, seed=2)],
+            lambda generator: random_image(generator, 16, 16)),
+        "nvjpeg/decoding": (
+            decode_program,
+            [synthetic_image(16, 16, seed=1), synthetic_image(16, 16, seed=2)],
+            lambda generator: random_image(generator, 16, 16)),
+    }
+    for op in MINITORCH_OPS:
+        generate = make_random_input(op)
+        table[f"minitorch/{op}"] = (
+            make_op_program(op), [fixed_op_input(op), generate(rng)],
+            generate)
+    return table
+
+
+def profile_all(runs):
+    measurements = {}
+    for name, (program, inputs, random_input) in workloads().items():
+        # always_analyze: even functions whose two probe inputs happen to
+        # trace identically go through the full 2N-run protocol, as every
+        # Table IV row did in the paper
+        config = OwlConfig(fixed_runs=runs, random_runs=runs,
+                           measure_memory=True, always_analyze=True)
+        owl = Owl(program, name=name, config=config)
+        result = owl.detect(inputs=inputs, random_input=random_input)
+        measurements[name] = result.stats
+    return measurements
+
+
+def test_table4_performance(benchmark):
+    runs = bench_runs()
+    stats = benchmark.pedantic(profile_all, args=(runs,), rounds=1,
+                               iterations=1)
+
+    rows = []
+    for name, s in stats.items():
+        rows.append((
+            name,
+            f"{s.avg_trace_bytes / 1024:.2f}",
+            f"{s.avg_trace_seconds * 1000:.2f}",
+            s.trace_count,
+            f"{s.evidence_seconds:.3f}",
+            f"{s.test_seconds * 1000:.2f}",
+            f"{s.peak_ram_bytes / 1024 ** 2:.1f}",
+            f"{s.total_seconds:.2f}",
+        ))
+    emit_table(
+        "table4", f"Table IV: Owl performance ({runs}+{runs} runs)",
+        ["Function", "Trace KB", "Trace ms", "Traces", "Evidence s",
+         "Test ms", "RAM MB", "Total s"], rows)
+
+    aes = stats["libgpucrypto/AES"]
+    rsa = stats["libgpucrypto/RSA"]
+
+    # every analysed workload actually collected its traces
+    for name, s in stats.items():
+        assert s.trace_count >= 2, name
+        assert s.avg_trace_bytes > 0, name
+        assert s.total_seconds > 0, name
+        assert s.peak_ram_bytes > 0, name
+
+    # trace collection dominates; the statistics are comparatively free —
+    # the cost structure Table IV shows for every function
+    for name, s in stats.items():
+        if s.trace_count > 10:  # analysed (not filtered out early)
+            assert s.evidence_seconds < s.trace_seconds_total, name
+            assert s.test_seconds < s.trace_seconds_total, name
+
+    # deviation from the paper: their RSA traces dwarf AES (250 MB vs
+    # 19 MB) because bignum limbs live in memory; our toy modexp is
+    # register-resident, so the crypto ordering flips (see EXPERIMENTS.md).
+    # The coarser relation still holds: crypto/codec traces are much
+    # heavier than the small framework ops.
+    assert aes.avg_trace_bytes > 5 * stats["minitorch/serialize"].avg_trace_bytes
+    assert stats["nvjpeg/encoding"].avg_trace_bytes \
+        > 5 * stats["minitorch/mseloss"].avg_trace_bytes
+    assert rsa.avg_trace_bytes > 0

@@ -1,0 +1,94 @@
+"""Audit GPU crypto: AES T-tables and RSA square-and-multiply.
+
+Reproduces the paper's libgpucrypto findings end to end:
+
+1. Owl flags every AES T-table lookup as data-flow leakage and the RSA
+   exponent branch as control-flow leakage;
+2. the patched variants (register-resident AES substitution, Montgomery
+   ladder) come back clean;
+3. as a demonstration that the RSA control-flow leak is *exploitable*, the
+   private exponent is recovered bit-for-bit from the warp's basic-block
+   trace alone — the observation our threat model grants the attacker.
+
+Run:  python examples/audit_crypto.py
+"""
+
+import numpy as np
+
+from repro import Owl, OwlConfig
+from repro.apps.libgpucrypto import (
+    aes_program,
+    aes_program_ct,
+    random_exponent,
+    random_key,
+    rsa_program,
+    rsa_program_ct,
+)
+from repro.gpusim import Device
+from repro.gpusim.events import BasicBlockEvent
+from repro.host import CudaRuntime
+
+CONFIG = OwlConfig(fixed_runs=40, random_runs=40)
+
+
+def audit(name, program, inputs, random_input):
+    owl = Owl(program, name=name, config=CONFIG)
+    result = owl.detect(inputs=inputs, random_input=random_input)
+    counts = result.report.counts()
+    if result.leak_free_by_filtering:
+        verdict = "clean (all probe inputs trace-identical)"
+    elif not result.report.has_leaks:
+        verdict = "clean (differences were not input-dependent)"
+    else:
+        verdict = (f"{counts['kernel']} kernel / {counts['data_flow']} "
+                   f"data-flow / {counts['control_flow']} control-flow leaks")
+    print(f"{name:24s} -> {verdict}")
+    return result
+
+
+def recover_rsa_key_from_trace(exponent):
+    """Reconstruct the private exponent from warp-level control flow."""
+    device = Device()
+    labels = []
+    device.subscribe(
+        lambda e: labels.append(e.label)
+        if isinstance(e, BasicBlockEvent)
+        and (e.block_id, e.warp_id) == (0, 0) else None)
+    rsa_program(CudaRuntime(device), exponent)
+
+    bits = []
+    for i, label in enumerate(labels):
+        if label == "square":
+            took_multiply = i + 1 < len(labels) and labels[i + 1] == "multiply"
+            bits.append(1 if took_multiply else 0)
+    return int("".join(map(str, bits)), 2)
+
+
+def main():
+    print("== Owl on libgpucrypto ==")
+    aes = audit("AES (T-tables)", aes_program,
+                [bytes(range(16)), bytes(range(1, 17))], random_key)
+    audit("AES (bitsliced patch)", aes_program_ct,
+          [bytes(range(16)), bytes(range(1, 17))], random_key)
+    rsa = audit("RSA (square&multiply)", rsa_program,
+                [0x6ACF8231, 0x7FD4C9A7], random_exponent)
+    audit("RSA (Montgomery ladder)", rsa_program_ct,
+          [0x6ACF8231, 0x7FD4C9A7], random_exponent)
+
+    print("\nAES leak locations (first five):")
+    for leak in aes.report.data_flow_leaks[:5]:
+        print("  " + leak.render())
+
+    print("\nRSA leak locations:")
+    for leak in rsa.report.control_flow_leaks:
+        print("  " + leak.render())
+
+    secret = 0b1011001110101
+    recovered = recover_rsa_key_from_trace(secret)
+    print(f"\nExploit demo: secret exponent {bin(secret)}")
+    print(f"  recovered from the warp block trace: {bin(recovered)}")
+    print(f"  exact match: {recovered == secret}")
+
+
+if __name__ == "__main__":
+    main()

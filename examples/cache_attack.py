@@ -1,0 +1,68 @@
+"""From detection to exploitation: a cache attack on the flagged AES leak.
+
+Owl's report says the T-table lookups are data-flow leaks.  So what?  This
+example answers with the attack the paper cites as its motivating GPU AES
+break (Jiang et al. [6]): observing only which *cache lines* of each
+T-table the victim touches, the attacker eliminates key-byte candidates
+until each byte's line class remains — 5 of 8 bits per byte, 80 of the 128
+key bits, from a few dozen encryptions.
+
+The demo also shows the timing channel: single-block encryption latency
+(modelled cycles through the L1/L2 hierarchy) varies with the key for the
+leaky kernel and is exactly constant for the bitsliced patch.
+
+Run:  python examples/cache_attack.py
+"""
+
+import numpy as np
+
+from repro.apps.libgpucrypto import aes_program_ct
+from repro.attacks import (
+    aes_single_block_program,
+    collect_observations,
+    recover_key_classes,
+    timing_distinguisher,
+    true_key_classes,
+)
+
+SECRET_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+def main():
+    print("== Cache-line elimination attack on T-table AES ==\n")
+    print(f"victim key (hidden from the attacker): {SECRET_KEY.hex()}\n")
+
+    observations = collect_observations(SECRET_KEY, 40,
+                                        np.random.default_rng(0))
+    for count in (1, 5, 10, 20, 40):
+        survivors = recover_key_classes(observations[:count])
+        mean = np.mean([len(s) for s in survivors])
+        print(f"  after {count:>2} traces: "
+              f"{mean:6.1f} candidates per key byte")
+
+    survivors = recover_key_classes(observations)
+    assert survivors == true_key_classes(SECRET_KEY)
+    recovered_bits = "".join(f"{min(s) >> 3:05b}" for s in survivors)
+    actual_bits = "".join(f"{b >> 3:05b}" for b in SECRET_KEY)
+    print(f"\nrecovered top-5-bit classes match the key: "
+          f"{recovered_bits == actual_bits}")
+    print(f"bits recovered: 80 of 128 "
+          f"(the rest fall to a second-round attack or brute force: "
+          f"2^48 remaining)")
+
+    print("\n== Timing channel (modelled L1/L2 cycles) ==\n")
+    plaintext = bytes(range(16))
+    keys = [SECRET_KEY, bytes(range(16)), b"\x5a" * 16]
+    leaky = timing_distinguisher(aes_single_block_program,
+                                 [(key, plaintext) for key in keys])
+    patched = timing_distinguisher(aes_program_ct, keys)
+    for (key, _pt), cycles in leaky.items():
+        print(f"  leaky AES, key {key[:4].hex()}...: {cycles} cycles")
+    print(f"  -> {len(set(leaky.values()))} distinct timings "
+          f"(key-dependent cache collisions)")
+    print(f"  patched AES: {len(set(patched.values()))} distinct timing "
+          f"across the same keys (constant-observable)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Audit a closed-source codec (the nvJPEG scenario).
+
+Owl never needs source code: it works from binary-level traces (kernel
+launches, warp basic blocks, memory addresses).  Here we treat the nvjpeg
+stand-in as a black box — only its ``encode``/``decode`` entry points are
+touched — and reproduce the paper's finding that the *encoder* leaks image
+content through its entropy-coding stage while the *decoder* is clean.
+
+Run:  python examples/closed_source_jpeg.py
+"""
+
+import numpy as np
+
+from repro import Owl, OwlConfig
+from repro.apps.nvjpeg import (
+    decode_program,
+    encode_program,
+    random_image,
+    synthetic_image,
+)
+
+CONFIG = OwlConfig(fixed_runs=40, random_runs=40)
+IMAGE_SIDE = 16
+
+
+def main():
+    probe_images = [synthetic_image(IMAGE_SIDE, IMAGE_SIDE, seed=1),
+                    synthetic_image(IMAGE_SIDE, IMAGE_SIDE, seed=2)]
+
+    def fresh_image(rng):
+        return random_image(rng, IMAGE_SIDE, IMAGE_SIDE)
+
+    print("== Owl on the closed-source codec (trace-only analysis) ==\n")
+
+    encode = Owl(encode_program, name="nvjpeg encode",
+                 config=CONFIG).detect(inputs=probe_images,
+                                       random_input=fresh_image)
+    print(encode.report.render())
+
+    print()
+    decode = Owl(decode_program, name="nvjpeg decode",
+                 config=CONFIG).detect(inputs=probe_images,
+                                       random_input=fresh_image)
+    if decode.leak_free_by_filtering:
+        print("nvjpeg decode: all probe images produced identical traces — "
+              "no potential leakage (matches the paper: decoding is "
+              "constant-observable for fixed-size images)")
+    else:
+        print(decode.report.render())
+
+    leaky_kernels = {leak.kernel_name for leak in encode.report.leaks}
+    print(f"\nEvery encoder leak localises to: {sorted(leaky_kernels)}")
+    print("The colour-conversion, DCT, and quantisation kernels are clean; "
+          "the entropy coder's run-length scanning and magnitude-category "
+          "loops are what expose the image.  A vendor could patch exactly "
+          "that stage — the kind of actionable finding the paper disclosed "
+          "to NVIDIA.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: detect a planted side channel in 60 lines.
+
+We write a small CUDA-style kernel with one secret-dependent table lookup
+(a data-flow leak) and one secret-dependent branch (a control-flow leak),
+then point Owl at it.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Owl, OwlConfig, kernel
+
+
+# --- the program under test -------------------------------------------------
+#
+# A kernel is a Python function executed per warp; `k` exposes the SIMT
+# surface (thread ids, branches, loads/stores).  This one mimics a toy
+# cipher: every thread mixes its plaintext byte with the shared secret.
+
+@kernel()
+def toy_cipher(k, table, secret_buf, plaintext, ciphertext):
+    k.block("entry")
+    tid = k.global_tid()
+    secret = k.load(secret_buf, 0)                 # shared secret byte
+    byte = k.load(plaintext, tid)                  # thread-indexed: benign
+    mixed = k.load(table, (byte + secret) % 256)   # secret-indexed: LEAKS
+    branch = k.branch(secret % 2 == 0)             # secret branch: LEAKS
+    for _ in branch.then("even_path"):
+        k.store(ciphertext, tid, mixed)
+    for _ in branch.otherwise("odd_path"):
+        k.store(ciphertext, tid, mixed ^ 0xFF)
+    k.block("exit")
+
+
+def toy_program(rt, secret):
+    """The host side: allocate, upload, launch — like a CUDA main()."""
+    table = rt.constMalloc(256, label="sbox")
+    rt.cudaMemcpyHtoD(table, np.arange(256))
+    secret_buf = rt.cudaMalloc(1, label="secret")
+    rt.cudaMemcpyHtoD(secret_buf, np.array([secret]))
+    plaintext = rt.cudaMalloc(64, label="plaintext")
+    rt.cudaMemcpyHtoD(plaintext, np.arange(64) % 256)
+    ciphertext = rt.cudaMalloc(64, label="ciphertext")
+    rt.cuLaunchKernel(toy_cipher, 2, 32, table, secret_buf, plaintext,
+                      ciphertext)
+
+
+def main():
+    owl = Owl(toy_program, name="toy_cipher",
+              config=OwlConfig(fixed_runs=40, random_runs=40))
+
+    result = owl.detect(
+        inputs=[7, 42],                                   # probe inputs
+        random_input=lambda rng: int(rng.integers(0, 256)))
+
+    print(f"input classes found by filtering: "
+          f"{result.filter_result.num_classes}")
+    print(result.report.render())
+    print()
+    print("Reading the report: the data-flow leak points at the exact "
+          "memory instruction (block 'entry', the table load), and the "
+          "control-flow leaks point at the blocks the secret branch "
+          "steers. The thread-indexed plaintext load is NOT flagged.")
+
+
+if __name__ == "__main__":
+    main()

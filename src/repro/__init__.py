@@ -1,0 +1,38 @@
+"""Reproduction of *Owl: Differential-based Side-Channel Leakage Detection
+for CUDA Applications* (DSN 2024).
+
+Top-level convenience exports; see the subpackages for the full API:
+
+* :mod:`repro.core` — the Owl pipeline (alignment, KS tests, leakage tests);
+* :mod:`repro.gpusim` — the SIMT GPU simulator substrate;
+* :mod:`repro.host` — the CUDA host runtime and Pin-like tracer;
+* :mod:`repro.tracing` — the NVBit-like device tracing layer;
+* :mod:`repro.adcfg` — attributed dynamic control-flow graphs;
+* :mod:`repro.apps` — the evaluated workloads (libgpucrypto, minitorch,
+  nvjpeg, dummy);
+* :mod:`repro.baselines` — DATA-style and pitchfork-style comparators.
+"""
+
+from repro.core import Owl, OwlConfig, OwlResult
+from repro.core.report import Leak, LeakType, LeakageReport
+from repro.gpusim import Device, DeviceConfig, kernel
+from repro.host import CudaRuntime
+from repro.tracing import ProgramTrace, TraceRecorder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CudaRuntime",
+    "Device",
+    "DeviceConfig",
+    "Leak",
+    "LeakType",
+    "LeakageReport",
+    "Owl",
+    "OwlConfig",
+    "OwlResult",
+    "ProgramTrace",
+    "TraceRecorder",
+    "__version__",
+    "kernel",
+]

@@ -1,0 +1,80 @@
+"""Fold per-warp trace events into a single A-DCFG.
+
+The builder consumes the event stream of one kernel invocation — basic-block
+entries and memory accesses tagged with ``(block id, warp id)`` — and
+aggregates all warps into one graph, eliminating the per-thread redundancy
+that makes naive multi-thread tracing (à la DATA) blow up in memory.
+
+Per warp, the builder tracks the previous basic block so it can record
+edges with their predecessor-edge histogram.  Warp entry and exit are
+bracketed with the virtual :data:`~repro.adcfg.graph.START_LABEL` /
+:data:`~repro.adcfg.graph.END_LABEL` blocks (the paper treats the first
+``src`` and last ``dst`` as a special basic-block type).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.adcfg.graph import ADCFG, END_LABEL, START_LABEL, AddressKey
+from repro.gpusim.events import (
+    BasicBlockEvent,
+    MemoryAccessEvent,
+)
+
+#: Maps a raw device byte address to a normalised (label, offset) key.
+Normalizer = Callable[[int], AddressKey]
+
+
+def identity_normalizer(address: int) -> AddressKey:
+    """Fallback normaliser: keep raw addresses (single anonymous region)."""
+    return ("<raw>", address)
+
+
+class ADCFGBuilder:
+    """Incremental A-DCFG construction for one kernel invocation."""
+
+    def __init__(self, kernel_identity: str, kernel_name: str = "",
+                 total_threads: int = 0, num_warps: int = 0,
+                 normalizer: Optional[Normalizer] = None) -> None:
+        self.graph = ADCFG(kernel_identity=kernel_identity,
+                           kernel_name=kernel_name,
+                           total_threads=total_threads, num_warps=num_warps)
+        self._normalizer = normalizer or identity_normalizer
+        # per-warp control-flow context: (prev_prev_label, prev_label)
+        self._warp_state: Dict[Tuple[int, int], Tuple[str, str]] = {}
+
+    # ------------------------------------------------------------------
+    # event intake
+    # ------------------------------------------------------------------
+
+    def on_basic_block(self, event: BasicBlockEvent) -> None:
+        """Record a warp's entry into a basic block."""
+        warp_key = (event.block_id, event.warp_id)
+        prev_prev, prev = self._warp_state.get(warp_key,
+                                               (START_LABEL, START_LABEL))
+        node = self.graph.node(event.label)
+        node.record_entry()
+        edge = self.graph.edge(prev, event.label)
+        edge.record(prev_src=prev_prev)
+        self._warp_state[warp_key] = (prev, event.label)
+
+    def on_memory_access(self, event: MemoryAccessEvent) -> None:
+        """Record a warp's memory instruction into its (visit, instr) slot."""
+        node = self.graph.node(event.label)
+        keys = [self._normalizer(address) for address in event.addresses]
+        node.record_access(visit=event.visit, instr=event.instr,
+                           space=event.space.value, is_store=event.is_store,
+                           keys=keys)
+
+    # ------------------------------------------------------------------
+    # finalisation
+    # ------------------------------------------------------------------
+
+    def finish(self) -> ADCFG:
+        """Close every warp's trace with the virtual END block and return
+        the completed graph."""
+        for (prev_prev, prev) in self._warp_state.values():
+            self.graph.edge(prev, END_LABEL).record(prev_src=prev_prev)
+        self._warp_state = {}
+        return self.graph

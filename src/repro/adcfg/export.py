@@ -1,0 +1,82 @@
+"""A-DCFG export: NetworkX graphs and Graphviz DOT.
+
+Owl's leak reports name basic blocks; developers patching a kernel want to
+*see* the control-flow neighbourhood of a flagged block.  This module turns
+an A-DCFG into
+
+* a :class:`networkx.DiGraph` with node/edge attributes (entries, traversal
+  counts, memory-access totals) for programmatic analysis, and
+* a Graphviz DOT string with leak highlighting for rendering.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+import networkx as nx
+
+from repro.adcfg.graph import ADCFG, END_LABEL, START_LABEL
+
+
+def to_networkx(graph: ADCFG) -> "nx.DiGraph":
+    """Convert an A-DCFG into a NetworkX digraph.
+
+    Node attributes: ``entries``, ``memory_accesses``, ``instructions``.
+    Edge attributes: ``count``, ``prev_counts`` (dict).  The virtual
+    START/END nodes are included when any edge references them.
+    """
+    out = nx.DiGraph(kernel_identity=graph.kernel_identity,
+                     kernel_name=graph.kernel_name,
+                     total_threads=graph.total_threads,
+                     num_warps=graph.num_warps)
+    for label, node in graph.nodes.items():
+        instructions = sum(1 for _ in node.iter_instructions())
+        out.add_node(label, entries=node.entries,
+                     memory_accesses=node.total_accesses,
+                     instructions=instructions)
+    for (src, dst), edge in graph.edges.items():
+        for endpoint in (src, dst):
+            if endpoint not in out:
+                out.add_node(endpoint, entries=0, memory_accesses=0,
+                             instructions=0, virtual=endpoint in
+                             (START_LABEL, END_LABEL))
+        out.add_edge(src, dst, count=edge.count,
+                     prev_counts=dict(edge.prev_counts))
+    return out
+
+
+def hot_paths(graph: ADCFG, top: int = 5):
+    """The *top* most-traversed edges (excluding the virtual endpoints)."""
+    real = [edge for (src, dst), edge in graph.edges.items()
+            if src not in (START_LABEL, END_LABEL)
+            and dst not in (START_LABEL, END_LABEL)]
+    real.sort(key=lambda edge: edge.count, reverse=True)
+    return [(edge.src, edge.dst, edge.count) for edge in real[:top]]
+
+
+def _dot_escape(label: str) -> str:
+    return label.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(graph: ADCFG,
+           leaking_blocks: Optional[Iterable[str]] = None) -> str:
+    """Render the A-DCFG as Graphviz DOT, highlighting *leaking_blocks*."""
+    leaks: Set[str] = set(leaking_blocks or ())
+    lines = [f'digraph "{_dot_escape(graph.kernel_name)}" {{',
+             "  rankdir=TB;",
+             '  node [shape=box, fontname="monospace"];']
+    for label, node in sorted(graph.nodes.items()):
+        text = (f"{label}\\nentries={node.entries}"
+                f"\\naccesses={node.total_accesses}")
+        style = ', style=filled, fillcolor="#f4cccc"' if label in leaks \
+            else ""
+        lines.append(f'  "{_dot_escape(label)}" [label="{text}"{style}];')
+    for virtual in (START_LABEL, END_LABEL):
+        if any(virtual in key for key in graph.edges):
+            lines.append(f'  "{_dot_escape(virtual)}" '
+                         f'[shape=ellipse, label="{_dot_escape(virtual)}"];')
+    for (src, dst), edge in sorted(graph.edges.items()):
+        lines.append(f'  "{_dot_escape(src)}" -> "{_dot_escape(dst)}" '
+                     f'[label="{edge.count}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Merging A-DCFGs.
+
+Two uses in the paper:
+
+* trace recording folds every warp into one graph (done incrementally by
+  :class:`~repro.adcfg.builder.ADCFGBuilder`);
+* evidence collection (§VII-A step 2) merges the A-DCFGs of *aligned* kernel
+  invocations across repeated executions: node/edge attributes are summed,
+  memory records aggregated per (visit, instruction) slot.
+
+Merging is only meaningful for invocations of the same kernel identity;
+merging across identities is a usage error and raises.
+"""
+
+from __future__ import annotations
+
+from repro.adcfg.graph import ADCFG
+
+
+class MergeError(Exception):
+    """Raised when incompatible A-DCFGs are merged."""
+
+
+def merge_adcfg_into(target: ADCFG, source: ADCFG) -> ADCFG:
+    """Fold *source* into *target* in place and return *target*."""
+    if target.kernel_identity != source.kernel_identity:
+        raise MergeError(
+            f"cannot merge {source.kernel_identity!r} into "
+            f"{target.kernel_identity!r}: different kernel identities")
+    target.total_threads = max(target.total_threads, source.total_threads)
+    target.num_warps = max(target.num_warps, source.num_warps)
+
+    for label, src_node in source.nodes.items():
+        dst_node = target.node(label)
+        dst_node.record_entry(src_node.entries)
+        for visit, instr, record in src_node.iter_instructions():
+            # ensure the slot exists, then merge counts wholesale
+            dst_node.record_access(visit=visit, instr=instr,
+                                   space=record.space,
+                                   is_store=record.is_store, keys=())
+            dst_node.visits[visit][instr].merge(record)
+
+    for key, src_edge in source.edges.items():
+        target.edge(*key).merge(src_edge)
+    return target
+
+
+def merge_adcfg(first: ADCFG, second: ADCFG) -> ADCFG:
+    """Return a new A-DCFG that is the aggregation of both inputs."""
+    return merge_adcfg_into(first.copy(), second)

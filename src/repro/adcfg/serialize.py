@@ -1,0 +1,197 @@
+"""Compact binary (de)serialisation of A-DCFGs.
+
+Two jobs:
+
+* persistence — traces are recorded once and analysed many times, so the
+  graphs must round-trip losslessly;
+* **trace-size accounting** — Fig. 5 and Table IV of the paper report trace
+  sizes; :func:`adcfg_size_bytes` measures the serialised footprint, which is
+  the honest equivalent of the paper's on-disk trace size.
+
+Format (little-endian, versioned):
+
+``magic "ADCF" | u16 version | u32 threads | u32 warps |``
+``string table (u32 count, then u16 length + UTF-8 each) |``
+``u32 identity-index | u32 name-index |``
+``nodes (label, entries, visits -> instrs -> (space, is_store, pairs)) |``
+``edges (src, dst, count, prev histogram)``
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+from repro.adcfg.graph import ADCFG, Edge, MemoryRecord, Node
+
+_MAGIC = b"ADCF"
+_VERSION = 1
+
+
+class SerializationError(Exception):
+    """Raised on malformed serialised input."""
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self._chunks: List[bytes] = []
+
+    def pack(self, fmt: str, *values) -> None:
+        self._chunks.append(struct.pack("<" + fmt, *values))
+
+    def raw(self, data: bytes) -> None:
+        self._chunks.append(data)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def unpack(self, fmt: str) -> Tuple:
+        fmt = "<" + fmt
+        size = struct.calcsize(fmt)
+        if self._pos + size > len(self._data):
+            raise SerializationError("truncated A-DCFG payload")
+        values = struct.unpack_from(fmt, self._data, self._pos)
+        self._pos += size
+        return values
+
+    def raw(self, size: int) -> bytes:
+        if self._pos + size > len(self._data):
+            raise SerializationError("truncated A-DCFG payload")
+        chunk = self._data[self._pos:self._pos + size]
+        self._pos += size
+        return chunk
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos == len(self._data)
+
+
+def _collect_strings(graph: ADCFG) -> List[str]:
+    strings = {graph.kernel_identity, graph.kernel_name}
+    strings.update(graph.nodes.keys())
+    for (src, dst), edge in graph.edges.items():
+        strings.add(src)
+        strings.add(dst)
+        strings.update(edge.prev_counts.keys())
+    for node in graph.nodes.values():
+        for _visit, _instr, record in node.iter_instructions():
+            for label, _offset in record.counts:
+                strings.add(label)
+    return sorted(strings)
+
+
+def serialize_adcfg(graph: ADCFG) -> bytes:
+    """Serialise *graph* to bytes."""
+    table = _collect_strings(graph)
+    index: Dict[str, int] = {s: i for i, s in enumerate(table)}
+
+    w = _Writer()
+    w.raw(_MAGIC)
+    w.pack("HII", _VERSION, graph.total_threads, graph.num_warps)
+
+    w.pack("I", len(table))
+    for s in table:
+        encoded = s.encode("utf-8")
+        w.pack("H", len(encoded))
+        w.raw(encoded)
+
+    w.pack("II", index[graph.kernel_identity], index[graph.kernel_name])
+
+    w.pack("I", len(graph.nodes))
+    for label in sorted(graph.nodes):
+        node = graph.nodes[label]
+        w.pack("IQI", index[label], node.entries, len(node.visits))
+        for slots in node.visits:
+            w.pack("I", len(slots))
+            for record in slots:
+                w.pack("BBI", record.space, int(record.is_store),
+                       len(record.counts))
+                for (alloc_label, offset) in sorted(record.counts):
+                    w.pack("IqQ", index[alloc_label], offset,
+                           record.counts[(alloc_label, offset)])
+
+    w.pack("I", len(graph.edges))
+    for (src, dst) in sorted(graph.edges):
+        edge = graph.edges[(src, dst)]
+        w.pack("IIQI", index[src], index[dst], edge.count,
+               len(edge.prev_counts))
+        for prev in sorted(edge.prev_counts):
+            w.pack("IQ", index[prev], edge.prev_counts[prev])
+
+    return w.getvalue()
+
+
+def _lookup(table: List[str], index: int) -> str:
+    """String-table access with validation (corrupt payloads carry
+    out-of-range indices; they must surface as SerializationError)."""
+    if not 0 <= index < len(table):
+        raise SerializationError(
+            f"string index {index} outside table of {len(table)} entries")
+    return table[index]
+
+
+def deserialize_adcfg(data: bytes) -> ADCFG:
+    """Reconstruct an :class:`ADCFG` from :func:`serialize_adcfg` output."""
+    r = _Reader(data)
+    if r.raw(4) != _MAGIC:
+        raise SerializationError("bad magic: not an A-DCFG payload")
+    version, total_threads, num_warps = r.unpack("HII")
+    if version != _VERSION:
+        raise SerializationError(f"unsupported A-DCFG version {version}")
+
+    (table_len,) = r.unpack("I")
+    table: List[str] = []
+    for _ in range(table_len):
+        (str_len,) = r.unpack("H")
+        try:
+            table.append(r.raw(str_len).decode("utf-8"))
+        except UnicodeDecodeError as error:
+            raise SerializationError(
+                f"malformed UTF-8 in string table: {error}") from error
+
+    identity_idx, name_idx = r.unpack("II")
+    graph = ADCFG(kernel_identity=_lookup(table, identity_idx),
+                  kernel_name=_lookup(table, name_idx),
+                  total_threads=total_threads, num_warps=num_warps)
+
+    (num_nodes,) = r.unpack("I")
+    for _ in range(num_nodes):
+        label_idx, entries, num_visits = r.unpack("IQI")
+        node = Node(label=_lookup(table, label_idx), entries=entries)
+        for _v in range(num_visits):
+            (num_instrs,) = r.unpack("I")
+            slots = []
+            for _i in range(num_instrs):
+                space, is_store, num_pairs = r.unpack("BBI")
+                record = MemoryRecord(space=space, is_store=bool(is_store))
+                for _p in range(num_pairs):
+                    alloc_idx, offset, count = r.unpack("IqQ")
+                    record.counts[(_lookup(table, alloc_idx), offset)] = count
+                slots.append(record)
+            node.visits.append(slots)
+        graph.nodes[node.label] = node
+
+    (num_edges,) = r.unpack("I")
+    for _ in range(num_edges):
+        src_idx, dst_idx, count, num_prev = r.unpack("IIQI")
+        edge = Edge(src=_lookup(table, src_idx),
+                    dst=_lookup(table, dst_idx), count=count)
+        for _p in range(num_prev):
+            prev_idx, prev_count = r.unpack("IQ")
+            edge.prev_counts[_lookup(table, prev_idx)] = prev_count
+        graph.edges[(edge.src, edge.dst)] = edge
+
+    if not r.exhausted:
+        raise SerializationError("trailing bytes after A-DCFG payload")
+    return graph
+
+
+def adcfg_size_bytes(graph: ADCFG) -> int:
+    """Serialised size of *graph* (trace-size accounting for Fig. 5)."""
+    return len(serialize_adcfg(graph))

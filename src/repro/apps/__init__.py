@@ -1,0 +1,16 @@
+"""The evaluated workloads (§VIII): libgpucrypto, minitorch, nvjpeg, dummy.
+
+Each workload exposes *programs under test* — callables ``program(rt,
+secret)`` driving a :class:`~repro.host.runtime.CudaRuntime` — mirroring the
+applications the paper runs Owl on:
+
+* :mod:`repro.apps.libgpucrypto` — AES-128 (T-table) and RSA
+  (square-and-multiply) GPU encryption, plus constant-flow patched variants;
+* :mod:`repro.apps.minitorch` — a small tensor library whose twelve public
+  ops launch simulator kernels (the PyTorch stand-in), including the
+  serialization kernel leak and the predication-masked ``maxpool2d``;
+* :mod:`repro.apps.nvjpeg` — a JPEG-style encoder/decoder (the closed-source
+  nvJPEG stand-in) with value-dependent entropy coding in the encoder;
+* :mod:`repro.apps.dummy` — the random-array-access program used for the
+  Fig. 5 scalability study.
+"""

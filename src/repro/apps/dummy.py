@@ -1,0 +1,83 @@
+"""The dummy scalability workload (§VIII-C, Fig. 5).
+
+The paper's dummy program "performs random array accesses to simulate the
+S-box lookup operation in the AES algorithm", and its trace size *plateaus*
+as threads grow: once every S-box entry has been touched, additional
+threads only bump access counters on already-known addresses.
+
+To reproduce that growth pattern, every buffer here is fixed-size: threads
+derive their lookup index from a 256-byte seed (the secret input) combined
+with their thread id, look it up in the 256-entry table, and fold the
+result into a fixed-size output with atomics.  The *thread count* scales
+with the input size; the *distinct address set* does not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim import kernel
+from repro.host.runtime import CudaRuntime
+
+#: S-box-like table size (matches AES's 256-entry S-box).
+TABLE_SIZE = 256
+
+#: Fixed seed/output buffer sizes — the reason the trace saturates.
+SEED_SIZE = 256
+OUT_SIZE = 256
+
+
+@kernel()
+def sbox_lookup_kernel(k, seed, table, out, n):
+    """Each thread substitutes a seed-derived byte through the table.
+
+    All three buffers are fixed-size, so the set of distinct addresses this
+    kernel can touch is bounded by ``SEED_SIZE + TABLE_SIZE + OUT_SIZE``
+    regardless of how many threads run.
+    """
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < n)
+    for _ in guard.then("body"):
+        byte = k.load(seed, tid % SEED_SIZE)
+        index = (byte + tid) % TABLE_SIZE
+        value = k.load(table, index)
+        k.atomic_add(out, (index + value) % OUT_SIZE, 1)
+    k.block("exit")
+
+
+def dummy_program(rt: CudaRuntime, secret) -> np.ndarray:
+    """Run the dummy lookup over *secret* (a byte array).
+
+    The input length determines the thread count (one thread per byte,
+    mirroring how the paper scales the dummy through its input size); the
+    first :data:`SEED_SIZE` bytes seed the lookups.
+    """
+    data_host = np.asarray(secret, dtype=np.int64) % TABLE_SIZE
+    n = int(data_host.size)
+    if n == 0:
+        raise ValueError("dummy program needs a non-empty input")
+    seed_host = np.zeros(SEED_SIZE, dtype=np.int64)
+    seed_host[:min(n, SEED_SIZE)] = data_host[:SEED_SIZE]
+
+    seed = rt.cudaMalloc(SEED_SIZE, label="seed")
+    rt.cudaMemcpyHtoD(seed, seed_host)
+    table = rt.cudaMalloc(TABLE_SIZE, label="sbox")
+    rt.cudaMemcpyHtoD(table, np.arange(TABLE_SIZE, dtype=np.int64))
+    out = rt.cudaMalloc(OUT_SIZE, label="output")
+
+    threads_per_block = 128
+    num_blocks = -(-n // threads_per_block)
+    rt.cuLaunchKernel(sbox_lookup_kernel, num_blocks, threads_per_block,
+                      seed, table, out, n)
+    return rt.cudaMemcpyDtoH(out)
+
+
+def random_input(rng: np.random.Generator, size: int = 64) -> np.ndarray:
+    """A fresh random dummy input of *size* bytes."""
+    return rng.integers(0, TABLE_SIZE, size=size, dtype=np.int64)
+
+
+def fixed_input(size: int = 64, value: int = 7) -> np.ndarray:
+    """A deterministic dummy input of *size* bytes."""
+    return np.full(size, value % TABLE_SIZE, dtype=np.int64)

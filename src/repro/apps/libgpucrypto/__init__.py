@@ -1,0 +1,39 @@
+"""Libgpucrypto stand-in: GPU AES-128 and RSA with known side channels.
+
+The paper evaluates Owl on libgpucrypto's AES and RSA (§VIII-B): T-table
+lookups give AES its data-flow leaks; the square-and-multiply branch gives
+RSA its control-flow leaks.  This package implements both ciphers for real
+(AES-128 validated against FIPS-197, RSA against Python's ``pow``) as
+simulator kernels, each with a constant-flow patched variant that Owl must
+report clean.
+"""
+
+from repro.apps.libgpucrypto.aes import (
+    aes_program,
+    aes_program_ct,
+    aes128_encrypt_blocks,
+    aes128_encrypt_block_reference,
+    expand_key,
+    random_key,
+)
+from repro.apps.libgpucrypto.rsa import (
+    RSA_DEFAULT_MODULUS,
+    modexp_reference,
+    random_exponent,
+    rsa_program,
+    rsa_program_ct,
+)
+
+__all__ = [
+    "RSA_DEFAULT_MODULUS",
+    "aes128_encrypt_block_reference",
+    "aes128_encrypt_blocks",
+    "aes_program",
+    "aes_program_ct",
+    "expand_key",
+    "modexp_reference",
+    "random_exponent",
+    "random_key",
+    "rsa_program",
+    "rsa_program_ct",
+]

@@ -1,0 +1,301 @@
+"""AES-128: reference implementation, T-table GPU kernel, and programs.
+
+Three layers:
+
+* a pure-Python reference (`aes128_encrypt_block_reference`) built from the
+  textbook round operations, validated against the FIPS-197 vector in the
+  tests;
+* the **leaky** T-table kernel (:data:`aes128_ttable_kernel`) — each thread
+  encrypts one 16-byte block, and every round does 16 table lookups whose
+  indices depend on ``key ⊕ state``: the classic data-flow side channel Owl
+  reports for libgpucrypto;
+* the **patched** kernel (:data:`aes128_ct_kernel`) computing the identical
+  function with table lookups folded into register arithmetic (modelling a
+  bitsliced implementation): its only memory accesses are thread-indexed
+  plaintext loads and ciphertext stores, so Owl must report it clean.
+
+The host programs (`aes_program`, `aes_program_ct`) treat the 16-byte key
+as the secret input and encrypt a fixed 64-block plaintext, mirroring the
+libgpucrypto benchmark drivers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.apps.libgpucrypto.tables import (
+    RCON,
+    SBOX,
+    SBOX_ARRAY,
+    T_TABLES,
+    gf_mul,
+)
+from repro.gpusim import kernel
+from repro.host.runtime import CudaRuntime
+
+KeyLike = Union[bytes, bytearray, Sequence[int], np.ndarray]
+
+#: Number of 16-byte blocks each program encrypts (64 blocks = 2 warps).
+NUM_BLOCKS = 64
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _as_key_bytes(key: KeyLike) -> bytes:
+    data = bytes(bytearray(int(b) & 0xFF for b in key))
+    if len(data) != 16:
+        raise ValueError(f"AES-128 key must be 16 bytes, got {len(data)}")
+    return data
+
+
+def random_key(rng: np.random.Generator) -> bytes:
+    """A fresh random AES-128 key."""
+    return bytes(int(b) for b in rng.integers(0, 256, size=16))
+
+
+# ---------------------------------------------------------------------------
+# key expansion
+# ---------------------------------------------------------------------------
+
+def expand_key(key: KeyLike) -> np.ndarray:
+    """FIPS-197 AES-128 key expansion: 44 big-endian 32-bit words."""
+    data = _as_key_bytes(key)
+    words: List[int] = []
+    for i in range(4):
+        words.append(int.from_bytes(data[4 * i:4 * i + 4], "big"))
+    for i in range(4, 44):
+        temp = words[i - 1]
+        if i % 4 == 0:
+            temp = ((temp << 8) | (temp >> 24)) & _MASK32  # RotWord
+            temp = ((SBOX[(temp >> 24) & 0xFF] << 24)
+                    | (SBOX[(temp >> 16) & 0xFF] << 16)
+                    | (SBOX[(temp >> 8) & 0xFF] << 8)
+                    | SBOX[temp & 0xFF])                   # SubWord
+            temp ^= RCON[i // 4 - 1] << 24
+        words.append(words[i - 4] ^ temp)
+    return np.array(words, dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# pure-Python reference (textbook round operations)
+# ---------------------------------------------------------------------------
+
+def _sub_bytes(state: List[int]) -> List[int]:
+    return [SBOX[b] for b in state]
+
+
+def _shift_rows(state: List[int]) -> List[int]:
+    # state is column-major: state[4*c + r]
+    out = list(state)
+    for r in range(1, 4):
+        row = [state[4 * c + r] for c in range(4)]
+        row = row[r:] + row[:r]
+        for c in range(4):
+            out[4 * c + r] = row[c]
+    return out
+
+
+def _mix_columns(state: List[int]) -> List[int]:
+    out = list(state)
+    for c in range(4):
+        col = state[4 * c:4 * c + 4]
+        out[4 * c + 0] = (gf_mul(col[0], 2) ^ gf_mul(col[1], 3)
+                          ^ col[2] ^ col[3])
+        out[4 * c + 1] = (col[0] ^ gf_mul(col[1], 2)
+                          ^ gf_mul(col[2], 3) ^ col[3])
+        out[4 * c + 2] = (col[0] ^ col[1]
+                          ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3))
+        out[4 * c + 3] = (gf_mul(col[0], 3) ^ col[1]
+                          ^ col[2] ^ gf_mul(col[3], 2))
+    return out
+
+
+def _add_round_key(state: List[int], round_words: Sequence[int]) -> List[int]:
+    out = list(state)
+    for c in range(4):
+        word = int(round_words[c])
+        for r in range(4):
+            out[4 * c + r] ^= (word >> (24 - 8 * r)) & 0xFF
+    return out
+
+
+def aes128_encrypt_block_reference(key: KeyLike, block: bytes) -> bytes:
+    """Encrypt one 16-byte block with the textbook round functions."""
+    if len(block) != 16:
+        raise ValueError(f"AES block must be 16 bytes, got {len(block)}")
+    round_keys = expand_key(key)
+    state = list(block)
+    state = _add_round_key(state, round_keys[0:4])
+    for rnd in range(1, 10):
+        state = _sub_bytes(state)
+        state = _shift_rows(state)
+        state = _mix_columns(state)
+        state = _add_round_key(state, round_keys[4 * rnd:4 * rnd + 4])
+    state = _sub_bytes(state)
+    state = _shift_rows(state)
+    state = _add_round_key(state, round_keys[40:44])
+    return bytes(state)
+
+
+def aes128_encrypt_blocks(key: KeyLike, data: bytes) -> bytes:
+    """ECB-encrypt a multiple-of-16-byte buffer with the reference."""
+    if len(data) % 16:
+        raise ValueError("data length must be a multiple of 16")
+    return b"".join(aes128_encrypt_block_reference(key, data[i:i + 16])
+                    for i in range(0, len(data), 16))
+
+
+# ---------------------------------------------------------------------------
+# word-level helpers shared by both kernels
+# ---------------------------------------------------------------------------
+
+def _byte(vec, shift: int):
+    """Extract byte ``(vec >> shift) & 0xFF`` from a lane vector."""
+    return (vec >> shift) & 0xFF
+
+
+def _t_round(load0, load1, load2, load3, s0, s1, s2, s3, rk0, rk1, rk2, rk3):
+    """One T-table round over lane vectors.
+
+    ``load*`` are callables mapping a byte-index lane vector to the looked-up
+    table value, so the same formula serves the leaky kernel (device loads)
+    and the patched kernel (register arithmetic).
+    """
+    t0 = (load0(_byte(s0, 24)) ^ load1(_byte(s1, 16))
+          ^ load2(_byte(s2, 8)) ^ load3(_byte(s3, 0)) ^ rk0)
+    t1 = (load0(_byte(s1, 24)) ^ load1(_byte(s2, 16))
+          ^ load2(_byte(s3, 8)) ^ load3(_byte(s0, 0)) ^ rk1)
+    t2 = (load0(_byte(s2, 24)) ^ load1(_byte(s3, 16))
+          ^ load2(_byte(s0, 8)) ^ load3(_byte(s1, 0)) ^ rk2)
+    t3 = (load0(_byte(s3, 24)) ^ load1(_byte(s0, 16))
+          ^ load2(_byte(s1, 8)) ^ load3(_byte(s2, 0)) ^ rk3)
+    return t0 & _MASK32, t1 & _MASK32, t2 & _MASK32, t3 & _MASK32
+
+
+def _final_round(sub, s0, s1, s2, s3, rk0, rk1, rk2, rk3):
+    """The last AES round (SubBytes + ShiftRows + AddRoundKey)."""
+    o0 = ((sub(_byte(s0, 24)) << 24) | (sub(_byte(s1, 16)) << 16)
+          | (sub(_byte(s2, 8)) << 8) | sub(_byte(s3, 0))) ^ rk0
+    o1 = ((sub(_byte(s1, 24)) << 24) | (sub(_byte(s2, 16)) << 16)
+          | (sub(_byte(s3, 8)) << 8) | sub(_byte(s0, 0))) ^ rk1
+    o2 = ((sub(_byte(s2, 24)) << 24) | (sub(_byte(s3, 16)) << 16)
+          | (sub(_byte(s0, 8)) << 8) | sub(_byte(s1, 0))) ^ rk2
+    o3 = ((sub(_byte(s3, 24)) << 24) | (sub(_byte(s0, 16)) << 16)
+          | (sub(_byte(s1, 8)) << 8) | sub(_byte(s2, 0))) ^ rk3
+    return o0 & _MASK32, o1 & _MASK32, o2 & _MASK32, o3 & _MASK32
+
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+
+@kernel()
+def aes128_ttable_kernel(k, t0, t1, t2, t3, sbox, round_keys, pt, ct):
+    """Leaky AES: every table index is ``f(key, state)`` and every lookup is
+    a traced device load — data-flow leakage at each T-table access."""
+    k.block("load_state")
+    tid = k.global_tid()
+    s0 = k.load(pt, 4 * tid + 0) ^ k.load(round_keys, 0)
+    s1 = k.load(pt, 4 * tid + 1) ^ k.load(round_keys, 1)
+    s2 = k.load(pt, 4 * tid + 2) ^ k.load(round_keys, 2)
+    s3 = k.load(pt, 4 * tid + 3) ^ k.load(round_keys, 3)
+
+    loads = (lambda idx: k.load(t0, idx), lambda idx: k.load(t1, idx),
+             lambda idx: k.load(t2, idx), lambda idx: k.load(t3, idx))
+    for rnd in k.range_("round", 1, 10):
+        rk = [k.load(round_keys, 4 * rnd + j) for j in range(4)]
+        s0, s1, s2, s3 = _t_round(*loads, s0, s1, s2, s3, *rk)
+
+    k.block("final_round")
+    rk = [k.load(round_keys, 40 + j) for j in range(4)]
+    s0, s1, s2, s3 = _final_round(lambda idx: k.load(sbox, idx),
+                                  s0, s1, s2, s3, *rk)
+    k.store(ct, 4 * tid + 0, s0)
+    k.store(ct, 4 * tid + 1, s1)
+    k.store(ct, 4 * tid + 2, s2)
+    k.store(ct, 4 * tid + 3, s3)
+
+
+@kernel()
+def aes128_ct_kernel(k, round_keys_host, pt, ct):
+    """Patched AES: identical function, but substitutions happen in
+    registers (bitsliced-implementation model) — the only traced accesses
+    are thread-indexed, so the kernel is constant-observable."""
+    k.block("load_state")
+    tid = k.global_tid()
+    rk = round_keys_host  # plain ndarray: register-resident key schedule
+    s0 = k.load(pt, 4 * tid + 0) ^ int(rk[0])
+    s1 = k.load(pt, 4 * tid + 1) ^ int(rk[1])
+    s2 = k.load(pt, 4 * tid + 2) ^ int(rk[2])
+    s3 = k.load(pt, 4 * tid + 3) ^ int(rk[3])
+
+    loads = tuple((lambda table: lambda idx: table[np.asarray(idx, dtype=np.int64)])(t)
+                  for t in T_TABLES)
+    for rnd in k.range_("round", 1, 10):
+        rk_words = [int(rk[4 * rnd + j]) for j in range(4)]
+        s0, s1, s2, s3 = _t_round(*loads, s0, s1, s2, s3, *rk_words)
+
+    k.block("final_round")
+    rk_words = [int(rk[40 + j]) for j in range(4)]
+    s0, s1, s2, s3 = _final_round(
+        lambda idx: SBOX_ARRAY[np.asarray(idx, dtype=np.int64)],
+        s0, s1, s2, s3, *rk_words)
+    k.store(ct, 4 * tid + 0, s0)
+    k.store(ct, 4 * tid + 1, s1)
+    k.store(ct, 4 * tid + 2, s2)
+    k.store(ct, 4 * tid + 3, s3)
+
+
+# ---------------------------------------------------------------------------
+# host programs
+# ---------------------------------------------------------------------------
+
+def fixed_plaintext(num_blocks: int = NUM_BLOCKS) -> bytes:
+    """The deterministic plaintext every program run encrypts."""
+    return bytes(i % 256 for i in range(16 * num_blocks))
+
+
+def _plaintext_words(num_blocks: int) -> np.ndarray:
+    data = fixed_plaintext(num_blocks)
+    words = [int.from_bytes(data[4 * i:4 * i + 4], "big")
+             for i in range(4 * num_blocks)]
+    return np.array(words, dtype=np.int64)
+
+
+def _ct_words_to_bytes(words: np.ndarray) -> bytes:
+    return b"".join(int(w).to_bytes(4, "big") for w in words)
+
+
+def aes_program(rt: CudaRuntime, secret_key: KeyLike) -> bytes:
+    """Encrypt the fixed plaintext under *secret_key* with the leaky kernel."""
+    round_keys = expand_key(secret_key)
+    t_bufs = []
+    for i, table in enumerate(T_TABLES):
+        buf = rt.constMalloc(256, label=f"aes.T{i}")
+        rt.cudaMemcpyHtoD(buf, table)
+        t_bufs.append(buf)
+    sbox = rt.constMalloc(256, label="aes.sbox")
+    rt.cudaMemcpyHtoD(sbox, SBOX_ARRAY)
+    rk = rt.cudaMalloc(44, label="aes.round_keys")
+    rt.cudaMemcpyHtoD(rk, round_keys)
+    pt = rt.cudaMalloc(4 * NUM_BLOCKS, label="aes.plaintext")
+    rt.cudaMemcpyHtoD(pt, _plaintext_words(NUM_BLOCKS))
+    ct = rt.cudaMalloc(4 * NUM_BLOCKS, label="aes.ciphertext")
+
+    rt.cuLaunchKernel(aes128_ttable_kernel, NUM_BLOCKS // 32, 32,
+                      *t_bufs, sbox, rk, pt, ct)
+    return _ct_words_to_bytes(rt.cudaMemcpyDtoH(ct))
+
+
+def aes_program_ct(rt: CudaRuntime, secret_key: KeyLike) -> bytes:
+    """Encrypt the fixed plaintext with the constant-flow patched kernel."""
+    round_keys = expand_key(secret_key)
+    pt = rt.cudaMalloc(4 * NUM_BLOCKS, label="aes.plaintext")
+    rt.cudaMemcpyHtoD(pt, _plaintext_words(NUM_BLOCKS))
+    ct = rt.cudaMalloc(4 * NUM_BLOCKS, label="aes.ciphertext")
+
+    rt.cuLaunchKernel(aes128_ct_kernel, NUM_BLOCKS // 32, 32,
+                      round_keys, pt, ct)
+    return _ct_words_to_bytes(rt.cudaMemcpyDtoH(ct))

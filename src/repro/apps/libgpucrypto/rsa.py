@@ -1,0 +1,151 @@
+"""RSA modular exponentiation: leaky square-and-multiply vs Montgomery ladder.
+
+The paper's RSA finding is the classic one: an unprotected square-and-
+multiply loop branches on each private-exponent bit, so the warp's
+basic-block sequence spells out the key (§VIII-B, "if-else branches in
+RSA").  Two kernels:
+
+* :data:`rsa_modexp_kernel` — **leaky**: the loop trip count is the
+  exponent's bit length and the *multiply* block executes only for set
+  bits; with the exponent shared by every thread the branches are
+  warp-uniform and therefore fully observable;
+* :data:`rsa_ladder_kernel` — **patched** Montgomery ladder: a fixed
+  iteration count and a branch-free select, so control flow is
+  exponent-independent.
+
+The modulus is a product of two ~16-bit primes (a toy size, but the control
+flow — which is what leaks — is identical to a full-width bignum loop, and
+``int64`` lane arithmetic stays exact).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim import kernel
+from repro.host.runtime import CudaRuntime
+
+#: Toy RSA modulus: 46337 × 46349 (two primes), ≈ 2^31; int64-exact squares.
+RSA_PRIME_P = 46337
+RSA_PRIME_Q = 46349
+RSA_DEFAULT_MODULUS = RSA_PRIME_P * RSA_PRIME_Q
+
+#: Fixed bit width for the patched ladder (covers any exponent < 2^32).
+LADDER_BITS = 32
+
+#: Messages per run: 64 threads = 2 warps.
+NUM_MESSAGES = 64
+
+
+def modexp_reference(base: int, exponent: int, modulus: int) -> int:
+    """Reference modular exponentiation (delegates to Python's pow)."""
+    return pow(base, exponent, modulus)
+
+
+def random_exponent(rng: np.random.Generator, bits: int = 31) -> int:
+    """A fresh random odd private exponent with the top bit set."""
+    value = int(rng.integers(1 << (bits - 1), 1 << bits))
+    return value | 1
+
+
+def exponent_bits_msb_first(exponent: int) -> np.ndarray:
+    """The exponent's bits, most significant first."""
+    if exponent <= 0:
+        raise ValueError(f"exponent must be positive, got {exponent}")
+    return np.array([int(b) for b in bin(exponent)[2:]], dtype=np.int64)
+
+
+@kernel()
+def rsa_modexp_kernel(k, bits, nbits, modulus, messages, out):
+    """Leaky left-to-right square-and-multiply.
+
+    Per bit: always square (block ``square``); multiply only when the bit is
+    set (block ``multiply``) — the control-flow side channel.
+    """
+    k.block("entry")
+    tid = k.global_tid()
+    base = k.load(messages, tid) % modulus
+    acc = k.select(True, 1, 1)  # lane vector of ones
+
+    for i in k.range_("square", nbits):
+        acc = (acc * acc) % modulus
+        bit = k.load(bits, i)
+        br = k.branch(bit == 1)
+        for _ in br.then("multiply"):
+            acc = (acc * base) % modulus
+
+    k.block("writeback")
+    k.store(out, tid, acc)
+
+
+@kernel()
+def rsa_ladder_kernel(k, bits, modulus, messages, out):
+    """Patched Montgomery ladder: fixed trip count, branch-free swap."""
+    k.block("entry")
+    tid = k.global_tid()
+    base = k.load(messages, tid) % modulus
+    r0 = k.select(True, 1, 1)
+    r1 = base
+
+    for i in k.range_("ladder", LADDER_BITS):
+        bit = k.load(bits, i)
+        taken = bit == 1
+        # Both multiplications happen every iteration; only the routing of
+        # the results depends on the bit, and routing is register-level.
+        prod = (r0 * r1) % modulus
+        sq0 = (r0 * r0) % modulus
+        sq1 = (r1 * r1) % modulus
+        r0 = k.select(taken, prod, sq0)
+        r1 = k.select(taken, sq1, prod)
+
+    k.block("writeback")
+    k.store(out, tid, r0)
+
+
+def fixed_messages(num: int = NUM_MESSAGES,
+                   modulus: int = RSA_DEFAULT_MODULUS) -> np.ndarray:
+    """The deterministic message vector every program run decrypts."""
+    return (np.arange(num, dtype=np.int64) * 2654435761 + 12345) % modulus
+
+
+def rsa_program(rt: CudaRuntime, secret_exponent: int,
+                modulus: int = RSA_DEFAULT_MODULUS) -> np.ndarray:
+    """Decrypt the fixed messages with the leaky kernel; the secret input is
+    the private exponent."""
+    exponent = int(secret_exponent)
+    bit_array = exponent_bits_msb_first(exponent)
+    # Fixed-size allocation: a secret-dependent malloc size would itself be
+    # a host-visible difference unrelated to the device leak under study.
+    bits_padded = np.zeros(LADDER_BITS, dtype=np.int64)
+    bits_padded[:bit_array.size] = bit_array
+    bits = rt.cudaMalloc(LADDER_BITS, label="rsa.exponent_bits")
+    rt.cudaMemcpyHtoD(bits, bits_padded)
+    messages = rt.cudaMalloc(NUM_MESSAGES, label="rsa.messages")
+    rt.cudaMemcpyHtoD(messages, fixed_messages(modulus=modulus))
+    out = rt.cudaMalloc(NUM_MESSAGES, label="rsa.output")
+
+    rt.cuLaunchKernel(rsa_modexp_kernel, NUM_MESSAGES // 32, 32,
+                      bits, int(bit_array.size), modulus, messages, out)
+    return rt.cudaMemcpyDtoH(out)
+
+
+def rsa_program_ct(rt: CudaRuntime, secret_exponent: int,
+                   modulus: int = RSA_DEFAULT_MODULUS) -> np.ndarray:
+    """Decrypt the fixed messages with the Montgomery-ladder kernel."""
+    exponent = int(secret_exponent)
+    if exponent >= 1 << LADDER_BITS:
+        raise ValueError(f"exponent must fit in {LADDER_BITS} bits")
+    # MSB-first bits padded at the *front* so the ladder's fixed 32
+    # iterations compute the same value for any exponent width.
+    bit_array = exponent_bits_msb_first(exponent)
+    bits_padded = np.zeros(LADDER_BITS, dtype=np.int64)
+    bits_padded[LADDER_BITS - bit_array.size:] = bit_array
+    bits = rt.cudaMalloc(LADDER_BITS, label="rsa.exponent_bits")
+    rt.cudaMemcpyHtoD(bits, bits_padded)
+    messages = rt.cudaMalloc(NUM_MESSAGES, label="rsa.messages")
+    rt.cudaMemcpyHtoD(messages, fixed_messages(modulus=modulus))
+    out = rt.cudaMalloc(NUM_MESSAGES, label="rsa.output")
+
+    rt.cuLaunchKernel(rsa_ladder_kernel, NUM_MESSAGES // 32, 32,
+                      bits, modulus, messages, out)
+    return rt.cudaMemcpyDtoH(out)

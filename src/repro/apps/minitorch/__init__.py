@@ -1,0 +1,61 @@
+"""minitorch: the PyTorch stand-in — a small tensor library on the simulator.
+
+The paper evaluates Owl on twelve PyTorch functions plus ``Tensor.__repr__``
+and tensor serialization (§VIII-B, footnote 6).  minitorch reproduces the
+behavioural landscape the paper reports:
+
+* most numeric kernels (``relu``, ``sigmoid``, ``tanh``, ``softmax``,
+  ``avgpool2d``, ``linear``, ``mseloss``) are constant-observable;
+* ``maxpool2d`` compares via predicated selects, so even though its CPU
+  twin leaks timing (Shukla et al., cited by the paper), the CUDA version
+  shows no control-flow leak — Owl must agree;
+* ``conv2d`` and ``serialize`` contain the paper's *kernel leaks*: the host
+  code checks for all-zero tensors and launches different kernels;
+* ``crossentropy`` and ``nllloss`` gather at target indices: data-flow
+  leaks when the targets are secret;
+* ``dropout`` is genuinely nondeterministic but input-independent — the
+  case Owl's fixed-input repetition must filter out.
+"""
+
+from repro.apps.minitorch.ops import (
+    OP_NAMES,
+    avgpool2d,
+    conv2d,
+    crossentropy,
+    dropout,
+    linear,
+    make_op_program,
+    make_random_input,
+    maxpool2d,
+    mseloss,
+    nllloss,
+    relu,
+    sigmoid,
+    softmax,
+    tanh,
+)
+from repro.apps.minitorch.serialize import serialize_program, serialize_tensor
+from repro.apps.minitorch.tensor import Tensor, tensor, tensor_repr_program
+
+__all__ = [
+    "OP_NAMES",
+    "Tensor",
+    "avgpool2d",
+    "conv2d",
+    "crossentropy",
+    "dropout",
+    "linear",
+    "make_op_program",
+    "make_random_input",
+    "maxpool2d",
+    "mseloss",
+    "nllloss",
+    "relu",
+    "serialize_program",
+    "serialize_tensor",
+    "sigmoid",
+    "softmax",
+    "tanh",
+    "tensor",
+    "tensor_repr_program",
+]

@@ -1,0 +1,296 @@
+"""minitorch device kernels.
+
+All kernels operate on flat float64 device buffers.  Memory-access indices
+are thread-derived unless a kernel's documented leak says otherwise, so the
+constant-observable ops genuinely are constant-observable at the trace
+level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim import WARP_SIZE, kernel
+
+
+@kernel()
+def relu_kernel(k, x, out, n):
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < n)
+    for _ in guard.then("body"):
+        v = k.load(x, tid)
+        k.store(out, tid, k.select(v > 0.0, v, 0.0))
+    k.block("exit")
+
+
+@kernel()
+def sigmoid_kernel(k, x, out, n):
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < n)
+    for _ in guard.then("body"):
+        v = k.load(x, tid)
+        k.store(out, tid, 1.0 / (1.0 + np.exp(-v)))
+    k.block("exit")
+
+
+@kernel()
+def tanh_kernel(k, x, out, n):
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < n)
+    for _ in guard.then("body"):
+        v = k.load(x, tid)
+        k.store(out, tid, np.tanh(v))
+    k.block("exit")
+
+
+@kernel()
+def softmax_kernel(k, x, out, n):
+    """Numerically stable softmax over one <=32-element vector (one warp)."""
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < n)
+    for _ in guard.then("body"):
+        v = k.load(x, tid)
+        peak = k.reduce_max(v)
+        shifted = np.exp(v - peak)
+        total = k.reduce_sum(shifted)
+        k.store(out, tid, shifted / total)
+    k.block("exit")
+
+
+@kernel()
+def maxpool2d_kernel(k, x, out, height, width):
+    """2×2 max pooling; comparisons are predicated selects, never branches.
+
+    This is the paper's ``max_pool2d`` case study: the CPU implementation's
+    value-dependent branch becomes branch-free predication on the GPU, so
+    no control-flow leak is observable.
+    """
+    k.block("entry")
+    tid = k.global_tid()
+    out_w = width // 2
+    n = (height // 2) * out_w
+    guard = k.branch(tid < n)
+    for _ in guard.then("body"):
+        oy = tid // out_w
+        ox = tid % out_w
+        base = (2 * oy) * width + 2 * ox
+        best = k.load(x, base)
+        for offset in (1, width, width + 1):
+            v = k.load(x, base + offset)
+            best = k.select(v > best, v, best)
+        k.store(out, tid, best)
+    k.block("exit")
+
+
+@kernel()
+def avgpool2d_kernel(k, x, out, height, width):
+    """2×2 average pooling: pure arithmetic, constant-observable."""
+    k.block("entry")
+    tid = k.global_tid()
+    out_w = width // 2
+    n = (height // 2) * out_w
+    guard = k.branch(tid < n)
+    for _ in guard.then("body"):
+        oy = tid // out_w
+        ox = tid % out_w
+        base = (2 * oy) * width + 2 * ox
+        acc = k.load(x, base)
+        for offset in (1, width, width + 1):
+            acc = acc + k.load(x, base + offset)
+        k.store(out, tid, acc / 4.0)
+    k.block("exit")
+
+
+@kernel()
+def conv2d_kernel(k, x, weight, out, height, width, ksize):
+    """Valid-padding 2-D convolution, one thread per output pixel."""
+    k.block("entry")
+    tid = k.global_tid()
+    out_h = height - ksize + 1
+    out_w = width - ksize + 1
+    n = out_h * out_w
+    guard = k.branch(tid < n)
+    for _ in guard.then("body"):
+        oy = tid // out_w
+        ox = tid % out_w
+        acc = k.select(True, 0.0, 0.0)
+        for ky in range(ksize):
+            for kx in range(ksize):
+                pixel = k.load(x, (oy + ky) * width + (ox + kx))
+                tap = k.load(weight, ky * ksize + kx)
+                acc = acc + pixel * tap
+        k.store(out, tid, acc)
+    k.block("exit")
+
+
+@kernel()
+def zero_fill_kernel(k, out, n):
+    """The sparse fast path: skip the convolution and zero the output."""
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < n)
+    for _ in guard.then("body"):
+        k.store(out, tid, 0.0)
+    k.block("exit")
+
+
+@kernel()
+def linear_kernel(k, x, weight, bias, out, in_features, out_features):
+    """Fully connected layer: one thread per output feature."""
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < out_features)
+    for _ in guard.then("body"):
+        acc = k.load(bias, tid)
+        for j in range(in_features):
+            acc = acc + k.load(weight, tid * in_features + j) * k.load(x, j)
+        k.store(out, tid, acc)
+    k.block("exit")
+
+
+@kernel()
+def mseloss_kernel(k, pred, target, out, n):
+    """Mean-squared error: constant-observable two-level reduction.
+
+    Each warp reduces its lanes with ``reduce_sum`` (warp shuffle model)
+    and one lane per warp atomically accumulates into ``out[0]`` — the
+    standard CUDA grid-reduction shape.
+    """
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < n)
+    for _ in guard.then("body"):
+        diff = k.load(pred, tid) - k.load(target, tid)
+        warp_total = k.reduce_sum(diff * diff)
+        leader = k.branch(tid % WARP_SIZE == 0)
+        for _ in leader.then("accumulate"):
+            k.atomic_add(out, 0, warp_total / n)
+    k.block("exit")
+
+
+@kernel()
+def nllloss_kernel(k, log_probs, targets, out, num_classes, batch):
+    """Negative log-likelihood: gathers the log-prob *at the target class*.
+
+    The second load's address is ``item * C + target`` — data-flow leakage
+    whenever the targets are secret.
+    """
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < batch)
+    for _ in guard.then("body"):
+        target = k.load(targets, tid)
+        picked = k.load(log_probs, tid * num_classes + target.astype(np.int64))
+        k.store(out, tid, -picked)
+    k.block("exit")
+
+
+@kernel()
+def log_softmax_kernel(k, x, out, num_classes, batch):
+    """Per-item log-softmax over <=32 classes (one item per lane group)."""
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < batch * num_classes)
+    for _ in guard.then("body"):
+        item = tid // num_classes
+        v = k.load(x, tid)
+        # per-lane max/sum over each item's classes, computed in registers
+        # from the warp's loaded values (classes per item <= warp size)
+        peak = _segment_reduce(k, v, item, np.maximum)
+        shifted = v - peak
+        total = _segment_reduce(k, np.exp(shifted), item, np.add)
+        k.store(out, tid, shifted - np.log(total))
+    k.block("exit")
+
+
+def _segment_reduce(k, values, segments, op):
+    """Register-level segmented reduction across the active lanes.
+
+    Lanes with equal ``segments`` values are combined with *op*; every lane
+    receives its segment's result.  Pure register traffic: no trace events.
+    """
+    values = np.asarray(values, dtype=float)
+    segments = np.asarray(segments)
+    result = values.copy()
+    active = k.active
+    for seg in np.unique(segments[active]):
+        lanes = active & (segments == seg)
+        combined = values[lanes]
+        folded = combined[0]
+        for item in combined[1:]:
+            folded = op(folded, item)
+        result[lanes] = folded
+    return result
+
+
+@kernel()
+def dropout_kernel(k, x, mask, out, n):
+    """Dropout: multiplies by a host-generated random 0/1 mask.
+
+    Addresses are thread-indexed; only the *values* are random — the
+    nondeterminism Owl's distribution test must not flag.
+    """
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < n)
+    for _ in guard.then("body"):
+        v = k.load(x, tid)
+        m = k.load(mask, tid)
+        k.store(out, tid, v * m)
+    k.block("exit")
+
+
+def _edge_accumulate(k, x, n, combine):
+    """Shared edge-item walk for the ``__repr__`` kernels.
+
+    Like PyTorch's tensor printing, only the *edge items* are read: the
+    first 32 and last 32 elements (covering everything for n <= 64).  The
+    access count is therefore constant in the input size — Fig. 5's
+    pattern ① — while the thread count is pinned at one warp.
+    """
+    lane = k.global_tid()
+    acc = k.select(True, 0.0, 0.0)
+    head = k.branch(lane < n)
+    for _ in head.then("head"):
+        acc = combine(acc, k.load(x, lane))
+    tail_idx = n - WARP_SIZE + lane
+    tail = k.branch(tail_idx >= WARP_SIZE)
+    for _ in tail.then("tail"):
+        acc = combine(acc, k.load(x, tail_idx))
+    return lane, acc
+
+
+@kernel()
+def summary_kernel(k, x, out, n):
+    """``Tensor.__repr__`` helper: fixed 32 threads over the edge items."""
+    k.block("entry")
+    lane, acc = _edge_accumulate(
+        k, x, n, lambda acc, v: acc + np.abs(v))
+    k.block("writeback")
+    k.store(out, lane % WARP_SIZE, acc)
+
+
+@kernel()
+def scale_stats_kernel(k, x, out, n):
+    """Extra formatting pass ``__repr__`` runs only for large-magnitude
+    tensors (host-side decision — the kernel-leak trigger)."""
+    k.block("entry")
+    lane, acc = _edge_accumulate(
+        k, x, n, lambda acc, v: k.select(np.abs(v) > acc, np.abs(v), acc))
+    k.block("writeback")
+    k.store(out, lane % WARP_SIZE, acc)
+
+
+@kernel()
+def copy_kernel(k, src, dst, n):
+    """Plain device-to-device copy (used by serialization's dense path)."""
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < n)
+    for _ in guard.then("body"):
+        k.store(dst, tid, k.load(src, tid))
+    k.block("exit")

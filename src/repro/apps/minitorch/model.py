@@ -1,0 +1,151 @@
+"""Sequential DNN models — the model-extraction-attack scenario.
+
+The paper motivates GPU side-channel work with model extraction: "some
+sensitive information such as hyperparameters of DNN models is still
+susceptible to leakage" through *kernel leakage*, because "differences
+between kernels are relatively distinguishable to the attacker" (§IV-A).
+
+This module makes that concrete: a :class:`Sequential` model runs one
+device kernel per layer, so the host-visible launch sequence spells out
+the architecture.  When the *model* is the secret (MLaaS serving hidden
+architectures), Owl reports kernel leakage; and
+:func:`extract_architecture` plays the attacker, recovering layer types
+and counts from the launch trace alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.minitorch import kernels
+from repro.apps.minitorch.ops import _fixed_weights, _grid_for, _upload
+from repro.gpusim import Device
+from repro.gpusim.events import KernelBeginEvent
+from repro.host.runtime import CudaRuntime
+
+#: layer vocabulary: type name → kernel it launches
+LAYER_KERNELS = {
+    "linear": "linear_kernel",
+    "relu": "relu_kernel",
+    "sigmoid": "sigmoid_kernel",
+    "tanh": "tanh_kernel",
+    "dropout": "dropout_kernel",
+}
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One model layer: a type plus its width (output features)."""
+
+    kind: str
+    width: int = 16
+
+    def __post_init__(self) -> None:
+        if self.kind not in LAYER_KERNELS:
+            raise ValueError(
+                f"unknown layer kind {self.kind!r}; "
+                f"choose from {sorted(LAYER_KERNELS)}")
+
+
+class Sequential:
+    """A feed-forward model whose forward pass launches one kernel/layer."""
+
+    def __init__(self, layers: Sequence[Layer], seed: int = 11) -> None:
+        self.layers = list(layers)
+        self._seed = seed
+
+    @property
+    def architecture(self) -> Tuple[str, ...]:
+        """The hyperparameters an extraction attacker wants."""
+        return tuple(layer.kind for layer in self.layers)
+
+    def forward(self, rt: CudaRuntime, x: np.ndarray) -> np.ndarray:
+        """Run the model on the device; ``x`` is a flat feature vector."""
+        activation = np.asarray(x, dtype=np.float64).reshape(-1)
+        for index, layer in enumerate(self.layers):
+            activation = self._run_layer(rt, layer, index, activation)
+        return activation
+
+    def _run_layer(self, rt: CudaRuntime, layer: Layer, index: int,
+                   x: np.ndarray) -> np.ndarray:
+        n = x.size
+        if layer.kind == "linear":
+            weight = _fixed_weights(layer.width * n,
+                                    seed=self._seed + index).reshape(
+                layer.width, n)
+            bias = _fixed_weights(layer.width, seed=self._seed + 100 + index)
+            xb = _upload(rt, x, f"model.l{index}.x")
+            wb = _upload(rt, weight, f"model.l{index}.w")
+            bb = _upload(rt, bias, f"model.l{index}.b")
+            out = rt.cudaMalloc(layer.width, dtype=np.float64,
+                                label=f"model.l{index}.out")
+            rt.cuLaunchKernel(kernels.linear_kernel, _grid_for(layer.width),
+                              32, xb, wb, bb, out, n, layer.width)
+            return rt.cudaMemcpyDtoH(out)
+
+        xb = _upload(rt, x, f"model.l{index}.x")
+        out = rt.cudaMalloc(n, dtype=np.float64, label=f"model.l{index}.out")
+        if layer.kind == "dropout":
+            mask = np.ones(n)  # inference mode: dropout is the identity
+            mb = _upload(rt, mask, f"model.l{index}.mask")
+            rt.cuLaunchKernel(kernels.dropout_kernel, _grid_for(n), 32,
+                              xb, mb, out, n)
+        else:
+            kern = {"relu": kernels.relu_kernel,
+                    "sigmoid": kernels.sigmoid_kernel,
+                    "tanh": kernels.tanh_kernel}[layer.kind]
+            rt.cuLaunchKernel(kern, _grid_for(n), 32, xb, out, n)
+        return rt.cudaMemcpyDtoH(out)
+
+
+#: a small architecture zoo for experiments
+ARCHITECTURE_ZOO: List[Tuple[Layer, ...]] = [
+    (Layer("linear", 16), Layer("relu"), Layer("linear", 8)),
+    (Layer("linear", 16), Layer("tanh"), Layer("linear", 8)),
+    (Layer("linear", 32), Layer("relu"), Layer("linear", 16),
+     Layer("relu"), Layer("linear", 8)),
+    (Layer("linear", 16), Layer("sigmoid"), Layer("dropout"),
+     Layer("linear", 8)),
+]
+
+
+def model_serving_program(rt: CudaRuntime, secret_architecture) -> np.ndarray:
+    """The MLaaS scenario: the *architecture* is the secret input.
+
+    ``secret_architecture`` is an index into the zoo (or a layer tuple);
+    the query data is fixed and public.
+    """
+    if isinstance(secret_architecture, (int, np.integer)):
+        layers = ARCHITECTURE_ZOO[int(secret_architecture)
+                                  % len(ARCHITECTURE_ZOO)]
+    else:
+        layers = tuple(secret_architecture)
+    model = Sequential(layers)
+    query = np.linspace(-1.0, 1.0, 16)
+    return model.forward(rt, query)
+
+
+def random_architecture(rng: np.random.Generator) -> int:
+    """A random zoo index (the defender serves an unknown model)."""
+    return int(rng.integers(0, len(ARCHITECTURE_ZOO)))
+
+
+def extract_architecture(model: Sequential,
+                         query: np.ndarray) -> Tuple[str, ...]:
+    """The attacker: recover layer types from the kernel-launch trace.
+
+    Observes only :class:`KernelBeginEvent` names — the coarse, easily
+    distinguishable signal §IV-A describes — and inverts the layer→kernel
+    vocabulary.
+    """
+    device = Device()
+    launches: List[str] = []
+    device.subscribe(lambda e: launches.append(e.kernel_name)
+                     if isinstance(e, KernelBeginEvent) else None)
+    model.forward(CudaRuntime(device), query)
+    kernel_to_layer = {kernel_name: kind
+                       for kind, kernel_name in LAYER_KERNELS.items()}
+    return tuple(kernel_to_layer[name] for name in launches)

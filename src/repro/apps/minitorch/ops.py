@@ -1,0 +1,350 @@
+"""minitorch host-side ops and Owl program factories.
+
+Each op mirrors the host half of a PyTorch CUDA operator: allocate device
+buffers, copy inputs, launch kernels, copy the result back.  The module also
+exposes :func:`make_op_program` / :func:`make_random_input`, which wrap each
+op as a *program under test* whose secret input is the op's data — the form
+Owl's pipeline consumes for the Table III / Table IV experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.apps.minitorch import kernels
+from repro.gpusim import WARP_SIZE
+from repro.host.runtime import CudaRuntime
+
+#: Default problem sizes (kept small: leakage is size-independent here).
+VECTOR_SIZE = 64
+IMAGE_SIDE = 8
+CONV_KSIZE = 3
+NUM_CLASSES = 8
+BATCH = 8
+LINEAR_IN = 16
+LINEAR_OUT = 8
+
+_BLOCK = 32
+
+
+def _grid_for(n: int) -> int:
+    return max(1, math.ceil(n / _BLOCK))
+
+
+def _upload(rt: CudaRuntime, array: np.ndarray, label: str, dtype=np.float64):
+    buf = rt.cudaMalloc(array.size, dtype=dtype, label=label)
+    rt.cudaMemcpyHtoD(buf, array.astype(dtype).reshape(-1))
+    return buf
+
+
+def _fixed_weights(size: int, seed: int = 97) -> np.ndarray:
+    """Deterministic model weights (the model is public; data is secret)."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(size)
+
+
+# ---------------------------------------------------------------------------
+# elementwise / reduction ops
+# ---------------------------------------------------------------------------
+
+def relu(rt: CudaRuntime, x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64).reshape(-1)
+    xb = _upload(rt, x, "relu.x")
+    out = rt.cudaMalloc(x.size, dtype=np.float64, label="relu.out")
+    rt.cuLaunchKernel(kernels.relu_kernel, _grid_for(x.size), _BLOCK,
+                      xb, out, x.size)
+    return rt.cudaMemcpyDtoH(out)
+
+
+def sigmoid(rt: CudaRuntime, x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64).reshape(-1)
+    xb = _upload(rt, x, "sigmoid.x")
+    out = rt.cudaMalloc(x.size, dtype=np.float64, label="sigmoid.out")
+    rt.cuLaunchKernel(kernels.sigmoid_kernel, _grid_for(x.size), _BLOCK,
+                      xb, out, x.size)
+    return rt.cudaMemcpyDtoH(out)
+
+
+def tanh(rt: CudaRuntime, x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64).reshape(-1)
+    xb = _upload(rt, x, "tanh.x")
+    out = rt.cudaMalloc(x.size, dtype=np.float64, label="tanh.out")
+    rt.cuLaunchKernel(kernels.tanh_kernel, _grid_for(x.size), _BLOCK,
+                      xb, out, x.size)
+    return rt.cudaMemcpyDtoH(out)
+
+
+def softmax(rt: CudaRuntime, x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64).reshape(-1)
+    if x.size > WARP_SIZE:
+        raise ValueError(f"softmax supports up to {WARP_SIZE} elements")
+    xb = _upload(rt, x, "softmax.x")
+    out = rt.cudaMalloc(x.size, dtype=np.float64, label="softmax.out")
+    rt.cuLaunchKernel(kernels.softmax_kernel, 1, _BLOCK, xb, out, x.size)
+    return rt.cudaMemcpyDtoH(out)
+
+
+# ---------------------------------------------------------------------------
+# pooling / convolution / linear
+# ---------------------------------------------------------------------------
+
+def maxpool2d(rt: CudaRuntime, image: np.ndarray) -> np.ndarray:
+    image = np.asarray(image, dtype=np.float64)
+    height, width = image.shape
+    n = (height // 2) * (width // 2)
+    xb = _upload(rt, image, "maxpool2d.x")
+    out = rt.cudaMalloc(n, dtype=np.float64, label="maxpool2d.out")
+    rt.cuLaunchKernel(kernels.maxpool2d_kernel, _grid_for(n), _BLOCK,
+                      xb, out, height, width)
+    return rt.cudaMemcpyDtoH(out).reshape(height // 2, width // 2)
+
+
+def avgpool2d(rt: CudaRuntime, image: np.ndarray) -> np.ndarray:
+    image = np.asarray(image, dtype=np.float64)
+    height, width = image.shape
+    n = (height // 2) * (width // 2)
+    xb = _upload(rt, image, "avgpool2d.x")
+    out = rt.cudaMalloc(n, dtype=np.float64, label="avgpool2d.out")
+    rt.cuLaunchKernel(kernels.avgpool2d_kernel, _grid_for(n), _BLOCK,
+                      xb, out, height, width)
+    return rt.cudaMemcpyDtoH(out).reshape(height // 2, width // 2)
+
+
+def conv2d(rt: CudaRuntime, image: np.ndarray,
+           weight: np.ndarray = None) -> np.ndarray:
+    """Valid 2-D convolution with the *sparse-tensor fast path*.
+
+    Like PyTorch's special-tensor optimisations (§VIII-B), the host checks
+    whether the input is all zeros and, if so, launches a cheap zero-fill
+    kernel instead of the convolution — an input-dependent kernel choice
+    that Owl reports as kernel leakage.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    height, width = image.shape
+    if weight is None:
+        weight = _fixed_weights(CONV_KSIZE * CONV_KSIZE).reshape(
+            CONV_KSIZE, CONV_KSIZE)
+    weight = np.asarray(weight, dtype=np.float64)
+    ksize = weight.shape[0]
+    out_h, out_w = height - ksize + 1, width - ksize + 1
+    n = out_h * out_w
+    out = rt.cudaMalloc(n, dtype=np.float64, label="conv2d.out")
+    if not image.any():
+        rt.cuLaunchKernel(kernels.zero_fill_kernel, _grid_for(n), _BLOCK,
+                          out, n)
+    else:
+        xb = _upload(rt, image, "conv2d.x")
+        wb = _upload(rt, weight, "conv2d.w")
+        rt.cuLaunchKernel(kernels.conv2d_kernel, _grid_for(n), _BLOCK,
+                          xb, wb, out, height, width, ksize)
+    return rt.cudaMemcpyDtoH(out).reshape(out_h, out_w)
+
+
+def linear(rt: CudaRuntime, x: np.ndarray,
+           weight: np.ndarray = None, bias: np.ndarray = None) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64).reshape(-1)
+    if weight is None:
+        weight = _fixed_weights(LINEAR_OUT * x.size).reshape(LINEAR_OUT, x.size)
+    weight = np.asarray(weight, dtype=np.float64)
+    out_features, in_features = weight.shape
+    if bias is None:
+        bias = _fixed_weights(out_features, seed=53)
+    xb = _upload(rt, x, "linear.x")
+    wb = _upload(rt, weight, "linear.w")
+    bb = _upload(rt, np.asarray(bias, dtype=np.float64), "linear.b")
+    out = rt.cudaMalloc(out_features, dtype=np.float64, label="linear.out")
+    rt.cuLaunchKernel(kernels.linear_kernel, _grid_for(out_features), _BLOCK,
+                      xb, wb, bb, out, in_features, out_features)
+    return rt.cudaMemcpyDtoH(out)
+
+
+# ---------------------------------------------------------------------------
+# losses
+# ---------------------------------------------------------------------------
+
+def mseloss(rt: CudaRuntime, pred: np.ndarray, target: np.ndarray) -> float:
+    pred = np.asarray(pred, dtype=np.float64).reshape(-1)
+    target = np.asarray(target, dtype=np.float64).reshape(-1)
+    if pred.shape != target.shape:
+        raise ValueError("mseloss shapes must match")
+    pb = _upload(rt, pred, "mseloss.pred")
+    tb = _upload(rt, target, "mseloss.target")
+    out = rt.cudaMalloc(pred.size, dtype=np.float64, label="mseloss.out")
+    rt.cuLaunchKernel(kernels.mseloss_kernel, _grid_for(pred.size), _BLOCK,
+                      pb, tb, out, pred.size)
+    return float(rt.cudaMemcpyDtoH(out)[0])
+
+
+def nllloss(rt: CudaRuntime, log_probs: np.ndarray,
+            targets: np.ndarray) -> np.ndarray:
+    """Per-item negative log-likelihood (targets are the secret gather
+    indices — PyTorch's ``nll_loss`` has the same access pattern)."""
+    log_probs = np.asarray(log_probs, dtype=np.float64)
+    batch, num_classes = log_probs.shape
+    targets = np.asarray(targets, dtype=np.int64).reshape(-1)
+    if targets.size != batch:
+        raise ValueError("one target per batch item required")
+    lb = _upload(rt, log_probs, "nllloss.log_probs")
+    tb = _upload(rt, targets, "nllloss.targets", dtype=np.int64)
+    out = rt.cudaMalloc(batch, dtype=np.float64, label="nllloss.out")
+    rt.cuLaunchKernel(kernels.nllloss_kernel, _grid_for(batch), _BLOCK,
+                      lb, tb, out, num_classes, batch)
+    return rt.cudaMemcpyDtoH(out)
+
+
+def crossentropy(rt: CudaRuntime, logits: np.ndarray,
+                 targets: np.ndarray) -> np.ndarray:
+    """log-softmax followed by NLL, like ``torch.nn.functional.cross_entropy``."""
+    logits = np.asarray(logits, dtype=np.float64)
+    batch, num_classes = logits.shape
+    targets = np.asarray(targets, dtype=np.int64).reshape(-1)
+    xb = _upload(rt, logits, "crossentropy.logits")
+    log_probs = rt.cudaMalloc(batch * num_classes, dtype=np.float64,
+                              label="crossentropy.log_probs")
+    rt.cuLaunchKernel(kernels.log_softmax_kernel,
+                      _grid_for(batch * num_classes), _BLOCK,
+                      xb, log_probs, num_classes, batch)
+    tb = _upload(rt, targets, "crossentropy.targets", dtype=np.int64)
+    out = rt.cudaMalloc(batch, dtype=np.float64, label="crossentropy.out")
+    rt.cuLaunchKernel(kernels.nllloss_kernel, _grid_for(batch), _BLOCK,
+                      log_probs, tb, out, num_classes, batch)
+    return rt.cudaMemcpyDtoH(out)
+
+
+def dropout(rt: CudaRuntime, x: np.ndarray, p: float = 0.5,
+            rng: np.random.Generator = None) -> np.ndarray:
+    """Dropout with a *truly random* host-generated mask.
+
+    Input-independent nondeterminism: the mask's values differ per run but
+    its addresses do not, so Owl's distribution test must not flag it.
+    """
+    x = np.asarray(x, dtype=np.float64).reshape(-1)
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.size) >= p).astype(np.float64) / max(1e-9, 1.0 - p)
+    xb = _upload(rt, x, "dropout.x")
+    mb = _upload(rt, mask, "dropout.mask")
+    out = rt.cudaMalloc(x.size, dtype=np.float64, label="dropout.out")
+    rt.cuLaunchKernel(kernels.dropout_kernel, _grid_for(x.size), _BLOCK,
+                      xb, mb, out, x.size)
+    return rt.cudaMemcpyDtoH(out)
+
+
+# ---------------------------------------------------------------------------
+# Owl program factories
+# ---------------------------------------------------------------------------
+
+def _vector_program(op: Callable) -> Callable:
+    def program(rt: CudaRuntime, secret) -> np.ndarray:
+        return op(rt, np.asarray(secret, dtype=np.float64))
+    return program
+
+
+def _image_program(op: Callable) -> Callable:
+    def program(rt: CudaRuntime, secret) -> np.ndarray:
+        image = np.asarray(secret, dtype=np.float64).reshape(
+            IMAGE_SIDE, IMAGE_SIDE)
+        return op(rt, image)
+    return program
+
+
+def _softmax_program(rt: CudaRuntime, secret) -> np.ndarray:
+    return softmax(rt, np.asarray(secret, dtype=np.float64)[:WARP_SIZE])
+
+
+def _mseloss_program(rt: CudaRuntime, secret) -> float:
+    pred = np.asarray(secret, dtype=np.float64).reshape(-1)
+    target = np.linspace(-1.0, 1.0, pred.size)
+    return mseloss(rt, pred, target)
+
+
+def _nllloss_program(rt: CudaRuntime, secret) -> np.ndarray:
+    targets = np.asarray(secret, dtype=np.int64).reshape(-1)[:BATCH]
+    log_probs = np.log(np.full((BATCH, NUM_CLASSES), 1.0 / NUM_CLASSES))
+    return nllloss(rt, log_probs, targets % NUM_CLASSES)
+
+
+def _crossentropy_program(rt: CudaRuntime, secret) -> np.ndarray:
+    targets = np.asarray(secret, dtype=np.int64).reshape(-1)[:BATCH]
+    logits = _fixed_weights(BATCH * NUM_CLASSES, seed=7).reshape(
+        BATCH, NUM_CLASSES)
+    return crossentropy(rt, logits, targets % NUM_CLASSES)
+
+
+def _dropout_program(rt: CudaRuntime, secret) -> np.ndarray:
+    return dropout(rt, np.asarray(secret, dtype=np.float64))
+
+
+def _linear_program(rt: CudaRuntime, secret) -> np.ndarray:
+    return linear(rt, np.asarray(secret, dtype=np.float64).reshape(-1)[:LINEAR_IN])
+
+
+#: op name → (program, random-input kind)
+_PROGRAMS: Dict[str, Tuple[Callable, str]] = {
+    "relu": (_vector_program(relu), "vector"),
+    "sigmoid": (_vector_program(sigmoid), "vector"),
+    "tanh": (_vector_program(tanh), "vector"),
+    "softmax": (_softmax_program, "vector32"),
+    "maxpool2d": (_image_program(maxpool2d), "image"),
+    "avgpool2d": (_image_program(avgpool2d), "image"),
+    "conv2d": (_image_program(conv2d), "image_maybe_zero"),
+    "linear": (_linear_program, "vector16"),
+    "mseloss": (_mseloss_program, "vector"),
+    "nllloss": (_nllloss_program, "classes"),
+    "crossentropy": (_crossentropy_program, "classes"),
+    "dropout": (_dropout_program, "vector"),
+}
+
+OP_NAMES = tuple(sorted(_PROGRAMS))
+
+
+def make_op_program(name: str) -> Callable:
+    """The Owl program under test for op *name*."""
+    try:
+        return _PROGRAMS[name][0]
+    except KeyError:
+        raise KeyError(f"unknown minitorch op {name!r}; "
+                       f"choose from {OP_NAMES}") from None
+
+
+def make_random_input(name: str) -> Callable[[np.random.Generator], object]:
+    """The matching random-secret generator for op *name*."""
+    kind = _PROGRAMS[name][1]
+
+    def generate(rng: np.random.Generator):
+        if kind == "vector":
+            return rng.standard_normal(VECTOR_SIZE)
+        if kind == "vector32":
+            return rng.standard_normal(WARP_SIZE)
+        if kind == "vector16":
+            return rng.standard_normal(LINEAR_IN)
+        if kind == "image":
+            return rng.standard_normal(IMAGE_SIDE * IMAGE_SIDE)
+        if kind == "image_maybe_zero":
+            # sparse tensors occur in the wild: make them occur here too
+            if rng.random() < 0.3:
+                return np.zeros(IMAGE_SIDE * IMAGE_SIDE)
+            return rng.standard_normal(IMAGE_SIDE * IMAGE_SIDE)
+        if kind == "classes":
+            return rng.integers(0, NUM_CLASSES, size=BATCH)
+        raise AssertionError(f"unhandled input kind {kind!r}")
+
+    return generate
+
+
+def fixed_op_input(name: str):
+    """A deterministic secret input for op *name* (class representative)."""
+    kind = _PROGRAMS[name][1]
+    if kind == "vector":
+        return np.linspace(-2.0, 2.0, VECTOR_SIZE)
+    if kind == "vector32":
+        return np.linspace(-2.0, 2.0, WARP_SIZE)
+    if kind == "vector16":
+        return np.linspace(-2.0, 2.0, LINEAR_IN)
+    if kind in ("image", "image_maybe_zero"):
+        return np.linspace(-1.0, 1.0, IMAGE_SIDE * IMAGE_SIDE)
+    if kind == "classes":
+        return np.arange(BATCH) % NUM_CLASSES
+    raise AssertionError(f"unhandled input kind {kind!r}")

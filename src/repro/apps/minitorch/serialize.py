@@ -1,0 +1,66 @@
+"""Tensor serialization — the paper's flagship kernel leak.
+
+§VIII-B: "one kernel leakage lies in the tensor serialization process,
+where PyTorch calls kernels based on whether the tensor is zero: non-zero
+tensors trigger additional kernel calls."  Reproduced literally: the host
+checks the tensor for content and launches a device-to-device staging copy
+only for non-zero tensors, then a header-checksum kernel either way.
+"""
+
+from __future__ import annotations
+
+import struct
+import numpy as np
+
+from repro.apps.minitorch import kernels
+from repro.host.runtime import CudaRuntime
+
+_MAGIC = b"MTSR"
+
+
+def serialize_tensor(rt: CudaRuntime, data: np.ndarray) -> bytes:
+    """Serialise a tensor, staging non-zero payloads through the device.
+
+    The input-dependent kernel launch (the staging copy) is the leak; the
+    byte format itself is ordinary: magic, element count, raw float64 data
+    (all-zero tensors store no payload, like a sparse fast path).
+    """
+    flat = np.asarray(data, dtype=np.float64).reshape(-1)
+    xb = rt.cudaMalloc(flat.size, dtype=np.float64, label="serialize.x")
+    rt.cudaMemcpyHtoD(xb, flat)
+
+    is_dense = bool(flat.any())
+    if is_dense:
+        staging = rt.cudaMalloc(flat.size, dtype=np.float64,
+                                label="serialize.staging")
+        rt.cuLaunchKernel(kernels.copy_kernel, max(1, -(-flat.size // 32)), 32,
+                          xb, staging, flat.size)
+        payload = rt.cudaMemcpyDtoH(staging).tobytes()
+    else:
+        payload = b""
+
+    header = _MAGIC + struct.pack("<QB", flat.size, int(is_dense))
+    return header + payload
+
+
+def deserialize_tensor(blob: bytes) -> np.ndarray:
+    """Inverse of :func:`serialize_tensor` (host-only)."""
+    if blob[:4] != _MAGIC:
+        raise ValueError("not a minitorch serialized tensor")
+    count, is_dense = struct.unpack_from("<QB", blob, 4)
+    if not is_dense:
+        return np.zeros(count, dtype=np.float64)
+    payload = blob[4 + 9:]
+    return np.frombuffer(payload, dtype=np.float64, count=count).copy()
+
+
+def serialize_program(rt: CudaRuntime, secret) -> bytes:
+    """The Owl program under test for tensor serialization."""
+    return serialize_tensor(rt, np.asarray(secret, dtype=np.float64))
+
+
+def serialize_random_input(rng: np.random.Generator, size: int = 64):
+    """Random serialization inputs; sparse (all-zero) tensors do occur."""
+    if rng.random() < 0.3:
+        return np.zeros(size)
+    return rng.standard_normal(size)

@@ -1,0 +1,89 @@
+"""The minitorch :class:`Tensor` and ``Tensor.__repr__``.
+
+``Tensor.__repr__`` mirrors the PyTorch behaviour the paper measures:
+
+* it launches a *fixed-thread-count* summary kernel that, like PyTorch's
+  printing, reads only the tensor's edge items — so both the thread count
+  and the trace size are constant in the input size (Fig. 5 pattern ①);
+* formatting is value-dependent on the host: tensors containing large
+  magnitudes trigger an extra statistics kernel to pick the scientific
+  display scale — an input-dependent kernel launch that Owl reports as
+  kernel leakage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.minitorch import kernels
+from repro.gpusim import WARP_SIZE
+from repro.host.runtime import CudaRuntime
+
+#: Magnitude beyond which ``__repr__`` switches to scientific formatting
+#: (PyTorch's printing heuristic uses a similar threshold).
+SCI_THRESHOLD = 1000.0
+
+
+class Tensor:
+    """A host tensor optionally bound to a runtime for device-side repr."""
+
+    def __init__(self, data, rt: Optional[CudaRuntime] = None) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.rt = rt
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def numel(self) -> int:
+        return int(self.data.size)
+
+    def to_host(self) -> np.ndarray:
+        return self.data.copy()
+
+    def __repr__(self) -> str:
+        if self.rt is None:
+            return f"Tensor(shape={self.shape})"
+        summary = tensor_summary(self.rt, self.data)
+        return (f"Tensor(shape={self.shape}, "
+                f"abs_sum={summary:.4g})")
+
+
+def tensor(data, rt: Optional[CudaRuntime] = None) -> Tensor:
+    """Create a :class:`Tensor` (PyTorch-style factory)."""
+    return Tensor(data, rt=rt)
+
+
+def tensor_summary(rt: CudaRuntime, data: np.ndarray) -> float:
+    """Device-side summary used by ``__repr__``.
+
+    Always launches the 32-thread summary kernel; additionally launches the
+    scale-statistics kernel when any magnitude exceeds the scientific
+    threshold — the host-side value dependence that leaks.
+    """
+    flat = np.asarray(data, dtype=np.float64).reshape(-1)
+    xb = rt.cudaMalloc(flat.size, dtype=np.float64, label="repr.x")
+    rt.cudaMemcpyHtoD(xb, flat)
+    out = rt.cudaMalloc(WARP_SIZE, dtype=np.float64, label="repr.out")
+    rt.cuLaunchKernel(kernels.summary_kernel, 1, WARP_SIZE, xb, out, flat.size)
+    if np.abs(flat).max(initial=0.0) > SCI_THRESHOLD:
+        stats = rt.cudaMalloc(WARP_SIZE, dtype=np.float64, label="repr.stats")
+        rt.cuLaunchKernel(kernels.scale_stats_kernel, 1, WARP_SIZE,
+                          xb, stats, flat.size)
+    return float(rt.cudaMemcpyDtoH(out).sum())
+
+
+def tensor_repr_program(rt: CudaRuntime, secret) -> str:
+    """The Owl program under test for ``Tensor.__repr__``."""
+    return repr(Tensor(np.asarray(secret, dtype=np.float64), rt=rt))
+
+
+def repr_random_input(rng: np.random.Generator, size: int = 64):
+    """Random repr inputs; occasionally large-magnitude, like real data."""
+    values = rng.standard_normal(size)
+    if rng.random() < 0.3:
+        values = values * 10_000.0
+    return values

@@ -1,0 +1,31 @@
+"""nvjpeg: the closed-source JPEG codec stand-in.
+
+The paper runs Owl on nvJPEG's encode and decode paths (§VIII-B) using
+fixed-size images from COCO-2014, finding many control-flow and data-flow
+leaks in *encoding* and none in *decoding*.  This package implements a
+JPEG-style codec on the simulator with the same structure:
+
+* the encoder's colour conversion, DCT, and quantisation kernels are
+  constant-observable, but its *entropy kernel* has value-dependent control
+  flow (zero-run scanning, magnitude-category bit loops — warp trip counts
+  are the max over lanes, so they leak at warp granularity) and
+  value-dependent store offsets (the growing symbol stream);
+* the decoder (dequantise → IDCT → colour conversion) is constant-observable
+  for fixed-size images.
+
+Owl sees only the traces, never this source — reproducing the paper's
+closed-source analysis setting.
+"""
+
+from repro.apps.nvjpeg.decoder import decode_program, nvjpeg_decode
+from repro.apps.nvjpeg.encoder import encode_program, nvjpeg_encode
+from repro.apps.nvjpeg.images import random_image, synthetic_image
+
+__all__ = [
+    "decode_program",
+    "encode_program",
+    "nvjpeg_decode",
+    "nvjpeg_encode",
+    "random_image",
+    "synthetic_image",
+]

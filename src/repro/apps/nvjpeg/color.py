@@ -1,0 +1,65 @@
+"""Colour conversion: RGB ↔ YCbCr (BT.601, the JPEG convention).
+
+Host references plus per-pixel device kernels.  Every device access is
+thread-indexed, so the conversion stage is constant-observable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim import kernel
+
+
+def rgb_to_ycbcr_reference(rgb: np.ndarray) -> np.ndarray:
+    """BT.601 full-range RGB→YCbCr on the host (float64 result)."""
+    rgb = np.asarray(rgb, dtype=np.float64)
+    r, g, b = rgb[..., 0], rgb[..., 1], rgb[..., 2]
+    y = 0.299 * r + 0.587 * g + 0.114 * b
+    cb = 128.0 - 0.168736 * r - 0.331264 * g + 0.5 * b
+    cr = 128.0 + 0.5 * r - 0.418688 * g - 0.081312 * b
+    return np.stack([y, cb, cr], axis=-1)
+
+
+def ycbcr_to_rgb_reference(ycbcr: np.ndarray) -> np.ndarray:
+    """BT.601 YCbCr→RGB on the host (float64, unclipped)."""
+    ycbcr = np.asarray(ycbcr, dtype=np.float64)
+    y, cb, cr = ycbcr[..., 0], ycbcr[..., 1] - 128.0, ycbcr[..., 2] - 128.0
+    r = y + 1.402 * cr
+    g = y - 0.344136 * cb - 0.714136 * cr
+    b = y + 1.772 * cb
+    return np.stack([r, g, b], axis=-1)
+
+
+@kernel()
+def rgb_to_ycbcr_kernel(k, rgb, ycbcr, num_pixels):
+    """One thread per pixel; planar interleaved layout (3 floats/pixel)."""
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < num_pixels)
+    for _ in guard.then("body"):
+        r = k.load(rgb, 3 * tid + 0)
+        g = k.load(rgb, 3 * tid + 1)
+        b = k.load(rgb, 3 * tid + 2)
+        k.store(ycbcr, 3 * tid + 0, 0.299 * r + 0.587 * g + 0.114 * b)
+        k.store(ycbcr, 3 * tid + 1,
+                128.0 - 0.168736 * r - 0.331264 * g + 0.5 * b)
+        k.store(ycbcr, 3 * tid + 2,
+                128.0 + 0.5 * r - 0.418688 * g - 0.081312 * b)
+    k.block("exit")
+
+
+@kernel()
+def ycbcr_to_rgb_kernel(k, ycbcr, rgb, num_pixels):
+    """Inverse conversion, same constant-observable structure."""
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < num_pixels)
+    for _ in guard.then("body"):
+        y = k.load(ycbcr, 3 * tid + 0)
+        cb = k.load(ycbcr, 3 * tid + 1) - 128.0
+        cr = k.load(ycbcr, 3 * tid + 2) - 128.0
+        k.store(rgb, 3 * tid + 0, y + 1.402 * cr)
+        k.store(rgb, 3 * tid + 1, y - 0.344136 * cb - 0.714136 * cr)
+        k.store(rgb, 3 * tid + 2, y + 1.772 * cb)
+    k.block("exit")

@@ -1,0 +1,107 @@
+"""8×8 orthonormal 2-D DCT (type II) and its inverse.
+
+Host references (used by the tests and by the decoder's input preparation)
+plus device kernels: one thread per 8×8 block, separable row/column passes.
+Row data is loaded once per row and all per-pass arithmetic happens in
+registers, so the access pattern is fully determined by the block index —
+constant-observable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim import kernel
+
+BLOCK_SIDE = 8
+BLOCK_PIXELS = BLOCK_SIDE * BLOCK_SIDE
+
+
+def _dct_matrix() -> np.ndarray:
+    """The orthonormal 8-point DCT-II matrix ``C`` (rows = frequencies)."""
+    n = BLOCK_SIDE
+    matrix = np.zeros((n, n))
+    for u in range(n):
+        scale = np.sqrt(1.0 / n) if u == 0 else np.sqrt(2.0 / n)
+        for x in range(n):
+            matrix[u, x] = scale * np.cos((2 * x + 1) * u * np.pi / (2 * n))
+    return matrix
+
+
+#: Orthonormal DCT matrix; ``C @ block @ C.T`` is the forward transform.
+DCT_MATRIX = _dct_matrix()
+
+
+def dct2_reference(block: np.ndarray) -> np.ndarray:
+    """Forward 2-D DCT of one 8×8 block."""
+    block = np.asarray(block, dtype=np.float64)
+    if block.shape != (BLOCK_SIDE, BLOCK_SIDE):
+        raise ValueError(f"expected an 8x8 block, got {block.shape}")
+    return DCT_MATRIX @ block @ DCT_MATRIX.T
+
+
+def idct2_reference(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse 2-D DCT of one 8×8 coefficient block."""
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    if coeffs.shape != (BLOCK_SIDE, BLOCK_SIDE):
+        raise ValueError(f"expected an 8x8 block, got {coeffs.shape}")
+    return DCT_MATRIX.T @ coeffs @ DCT_MATRIX
+
+
+def _raster_index(tid, blocks_x: int, r: int, c: int):
+    """Plane-raster element index of tile *tid*'s (r, c) pixel."""
+    by = tid // blocks_x
+    bx = tid % blocks_x
+    width = blocks_x * BLOCK_SIDE
+    return (by * BLOCK_SIDE + r) * width + bx * BLOCK_SIDE + c
+
+
+def _blocked_index(tid, r: int, c: int):
+    """Block-contiguous element index (64 coefficients per tile)."""
+    return tid * BLOCK_PIXELS + r * BLOCK_SIDE + c
+
+
+def _transform_tile(k, tid, src, src_index, dst, dst_index, matrix):
+    """Per-thread 8×8 separable transform by *matrix*, registers only.
+
+    ``src_index`` / ``dst_index`` map ``(tid, r, c)`` to element indices, so
+    the forward kernel can read raster planes and write block-contiguous
+    coefficients (and the inverse kernel the reverse) — all addresses are
+    thread-derived either way.
+    """
+    tile = [[k.load(src, src_index(tid, r, c))
+             for c in range(BLOCK_SIDE)] for r in range(BLOCK_SIDE)]
+    row_pass = [[sum(matrix[u][x] * tile[r][x] for x in range(BLOCK_SIDE))
+                 for u in range(BLOCK_SIDE)] for r in range(BLOCK_SIDE)]
+    col_pass = [[sum(matrix[v][y] * row_pass[y][u]
+                     for y in range(BLOCK_SIDE))
+                 for u in range(BLOCK_SIDE)] for v in range(BLOCK_SIDE)]
+    for r in range(BLOCK_SIDE):
+        for c in range(BLOCK_SIDE):
+            k.store(dst, dst_index(tid, r, c), col_pass[r][c])
+
+
+@kernel()
+def dct8x8_kernel(k, plane, coeffs, blocks_x, num_blocks):
+    """Forward DCT: raster plane in, block-contiguous coefficients out."""
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < num_blocks)
+    for _ in guard.then("body"):
+        _transform_tile(k, tid, plane,
+                        lambda t, r, c: _raster_index(t, blocks_x, r, c),
+                        coeffs, _blocked_index, DCT_MATRIX)
+    k.block("exit")
+
+
+@kernel()
+def idct8x8_kernel(k, coeffs, plane, blocks_x, num_blocks):
+    """Inverse DCT: block-contiguous coefficients in, raster plane out."""
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < num_blocks)
+    for _ in guard.then("body"):
+        _transform_tile(k, tid, coeffs, _blocked_index, plane,
+                        lambda t, r, c: _raster_index(t, blocks_x, r, c),
+                        DCT_MATRIX.T)
+    k.block("exit")

@@ -1,0 +1,114 @@
+"""The nvjpeg decoder: constant-observable device pipeline + Owl program.
+
+Decode path: entropy-decode on the host (stream parsing is host code, as in
+nvJPEG's CPU bitstream stage), then on the device dequantise → inverse DCT
+→ YCbCr→RGB.  Every device access is thread-derived for a fixed image size,
+which is why the paper finds no leaks in nvJPEG decoding — and why Owl must
+report this pipeline clean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.nvjpeg import huffman
+from repro.apps.nvjpeg.color import ycbcr_to_rgb_kernel, ycbcr_to_rgb_reference
+from repro.apps.nvjpeg.dct import BLOCK_PIXELS, BLOCK_SIDE, idct8x8_kernel
+from repro.apps.nvjpeg.encoder import (
+    LEVEL_SHIFT,
+    encode_reference,
+    unpack_stream,
+)
+from repro.apps.nvjpeg.quant import LUMA_QUANT_TABLE, dequantize_kernel
+from repro.gpusim import kernel
+from repro.host.runtime import CudaRuntime
+
+_BLOCK_THREADS = 32
+
+
+@kernel()
+def luma_to_ycbcr_kernel(k, luma, ycbcr, num_pixels):
+    """Re-interleave the Y plane (grayscale: neutral chroma), un-shifted."""
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < num_pixels)
+    for _ in guard.then("body"):
+        y = k.load(luma, tid) + LEVEL_SHIFT
+        k.store(ycbcr, 3 * tid + 0, y)
+        k.store(ycbcr, 3 * tid + 1, 128.0)
+        k.store(ycbcr, 3 * tid + 2, 128.0)
+    k.block("exit")
+
+
+def nvjpeg_decode(rt: CudaRuntime, blob: bytes) -> np.ndarray:
+    """Decode a stream produced by the encoder; returns an (H, W, 3) array."""
+    height, width, block_symbols = unpack_stream(blob)
+    num_pixels = height * width
+    blocks_x = width // BLOCK_SIDE
+    num_blocks = len(block_symbols)
+    grid = max(1, -(-num_pixels // _BLOCK_THREADS))
+    block_grid = max(1, -(-num_blocks // _BLOCK_THREADS))
+
+    # host bitstream stage: symbols -> quantised coefficient plane
+    quantized_host = np.concatenate([
+        huffman.decode_block_symbols(symbols).astype(np.float64)
+        for symbols in block_symbols
+    ])
+
+    quantized = rt.cudaMalloc(num_blocks * BLOCK_PIXELS, dtype=np.float64,
+                              label="jpeg.quantized")
+    rt.cudaMemcpyHtoD(quantized, quantized_host)
+    qtable = rt.constMalloc(BLOCK_PIXELS, dtype=np.float64,
+                            label="jpeg.qtable")
+    rt.cudaMemcpyHtoD(qtable, LUMA_QUANT_TABLE)
+    coeffs = rt.cudaMalloc(num_blocks * BLOCK_PIXELS, dtype=np.float64,
+                           label="jpeg.coeffs")
+    rt.cuLaunchKernel(dequantize_kernel,
+                      max(1, -(-(num_blocks * BLOCK_PIXELS)
+                               // _BLOCK_THREADS)), _BLOCK_THREADS,
+                      quantized, qtable, coeffs, num_blocks * BLOCK_PIXELS)
+
+    luma = rt.cudaMalloc(num_pixels, dtype=np.float64, label="jpeg.luma")
+    rt.cuLaunchKernel(idct8x8_kernel, block_grid, _BLOCK_THREADS,
+                      coeffs, luma, blocks_x, num_blocks)
+
+    ycbcr = rt.cudaMalloc(num_pixels * 3, dtype=np.float64, label="jpeg.ycbcr")
+    rt.cuLaunchKernel(luma_to_ycbcr_kernel, grid, _BLOCK_THREADS,
+                      luma, ycbcr, num_pixels)
+    rgb = rt.cudaMalloc(num_pixels * 3, dtype=np.float64, label="jpeg.rgb")
+    rt.cuLaunchKernel(ycbcr_to_rgb_kernel, grid, _BLOCK_THREADS,
+                      ycbcr, rgb, num_pixels)
+
+    image = rt.cudaMemcpyDtoH(rgb).reshape(height, width, 3)
+    return np.clip(image, 0.0, 255.0)
+
+
+def decode_reference(blob: bytes) -> np.ndarray:
+    """Pure-host reference decoder (for tests)."""
+    from repro.apps.nvjpeg.dct import idct2_reference
+    from repro.apps.nvjpeg.quant import dequantize_reference
+
+    height, width, block_symbols = unpack_stream(blob)
+    blocks_x = width // BLOCK_SIDE
+    luma = np.zeros((height, width))
+    for b, symbols in enumerate(block_symbols):
+        quantized = huffman.decode_block_symbols(symbols)
+        tile = idct2_reference(dequantize_reference(quantized))
+        by, bx = divmod(b, blocks_x)
+        luma[by * BLOCK_SIDE:(by + 1) * BLOCK_SIDE,
+             bx * BLOCK_SIDE:(bx + 1) * BLOCK_SIDE] = tile
+    ycbcr = np.stack([luma + LEVEL_SHIFT,
+                      np.full_like(luma, 128.0),
+                      np.full_like(luma, 128.0)], axis=-1)
+    return np.clip(ycbcr_to_rgb_reference(ycbcr), 0.0, 255.0)
+
+
+def decode_program(rt: CudaRuntime, secret) -> np.ndarray:
+    """The Owl program under test for decoding.
+
+    The secret input is the image; its (host-side, untraced) reference
+    encoding supplies the stream the device pipeline decodes — matching the
+    paper's setup where the decode path is probed with secret images.
+    """
+    blob = encode_reference(np.asarray(secret, dtype=np.float64))
+    return nvjpeg_decode(rt, blob)

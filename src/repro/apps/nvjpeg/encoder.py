@@ -1,0 +1,251 @@
+"""The nvjpeg encoder: pipeline kernels, host driver, and Owl program.
+
+Pipeline (luma-only, like a grayscale JPEG):
+
+1. ``rgb_to_ycbcr_kernel`` — constant-observable colour conversion;
+2. ``extract_luma_kernel`` — Y-plane extraction with the −128 level shift;
+3. ``dct8x8_kernel`` — per-tile forward DCT (constant-observable);
+4. ``quantize_kernel`` — Annex-K style quantisation (constant-observable);
+5. ``entropy_kernel`` — **the leaky stage**: zero-run scanning and
+   magnitude-category bit loops whose warp trip counts depend on the
+   coefficient values (control-flow leaks), and symbol stores whose
+   addresses depend on how many symbols were already emitted (data-flow
+   leaks).
+
+The host assembles the final byte stream from the device symbol buffer;
+:func:`encode_reference` is the pure-host reference used by tests and by
+the decoder's input preparation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.apps.nvjpeg import huffman
+from repro.apps.nvjpeg.color import rgb_to_ycbcr_kernel, rgb_to_ycbcr_reference
+from repro.apps.nvjpeg.dct import (
+    BLOCK_PIXELS,
+    BLOCK_SIDE,
+    dct2_reference,
+    dct8x8_kernel,
+)
+from repro.apps.nvjpeg.huffman import MAX_SYMBOLS, ZIGZAG_LINEAR, Symbol
+from repro.apps.nvjpeg.quant import (
+    LUMA_QUANT_TABLE,
+    quantize_kernel,
+    quantize_reference,
+)
+from repro.gpusim import kernel
+from repro.host.runtime import CudaRuntime
+
+#: JPEG level shift applied to samples before the DCT.
+LEVEL_SHIFT = 128.0
+
+_BLOCK_THREADS = 32
+
+
+@kernel()
+def extract_luma_kernel(k, ycbcr, luma, num_pixels):
+    """Copy the Y channel out of the interleaved plane, level-shifted."""
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < num_pixels)
+    for _ in guard.then("body"):
+        k.store(luma, tid, k.load(ycbcr, 3 * tid) - LEVEL_SHIFT)
+    k.block("exit")
+
+
+@kernel()
+def entropy_kernel(k, quantized, symbols, counts, num_blocks):
+    """Run-length / magnitude-category coding, one thread per 8×8 tile.
+
+    Leak anatomy (all by design, mirroring real entropy coders):
+
+    * the ``dc_size`` / ``ac_size`` loops shift the coefficient magnitude
+      down to zero — a warp iterates ``max(bit length)`` times, so the trip
+      count observable in the trace depends on the data (control flow);
+    * emitted symbols go to ``(tile, symbol_index)`` slots where
+      ``symbol_index`` depends on how many non-zeros were seen so far —
+      value-dependent store addresses (data flow);
+    * the per-coefficient non-zero branch itself diverges across lanes and
+      is therefore predication-masked, like every intra-warp branch.
+    """
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < num_blocks)
+    for _ in guard.then("body"):
+        base = tid * BLOCK_PIXELS
+
+        # --- DC coefficient ------------------------------------------------
+        dc = k.load(quantized, base + int(ZIGZAG_LINEAR[0])).astype(np.int64)
+        magnitude = np.abs(dc)
+        size = np.zeros_like(magnitude)
+        for _ in k.while_("dc_size", lambda: magnitude > 0):
+            size = k.select(magnitude > 0, size + 1, size)
+            magnitude = k.select(magnitude > 0, magnitude // 2, magnitude)
+        k.block("dc_store")
+        out_base = tid * MAX_SYMBOLS * 3
+        k.store(symbols, out_base + 0, 0)
+        k.store(symbols, out_base + 1, size)
+        k.store(symbols, out_base + 2, dc)
+
+        # --- AC scan --------------------------------------------------------
+        emitted = np.ones(size.shape, dtype=np.int64)  # symbols so far
+        run = np.zeros_like(emitted)
+        for i in k.range_("scan", 1, BLOCK_PIXELS):
+            coef = k.load(quantized,
+                          base + int(ZIGZAG_LINEAR[i])).astype(np.int64)
+            nonzero = coef != 0
+            br = k.branch(nonzero)
+            for _ in br.then("emit"):
+                magnitude = np.abs(coef)
+                size = np.zeros_like(magnitude)
+                for _ in k.while_("ac_size", lambda: magnitude > 0):
+                    size = k.select(magnitude > 0, size + 1, size)
+                    magnitude = k.select(magnitude > 0, magnitude // 2,
+                                         magnitude)
+                k.block("emit_store")
+                slot = (tid * MAX_SYMBOLS + emitted) * 3
+                k.store(symbols, slot + 0, run)
+                k.store(symbols, slot + 1, size)
+                k.store(symbols, slot + 2, coef)
+            emitted = k.select(nonzero, emitted + 1, emitted)
+            run = k.select(nonzero, 0, run + 1)
+
+        # --- EOB for blocks with trailing zeros ------------------------------
+        trailing = k.branch(run > 0)
+        for _ in trailing.then("eob"):
+            slot = (tid * MAX_SYMBOLS + emitted) * 3
+            k.store(symbols, slot + 0, 0)
+            k.store(symbols, slot + 1, 0)
+            k.store(symbols, slot + 2, 0)
+        emitted = k.select(run > 0, emitted + 1, emitted)
+        k.store(counts, tid, emitted)
+    k.block("exit")
+
+
+# ---------------------------------------------------------------------------
+# host driver
+# ---------------------------------------------------------------------------
+
+def _check_dimensions(image: np.ndarray) -> Tuple[int, int]:
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected an (H, W, 3) image, got {image.shape}")
+    height, width = image.shape[:2]
+    if height % BLOCK_SIDE or width % BLOCK_SIDE:
+        raise ValueError(
+            f"image dimensions must be multiples of {BLOCK_SIDE}, "
+            f"got {height}x{width}")
+    return height, width
+
+
+def nvjpeg_encode(rt: CudaRuntime, image: np.ndarray) -> bytes:
+    """Encode an RGB image through the device pipeline; returns the stream."""
+    image = np.asarray(image, dtype=np.float64)
+    height, width = _check_dimensions(image)
+    num_pixels = height * width
+    blocks_x = width // BLOCK_SIDE
+    num_blocks = (height // BLOCK_SIDE) * blocks_x
+    grid = max(1, -(-num_pixels // _BLOCK_THREADS))
+    block_grid = max(1, -(-num_blocks // _BLOCK_THREADS))
+
+    rgb = rt.cudaMalloc(num_pixels * 3, dtype=np.float64, label="jpeg.rgb")
+    rt.cudaMemcpyHtoD(rgb, image.reshape(-1))
+    ycbcr = rt.cudaMalloc(num_pixels * 3, dtype=np.float64, label="jpeg.ycbcr")
+    rt.cuLaunchKernel(rgb_to_ycbcr_kernel, grid, _BLOCK_THREADS,
+                      rgb, ycbcr, num_pixels)
+
+    luma = rt.cudaMalloc(num_pixels, dtype=np.float64, label="jpeg.luma")
+    rt.cuLaunchKernel(extract_luma_kernel, grid, _BLOCK_THREADS,
+                      ycbcr, luma, num_pixels)
+
+    coeffs = rt.cudaMalloc(num_blocks * BLOCK_PIXELS, dtype=np.float64,
+                           label="jpeg.coeffs")
+    rt.cuLaunchKernel(dct8x8_kernel, block_grid, _BLOCK_THREADS,
+                      luma, coeffs, blocks_x, num_blocks)
+
+    qtable = rt.constMalloc(BLOCK_PIXELS, dtype=np.float64,
+                            label="jpeg.qtable")
+    rt.cudaMemcpyHtoD(qtable, LUMA_QUANT_TABLE)
+    quantized = rt.cudaMalloc(num_blocks * BLOCK_PIXELS, dtype=np.float64,
+                              label="jpeg.quantized")
+    rt.cuLaunchKernel(quantize_kernel, max(1, -(-(num_blocks * BLOCK_PIXELS)
+                                                // _BLOCK_THREADS)),
+                      _BLOCK_THREADS, coeffs, qtable, quantized,
+                      num_blocks * BLOCK_PIXELS)
+
+    symbols = rt.cudaMalloc(num_blocks * MAX_SYMBOLS * 3, dtype=np.int64,
+                            label="jpeg.symbols")
+    counts = rt.cudaMalloc(num_blocks, dtype=np.int64, label="jpeg.counts")
+    rt.cuLaunchKernel(entropy_kernel, block_grid, _BLOCK_THREADS,
+                      quantized, symbols, counts, num_blocks)
+
+    symbol_data = rt.cudaMemcpyDtoH(symbols).reshape(num_blocks, MAX_SYMBOLS, 3)
+    count_data = rt.cudaMemcpyDtoH(counts)
+    per_block = [
+        [tuple(int(v) for v in symbol_data[b, s]) for s in range(count_data[b])]
+        for b in range(num_blocks)
+    ]
+    return pack_stream(height, width, per_block)
+
+
+def pack_stream(height: int, width: int,
+                block_symbols: List[List[Symbol]]) -> bytes:
+    """Assemble the byte stream: header, per-block symbol sections."""
+    out = bytearray(b"NVJS")
+    out += int(height).to_bytes(4, "little")
+    out += int(width).to_bytes(4, "little")
+    out += len(block_symbols).to_bytes(4, "little")
+    for symbols in block_symbols:
+        out += len(symbols).to_bytes(2, "little")
+        for run, size, amplitude in symbols:
+            out += int(run).to_bytes(1, "little")
+            out += int(size).to_bytes(1, "little")
+            out += int(amplitude).to_bytes(4, "little", signed=True)
+    return bytes(out)
+
+
+def unpack_stream(blob: bytes) -> Tuple[int, int, List[List[Symbol]]]:
+    """Inverse of :func:`pack_stream`."""
+    if blob[:4] != b"NVJS":
+        raise ValueError("not an nvjpeg stream")
+    height = int.from_bytes(blob[4:8], "little")
+    width = int.from_bytes(blob[8:12], "little")
+    num_blocks = int.from_bytes(blob[12:16], "little")
+    offset = 16
+    blocks: List[List[Symbol]] = []
+    for _ in range(num_blocks):
+        count = int.from_bytes(blob[offset:offset + 2], "little")
+        offset += 2
+        symbols: List[Symbol] = []
+        for _ in range(count):
+            run = blob[offset]
+            size = blob[offset + 1]
+            amplitude = int.from_bytes(blob[offset + 2:offset + 6], "little",
+                                       signed=True)
+            offset += 6
+            symbols.append((run, size, amplitude))
+        blocks.append(symbols)
+    return height, width, blocks
+
+
+def encode_reference(image: np.ndarray) -> bytes:
+    """Pure-host reference encoder (same stream format as the device path)."""
+    image = np.asarray(image, dtype=np.float64)
+    height, width = _check_dimensions(image)
+    luma = rgb_to_ycbcr_reference(image)[..., 0] - LEVEL_SHIFT
+    blocks: List[List[Symbol]] = []
+    for by in range(height // BLOCK_SIDE):
+        for bx in range(width // BLOCK_SIDE):
+            tile = luma[by * BLOCK_SIDE:(by + 1) * BLOCK_SIDE,
+                        bx * BLOCK_SIDE:(bx + 1) * BLOCK_SIDE]
+            quantized = quantize_reference(dct2_reference(tile))
+            blocks.append(huffman.encode_block_symbols(quantized))
+    return pack_stream(height, width, blocks)
+
+
+def encode_program(rt: CudaRuntime, secret) -> bytes:
+    """The Owl program under test: the secret input is the image."""
+    return nvjpeg_encode(rt, np.asarray(secret, dtype=np.float64))

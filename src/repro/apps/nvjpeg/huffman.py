@@ -1,0 +1,111 @@
+"""Entropy-coding reference: zigzag scan, run-length symbols, code sizes.
+
+Host-side reference for the encoder's entropy stage (the device kernel in
+:mod:`repro.apps.nvjpeg.encoder` mirrors its control flow) and for the
+decoder's input preparation.  Symbols are JPEG-style ``(run, size,
+amplitude)`` triples: *run* zeros precede a coefficient whose magnitude
+category (bit length) is *size*; ``(0, 0, 0)`` is the end-of-block marker.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.nvjpeg.dct import BLOCK_PIXELS, BLOCK_SIDE
+
+Symbol = Tuple[int, int, int]
+
+#: End-of-block marker.
+EOB: Symbol = (0, 0, 0)
+
+#: Longest zero run a single symbol may carry.  Real JPEG caps runs at 15
+#: and inserts ZRL symbols; our simplified format carries the run directly
+#: (the kernel and the reference stay exactly symbol-compatible this way).
+MAX_RUN = 62
+
+#: Worst-case symbols per block: DC + 63 AC + EOB.
+MAX_SYMBOLS = 65
+
+
+def _zigzag_positions() -> List[Tuple[int, int]]:
+    order: List[Tuple[int, int]] = []
+    for s in range(2 * BLOCK_SIDE - 1):
+        if s % 2 == 0:
+            rows = range(min(s, BLOCK_SIDE - 1),
+                         max(0, s - BLOCK_SIDE + 1) - 1, -1)
+        else:
+            rows = range(max(0, s - BLOCK_SIDE + 1),
+                         min(s, BLOCK_SIDE - 1) + 1)
+        for r in rows:
+            order.append((r, s - r))
+    return order
+
+
+#: Zigzag scan order as (row, col) pairs.
+ZIGZAG_POSITIONS: List[Tuple[int, int]] = _zigzag_positions()
+
+#: Zigzag scan order as raster indices into a flattened 8×8 block.
+ZIGZAG_LINEAR: np.ndarray = np.array(
+    [r * BLOCK_SIDE + c for r, c in ZIGZAG_POSITIONS], dtype=np.int64)
+
+
+def magnitude_size(value: int) -> int:
+    """JPEG magnitude category: the bit length of ``|value|`` (0 for 0)."""
+    return int(abs(int(value))).bit_length()
+
+
+def code_length_bits(run: int, size: int) -> int:
+    """Deterministic pseudo-Huffman code length for a ``(run, size)`` symbol.
+
+    A stand-in for the Annex-K tables: frequent symbols (small run and
+    size) get short codes.  Only relative sizes matter to the experiments.
+    """
+    if not (0 <= run <= MAX_RUN and 0 <= size <= 16):
+        raise ValueError(f"invalid symbol ({run}, {size})")
+    return 2 + run // 4 + size
+
+
+def encode_block_symbols(quantized_block: Sequence[int]) -> List[Symbol]:
+    """RLE-encode one quantised 8×8 block (raster order in, symbols out)."""
+    flat = np.asarray(quantized_block, dtype=np.int64).reshape(-1)
+    if flat.size != BLOCK_PIXELS:
+        raise ValueError(f"expected {BLOCK_PIXELS} coefficients, got {flat.size}")
+    zigzagged = flat[ZIGZAG_LINEAR]
+    dc = int(zigzagged[0])
+    symbols: List[Symbol] = [(0, magnitude_size(dc), dc)]
+    run = 0
+    for coef in (int(v) for v in zigzagged[1:]):
+        if coef == 0:
+            run += 1
+            continue
+        symbols.append((run, magnitude_size(coef), coef))
+        run = 0
+    if run > 0:
+        symbols.append(EOB)
+    return symbols
+
+
+def decode_block_symbols(symbols: Sequence[Symbol]) -> np.ndarray:
+    """Rebuild the raster-order quantised block from its symbols."""
+    zigzagged = np.zeros(BLOCK_PIXELS, dtype=np.int64)
+    zigzagged[0] = symbols[0][2]
+    position = 1
+    for run, size, amplitude in symbols[1:]:
+        if (run, size, amplitude) == EOB:
+            break
+        position += run
+        if position >= BLOCK_PIXELS:
+            raise ValueError("symbol stream overruns the block")
+        zigzagged[position] = amplitude
+        position += 1
+    block = np.zeros(BLOCK_PIXELS, dtype=np.int64)
+    block[ZIGZAG_LINEAR] = zigzagged
+    return block
+
+
+def bitstream_length_bits(symbols: Sequence[Symbol]) -> int:
+    """Total coded length: code bits plus *size* amplitude bits per symbol."""
+    return sum(code_length_bits(run, size) + size
+               for run, size, _amplitude in symbols)

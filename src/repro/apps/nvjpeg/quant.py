@@ -1,0 +1,67 @@
+"""Quantisation: the standard JPEG luminance table and device kernels.
+
+One thread per coefficient; the quantisation-table index is
+``tid mod 64`` — thread-derived, hence constant-observable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim import kernel
+
+#: Annex-K luminance quantisation table (quality 50), raster order.
+LUMA_QUANT_TABLE = np.array([
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+], dtype=np.float64)
+
+
+def quantize_reference(coeffs: np.ndarray,
+                       table: np.ndarray = LUMA_QUANT_TABLE) -> np.ndarray:
+    """Round-to-nearest quantisation of one 8×8 coefficient block."""
+    return np.rint(np.asarray(coeffs, dtype=np.float64).reshape(8, 8)
+                   / table.reshape(8, 8)).astype(np.int64)
+
+
+def dequantize_reference(quantized: np.ndarray,
+                         table: np.ndarray = LUMA_QUANT_TABLE) -> np.ndarray:
+    """Inverse of :func:`quantize_reference`."""
+    return (np.asarray(quantized, dtype=np.float64).reshape(8, 8)
+            * table.reshape(8, 8))
+
+
+@kernel()
+def quantize_kernel(k, coeffs, qtable, out, n):
+    """Quantise a whole coefficient plane, one thread per coefficient.
+
+    The plane is laid out block-contiguously (64 coefficients per 8×8
+    block), so ``tid % 64`` is the in-block raster position.
+    """
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < n)
+    for _ in guard.then("body"):
+        value = k.load(coeffs, tid)
+        q = k.load(qtable, tid % 64)
+        k.store(out, tid, np.rint(value / q))
+    k.block("exit")
+
+
+@kernel()
+def dequantize_kernel(k, quantized, qtable, out, n):
+    """Dequantise a plane; same constant-observable structure."""
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < n)
+    for _ in guard.then("body"):
+        value = k.load(quantized, tid)
+        q = k.load(qtable, tid % 64)
+        k.store(out, tid, value * q)
+    k.block("exit")

@@ -1,0 +1,33 @@
+"""Proof-of-exploitability attacks against the detected leaks.
+
+Owl's job ends at *detection*; these modules close the loop by showing the
+flagged leaks are real attack surface, in the spirit of the GPU attacks the
+paper cites (Jiang et al.'s AES key recovery [6], the RSA timing attacks
+[34, 35]):
+
+* :mod:`repro.attacks.aes_recovery` — a cache-line observation attack on
+  the T-table AES kernel recovering each key byte's line-granular class
+  (the classic first-round elimination attack);
+* :mod:`repro.attacks.timing` — a timing distinguisher built on the cache
+  model, separating leaky from constant-flow implementations by cycle
+  counts alone.
+"""
+
+from repro.attacks.aes_recovery import (
+    aes_single_block_program,
+    AesObservation,
+    collect_observations,
+    recover_key_classes,
+    true_key_classes,
+)
+from repro.attacks.timing import time_program, timing_distinguisher
+
+__all__ = [
+    "AesObservation",
+    "aes_single_block_program",
+    "collect_observations",
+    "recover_key_classes",
+    "time_program",
+    "timing_distinguisher",
+    "true_key_classes",
+]

@@ -1,0 +1,125 @@
+"""Cache-line key recovery against the T-table AES kernel.
+
+The classic first-round attack (Osvik–Shamir–Tromer style, applied to GPUs
+by Jiang et al., cited as [6] by the paper): in round one, table ``Tk`` is
+indexed by ``plaintext[p] ^ key[p]`` for the byte positions ``p ≡ k
+(mod 4)``.  An attacker who observes which *cache lines* of each table the
+victim touched can eliminate key-byte candidates: candidate ``c`` survives
+a trace only if line ``(plaintext[p] ^ c) >> 3`` was observed (8-byte
+entries, 64-byte lines ⇒ 8 entries per line).  Later-round accesses add
+noise lines but never remove the true candidate, so over a few dozen
+random plaintexts each position converges to the true key byte's
+line-class — 5 of its 8 bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.apps.libgpucrypto.aes import expand_key
+from repro.apps.libgpucrypto.aes import aes128_ttable_kernel
+from repro.apps.libgpucrypto.tables import SBOX_ARRAY, T_TABLES
+from repro.gpusim.cache import CacheSimulator
+from repro.gpusim.device import Device, DeviceConfig
+from repro.host.runtime import CudaRuntime
+
+#: 8-byte table entries on 64-byte lines: 8 entries per line
+ENTRIES_PER_LINE = 8
+LINE_BYTES = 64
+
+#: byte positions of the key that index table Tk in round one
+POSITIONS_PER_TABLE = {k: tuple(range(k, 16, 4)) for k in range(4)}
+
+
+@dataclass(frozen=True)
+class AesObservation:
+    """One encryption's attacker view: plaintext + touched table lines."""
+
+    plaintext: bytes
+    #: table index (0..3) → set of line-granular byte offsets touched
+    table_lines: Dict[int, frozenset]
+
+
+def aes_single_block_program(rt: CudaRuntime, secret) -> None:
+    """The attack victim: one chosen-plaintext block under *key*.
+
+    ``secret`` is ``(key, plaintext)``.  Every lane encrypts the same
+    block, so cache observations equal a single encryption's — thread
+    partitioning of different blocks would instead blur them, the §IV-A
+    volatility the paper discusses.
+    """
+    key, plaintext = secret
+    if len(plaintext) != 16:
+        raise ValueError("plaintext must be one 16-byte block")
+    round_keys = expand_key(key)
+    t_bufs = []
+    for i, table in enumerate(T_TABLES):
+        buf = rt.constMalloc(256, label=f"aes.T{i}")
+        rt.cudaMemcpyHtoD(buf, table)
+        t_bufs.append(buf)
+    sbox = rt.constMalloc(256, label="aes.sbox")
+    rt.cudaMemcpyHtoD(sbox, SBOX_ARRAY)
+    rk = rt.cudaMalloc(44, label="aes.round_keys")
+    rt.cudaMemcpyHtoD(rk, round_keys)
+    words = [int.from_bytes(plaintext[4 * i:4 * i + 4], "big")
+             for i in range(4)]
+    pt = rt.cudaMalloc(4 * 32, label="aes.plaintext")
+    rt.cudaMemcpyHtoD(pt, np.array(words * 32, dtype=np.int64))
+    ct = rt.cudaMalloc(4 * 32, label="aes.ciphertext")
+    rt.cuLaunchKernel(aes128_ttable_kernel, 1, 32, *t_bufs, sbox, rk, pt, ct)
+
+
+def _encrypt_block_observed(key: bytes, plaintext: bytes) -> AesObservation:
+    """Run one single-block encryption under the cache observer."""
+    device = Device(DeviceConfig())
+    simulator = CacheSimulator(memory=device.memory)
+    device.subscribe(simulator.on_event)
+    rt = CudaRuntime(device)
+    aes_single_block_program(rt, (key, plaintext))
+
+    stats = simulator.per_kernel[-1]
+    table_lines = {i: frozenset(stats.touched(f"aes.T{i}"))
+                   for i in range(4)}
+    return AesObservation(plaintext=bytes(plaintext),
+                          table_lines=table_lines)
+
+
+def collect_observations(key: bytes, num_traces: int,
+                         rng: Optional[np.random.Generator] = None
+                         ) -> List[AesObservation]:
+    """Encrypt *num_traces* random plaintexts under observation."""
+    rng = rng or np.random.default_rng(0)
+    observations = []
+    for _ in range(num_traces):
+        plaintext = bytes(int(b) for b in rng.integers(0, 256, 16))
+        observations.append(_encrypt_block_observed(key, plaintext))
+    return observations
+
+
+def recover_key_classes(observations: Sequence[AesObservation]
+                        ) -> List[Set[int]]:
+    """Eliminate key-byte candidates; returns survivors per byte position.
+
+    With enough traces each position's survivor set is exactly the true
+    byte's line class: the 8 candidates sharing its top 5 bits.
+    """
+    survivors: List[Set[int]] = [set(range(256)) for _ in range(16)]
+    for table_index, positions in POSITIONS_PER_TABLE.items():
+        for observation in observations:
+            lines = observation.table_lines[table_index]
+            for position in positions:
+                pt_byte = observation.plaintext[position]
+                survivors[position] = {
+                    candidate for candidate in survivors[position]
+                    if (((pt_byte ^ candidate) // ENTRIES_PER_LINE)
+                        * LINE_BYTES) in lines}
+    return survivors
+
+
+def true_key_classes(key: bytes) -> List[Set[int]]:
+    """The theoretical floor: each byte's 8-candidate line class."""
+    return [{candidate for candidate in range(256)
+             if candidate >> 3 == byte >> 3} for byte in key]

@@ -1,0 +1,37 @@
+"""Baselines from RQ3 (§VIII-D): DATA-style and pitchfork-style analyses.
+
+Both comparators are implemented against the same simulator so their
+failure modes can be measured, not merely asserted:
+
+* :mod:`repro.baselines.data_tool` — a DATA-like dynamic differential
+  analyzer.  Its host-only mode sees just Pin-visible events (it can find
+  kernel leaks but is blind inside kernels); its per-thread mode records
+  one trace per GPU thread, demonstrating the linear memory blow-up that
+  motivates Owl's A-DCFG aggregation;
+* :mod:`repro.baselines.pitchfork` — a pitchfork-like static taint
+  analysis over the kernels.  It treats thread indices as unconstrained
+  secret inputs and ignores predicated execution, reproducing the two
+  false-positive classes the paper reports.
+"""
+
+from repro.baselines.data_tool import (
+    DataToolReport,
+    PerThreadTraceRecorder,
+    data_tool_analyze,
+    per_thread_memory_bytes,
+)
+from repro.baselines.pitchfork import (
+    PitchforkFinding,
+    PitchforkReport,
+    pitchfork_analyze,
+)
+
+__all__ = [
+    "DataToolReport",
+    "PerThreadTraceRecorder",
+    "PitchforkFinding",
+    "PitchforkReport",
+    "data_tool_analyze",
+    "per_thread_memory_bytes",
+    "pitchfork_analyze",
+]

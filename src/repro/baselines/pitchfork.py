@@ -1,0 +1,375 @@
+"""A pitchfork-like static taint analysis of CUDA kernels.
+
+haybale-pitchfork symbolically executes LLVM IR and flags secret-dependent
+memory addresses and branch conditions.  Applied to CUDA kernels the paper
+observes two systematic false-positive classes (§VIII-D):
+
+* it "erroneously flags array accesses determined by thread IDs" — the
+  thread index is just another unconstrained input to the symbolic state;
+* it "misidentifies control flow leaks as it fails to account for predicate
+  execution" — a divergent branch is flagged even though the warp visits
+  both sides regardless of the data.
+
+This module reproduces that decision procedure as a taint analysis over one
+exploration of the kernel: thread identifiers and caller-marked secret
+buffers are taint sources; taint propagates through all arithmetic; any
+load/store with a tainted index and any branch/loop with a tainted
+condition is a finding.  Both arms of every branch are explored
+(path coverage, like symbolic execution), predication is *not* modelled,
+and the dynamic-differential machinery of Owl is deliberately absent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.gpusim.context import BranchHandle, WarpContext
+from repro.gpusim.kernel import Kernel, LaunchConfig
+from repro.gpusim.memory import DeviceBuffer
+from repro.host.callstack import current_stack_depth
+from repro.host.runtime import CudaRuntime
+from repro.gpusim.device import Device, DeviceConfig
+from repro.tracing.recorder import Program
+
+#: Taint label for thread identifiers (always a source, per the paper's
+#: observation that the tool cannot distinguish tid-derived indices).
+TID_TAINT = "<tid>"
+
+Taint = FrozenSet[str]
+_EMPTY: Taint = frozenset()
+
+
+class TaintedArray(np.lib.mixins.NDArrayOperatorsMixin):
+    """A lane vector carrying a set of taint-source labels.
+
+    Arithmetic, comparisons, and NumPy ufuncs/functions propagate the union
+    of the operands' taints.
+    """
+
+    __array_priority__ = 1000  # win binops against plain ndarrays
+
+    def __init__(self, data, taint: Taint = _EMPTY) -> None:
+        self.data = np.asarray(data)
+        self.taint: Taint = frozenset(taint)
+
+    # -- numpy protocol ------------------------------------------------------
+
+    def __array_ufunc__(self, ufunc, method, *inputs, **kwargs):
+        if method != "__call__" or kwargs.get("out") is not None:
+            return NotImplemented
+        taint = frozenset().union(*(i.taint for i in inputs
+                                    if isinstance(i, TaintedArray)))
+        raw = [i.data if isinstance(i, TaintedArray) else i for i in inputs]
+        result = getattr(ufunc, method)(*raw, **kwargs)
+        return TaintedArray(result, taint)
+
+    def __array_function__(self, func, types, args, kwargs):
+        taint = _collect_taint(args) | _collect_taint(tuple(kwargs.values()))
+        raw_args = _strip(args)
+        raw_kwargs = {key: _strip(val) for key, val in kwargs.items()}
+        result = func(*raw_args, **raw_kwargs)
+        if isinstance(result, np.ndarray):
+            return TaintedArray(result, taint)
+        return result
+
+    # -- ndarray-ish surface --------------------------------------------------
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def astype(self, dtype):
+        return TaintedArray(self.data.astype(dtype), self.taint)
+
+    def __getitem__(self, item):
+        return TaintedArray(self.data[item], self.taint)
+
+    def __len__(self):
+        return len(self.data)
+
+    def __repr__(self):
+        return f"TaintedArray(taint={sorted(self.taint)}, data={self.data!r})"
+
+
+def _collect_taint(value) -> Taint:
+    if isinstance(value, TaintedArray):
+        return value.taint
+    if isinstance(value, (tuple, list)):
+        return frozenset().union(_EMPTY,
+                                 *(_collect_taint(v) for v in value))
+    return _EMPTY
+
+
+def _strip(value):
+    if isinstance(value, TaintedArray):
+        return value.data
+    if isinstance(value, tuple):
+        return tuple(_strip(v) for v in value)
+    if isinstance(value, list):
+        return [_strip(v) for v in value]
+    return value
+
+
+def taint_of(value) -> Taint:
+    return _collect_taint(value)
+
+
+# ---------------------------------------------------------------------------
+# findings
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PitchforkFinding:
+    """One flagged instruction or branch."""
+
+    kind: str                  # "memory" or "control"
+    kernel_name: str
+    block: str
+    detail: str
+    taint: Tuple[str, ...]
+
+    @property
+    def tid_only(self) -> bool:
+        """True when the only taint source is the thread id — the paper's
+        first false-positive class."""
+        return set(self.taint) == {TID_TAINT}
+
+
+@dataclass
+class PitchforkReport:
+    """All findings for one program."""
+
+    findings: List[PitchforkFinding] = field(default_factory=list)
+
+    def of_kind(self, kind: str) -> List[PitchforkFinding]:
+        return [f for f in self.findings if f.kind == kind]
+
+    @property
+    def memory_findings(self) -> List[PitchforkFinding]:
+        return self.of_kind("memory")
+
+    @property
+    def control_findings(self) -> List[PitchforkFinding]:
+        return self.of_kind("control")
+
+    @property
+    def tid_false_positives(self) -> List[PitchforkFinding]:
+        return [f for f in self.findings if f.tid_only]
+
+
+# ---------------------------------------------------------------------------
+# the exploring, taint-tracking warp context
+# ---------------------------------------------------------------------------
+
+class _ExploringBranch(BranchHandle):
+    """Branch handle that explores both arms regardless of lane masks."""
+
+    def _arm(self, label, taken):
+        ctx = self._ctx
+        saved = ctx.active
+        mask = taken if taken.any() else self._outer
+        ctx._set_active(mask)
+        try:
+            ctx.block(label)
+            yield None
+        finally:
+            ctx._set_active(saved)
+
+
+class TaintContext(WarpContext):
+    """A :class:`WarpContext` that tracks taint instead of tracing.
+
+    Loops are capped (path exploration, not execution) and memory safety is
+    relaxed — indices are wrapped into the buffer — because the analysis
+    explores paths with unconstrained values.
+    """
+
+    #: exploration bound for data-dependent loops
+    LOOP_BOUND = 4
+
+    def __init__(self, launch: LaunchConfig, kernel_name: str,
+                 secret_labels: Set[str], report: PitchforkReport) -> None:
+        super().__init__(launch=launch, block_id=0, warp_id=0,
+                         emit=lambda event: None,
+                         shared_alloc=self._shared_alloc)
+        self._kernel_name = kernel_name
+        self._secret_labels = set(secret_labels)
+        self._report = report
+        self._shared_buffers = {}
+
+    def _shared_alloc(self, block_id, name, shape, dtype):
+        key = (block_id, name)
+        if key not in self._shared_buffers:
+            from repro.gpusim.memory import (
+                Allocation, DeviceBuffer, MemorySpace)
+            data = np.zeros(shape, dtype=dtype)
+            allocation = Allocation(alloc_id=-1 - len(self._shared_buffers),
+                                    base=0, size=max(1, data.nbytes),
+                                    space=MemorySpace.SHARED,
+                                    label=f"shared.{name}")
+            self._shared_buffers[key] = DeviceBuffer(allocation=allocation,
+                                                     data=data)
+        return self._shared_buffers[key]
+
+    # -- taint sources ---------------------------------------------------------
+
+    def global_tid(self):
+        return TaintedArray(super().global_tid(), frozenset({TID_TAINT}))
+
+    def thread_idx(self):
+        x, y, z = super().thread_idx()
+        tid = frozenset({TID_TAINT})
+        return (TaintedArray(x, tid), TaintedArray(y, tid),
+                TaintedArray(z, tid))
+
+    # -- flagged operations ------------------------------------------------------
+
+    def _flag(self, kind: str, detail: str, taint: Taint) -> None:
+        self._report.findings.append(PitchforkFinding(
+            kind=kind, kernel_name=self._kernel_name,
+            block=self._current_label or "<entry>", detail=detail,
+            taint=tuple(sorted(taint))))
+
+    def _relevant(self, taint: Taint) -> Taint:
+        """Taint sources pitchfork would treat as secret-bearing."""
+        return frozenset(t for t in taint
+                         if t == TID_TAINT or t in self._secret_labels)
+
+    def _wrap_index(self, buf: DeviceBuffer, index):
+        raw = index.data if isinstance(index, TaintedArray) else index
+        raw = np.asarray(raw, dtype=np.int64) % max(1, buf.num_elements)
+        return raw
+
+    def load(self, buf: DeviceBuffer, index, space=None):
+        relevant = self._relevant(taint_of(index))
+        if relevant:
+            self._flag("memory",
+                       f"load from {buf.label!r} with tainted index",
+                       relevant)
+        value = super().load(buf, self._wrap_index(buf, index), space=space)
+        taint = taint_of(index)
+        if buf.label in self._secret_labels:
+            taint = taint | frozenset({buf.label})
+        return TaintedArray(value, taint)
+
+    def store(self, buf: DeviceBuffer, index, values, space=None):
+        relevant = self._relevant(taint_of(index))
+        if relevant:
+            self._flag("memory",
+                       f"store to {buf.label!r} with tainted index",
+                       relevant)
+        super().store(buf, self._wrap_index(buf, index), _strip(values),
+                      space=space)
+
+    def atomic_add(self, buf: DeviceBuffer, index, values):
+        relevant = self._relevant(taint_of(index))
+        if relevant:
+            self._flag("memory",
+                       f"atomic to {buf.label!r} with tainted index",
+                       relevant)
+        super().atomic_add(buf, self._wrap_index(buf, index), _strip(values))
+
+    def branch(self, cond):
+        relevant = self._relevant(taint_of(cond))
+        if relevant:
+            # predication is not modelled: every tainted branch is flagged
+            self._flag("control", "branch on tainted condition", relevant)
+        from repro.gpusim.warp import lane_bool
+        return _ExploringBranch(self, lane_bool(_strip(cond)))
+
+    def while_(self, label, cond_fn, max_iter=1_000_000):
+        first = cond_fn()
+        relevant = self._relevant(taint_of(first))
+        if relevant:
+            self._flag("control", f"loop {label!r} on tainted condition",
+                       relevant)
+        iterations = 0
+        for value in super().while_(label,
+                                    lambda: _strip(cond_fn()),
+                                    max_iter=max_iter):
+            yield value
+            iterations += 1
+            if iterations >= self.LOOP_BOUND:
+                break
+
+    # -- unwrapping intrinsics ----------------------------------------------------
+
+    def select(self, cond, if_true, if_false):
+        taint = taint_of(cond) | taint_of(if_true) | taint_of(if_false)
+        result = super().select(_strip(cond), _strip(if_true),
+                                _strip(if_false))
+        return TaintedArray(result, taint)
+
+    def uniform(self, values):
+        return super().uniform(_strip(values))
+
+    def any(self, cond):
+        return super().any(_strip(cond))
+
+    def all(self, cond):
+        return super().all(_strip(cond))
+
+    def ballot(self, cond):
+        return super().ballot(_strip(cond))
+
+    def reduce_sum(self, values):
+        return TaintedArray(np.asarray(super().reduce_sum(_strip(values))),
+                            taint_of(values))
+
+    def reduce_max(self, values):
+        return TaintedArray(np.asarray(super().reduce_max(_strip(values))),
+                            taint_of(values))
+
+    def reduce_min(self, values):
+        return TaintedArray(np.asarray(super().reduce_min(_strip(values))),
+                            taint_of(values))
+
+    def shfl(self, values, src_lane):
+        return TaintedArray(super().shfl(_strip(values), src_lane),
+                            taint_of(values))
+
+
+# ---------------------------------------------------------------------------
+# program-level driver
+# ---------------------------------------------------------------------------
+
+class _PitchforkRuntime(CudaRuntime):
+    """Runtime that taint-analyzes each launched kernel instead of running it."""
+
+    def __init__(self, device: Device, secret_labels: Set[str],
+                 report: PitchforkReport) -> None:
+        super().__init__(device)
+        self._secret_labels = secret_labels
+        self._report = report
+
+    def _launch(self, api: str, kern: Kernel, grid, block, args) -> None:
+        launch = LaunchConfig.create(grid, block)
+        ctx = TaintContext(launch=launch, kernel_name=kern.name,
+                           secret_labels=self._secret_labels,
+                           report=self._report)
+        kern(ctx, *args)
+
+
+def pitchfork_analyze(program: Program, value: object,
+                      secret_labels: Sequence[str],
+                      device_config: Optional[DeviceConfig] = None
+                      ) -> PitchforkReport:
+    """Analyze every kernel *program* launches, pitchfork style.
+
+    ``secret_labels`` marks the device buffers holding secrets (the user
+    annotation a symbolic tool requires).  Thread identifiers are always
+    treated as tainted, matching the tool's behaviour on CUDA IR.
+    """
+    report = PitchforkReport()
+    device = Device(device_config or DeviceConfig())
+    rt = _PitchforkRuntime(device, set(secret_labels), report)
+    rt.call_stack_anchor = current_stack_depth()
+    program(rt, value)
+    return report

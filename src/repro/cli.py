@@ -1,0 +1,150 @@
+"""``owl-detect``: run the Owl pipeline on a bundled workload from the shell.
+
+Examples::
+
+    owl-detect aes --fixed-runs 40 --random-runs 40
+    owl-detect nvjpeg-encode --confidence 0.99
+    owl-detect --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import Owl, OwlConfig
+
+
+def _workloads() -> Dict[str, Tuple[Callable, Callable, Callable]]:
+    """name → (program, fixed-inputs factory, random-input fn)."""
+    from repro.apps import dummy
+    from repro.apps.libgpucrypto import (
+        aes_program, aes_program_ct, random_exponent, random_key,
+        rsa_program, rsa_program_ct)
+    from repro.apps.minitorch import (
+        OP_NAMES, make_op_program, make_random_input, serialize_program,
+        tensor_repr_program)
+    from repro.apps.minitorch.ops import fixed_op_input
+    from repro.apps.minitorch.serialize import serialize_random_input
+    from repro.apps.minitorch.tensor import repr_random_input
+    from repro.apps.nvjpeg import (
+        decode_program, encode_program, random_image, synthetic_image)
+
+    table: Dict[str, Tuple[Callable, Callable, Callable]] = {
+        "aes": (aes_program,
+                lambda: [bytes(range(16)), bytes(range(1, 17))],
+                random_key),
+        "aes-ct": (aes_program_ct,
+                   lambda: [bytes(range(16)), bytes(range(1, 17))],
+                   random_key),
+        "rsa": (rsa_program,
+                lambda: [0x6ACF8231, 0x7FD4C9A7],
+                random_exponent),
+        "rsa-ct": (rsa_program_ct,
+                   lambda: [0x6ACF8231, 0x7FD4C9A7],
+                   random_exponent),
+        "serialize": (serialize_program,
+                      lambda: [np.zeros(64), np.linspace(-2, 2, 64)],
+                      serialize_random_input),
+        "tensor-repr": (tensor_repr_program,
+                        lambda: [np.linspace(-2, 2, 64),
+                                 np.linspace(-2, 2, 64) * 10_000],
+                        repr_random_input),
+        "nvjpeg-encode": (encode_program,
+                          lambda: [synthetic_image(16, 16, seed=1),
+                                   synthetic_image(16, 16, seed=2)],
+                          lambda rng: random_image(rng, 16, 16)),
+        "nvjpeg-decode": (decode_program,
+                          lambda: [synthetic_image(16, 16, seed=1),
+                                   synthetic_image(16, 16, seed=2)],
+                          lambda rng: random_image(rng, 16, 16)),
+        "dummy": (dummy.dummy_program,
+                  lambda: [dummy.fixed_input(), dummy.fixed_input(value=9)],
+                  dummy.random_input),
+    }
+    for name in OP_NAMES:
+        table[f"torch-{name}"] = (
+            make_op_program(name),
+            (lambda n: lambda: [fixed_op_input(n),
+                                make_random_input(n)(
+                                    np.random.default_rng(7))])(name),
+            make_random_input(name))
+    return table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="owl-detect",
+        description="Owl side-channel leakage detection on bundled workloads")
+    parser.add_argument("workload", nargs="?",
+                        help="workload name (see --list)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available workloads and exit")
+    parser.add_argument("--fixed-runs", type=int, default=40,
+                        help="fixed-input executions (paper: 100)")
+    parser.add_argument("--random-runs", type=int, default=40,
+                        help="random-input executions (paper: 100)")
+    parser.add_argument("--confidence", type=float, default=0.95,
+                        help="KS confidence level (paper: 0.95)")
+    parser.add_argument("--test", choices=("ks", "welch"), default="ks",
+                        help="distribution test to apply")
+    parser.add_argument("--seed", type=int, default=2024,
+                        help="seed for the random-input generator")
+    parser.add_argument("--all-representatives", action="store_true",
+                        help="analyze every input class, not just the first")
+    parser.add_argument("--granularity", type=int, default=1,
+                        metavar="BYTES",
+                        help="attacker spatial resolution in bytes "
+                             "(1 = byte-level probe, 64 = cache line)")
+    parser.add_argument("--quantify", action="store_true",
+                        help="estimate each leak's strength in bits per "
+                             "observation")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of text")
+    parser.add_argument("--save-report", metavar="PATH", default=None,
+                        help="also write the JSON report to PATH")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    workloads = _workloads()
+
+    if args.list or not args.workload:
+        for name in sorted(workloads):
+            print(name)
+        return 0
+
+    if args.workload not in workloads:
+        parser.error(f"unknown workload {args.workload!r}; see --list")
+    program, fixed_inputs, random_input = workloads[args.workload]
+
+    config = OwlConfig(
+        fixed_runs=args.fixed_runs, random_runs=args.random_runs,
+        confidence=args.confidence, test=args.test, seed=args.seed,
+        analyze_all_representatives=args.all_representatives,
+        offset_granularity=args.granularity, quantify=args.quantify)
+    owl = Owl(program, name=args.workload, config=config)
+    result = owl.detect(inputs=fixed_inputs(), random_input=random_input)
+
+    if args.save_report:
+        with open(args.save_report, "w", encoding="utf-8") as handle:
+            handle.write(result.report.to_json() + "\n")
+    if args.json:
+        print(result.report.to_json())
+        return 1 if result.report.has_leaks else 0
+    if result.leak_free_by_filtering:
+        print(f"{args.workload}: all inputs produced identical traces — "
+              "no potential leakage (add more diverse inputs to widen "
+              "coverage)")
+        return 0
+    print(result.report.render())
+    return 1 if result.report.has_leaks else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Owl's core analysis: alignment, statistics, evidence, and leakage tests.
+
+This package is the paper's primary contribution — everything downstream of
+trace recording: the Myers alignment used for evidence merging, the KS-based
+distribution tests, the per-node control-flow transition matrices, the
+duplicates-removing phase, the three leakage tests, and the :class:`Owl`
+pipeline that orchestrates them.
+"""
+
+from repro.core.alignment import EditOp, EditStep, align_pairs, edit_distance, myers_diff
+from repro.core.evidence import AlignedSlotPair, Evidence, EvidenceSlot, align_evidence
+from repro.core.filtering import FilterResult, InputClass, filter_traces
+from repro.core.kstest import (
+    DEFAULT_CONFIDENCE,
+    TestResult,
+    ks_p_value,
+    ks_statistic,
+    ks_statistic_weighted,
+    ks_test,
+    ks_test_weighted,
+    ks_threshold,
+    welch_t_test,
+    welch_t_test_weighted,
+)
+from repro.core.leakage import LeakageAnalyzer, LeakageConfig
+from repro.core.pipeline import Owl, OwlConfig, OwlResult, PhaseStats
+from repro.core.report import Leak, LeakType, LeakageReport
+from repro.core.transition import TransitionMatrix, all_transition_matrices, transition_matrix
+
+__all__ = [
+    "AlignedSlotPair",
+    "DEFAULT_CONFIDENCE",
+    "EditOp",
+    "EditStep",
+    "Evidence",
+    "EvidenceSlot",
+    "FilterResult",
+    "InputClass",
+    "Leak",
+    "LeakType",
+    "LeakageAnalyzer",
+    "LeakageConfig",
+    "LeakageReport",
+    "Owl",
+    "OwlConfig",
+    "OwlResult",
+    "PhaseStats",
+    "TestResult",
+    "TransitionMatrix",
+    "align_evidence",
+    "align_pairs",
+    "all_transition_matrices",
+    "edit_distance",
+    "filter_traces",
+    "ks_p_value",
+    "ks_statistic",
+    "ks_statistic_weighted",
+    "ks_test",
+    "ks_test_weighted",
+    "ks_threshold",
+    "myers_diff",
+    "transition_matrix",
+    "welch_t_test",
+    "welch_t_test_weighted",
+]

@@ -1,0 +1,126 @@
+"""Myers O(ND) sequence alignment.
+
+§VII-A step 1 of the paper aligns kernel-invocation sequences with the
+Myers diff algorithm before merging traces into evidence and before
+comparing the fixed-input and random-input evidence.  This is a full
+implementation of Myers' greedy O(ND) algorithm with trace-back, producing
+an edit script of ``equal`` / ``delete`` / ``insert`` operations.
+
+The module is generic over hashable items so tests can exercise it on plain
+strings as well as kernel identities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, List, Sequence, Tuple
+
+
+class EditOp(enum.Enum):
+    """One edit-script operation."""
+
+    EQUAL = "equal"
+    DELETE = "delete"   # present in A only
+    INSERT = "insert"   # present in B only
+
+
+@dataclass(frozen=True)
+class EditStep:
+    """One step of the edit script.
+
+    ``a_index`` / ``b_index`` are the source positions (or -1 when the
+    operation does not consume from that side).
+    """
+
+    op: EditOp
+    a_index: int
+    b_index: int
+
+
+class AlignmentError(Exception):
+    """Raised when trace-back fails (indicates an internal bug)."""
+
+
+def myers_diff(a: Sequence[Hashable], b: Sequence[Hashable]) -> List[EditStep]:
+    """Compute a shortest edit script transforming *a* into *b*.
+
+    Classic Myers: explore furthest-reaching D-paths on diagonals
+    ``k = x - y``, keeping a snapshot of the frontier per D for trace-back.
+    Runtime O((N+M)·D), space O(D²) for the snapshots — fine for kernel
+    sequences, whose edit distances are tiny when programs mostly agree.
+    """
+    n, m = len(a), len(b)
+    if n == 0 and m == 0:
+        return []
+    max_d = n + m
+    # v[k] = furthest x on diagonal k; diagonals offset by max_d
+    v = [0] * (2 * max_d + 1)
+    snapshots: List[List[int]] = []
+
+    found_d = None
+    for d in range(max_d + 1):
+        snapshots.append(list(v))
+        for k in range(-d, d + 1, 2):
+            if k == -d or (k != d and v[k - 1 + max_d] < v[k + 1 + max_d]):
+                x = v[k + 1 + max_d]          # move down (insert from b)
+            else:
+                x = v[k - 1 + max_d] + 1      # move right (delete from a)
+            y = x - k
+            while x < n and y < m and a[x] == b[y]:
+                x += 1
+                y += 1
+            v[k + max_d] = x
+            if x >= n and y >= m:
+                found_d = d
+                break
+        if found_d is not None:
+            break
+    if found_d is None:
+        raise AlignmentError("Myers search failed to reach the sink")
+
+    # Trace back from (n, m) through the snapshots.
+    steps_reversed: List[EditStep] = []
+    x, y = n, m
+    for d in range(found_d, 0, -1):
+        v_prev = snapshots[d]
+        k = x - y
+        if k == -d or (k != d and v_prev[k - 1 + max_d] < v_prev[k + 1 + max_d]):
+            prev_k = k + 1    # came via an insert (down move)
+        else:
+            prev_k = k - 1    # came via a delete (right move)
+        prev_x = v_prev[prev_k + max_d]
+        prev_y = prev_x - prev_k
+        # snake back to the move point
+        while x > prev_x and y > prev_y and x > 0 and y > 0:
+            x -= 1
+            y -= 1
+            steps_reversed.append(EditStep(EditOp.EQUAL, x, y))
+        if prev_k == k + 1:
+            y -= 1
+            steps_reversed.append(EditStep(EditOp.INSERT, -1, y))
+        else:
+            x -= 1
+            steps_reversed.append(EditStep(EditOp.DELETE, x, -1))
+        x, y = prev_x, prev_y
+    # initial snake (d == 0 prefix)
+    while x > 0 and y > 0:
+        x -= 1
+        y -= 1
+        steps_reversed.append(EditStep(EditOp.EQUAL, x, y))
+    if x != 0 or y != 0:
+        raise AlignmentError(f"trace-back terminated at ({x}, {y}), not (0, 0)")
+
+    return list(reversed(steps_reversed))
+
+
+def align_pairs(a: Sequence[Hashable],
+                b: Sequence[Hashable]) -> List[Tuple[int, int]]:
+    """Aligned index pairs ``(i, j)`` with ``a[i] == b[j]``."""
+    return [(s.a_index, s.b_index) for s in myers_diff(a, b)
+            if s.op is EditOp.EQUAL]
+
+
+def edit_distance(a: Sequence[Hashable], b: Sequence[Hashable]) -> int:
+    """Number of non-equal operations in the shortest edit script."""
+    return sum(1 for s in myers_diff(a, b) if s.op is not EditOp.EQUAL)

@@ -1,0 +1,97 @@
+"""The duplicates-removing phase (§VI).
+
+Inputs that generate identical program traces form one *input class*:
+they share side-channel characteristics, so one representative per class
+suffices for leakage analysis.  If all user-provided inputs land in a
+single class, the program shows no potential leakage on those inputs and
+the pipeline can stop early.
+
+Trace equality is the paper's criterion: equal kernel-invocation sequences
+*and* equal A-DCFGs per aligned invocation; we use the trace signature
+(content digest) as the grouping key, with a structural-equality check as a
+collision guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.tracing.recorder import ProgramTrace
+
+
+@dataclass
+class InputClass:
+    """One equivalence class of inputs with identical traces."""
+
+    signature: str
+    representative_index: int
+    member_indices: List[int] = field(default_factory=list)
+    trace: ProgramTrace = None  # type: ignore[assignment]
+
+    @property
+    def size(self) -> int:
+        return len(self.member_indices)
+
+
+@dataclass
+class FilterResult:
+    """Outcome of the duplicates-removing phase."""
+
+    classes: List[InputClass]
+    inputs: Sequence[object]
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def shows_potential_leakage(self) -> bool:
+        """More than one class ⇒ some input pair produced distinct traces."""
+        return self.num_classes > 1
+
+    def representatives(self) -> List[object]:
+        """One input per class, forwarded to the leakage-analysis phase."""
+        return [self.inputs[c.representative_index] for c in self.classes]
+
+    def class_of(self, input_index: int) -> InputClass:
+        for cls in self.classes:
+            if input_index in cls.member_indices:
+                return cls
+        raise KeyError(f"input index {input_index} was never filtered")
+
+
+def filter_traces(inputs: Sequence[object],
+                  traces: Sequence[ProgramTrace]) -> FilterResult:
+    """Group *inputs* by trace equality.
+
+    The first input observed with a given trace becomes the class
+    representative (the paper picks one input at random from each class;
+    a deterministic pick keeps the pipeline reproducible).
+    """
+    if len(inputs) != len(traces):
+        raise ValueError(
+            f"{len(inputs)} inputs but {len(traces)} traces")
+    by_signature: Dict[str, InputClass] = {}
+    order: List[str] = []
+    for index, trace in enumerate(traces):
+        signature = trace.signature()
+        found = by_signature.get(signature)
+        if found is None:
+            by_signature[signature] = InputClass(
+                signature=signature, representative_index=index,
+                member_indices=[index], trace=trace)
+            order.append(signature)
+        else:
+            if not (found.trace == trace):
+                # A digest collision would silently merge distinct traces;
+                # fall back to treating the input as its own class.
+                collision_sig = f"{signature}:collision:{index}"
+                by_signature[collision_sig] = InputClass(
+                    signature=collision_sig, representative_index=index,
+                    member_indices=[index], trace=trace)
+                order.append(collision_sig)
+            else:
+                found.member_indices.append(index)
+    return FilterResult(classes=[by_signature[s] for s in order],
+                        inputs=inputs)

@@ -1,0 +1,442 @@
+"""Leakage tests (§VII-C): kernel, device control-flow, device data-flow.
+
+Given the fixed-input and random-input evidence, the analyzer decides per
+feature whether the two sides follow the same distribution:
+
+* **kernel leakage** — per aligned invocation slot, the per-run presence
+  samples are compared (unaligned slots, present on one side only, are
+  immediate kernel leaks); an input-independent nondeterministic launch is
+  present in similar fractions of both sides and passes;
+* **device control-flow leakage** — per basic block, the flattened
+  control-flow transition matrix (eq. 8) of the fixed evidence is tested
+  against the random side's; blocks executed on only one side are direct
+  control-flow leaks;
+* **device data-flow leakage** — per (block visit, memory instruction), the
+  address-offset histograms ``H_addr`` are tested; instruction slots that
+  exist on only one side are *reclassified as control flow* per the paper
+  (the difference stems from differing visit counts, which the transition
+  matrices already capture) and skipped here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.adcfg.graph import ADCFG
+from repro.core.evidence import AlignedSlotPair, Evidence, align_evidence
+from repro.core.kstest import (
+    DEFAULT_CONFIDENCE,
+    DistributionTestError,
+    TestResult,
+    ks_test,
+    ks_test_weighted,
+    welch_t_test,
+    welch_t_test_weighted,
+)
+from repro.core.quantify import leakage_bits_per_observation
+from repro.core.report import Leak, LeakType, LeakageReport
+from repro.core.transition import transition_matrix
+
+
+@dataclass(frozen=True)
+class LeakageConfig:
+    """Tuning knobs for the leakage tests.
+
+    ``test`` selects the distribution test: ``"ks"`` (the paper's choice) or
+    ``"welch"`` (the prior-work baseline, exposed for the ablation bench).
+
+    ``offset_granularity`` models the attacker's spatial resolution: data-flow
+    offsets are floored to multiples of it before testing.  1 byte is the
+    paper's noise-free NoC-level attacker; 64 models a cache-line attacker;
+    coarser values weaken the attacker until in-table lookups vanish.
+
+    ``quantify`` additionally estimates each leak's strength in bits per
+    observation (Jensen–Shannon mutual information of the two feature
+    histograms, see :mod:`repro.core.quantify`).
+    """
+
+    confidence: float = DEFAULT_CONFIDENCE
+    sample_size_cap: Optional[int] = None
+    test: str = "ks"
+    offset_granularity: int = 1
+    quantify: bool = False
+    #: "pooled" (the paper's histograms) or "per_run" (strict mode: one
+    #: feature sample per run — requires evidence built with
+    #: ``keep_per_run=True``; immune to correlated-lane over-dispersion)
+    sampling: str = "pooled"
+
+    def __post_init__(self) -> None:
+        if self.test not in ("ks", "welch"):
+            raise ValueError(f"unknown distribution test {self.test!r}")
+        if self.offset_granularity < 1:
+            raise ValueError("offset_granularity must be >= 1 byte")
+        if self.sampling not in ("pooled", "per_run"):
+            raise ValueError(f"unknown sampling mode {self.sampling!r}")
+
+
+class LeakageAnalyzer:
+    """Runs the three leakage tests over a fixed/random evidence pair."""
+
+    def __init__(self, config: Optional[LeakageConfig] = None) -> None:
+        self.config = config or LeakageConfig()
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+
+    def analyze(self, fixed: Evidence, random: Evidence,
+                program_name: str = "program") -> LeakageReport:
+        report = LeakageReport(program_name=program_name,
+                               num_fixed_runs=fixed.num_runs,
+                               num_random_runs=random.num_runs,
+                               confidence=self.config.confidence)
+        pairs = align_evidence(fixed, random)
+        for pair in pairs:
+            report.extend(self._kernel_test(pair))
+            if pair.aligned:
+                report.extend(self._device_tests(pair))
+        return report
+
+    # ------------------------------------------------------------------
+    # kernel leakage
+    # ------------------------------------------------------------------
+
+    def _kernel_test(self, pair: AlignedSlotPair) -> List[Leak]:
+        if not pair.aligned:
+            slot = pair.fixed if pair.fixed is not None else pair.random
+            assert slot is not None
+            side = "fixed" if pair.fixed is not None else "random"
+            return [Leak(
+                leak_type=LeakType.KERNEL, kernel_identity=slot.identity,
+                kernel_name=slot.kernel_name, p_value=0.0, statistic=1.0,
+                bits=1.0 if self.config.quantify else 0.0,
+                detail=f"invocation only under {side} inputs")]
+        fixed_slot, random_slot = pair.fixed, pair.random
+        assert fixed_slot is not None and random_slot is not None
+        samples_fixed = [1.0 if p else 0.0 for p in fixed_slot.per_run_present]
+        samples_random = [1.0 if p else 0.0 for p in random_slot.per_run_present]
+        if samples_fixed == samples_random:
+            return []
+        try:
+            result = self._plain_test(samples_fixed, samples_random)
+        except DistributionTestError:
+            return []
+        if result.rejected:
+            return [Leak(
+                leak_type=LeakType.KERNEL,
+                kernel_identity=fixed_slot.identity,
+                kernel_name=fixed_slot.kernel_name,
+                p_value=result.p_value, statistic=result.statistic,
+                bits=self._bits(fixed_slot.presence_histogram(),
+                                random_slot.presence_histogram()),
+                detail=(f"invocation in {fixed_slot.total_count}/"
+                        f"{len(fixed_slot.per_run_present)} fixed vs "
+                        f"{random_slot.total_count}/"
+                        f"{len(random_slot.per_run_present)} random runs"))]
+        return []
+
+    # ------------------------------------------------------------------
+    # device leakage
+    # ------------------------------------------------------------------
+
+    def _device_tests(self, pair: AlignedSlotPair) -> List[Leak]:
+        assert pair.fixed is not None and pair.random is not None
+        if self.config.sampling == "per_run":
+            if (pair.fixed.per_run_graphs is None
+                    or pair.random.per_run_graphs is None):
+                raise ValueError(
+                    "per_run sampling requires evidence built with "
+                    "keep_per_run=True")
+            return self._per_run_device_tests(pair)
+        fixed_graph = pair.fixed.adcfg
+        random_graph = pair.random.adcfg
+        leaks = self._control_flow_tests(pair.identity, fixed_graph,
+                                         random_graph)
+        leaks.extend(self._data_flow_tests(pair.identity, fixed_graph,
+                                           random_graph))
+        return leaks
+
+    def _control_flow_tests(self, identity: str, fixed_graph: ADCFG,
+                            random_graph: ADCFG) -> List[Leak]:
+        leaks: List[Leak] = []
+        labels = sorted(set(fixed_graph.nodes) | set(random_graph.nodes))
+        for label in labels:
+            in_fixed = label in fixed_graph.nodes
+            in_random = label in random_graph.nodes
+            if in_fixed != in_random:
+                side = "fixed" if in_fixed else "random"
+                leaks.append(Leak(
+                    leak_type=LeakType.DEVICE_CONTROL_FLOW,
+                    kernel_identity=identity,
+                    kernel_name=fixed_graph.kernel_name,
+                    block=label, p_value=0.0, statistic=1.0,
+                    bits=1.0 if self.config.quantify else 0.0,
+                    detail=f"basic block executed only under {side} inputs"))
+                continue
+            hist_fixed = transition_matrix(fixed_graph, label).histogram()
+            hist_random = transition_matrix(random_graph, label).histogram()
+            if hist_fixed == hist_random:
+                continue
+            result = self._categorical_test(hist_fixed, hist_random)
+            if result is not None and result.rejected:
+                leaks.append(Leak(
+                    leak_type=LeakType.DEVICE_CONTROL_FLOW,
+                    kernel_identity=identity,
+                    kernel_name=fixed_graph.kernel_name,
+                    block=label, p_value=result.p_value,
+                    statistic=result.statistic,
+                    bits=self._bits(hist_fixed, hist_random),
+                    detail="control-flow transition matrix deviates"))
+        return leaks
+
+    def _data_flow_tests(self, identity: str, fixed_graph: ADCFG,
+                         random_graph: ADCFG) -> List[Leak]:
+        leaks: List[Leak] = []
+        common_labels = sorted(set(fixed_graph.nodes) & set(random_graph.nodes))
+        for label in common_labels:
+            fixed_node = fixed_graph.nodes[label]
+            random_node = random_graph.nodes[label]
+            # group results per instruction across visits; report the most
+            # significant failing visit per instruction
+            worst: Dict[int, Tuple[TestResult, int]] = {}
+            fixed_slots = {(v, i): r for v, i, r in fixed_node.iter_instructions()}
+            random_slots = {(v, i): r
+                            for v, i, r in random_node.iter_instructions()}
+            bits_of: Dict[int, float] = {}
+            for key in sorted(set(fixed_slots) & set(random_slots)):
+                # slots on one side only are control-flow differences
+                # (already visible to the transition-matrix test): skip.
+                record_fixed = self._coarsen(fixed_slots[key].counts)
+                record_random = self._coarsen(random_slots[key].counts)
+                if record_fixed == record_random:
+                    continue
+                result = self._categorical_test(record_fixed, record_random)
+                if result is None or not result.rejected:
+                    continue
+                visit, instr = key
+                current = worst.get(instr)
+                if current is None or result.p_value < current[0].p_value:
+                    worst[instr] = (result, visit)
+                    bits_of[instr] = self._bits(record_fixed, record_random)
+            for instr in sorted(worst):
+                result, visit = worst[instr]
+                leaks.append(Leak(
+                    leak_type=LeakType.DEVICE_DATA_FLOW,
+                    kernel_identity=identity,
+                    kernel_name=fixed_graph.kernel_name,
+                    block=label, instr=instr, p_value=result.p_value,
+                    statistic=result.statistic, bits=bits_of.get(instr, 0.0),
+                    detail=f"address histogram deviates (e.g. visit {visit})"))
+        return leaks
+
+    # ------------------------------------------------------------------
+    # strict per-run sampling mode
+    # ------------------------------------------------------------------
+
+    def _per_run_device_tests(self, pair: AlignedSlotPair) -> List[Leak]:
+        """Device tests where each run contributes one sample per feature.
+
+        For every feature coordinate (a transition type for control flow, a
+        normalised address for data flow) the per-run counts form the two
+        KS samples (n = m = runs).  Correlated lanes inflate a run's count
+        but not the *number of samples*, so the test stays calibrated under
+        run-level randomness — the trade-off is O(runs) retained graphs.
+        """
+        assert pair.fixed is not None and pair.random is not None
+        identity = pair.identity
+        fixed_graphs = [g for g in pair.fixed.per_run_graphs or []
+                        if g is not None]
+        random_graphs = [g for g in pair.random.per_run_graphs or []
+                         if g is not None]
+        if not fixed_graphs or not random_graphs:
+            return []
+        kernel_name = fixed_graphs[0].kernel_name
+        leaks: List[Leak] = []
+
+        fixed_labels = set().union(*(set(g.nodes) for g in fixed_graphs))
+        random_labels = set().union(*(set(g.nodes) for g in random_graphs))
+        for label in sorted(fixed_labels | random_labels):
+            in_fixed = label in fixed_labels
+            in_random = label in random_labels
+            if in_fixed != in_random:
+                side = "fixed" if in_fixed else "random"
+                leaks.append(Leak(
+                    leak_type=LeakType.DEVICE_CONTROL_FLOW,
+                    kernel_identity=identity, kernel_name=kernel_name,
+                    block=label, p_value=0.0, statistic=1.0,
+                    bits=1.0 if self.config.quantify else 0.0,
+                    detail=f"basic block executed only under {side} inputs"))
+                continue
+            leaks.extend(self._per_run_cf_test(identity, kernel_name, label,
+                                               fixed_graphs, random_graphs))
+            leaks.extend(self._per_run_df_test(identity, kernel_name, label,
+                                               fixed_graphs, random_graphs))
+        return leaks
+
+    @staticmethod
+    def _per_run_cf_samples(graphs, label):
+        histograms = []
+        for graph in graphs:
+            if label in graph.nodes:
+                histograms.append(transition_matrix(graph, label).histogram())
+            else:
+                histograms.append({})
+        return histograms
+
+    def _per_run_cf_test(self, identity, kernel_name, label,
+                         fixed_graphs, random_graphs) -> List[Leak]:
+        fixed_hists = self._per_run_cf_samples(fixed_graphs, label)
+        random_hists = self._per_run_cf_samples(random_graphs, label)
+        keys = set()
+        for hist in fixed_hists + random_hists:
+            keys.update(hist)
+        worst: Optional[TestResult] = None
+        for key in sorted(keys):
+            x = [float(hist.get(key, 0)) for hist in fixed_hists]
+            y = [float(hist.get(key, 0)) for hist in random_hists]
+            if x == y:
+                continue
+            try:
+                result = self._plain_test(x, y)
+            except DistributionTestError:
+                continue
+            if result.rejected and (worst is None
+                                    or result.p_value < worst.p_value):
+                worst = result
+        if worst is None:
+            return []
+        return [Leak(
+            leak_type=LeakType.DEVICE_CONTROL_FLOW,
+            kernel_identity=identity, kernel_name=kernel_name, block=label,
+            p_value=worst.p_value, statistic=worst.statistic,
+            bits=self._bits(
+                _pool(fixed_hists), _pool(random_hists)),
+            detail="per-run transition counts deviate")]
+
+    def _per_run_df_test(self, identity, kernel_name, label,
+                         fixed_graphs, random_graphs) -> List[Leak]:
+        def slot_maps(graphs):
+            per_run = []
+            for graph in graphs:
+                node = graph.nodes.get(label)
+                slots = {}
+                if node is not None:
+                    for visit, instr, record in node.iter_instructions():
+                        slots[(visit, instr)] = self._coarsen(record.counts)
+                per_run.append(slots)
+            return per_run
+
+        fixed_runs = slot_maps(fixed_graphs)
+        random_runs = slot_maps(random_graphs)
+        common_slots = (set().union(*(set(r) for r in fixed_runs))
+                        & set().union(*(set(r) for r in random_runs)))
+        worst: Dict[int, Tuple[TestResult, int]] = {}
+        bits_of: Dict[int, float] = {}
+        for slot_key in sorted(common_slots):
+            addresses = set()
+            for run in fixed_runs + random_runs:
+                addresses.update(run.get(slot_key, {}))
+            slot_worst: Optional[TestResult] = None
+            for address in sorted(addresses):
+                x = [float(run.get(slot_key, {}).get(address, 0))
+                     for run in fixed_runs]
+                y = [float(run.get(slot_key, {}).get(address, 0))
+                     for run in random_runs]
+                if x == y:
+                    continue
+                try:
+                    result = self._plain_test(x, y)
+                except DistributionTestError:
+                    continue
+                if result.rejected and (slot_worst is None
+                                        or result.p_value < slot_worst.p_value):
+                    slot_worst = result
+            if slot_worst is None:
+                continue
+            visit, instr = slot_key
+            current = worst.get(instr)
+            if current is None or slot_worst.p_value < current[0].p_value:
+                worst[instr] = (slot_worst, visit)
+                bits_of[instr] = self._bits(
+                    _pool([run.get(slot_key, {}) for run in fixed_runs]),
+                    _pool([run.get(slot_key, {}) for run in random_runs]))
+        return [Leak(
+            leak_type=LeakType.DEVICE_DATA_FLOW, kernel_identity=identity,
+            kernel_name=kernel_name, block=label, instr=instr,
+            p_value=result.p_value, statistic=result.statistic,
+            bits=bits_of.get(instr, 0.0),
+            detail=f"per-run address counts deviate (e.g. visit {visit})")
+            for instr, (result, visit) in sorted(worst.items())]
+
+    # ------------------------------------------------------------------
+    # attacker model and quantification helpers
+    # ------------------------------------------------------------------
+
+    def _coarsen(self, counts: Dict) -> Dict:
+        """Floor data-flow offsets to the attacker's spatial granularity."""
+        granularity = self.config.offset_granularity
+        if granularity == 1:
+            return counts
+        coarsened: Dict = {}
+        for (alloc_label, offset), count in counts.items():
+            key = (alloc_label, (offset // granularity) * granularity)
+            coarsened[key] = coarsened.get(key, 0) + count
+        return coarsened
+
+    def _bits(self, hist_fixed: Dict, hist_random: Dict) -> float:
+        """JSD bits for a flagged feature (0 unless quantify is enabled)."""
+        if not self.config.quantify:
+            return 0.0
+        return leakage_bits_per_observation(hist_fixed, hist_random)
+
+    # ------------------------------------------------------------------
+    # test dispatch
+    # ------------------------------------------------------------------
+
+    def _plain_test(self, x: List[float], y: List[float]) -> TestResult:
+        if self.config.test == "welch":
+            return welch_t_test(x, y, confidence=self.config.confidence)
+        return ks_test(x, y, confidence=self.config.confidence)
+
+    def _categorical_test(self, hist_x: Dict, hist_y: Dict
+                          ) -> Optional[TestResult]:
+        try:
+            if self.config.test == "welch":
+                return welch_t_test_weighted(
+                    _numeric_keys(hist_x), _numeric_keys(hist_y),
+                    confidence=self.config.confidence)
+            return ks_test_weighted(
+                hist_x, hist_y, confidence=self.config.confidence,
+                sample_size_cap=self.config.sample_size_cap)
+        except DistributionTestError:
+            return None
+
+
+def _pool(histograms) -> Dict:
+    """Sum a list of histograms (for quantification in per-run mode)."""
+    pooled: Dict = {}
+    for hist in histograms:
+        for key, count in hist.items():
+            pooled[key] = pooled.get(key, 0) + count
+    return pooled
+
+
+def _numeric_keys(hist: Dict) -> Dict[float, int]:
+    """Project arbitrary histogram keys to numbers for Welch's t-test.
+
+    Tuple keys (alloc label, offset) keep only the offset; categorical
+    transition keys fall back to a stable enumeration — the information
+    loss is the point of the ablation.
+    """
+    out: Dict[float, int] = {}
+    enumeration: Dict[object, int] = {}
+    for key, count in hist.items():
+        if isinstance(key, tuple) and len(key) == 2 and isinstance(key[1], int):
+            value = float(key[1])
+        elif isinstance(key, (int, float)):
+            value = float(key)
+        else:
+            value = float(enumeration.setdefault(key, len(enumeration)))
+        out[value] = out.get(value, 0) + count
+    return out

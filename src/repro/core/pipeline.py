@@ -1,0 +1,229 @@
+"""The Owl pipeline: trace recording → duplicates removing → leakage analysis.
+
+:class:`Owl` wires the full §IV-C workflow around a *program under test*
+(any callable ``program(rt, value)`` driving a
+:class:`~repro.host.runtime.CudaRuntime`):
+
+1. **trace recording** — each user-provided input is executed once under
+   full host+device instrumentation;
+2. **duplicates removing** — inputs with identical traces are grouped; a
+   single class means no potential leakage and the pipeline stops early;
+3. **leakage analysis** — the program is re-executed ``fixed_runs`` times
+   with a fixed representative input and ``random_runs`` times with fresh
+   random inputs; the two evidence sets are compared feature-by-feature
+   with the KS test to locate kernel / control-flow / data-flow leaks while
+   cancelling input-independent nondeterminism.
+
+The pipeline also collects the cost metrics reported in Table IV (per-trace
+size and time, evidence and test times, peak RAM).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.evidence import Evidence
+from repro.core.filtering import FilterResult, filter_traces
+from repro.core.kstest import DEFAULT_CONFIDENCE
+from repro.core.leakage import LeakageAnalyzer, LeakageConfig
+from repro.core.report import LeakageReport
+from repro.gpusim.device import DeviceConfig
+from repro.tracing.recorder import Program, ProgramTrace, TraceRecorder
+
+#: Produces a fresh random secret input from a seeded generator.
+RandomInputFn = Callable[[np.random.Generator], object]
+
+
+@dataclass(frozen=True)
+class OwlConfig:
+    """Pipeline configuration (§VIII-A defaults: 100 runs, α = 0.95)."""
+
+    fixed_runs: int = 100
+    random_runs: int = 100
+    confidence: float = DEFAULT_CONFIDENCE
+    sample_size_cap: Optional[int] = None
+    test: str = "ks"
+    #: attacker spatial resolution in bytes (1 = noise-free byte-level
+    #: attacker per the paper's threat model; 64 models a cache-line probe)
+    offset_granularity: int = 1
+    #: estimate each leak's strength in bits per observation
+    quantify: bool = False
+    #: feature sampling: "pooled" (the paper's histograms) or "per_run"
+    #: (strict mode; retains per-run graphs in the evidence)
+    sampling: str = "pooled"
+    analyze_all_representatives: bool = False
+    dedup_by_location: bool = True
+    measure_memory: bool = False
+    #: run phase 3 even when filtering finds a single input class (useful
+    #: when the user inputs may under-cover the input space, and for
+    #: benchmarking the full protocol on leak-free programs)
+    always_analyze: bool = False
+    seed: int = 2024
+
+    def leakage_config(self) -> LeakageConfig:
+        return LeakageConfig(confidence=self.confidence,
+                             sample_size_cap=self.sample_size_cap,
+                             test=self.test,
+                             offset_granularity=self.offset_granularity,
+                             quantify=self.quantify,
+                             sampling=self.sampling)
+
+
+@dataclass
+class PhaseStats:
+    """Cost accounting for one detection run (Table IV columns)."""
+
+    trace_count: int = 0
+    trace_bytes_total: int = 0
+    trace_seconds_total: float = 0.0
+    evidence_seconds: float = 0.0
+    test_seconds: float = 0.0
+    total_seconds: float = 0.0
+    peak_ram_bytes: int = 0
+
+    @property
+    def avg_trace_bytes(self) -> float:
+        return self.trace_bytes_total / self.trace_count if self.trace_count else 0.0
+
+    @property
+    def avg_trace_seconds(self) -> float:
+        return (self.trace_seconds_total / self.trace_count
+                if self.trace_count else 0.0)
+
+
+@dataclass
+class OwlResult:
+    """Everything one :meth:`Owl.detect` call produced."""
+
+    program_name: str
+    filter_result: FilterResult
+    report: LeakageReport
+    per_representative: List[LeakageReport] = field(default_factory=list)
+    stats: PhaseStats = field(default_factory=PhaseStats)
+
+    @property
+    def leak_free_by_filtering(self) -> bool:
+        """True when phase 2 already proved all inputs trace-identical."""
+        return not self.filter_result.shows_potential_leakage
+
+
+class Owl:
+    """Differential side-channel leakage detector for (simulated) CUDA apps."""
+
+    def __init__(self, program: Program, name: str = "program",
+                 device_config: Optional[DeviceConfig] = None,
+                 config: Optional[OwlConfig] = None) -> None:
+        self.program = program
+        self.name = name
+        self.config = config or OwlConfig()
+        self.recorder = TraceRecorder(device_config=device_config)
+        self.analyzer = LeakageAnalyzer(self.config.leakage_config())
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+
+    def record_traces(self, inputs: Sequence[object],
+                      stats: Optional[PhaseStats] = None) -> List[ProgramTrace]:
+        """Phase 1: one instrumented execution per input."""
+        traces = []
+        for value in inputs:
+            started = time.perf_counter()
+            trace = self.recorder.record(self.program, value)
+            elapsed = time.perf_counter() - started
+            if stats is not None:
+                stats.trace_count += 1
+                stats.trace_bytes_total += trace.trace_size_bytes()
+                stats.trace_seconds_total += elapsed
+            traces.append(trace)
+        return traces
+
+    def filter_inputs(self, inputs: Sequence[object],
+                      traces: Sequence[ProgramTrace]) -> FilterResult:
+        """Phase 2: group inputs into trace-equality classes."""
+        return filter_traces(inputs, traces)
+
+    def collect_evidence(self, fixed_input: object,
+                         random_input: RandomInputFn,
+                         stats: Optional[PhaseStats] = None):
+        """Phase 3a: record and merge the fixed/random evidence pair."""
+        rng = np.random.default_rng(self.config.seed)
+        fixed_traces = self.record_traces(
+            [fixed_input] * self.config.fixed_runs, stats=stats)
+        random_traces = self.record_traces(
+            [random_input(rng) for _ in range(self.config.random_runs)],
+            stats=stats)
+        started = time.perf_counter()
+        keep_per_run = self.config.sampling == "per_run"
+        fixed_evidence = Evidence.from_traces(fixed_traces,
+                                              keep_per_run=keep_per_run)
+        random_evidence = Evidence.from_traces(random_traces,
+                                               keep_per_run=keep_per_run)
+        if stats is not None:
+            stats.evidence_seconds += time.perf_counter() - started
+        return fixed_evidence, random_evidence
+
+    # ------------------------------------------------------------------
+    # full pipeline
+    # ------------------------------------------------------------------
+
+    def detect(self, inputs: Sequence[object],
+               random_input: RandomInputFn) -> OwlResult:
+        """Run all three phases and return the located leaks."""
+        stats = PhaseStats()
+        tracking_memory = False
+        if self.config.measure_memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            tracking_memory = True
+        started = time.perf_counter()
+        try:
+            traces = self.record_traces(inputs, stats=stats)
+            filter_result = self.filter_inputs(inputs, traces)
+
+            empty = LeakageReport(program_name=self.name,
+                                  confidence=self.config.confidence)
+            if (not filter_result.shows_potential_leakage
+                    and not self.config.always_analyze):
+                stats.total_seconds = time.perf_counter() - started
+                return OwlResult(program_name=self.name,
+                                 filter_result=filter_result, report=empty,
+                                 stats=stats)
+
+            representatives = filter_result.representatives()
+            if not self.config.analyze_all_representatives:
+                representatives = representatives[:1]
+
+            per_rep: List[LeakageReport] = []
+            for rep in representatives:
+                fixed_evidence, random_evidence = self.collect_evidence(
+                    rep, random_input, stats=stats)
+                test_started = time.perf_counter()
+                report = self.analyzer.analyze(fixed_evidence, random_evidence,
+                                               program_name=self.name)
+                stats.test_seconds += time.perf_counter() - test_started
+                per_rep.append(report)
+
+            merged = LeakageReport(program_name=self.name,
+                                   num_fixed_runs=self.config.fixed_runs,
+                                   num_random_runs=self.config.random_runs,
+                                   confidence=self.config.confidence)
+            for report in per_rep:
+                merged.extend(report.leaks)
+            if self.config.dedup_by_location:
+                merged = merged.dedup_by_location()
+                merged.num_fixed_runs = self.config.fixed_runs
+                merged.num_random_runs = self.config.random_runs
+            stats.total_seconds = time.perf_counter() - started
+            return OwlResult(program_name=self.name,
+                             filter_result=filter_result, report=merged,
+                             per_representative=per_rep, stats=stats)
+        finally:
+            if tracking_memory:
+                _current, peak = tracemalloc.get_traced_memory()
+                stats.peak_ram_bytes = peak
+                tracemalloc.stop()

@@ -1,0 +1,75 @@
+"""Leakage quantification: how much does a flagged feature reveal?
+
+The KS test answers *whether* the fixed-input and random-input feature
+distributions differ; follow-up work on CPU detectors (MicroWalk's mutual
+information, CacheQL's Shannon quantification) also asks *how much*.  This
+module extends Owl's reports the same way: for a flagged feature we compute
+the mutual information between the evidence side (fixed vs random,
+equiprobable) and the observed feature value,
+
+    MI(side; value) = H(M) - (H(P) + H(Q)) / 2,   M = (P + Q) / 2
+
+which is exactly the Jensen–Shannon divergence of the two pooled feature
+histograms — a value in [0, 1] bits per observation.  0 bits means the
+observation carries no information about which side produced it; 1 bit
+means one observation perfectly distinguishes the fixed input from random
+inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Mapping
+
+#: A weighted histogram: value → non-negative weight.
+Histogram = Mapping[Hashable, int]
+
+
+class QuantifyError(Exception):
+    """Raised on degenerate inputs (empty histograms)."""
+
+
+def _normalize(hist: Histogram) -> Dict[Hashable, float]:
+    total = float(sum(hist.values()))
+    if total <= 0:
+        raise QuantifyError("cannot quantify an empty histogram")
+    return {value: count / total for value, count in hist.items() if count}
+
+
+def entropy_bits(hist: Histogram) -> float:
+    """Shannon entropy of a weighted histogram, in bits."""
+    probabilities = _normalize(hist)
+    return -sum(p * math.log2(p) for p in probabilities.values())
+
+
+def jensen_shannon_bits(hist_p: Histogram, hist_q: Histogram) -> float:
+    """JSD(P, Q) in bits == MI(side; value) for equiprobable sides."""
+    p = _normalize(hist_p)
+    q = _normalize(hist_q)
+    support = set(p) | set(q)
+    mixture = {value: 0.5 * p.get(value, 0.0) + 0.5 * q.get(value, 0.0)
+               for value in support}
+
+    def h(dist: Dict[Hashable, float]) -> float:
+        return -sum(prob * math.log2(prob)
+                    for prob in dist.values() if prob > 0)
+
+    jsd = h(mixture) - 0.5 * h(p) - 0.5 * h(q)
+    # numerical floor/ceiling: JSD is mathematically in [0, 1] bits
+    return min(1.0, max(0.0, jsd))
+
+
+def leakage_bits_per_observation(hist_fixed: Histogram,
+                                 hist_random: Histogram) -> float:
+    """Bits one attacker observation of this feature reveals about whether
+    the secret equals the fixed input (the quantity reported on leaks)."""
+    return jensen_shannon_bits(hist_fixed, hist_random)
+
+
+def observations_to_distinguish(bits_per_observation: float,
+                                target_bits: float = 1.0) -> float:
+    """Rough sample-complexity estimate: observations needed to accumulate
+    *target_bits* of evidence (∞ for a leak-free feature)."""
+    if bits_per_observation <= 0:
+        return math.inf
+    return target_bits / bits_per_observation

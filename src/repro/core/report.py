@@ -1,0 +1,191 @@
+"""Leak records and human-readable reports.
+
+Owl's output is a list of located leaks: the kernel (by host call-stack
+identity), the basic block, and — for data-flow leaks — the memory
+instruction, together with the failed distribution test's statistic and
+p-value, so a developer can go from report to patch.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+class LeakType(enum.Enum):
+    """The three GPU-related leak categories of §IV-A."""
+
+    KERNEL = "kernel"
+    DEVICE_CONTROL_FLOW = "device_control_flow"
+    DEVICE_DATA_FLOW = "device_data_flow"
+
+
+@dataclass(frozen=True)
+class Leak:
+    """One located side-channel leak."""
+
+    leak_type: LeakType
+    kernel_identity: str
+    kernel_name: str
+    #: basic-block label ("" for kernel-level leaks)
+    block: str = ""
+    #: memory-instruction ordinal within the block (-1 when n/a)
+    instr: int = -1
+    p_value: float = 0.0
+    statistic: float = 0.0
+    #: estimated leakage in bits per attacker observation (Jensen–Shannon
+    #: mutual information between the fixed/random feature histograms);
+    #: populated when the analyzer runs with ``quantify=True``
+    bits: float = 0.0
+    detail: str = ""
+
+    @property
+    def location(self) -> Tuple[str, str, int]:
+        """Code location key used for de-duplication."""
+        return (self.kernel_name, self.block, self.instr)
+
+    def render(self) -> str:
+        parts = [f"[{self.leak_type.value}]", self.kernel_name]
+        if self.block:
+            parts.append(f"block={self.block}")
+        if self.instr >= 0:
+            parts.append(f"instr={self.instr}")
+        parts.append(f"p={self.p_value:.4g}")
+        parts.append(f"D={self.statistic:.4g}")
+        if self.bits > 0:
+            parts.append(f"~{self.bits:.3f} bits/obs")
+        if self.detail:
+            parts.append(f"({self.detail})")
+        return " ".join(parts)
+
+
+@dataclass
+class LeakageReport:
+    """All leaks found for one program, with Table-III style counters."""
+
+    program_name: str
+    leaks: List[Leak] = field(default_factory=list)
+    num_fixed_runs: int = 0
+    num_random_runs: int = 0
+    confidence: float = 0.95
+
+    def add(self, leak: Leak) -> None:
+        self.leaks.append(leak)
+
+    def extend(self, leaks: List[Leak]) -> None:
+        self.leaks.extend(leaks)
+
+    def of_type(self, leak_type: LeakType) -> List[Leak]:
+        return [leak for leak in self.leaks if leak.leak_type is leak_type]
+
+    @property
+    def kernel_leaks(self) -> List[Leak]:
+        return self.of_type(LeakType.KERNEL)
+
+    @property
+    def control_flow_leaks(self) -> List[Leak]:
+        return self.of_type(LeakType.DEVICE_CONTROL_FLOW)
+
+    @property
+    def data_flow_leaks(self) -> List[Leak]:
+        return self.of_type(LeakType.DEVICE_DATA_FLOW)
+
+    @property
+    def has_leaks(self) -> bool:
+        return bool(self.leaks)
+
+    def counts(self) -> Dict[str, int]:
+        """Table III row: counts per leak type."""
+        return {
+            "kernel": len(self.kernel_leaks),
+            "control_flow": len(self.control_flow_leaks),
+            "data_flow": len(self.data_flow_leaks),
+        }
+
+    def dedup_by_location(self) -> "LeakageReport":
+        """Collapse leaks sharing one code location.
+
+        The paper's manual screening step: compiler loop unrolling (and, in
+        our simulator, repeated launches of one kernel) can make several
+        detections point at the same source location; keep the most
+        significant detection per ``(kernel, block, instr)``.
+        """
+        best: Dict[Tuple[LeakType, str, str, int], Leak] = {}
+        order: List[Tuple[LeakType, str, str, int]] = []
+        for leak in self.leaks:
+            key = (leak.leak_type,) + leak.location
+            if key not in best:
+                best[key] = leak
+                order.append(key)
+            elif leak.p_value < best[key].p_value:
+                best[key] = leak
+        deduped = LeakageReport(program_name=self.program_name,
+                                num_fixed_runs=self.num_fixed_runs,
+                                num_random_runs=self.num_random_runs,
+                                confidence=self.confidence)
+        deduped.leaks = [best[key] for key in order]
+        return deduped
+
+    # ------------------------------------------------------------------
+    # persistence (CI-style workflows: audit once, diff reports over time)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """A JSON-ready representation of the report."""
+        return {
+            "program_name": self.program_name,
+            "num_fixed_runs": self.num_fixed_runs,
+            "num_random_runs": self.num_random_runs,
+            "confidence": self.confidence,
+            "leaks": [{
+                "leak_type": leak.leak_type.value,
+                "kernel_identity": leak.kernel_identity,
+                "kernel_name": leak.kernel_name,
+                "block": leak.block,
+                "instr": leak.instr,
+                "p_value": leak.p_value,
+                "statistic": leak.statistic,
+                "bits": leak.bits,
+                "detail": leak.detail,
+            } for leak in self.leaks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "LeakageReport":
+        """Inverse of :meth:`to_dict`."""
+        report = cls(program_name=data["program_name"],
+                     num_fixed_runs=data["num_fixed_runs"],
+                     num_random_runs=data["num_random_runs"],
+                     confidence=data["confidence"])
+        for entry in data["leaks"]:
+            report.add(Leak(
+                leak_type=LeakType(entry["leak_type"]),
+                kernel_identity=entry["kernel_identity"],
+                kernel_name=entry["kernel_name"],
+                block=entry["block"], instr=entry["instr"],
+                p_value=entry["p_value"], statistic=entry["statistic"],
+                bits=entry.get("bits", 0.0), detail=entry["detail"]))
+        return report
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "LeakageReport":
+        return cls.from_dict(json.loads(text))
+
+    def render(self) -> str:
+        lines = [
+            f"Leakage report for {self.program_name}",
+            f"  fixed runs: {self.num_fixed_runs}, "
+            f"random runs: {self.num_random_runs}, "
+            f"confidence: {self.confidence}",
+            f"  kernel leaks: {len(self.kernel_leaks)}",
+            f"  device control-flow leaks: {len(self.control_flow_leaks)}",
+            f"  device data-flow leaks: {len(self.data_flow_leaks)}",
+        ]
+        for leak in self.leaks:
+            lines.append("  " + leak.render())
+        return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Per-node control-flow transition matrices (§VII-C, eqs. 5–8).
+
+For a node *N* executed *n* times, each execution contributes a 2-tuple
+``(src, dst)`` — the block it came from and the block it left to (warp entry
+and exit count as the special :data:`~repro.adcfg.graph.START_LABEL` /
+:data:`~repro.adcfg.graph.END_LABEL` blocks).  With
+
+* ``I = (x_1 … x_k)`` the per-source entry counts (eq. 5),
+* ``O = (y_1 … y_p)`` the per-destination exit counts (eq. 6),
+
+there is a transition matrix ``A`` with ``I · A = O`` (eq. 7).  ``A`` is not
+unique, but counting each observed ``(src, dst)`` pair — available in the
+A-DCFG because each edge stores its previous-edge histogram — constructs the
+paper's feasible solution.  The flattened entries (eq. 8) are the node's
+control-flow feature histogram used in the leakage test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.adcfg.graph import ADCFG
+
+
+@dataclass(frozen=True)
+class TransitionMatrix:
+    """One node's control-flow transition structure."""
+
+    label: str
+    sources: Tuple[str, ...]            # row labels (k entries)
+    destinations: Tuple[str, ...]       # column labels (p entries)
+    counts: np.ndarray                  # k×p observed (src, dst) pair counts
+
+    @property
+    def i_vector(self) -> np.ndarray:
+        """Entry counts per source (eq. 5): row sums of the counts."""
+        return self.counts.sum(axis=1)
+
+    @property
+    def o_vector(self) -> np.ndarray:
+        """Exit counts per destination (eq. 6): column sums of the counts."""
+        return self.counts.sum(axis=0)
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Row-stochastic ``A`` satisfying ``I · A = O`` (eq. 7).
+
+        Rows with zero entries stay zero (the node was never entered from
+        that source in this evidence).
+        """
+        row_sums = self.counts.sum(axis=1, keepdims=True).astype(float)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            probs = np.where(row_sums > 0, self.counts / row_sums, 0.0)
+        return probs
+
+    def histogram(self) -> Dict[Tuple[str, str], int]:
+        """Eq. 8: the flattened matrix as ``(src, dst) -> count`` pairs.
+
+        This is the weighted histogram the distribution test consumes; the
+        categorical x-axis order is the lexicographic (src, dst) order.
+        """
+        out: Dict[Tuple[str, str], int] = {}
+        for i, src in enumerate(self.sources):
+            for j, dst in enumerate(self.destinations):
+                count = int(self.counts[i, j])
+                if count:
+                    out[(src, dst)] = count
+        return out
+
+    def verify_balance(self) -> bool:
+        """Check ``I · A = O`` for the probability solution (test helper)."""
+        lhs = self.i_vector.astype(float) @ self.probabilities
+        return bool(np.allclose(lhs, self.o_vector.astype(float)))
+
+
+def transition_matrix(graph: ADCFG, label: str) -> TransitionMatrix:
+    """Build node *label*'s transition matrix from the A-DCFG.
+
+    The (src, dst) pair counts come from the previous-edge histograms: edge
+    ``N -> M`` knows, for each predecessor ``K``, how many of its traversals
+    followed edge ``K -> N``.
+    """
+    if label not in graph.nodes:
+        raise KeyError(f"no node {label!r} in A-DCFG {graph.kernel_identity!r}")
+    pair_counts: Dict[Tuple[str, str], int] = {}
+    for edge in graph.out_edges(label):
+        for prev_src, count in edge.prev_counts.items():
+            key = (prev_src, edge.dst)
+            pair_counts[key] = pair_counts.get(key, 0) + count
+
+    sources = tuple(sorted({src for src, _dst in pair_counts}))
+    destinations = tuple(sorted({dst for _src, dst in pair_counts}))
+    counts = np.zeros((len(sources), len(destinations)), dtype=np.int64)
+    src_index = {s: i for i, s in enumerate(sources)}
+    dst_index = {d: j for j, d in enumerate(destinations)}
+    for (src, dst), count in pair_counts.items():
+        counts[src_index[src], dst_index[dst]] = count
+    return TransitionMatrix(label=label, sources=sources,
+                            destinations=destinations, counts=counts)
+
+
+def all_transition_matrices(graph: ADCFG) -> List[TransitionMatrix]:
+    """Transition matrices for every executed node of the graph."""
+    return [transition_matrix(graph, label) for label in sorted(graph.nodes)]

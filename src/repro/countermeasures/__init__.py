@@ -1,0 +1,36 @@
+"""Side-channel countermeasures (paper §IX) and their verification.
+
+The paper's countermeasure discussion covers hiding secret-dependent
+memory access patterns and the GPU scatter-gather AES scheme; its related
+work (§III) also notes that oblivious-RAM-style randomisation confuses
+*deterministic* detectors into false positives, which Owl's distribution
+testing avoids.  This package implements the three classic strategies as
+drop-in lookup primitives so applications can be patched and re-audited:
+
+* :func:`masked_lookup` — read **every** table entry and select the wanted
+  one in registers: the access pattern is a constant full sweep
+  (the bitslice/constant-time classic; heavy but airtight);
+* :func:`striped_lookup` — the scatter-gather scheme: the table is
+  re-laid-out so one logical entry is spread across all stripes and every
+  lookup touches one address per stripe; only the *intra-stripe* offset
+  depends on the index, so an attacker with stripe-level (cache-line)
+  resolution learns nothing;
+* :class:`RotatedTable` — ORAM-flavoured randomised remapping: the host
+  re-rotates the table by a fresh random amount each run, making address
+  traces nondeterministic but input-independent — a *naive* differ flags
+  it; Owl's fixed-input repetition correctly does not.
+"""
+
+from repro.countermeasures.lookup import (
+    RotatedTable,
+    masked_lookup,
+    striped_lookup,
+    striped_table_layout,
+)
+
+__all__ = [
+    "RotatedTable",
+    "masked_lookup",
+    "striped_lookup",
+    "striped_table_layout",
+]

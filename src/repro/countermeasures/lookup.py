@@ -1,0 +1,100 @@
+"""Constant-observable and obfuscated table-lookup primitives."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gpusim.context import WarpContext
+from repro.gpusim.memory import DeviceBuffer
+from repro.gpusim.warp import lane_vector
+from repro.host.runtime import CudaRuntime
+
+
+def masked_lookup(k: WarpContext, table: DeviceBuffer, index) -> np.ndarray:
+    """Read the whole table; keep the wanted entry via predicated selects.
+
+    The traced access pattern is a full sweep of uniform addresses —
+    byte-for-byte identical for every index — so no attacker granularity
+    can distinguish lookups.  Cost: ``len(table)`` loads per lookup (the
+    classic constant-time trade-off).
+    """
+    index = lane_vector(index, dtype=np.int64)
+    accumulator = np.zeros(index.shape, dtype=table.data.dtype)
+    for entry in range(table.num_elements):
+        value = k.load(table, entry)
+        accumulator = k.select(index == entry, value, accumulator)
+    return accumulator
+
+
+def striped_table_layout(values: np.ndarray, stripe_width: int) -> np.ndarray:
+    """Prepare a table for :func:`striped_lookup`.
+
+    The scatter-gather scheme keeps entries grouped into stripes of
+    ``stripe_width`` entries; :func:`striped_lookup` touches one address in
+    *every* stripe per lookup, so only the intra-stripe offset (the low
+    ``log2(stripe_width)`` index bits) remains observable.  A stripe maps
+    naturally onto a cache line: ``stripe_width * itemsize`` bytes.
+    """
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValueError("striped layout expects a flat table")
+    if values.size % stripe_width:
+        raise ValueError(
+            f"table size {values.size} is not a multiple of the stripe "
+            f"width {stripe_width}")
+    return values.copy()
+
+
+def striped_lookup(k: WarpContext, table: DeviceBuffer, index,
+                   stripe_width: int) -> np.ndarray:
+    """Scatter-gather lookup: one access per stripe, select in registers.
+
+    Per lookup the warp touches address ``stripe * width + (index % width)``
+    in every stripe.  An attacker observing at stripe (cache-line)
+    granularity sees a constant all-stripes sweep; a byte-granularity
+    attacker still learns ``index mod stripe_width`` — the documented
+    residual leakage of the scheme, which Owl's ``offset_granularity``
+    knob makes measurable.
+    """
+    if table.num_elements % stripe_width:
+        raise ValueError("table size must be a multiple of the stripe width")
+    num_stripes = table.num_elements // stripe_width
+    index = lane_vector(index, dtype=np.int64)
+    offset = index % stripe_width
+    wanted_stripe = index // stripe_width
+    accumulator = np.zeros(index.shape, dtype=table.data.dtype)
+    for stripe in range(num_stripes):
+        value = k.load(table, stripe * stripe_width + offset)
+        accumulator = k.select(wanted_stripe == stripe, value, accumulator)
+    return accumulator
+
+
+class RotatedTable:
+    """ORAM-flavoured obfuscation: a per-run random rotation of the table.
+
+    Every execution re-uploads the table rotated by a fresh random amount,
+    so the *addresses* a lookup touches are uniformly distributed across
+    runs regardless of the index.  Trace differencing tools that compare
+    single traces flag this as leakage (the §III oblivious-RAM false
+    positive); Owl's fixed-input repetition learns the randomness and stays
+    silent.  Note the rotation hides *which* entry is accessed but not
+    access *counts* — it is an obfuscation, not a proof.
+    """
+
+    def __init__(self, rt: CudaRuntime, values: np.ndarray, label: str,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        values = np.asarray(values)
+        rng = rng or np.random.default_rng()
+        self.size = int(values.size)
+        self.rotation = int(rng.integers(0, self.size))
+        rotated = np.roll(values, -self.rotation)
+        self.buffer = rt.cudaMalloc(self.size, dtype=values.dtype,
+                                    label=label)
+        rt.cudaMemcpyHtoD(self.buffer, rotated)
+
+    def lookup(self, k: WarpContext, index) -> np.ndarray:
+        """Load entry *index*: address ``(index - rotation) mod size``."""
+        index = lane_vector(index, dtype=np.int64)
+        return k.load(self.buffer, (index - self.rotation) % self.size)

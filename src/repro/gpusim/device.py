@@ -1,0 +1,148 @@
+"""The simulated GPU device: launch dispatch and event fan-out.
+
+A :class:`Device` owns a :class:`~repro.gpusim.memory.DeviceMemory` and runs
+kernel launches warp by warp.  Trace listeners (the NVBit-like channel in
+:mod:`repro.tracing`) subscribe to receive every
+:class:`~repro.gpusim.events.TraceEvent`.
+
+Scheduling: warps of all blocks run to completion in sequence.  With
+``shuffle_schedule=True`` the (block, warp) execution order is randomised per
+launch, modelling the scheduler non-determinism that per-thread tools such as
+DATA observe as trace reordering; Owl's A-DCFG aggregation is insensitive to
+it by construction (there is a test asserting exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gpusim.context import WarpContext
+from repro.gpusim.events import KernelBeginEvent, KernelEndEvent, TraceEvent
+from repro.gpusim.kernel import Kernel, LaunchConfig
+from repro.gpusim.memory import DeviceBuffer, DeviceMemory, MemorySpace
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Static description of the simulated device (Table II analogue)."""
+
+    name: str = "Simulated NVIDIA RTX A4000 (SIMT model)"
+    sm_count: int = 48
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    global_memory_bytes: int = 16 * 1024 ** 3
+    aslr: bool = False
+    shuffle_schedule: bool = False
+    seed: Optional[int] = None
+
+    def describe(self) -> Dict[str, str]:
+        """Key/value rows for the platform table."""
+        return {
+            "GPU (simulated)": self.name,
+            "SMs": str(self.sm_count),
+            "Warp size": str(self.warp_size),
+            "Max threads/block": str(self.max_threads_per_block),
+            "Global memory": f"{self.global_memory_bytes // 1024 ** 3} GiB",
+            "Device ASLR": "enabled" if self.aslr else "disabled",
+            "Warp scheduling": ("randomised" if self.shuffle_schedule
+                                 else "deterministic"),
+        }
+
+
+class LaunchError(Exception):
+    """Raised for invalid launch geometry."""
+
+
+class Device:
+    """A simulated CUDA-capable GPU."""
+
+    def __init__(self, config: Optional[DeviceConfig] = None) -> None:
+        self.config = config or DeviceConfig()
+        self.memory = DeviceMemory(aslr=self.config.aslr, seed=self.config.seed)
+        self._listeners: List[Callable[[TraceEvent], None]] = []
+        self._rng = np.random.default_rng(self.config.seed)
+        self.launch_count = 0
+
+    # ------------------------------------------------------------------
+    # tracing hook-up
+    # ------------------------------------------------------------------
+
+    def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        """Register *listener* to receive every trace event."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        self._listeners.remove(listener)
+
+    def _emit(self, event: TraceEvent) -> None:
+        for listener in self._listeners:
+            listener(event)
+
+    # ------------------------------------------------------------------
+    # memory convenience
+    # ------------------------------------------------------------------
+
+    def alloc(self, shape, dtype=np.int64,
+              space: MemorySpace = MemorySpace.GLOBAL,
+              label: str = "") -> DeviceBuffer:
+        return self.memory.alloc(shape, dtype=dtype, space=space, label=label)
+
+    def alloc_like(self, array: np.ndarray,
+                   space: MemorySpace = MemorySpace.GLOBAL,
+                   label: str = "") -> DeviceBuffer:
+        return self.memory.alloc_like(array, space=space, label=label)
+
+    def reset(self) -> None:
+        """Clear memory and launch statistics (fresh process analogue)."""
+        self.memory.reset()
+        self.launch_count = 0
+
+    # ------------------------------------------------------------------
+    # launch
+    # ------------------------------------------------------------------
+
+    def launch(self, kern: Kernel, grid, block, *args) -> None:
+        """Run *kern* over the grid/block geometry with *args*.
+
+        Emits ``KernelBegin``, the per-warp trace, then ``KernelEnd``.
+        """
+        launch = LaunchConfig.create(grid, block)
+        if launch.threads_per_block > self.config.max_threads_per_block:
+            raise LaunchError(
+                f"{launch.threads_per_block} threads/block exceeds device "
+                f"limit {self.config.max_threads_per_block}")
+        self.launch_count += 1
+        self._emit(KernelBeginEvent(
+            kernel_name=kern.name, grid=launch.grid, block=launch.block,
+            total_threads=launch.total_threads, num_warps=launch.total_warps))
+
+        shared_store: Dict[Tuple[int, str], DeviceBuffer] = {}
+
+        def shared_alloc(block_id: int, name: str, shape, dtype) -> DeviceBuffer:
+            key = (block_id, name)
+            if key not in shared_store:
+                # One allocation per block, but a block-independent label:
+                # shared memory is a per-block address space, so offset 0 of
+                # block 3's array and offset 0 of block 7's array are the
+                # *same* location to the analysis.
+                shared_store[key] = self.memory.alloc(
+                    shape, dtype=dtype, space=MemorySpace.SHARED,
+                    label=f"{kern.name}.shared.{name}")
+            return shared_store[key]
+
+        schedule = [(b, w)
+                    for b in range(launch.num_blocks)
+                    for w in range(launch.warps_per_block)]
+        if self.config.shuffle_schedule:
+            self._rng.shuffle(schedule)
+
+        for block_id, warp_id in schedule:
+            ctx = WarpContext(launch=launch, block_id=block_id,
+                              warp_id=warp_id, emit=self._emit,
+                              shared_alloc=shared_alloc)
+            kern(ctx, *args)
+
+        self._emit(KernelEndEvent(kernel_name=kern.name))

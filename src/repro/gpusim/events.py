@@ -1,0 +1,100 @@
+"""Trace events emitted by the simulator.
+
+These events are the simulator's externally observable behaviour and the
+vocabulary of the NVBit-like tracing layer (:mod:`repro.tracing`):
+
+* :class:`KernelBeginEvent` / :class:`KernelEndEvent` bracket one kernel
+  launch;
+* :class:`BasicBlockEvent` is sent when a *warp* enters a basic block — the
+  paper records warp-level control flow because predicated execution makes
+  per-thread control flow within a warp unobservable;
+* :class:`MemoryAccessEvent` carries the byte addresses touched by the active
+  lanes of one memory instruction, together with the NVBit memory-space type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.gpusim.memory import MemorySpace
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class for all simulator trace events."""
+
+
+@dataclass(frozen=True)
+class KernelBeginEvent(TraceEvent):
+    """A kernel launch is starting."""
+
+    kernel_name: str
+    grid: Tuple[int, int, int]
+    block: Tuple[int, int, int]
+    total_threads: int
+    num_warps: int
+
+
+@dataclass(frozen=True)
+class KernelEndEvent(TraceEvent):
+    """The matching end of a :class:`KernelBeginEvent`."""
+
+    kernel_name: str
+
+
+@dataclass(frozen=True)
+class BasicBlockEvent(TraceEvent):
+    """A warp entered basic block *label*.
+
+    ``visit`` is the number of previous entries of this warp into the same
+    block (so loop iterations are distinguishable), matching the per-visit
+    memory record indexing of the paper's A-DCFG nodes.
+    ``active_lanes`` is the number of lanes active on entry.
+    """
+
+    block_id: int
+    warp_id: int
+    label: str
+    visit: int
+    active_lanes: int
+
+
+@dataclass(frozen=True)
+class MemoryAccessEvent(TraceEvent):
+    """One memory instruction executed by the active lanes of a warp.
+
+    ``instr`` is the ordinal of the memory instruction within the current
+    basic-block visit; together with ``label`` and ``visit`` it identifies
+    the A-DCFG memory record slot ``m_j`` of the paper.
+    ``addresses`` holds the byte addresses of the active lanes only.
+    """
+
+    block_id: int
+    warp_id: int
+    label: str
+    visit: int
+    instr: int
+    space: MemorySpace
+    is_store: bool
+    addresses: Tuple[int, ...]
+
+    @staticmethod
+    def from_array(block_id: int, warp_id: int, label: str, visit: int,
+                   instr: int, space: MemorySpace, is_store: bool,
+                   addresses: np.ndarray) -> "MemoryAccessEvent":
+        return MemoryAccessEvent(
+            block_id=block_id, warp_id=warp_id, label=label, visit=visit,
+            instr=instr, space=space, is_store=is_store,
+            addresses=tuple(int(a) for a in addresses))
+
+
+@dataclass(frozen=True)
+class SyncEvent(TraceEvent):
+    """A ``__syncthreads()`` executed by a warp (traced, semantically inert
+    because warps of a block run to completion in sequence)."""
+
+    block_id: int
+    warp_id: int

@@ -1,0 +1,112 @@
+"""Kernel objects and launch geometry.
+
+A :class:`Kernel` wraps a Python function written against the warp-level DSL
+(:class:`repro.gpusim.context.WarpContext`).  :class:`LaunchConfig` models
+CUDA's ``<<<grid, block>>>`` geometry, including the padding of the last warp
+when the block size is not a multiple of 32.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Tuple, Union
+
+from repro.gpusim.warp import WARP_SIZE
+
+Dim3 = Tuple[int, int, int]
+
+
+def _as_dim3(dim: Union[int, Tuple[int, ...]]) -> Dim3:
+    """Normalise an int or partial tuple to a 3-tuple, CUDA style."""
+    if isinstance(dim, int):
+        dims = (dim, 1, 1)
+    else:
+        parts = tuple(int(d) for d in dim)
+        if not 1 <= len(parts) <= 3:
+            raise ValueError(f"dim3 takes 1-3 components, got {parts!r}")
+        dims = parts + (1,) * (3 - len(parts))
+    if any(d < 1 for d in dims):
+        raise ValueError(f"dim3 components must be >= 1, got {dims!r}")
+    return dims  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid/block geometry of one kernel launch."""
+
+    grid: Dim3
+    block: Dim3
+
+    @staticmethod
+    def create(grid: Union[int, Tuple[int, ...]],
+               block: Union[int, Tuple[int, ...]]) -> "LaunchConfig":
+        return LaunchConfig(grid=_as_dim3(grid), block=_as_dim3(block))
+
+    @property
+    def num_blocks(self) -> int:
+        gx, gy, gz = self.grid
+        return gx * gy * gz
+
+    @property
+    def threads_per_block(self) -> int:
+        bx, by, bz = self.block
+        return bx * by * bz
+
+    @property
+    def warps_per_block(self) -> int:
+        return math.ceil(self.threads_per_block / WARP_SIZE)
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_blocks * self.threads_per_block
+
+    @property
+    def total_warps(self) -> int:
+        return self.num_blocks * self.warps_per_block
+
+    def block_index(self, linear_block_id: int) -> Dim3:
+        """The 3-D block index of a linearised block id (x fastest)."""
+        gx, gy, _gz = self.grid
+        x = linear_block_id % gx
+        y = (linear_block_id // gx) % gy
+        z = linear_block_id // (gx * gy)
+        return (x, y, z)
+
+    def thread_index(self, linear_thread_in_block: int) -> Dim3:
+        """The 3-D thread index of a linearised in-block thread id."""
+        bx, by, _bz = self.block
+        x = linear_thread_in_block % bx
+        y = (linear_thread_in_block // bx) % by
+        z = linear_thread_in_block // (bx * by)
+        return (x, y, z)
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A device function: a name plus a warp-level body.
+
+    The body is called once per warp with a
+    :class:`~repro.gpusim.context.WarpContext` followed by the launch
+    arguments.
+    """
+
+    name: str
+    body: Callable
+
+    def __call__(self, ctx, *args):
+        return self.body(ctx, *args)
+
+
+def kernel(name: str = "") -> Callable[[Callable], Kernel]:
+    """Decorator turning a warp-level function into a :class:`Kernel`.
+
+    >>> @kernel()
+    ... def saxpy(k, a, x, y, out):
+    ...     ...
+    """
+
+    def decorate(fn: Callable) -> Kernel:
+        return Kernel(name=name or fn.__name__, body=fn)
+
+    return decorate

@@ -1,0 +1,61 @@
+"""Warp and lane primitives.
+
+A warp is 32 lanes executing in lock step.  All per-lane values in the kernel
+DSL are NumPy vectors of length :data:`WARP_SIZE`; the helpers here build and
+validate such vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+#: CUDA warp width, fixed at 32 on every NVIDIA architecture to date.
+WARP_SIZE = 32
+
+LaneValue = Union[int, float, bool, np.ndarray]
+
+
+def lane_vector(value: LaneValue, dtype=None) -> np.ndarray:
+    """Broadcast *value* to a length-:data:`WARP_SIZE` lane vector.
+
+    Scalars are replicated to every lane; arrays must already have exactly
+    :data:`WARP_SIZE` elements.
+    """
+    arr = np.asarray(value)
+    if arr.ndim == 0:
+        arr = np.full(WARP_SIZE, arr, dtype=dtype or arr.dtype)
+    elif arr.shape != (WARP_SIZE,):
+        raise ValueError(
+            f"lane vectors must have shape ({WARP_SIZE},), got {arr.shape}")
+    if dtype is not None and arr.dtype != dtype:
+        arr = arr.astype(dtype)
+    return arr
+
+
+def lane_bool(value: LaneValue) -> np.ndarray:
+    """Broadcast *value* to a boolean lane vector."""
+    return lane_vector(value).astype(bool)
+
+
+def full_mask() -> np.ndarray:
+    """All 32 lanes active."""
+    return np.ones(WARP_SIZE, dtype=bool)
+
+
+def empty_mask() -> np.ndarray:
+    """No lane active."""
+    return np.zeros(WARP_SIZE, dtype=bool)
+
+
+def is_uniform(values: np.ndarray, mask: np.ndarray) -> bool:
+    """True when all *active* lanes of *values* agree.
+
+    Warp-uniform branch conditions are the ones that show up in the warp's
+    control-flow trace; divergent ones are predicated away.
+    """
+    active_values = np.asarray(values)[np.asarray(mask, dtype=bool)]
+    if active_values.size == 0:
+        return True
+    return bool((active_values == active_values[0]).all())

@@ -1,0 +1,31 @@
+"""CUDA host-side runtime and Pin-like host tracer.
+
+The Owl paper instruments the *host* half of a CUDA application with Pin to
+capture the two pieces of host state the device trace cannot provide:
+
+1. **kernel identity** — the runtime launch entry point (``cuLaunchKernel``
+   and friends) is shared by every kernel, so Owl identifies an invocation by
+   the host *call stack* at the launch site (§V-C);
+2. **allocation records** — ``cudaMalloc``-family return values depend on the
+   memory layout, so Owl records ``(base, size)`` per allocation and converts
+   traced addresses into offsets.
+
+This package reproduces both: :class:`~repro.host.runtime.CudaRuntime` is the
+driver-API surface applications call, and
+:class:`~repro.host.tracer.HostTracer` is the Pin analogue that observes it.
+"""
+
+from repro.host.callstack import CallSite, CallStack, capture_call_stack
+from repro.host.runtime import CudaRuntime, LaunchRecord, MallocRecord
+from repro.host.tracer import HostTracer, NormalizedAddress
+
+__all__ = [
+    "CallSite",
+    "CallStack",
+    "CudaRuntime",
+    "HostTracer",
+    "LaunchRecord",
+    "MallocRecord",
+    "NormalizedAddress",
+    "capture_call_stack",
+]

@@ -1,0 +1,99 @@
+"""Call-stack capture for kernel-launch identity.
+
+§V-C of the paper explains why the launch address cannot identify a kernel:
+the compiler wraps every kernel behind the same ``cuLaunchKernel`` entry, and
+the same kernel launched from two different host locations must be told
+apart.  Owl's fix is to identify an invocation by the host call stack at the
+launch site.  We reproduce that with Python stack introspection, filtering
+out the runtime's own frames so only application frames contribute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import traceback
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Path fragments whose frames belong to the runtime/tracing machinery, not
+#: the application; they are excluded from the identifying stack just as Pin
+#: excludes its own trampoline frames.
+_RUNTIME_PATH_FRAGMENTS = (
+    "repro/host/",
+    "repro/tracing/",
+    "repro/core/",
+    "repro/gpusim/",
+)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One frame of an identifying call stack."""
+
+    filename: str
+    lineno: int
+    function: str
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.lineno} in {self.function}"
+
+
+@dataclass(frozen=True)
+class CallStack:
+    """An ordered stack of application call sites (innermost last)."""
+
+    frames: Tuple[CallSite, ...]
+
+    @property
+    def digest(self) -> str:
+        """Stable short hash identifying this stack across runs."""
+        hasher = hashlib.sha256()
+        for frame in self.frames:
+            hasher.update(f"{frame.filename}:{frame.lineno}:{frame.function}\n"
+                          .encode())
+        return hasher.hexdigest()[:16]
+
+    @property
+    def innermost(self) -> CallSite:
+        if not self.frames:
+            return CallSite(filename="<unknown>", lineno=0, function="<unknown>")
+        return self.frames[-1]
+
+    def __str__(self) -> str:
+        return " -> ".join(str(f) for f in self.frames)
+
+
+def _is_runtime_frame(filename: str) -> bool:
+    normalized = filename.replace("\\", "/")
+    return any(fragment in normalized for fragment in _RUNTIME_PATH_FRAGMENTS)
+
+
+def current_stack_depth() -> int:
+    """Depth of the current Python stack (for anchoring, see below)."""
+    return len(traceback.extract_stack()) - 1
+
+
+def capture_call_stack(skip_innermost: int = 1, max_depth: int = 32,
+                       anchor: int = 0) -> CallStack:
+    """Capture the current application call stack.
+
+    ``skip_innermost`` drops the runtime wrapper frames nearest to the call
+    (the ``cuLaunchKernel`` shim itself); runtime-internal frames are also
+    filtered by path so applications see stable, app-only identities.
+
+    ``anchor`` drops the outermost *anchor* frames entirely.  The trace
+    recorder sets it to the stack depth at which it invokes the program
+    under test, so the identifying stack contains only victim-program
+    frames — the analysis driver's own location must not perturb kernel
+    identities across repeated executions.
+    """
+    raw = traceback.extract_stack()[anchor:-(skip_innermost + 1)]
+    frames = tuple(
+        CallSite(filename=f.filename, lineno=f.lineno or 0,
+                 function=f.name)
+        for f in raw
+        if not _is_runtime_frame(f.filename)
+    )
+    if len(frames) > max_depth:
+        frames = frames[-max_depth:]
+    return CallStack(frames=frames)

@@ -1,0 +1,170 @@
+"""The CUDA host-API surface used by applications.
+
+Applications under test call this runtime the way a real CUDA program calls
+the driver/runtime API.  Every entry point mirrors a family member from the
+paper's footnotes:
+
+* allocation family: ``cudaMalloc``, ``cudaHostAlloc``, ``cudaMallocHost``,
+  ``cudaMallocManaged``, ``cudaMallocAsync``, ``cudaMallocFromPoolAsync``;
+* launch family: ``cuLaunchKernel``, ``cuLaunchKernel_ptsz``.
+
+The runtime notifies an attached :class:`~repro.host.tracer.HostTracer`
+(the Pin analogue) about each call, including the identifying call stack for
+launches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.gpusim.device import Device
+from repro.gpusim.kernel import Kernel, LaunchConfig
+from repro.gpusim.memory import DeviceBuffer, MemorySpace
+from repro.host.callstack import CallStack, capture_call_stack
+
+
+@dataclass(frozen=True)
+class MallocRecord:
+    """One allocation observed at a ``cudaMalloc``-family call site."""
+
+    api: str
+    alloc_id: int
+    base: int
+    size: int
+    label: str
+
+    def size_bytes(self) -> int:
+        """Serialised footprint of this record (Fig. 5 bookkeeping)."""
+        # api tag + id + base + size are fixed width; the label is ASCII.
+        return 4 + 8 + 8 + 8 + len(self.label)
+
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """One kernel launch observed at a ``cuLaunchKernel``-family call site."""
+
+    api: str
+    kernel_name: str
+    call_stack: CallStack
+    grid: Tuple[int, int, int]
+    block: Tuple[int, int, int]
+    seq: int
+
+    @property
+    def identity(self) -> str:
+        """The paper's kernel identity: name + launch-site call stack."""
+        return f"{self.kernel_name}@{self.call_stack.digest}"
+
+    def size_bytes(self) -> int:
+        """Serialised footprint of this record (Fig. 5 bookkeeping)."""
+        return 4 + len(self.kernel_name) + 16 + 6 * 4 + 8
+
+
+class CudaRuntime:
+    """Host-side CUDA runtime bound to one simulated :class:`Device`."""
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+        self._tracer = None
+        self._launch_seq = 0
+        #: outermost stack frames to ignore when identifying launch sites
+        #: (set by the trace recorder to the program-under-test entry depth)
+        self.call_stack_anchor = 0
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach the Pin-like host tracer (at most one)."""
+        self._tracer = tracer
+
+    def detach_tracer(self) -> None:
+        self._tracer = None
+
+    # ------------------------------------------------------------------
+    # allocation family
+    # ------------------------------------------------------------------
+
+    def _malloc(self, api: str, shape, dtype, space: MemorySpace,
+                label: str) -> DeviceBuffer:
+        buf = self.device.alloc(shape, dtype=dtype, space=space, label=label)
+        if self._tracer is not None:
+            self._tracer.on_malloc(MallocRecord(
+                api=api, alloc_id=buf.allocation.alloc_id, base=buf.base,
+                size=buf.allocation.size, label=buf.label))
+        return buf
+
+    def cudaMalloc(self, shape, dtype=np.int64, label: str = "") -> DeviceBuffer:
+        return self._malloc("cudaMalloc", shape, dtype, MemorySpace.GLOBAL, label)
+
+    def cudaHostAlloc(self, shape, dtype=np.int64, label: str = "") -> DeviceBuffer:
+        return self._malloc("cudaHostAlloc", shape, dtype, MemorySpace.GLOBAL,
+                            label)
+
+    def cudaMallocHost(self, shape, dtype=np.int64, label: str = "") -> DeviceBuffer:
+        return self._malloc("cudaMallocHost", shape, dtype, MemorySpace.GLOBAL,
+                            label)
+
+    def cudaMallocManaged(self, shape, dtype=np.int64,
+                          label: str = "") -> DeviceBuffer:
+        return self._malloc("cudaMallocManaged", shape, dtype,
+                            MemorySpace.GENERIC, label)
+
+    def cudaMallocAsync(self, shape, dtype=np.int64,
+                        label: str = "") -> DeviceBuffer:
+        return self._malloc("cudaMallocAsync", shape, dtype, MemorySpace.GLOBAL,
+                            label)
+
+    def cudaMallocFromPoolAsync(self, shape, dtype=np.int64,
+                                label: str = "") -> DeviceBuffer:
+        return self._malloc("cudaMallocFromPoolAsync", shape, dtype,
+                            MemorySpace.GLOBAL, label)
+
+    def constMalloc(self, shape, dtype=np.int64, label: str = "") -> DeviceBuffer:
+        """Allocate constant memory (``__constant__`` analogue)."""
+        return self._malloc("constMalloc", shape, dtype, MemorySpace.CONSTANT,
+                            label)
+
+    def textureMalloc(self, shape, dtype=np.int64, label: str = "") -> DeviceBuffer:
+        """Allocate texture memory (image data per §II-A)."""
+        return self._malloc("textureMalloc", shape, dtype, MemorySpace.TEXTURE,
+                            label)
+
+    # ------------------------------------------------------------------
+    # data movement
+    # ------------------------------------------------------------------
+
+    def cudaMemcpyHtoD(self, dst: DeviceBuffer, src: np.ndarray) -> None:
+        """Copy host array → device buffer (shapes must match)."""
+        src = np.asarray(src)
+        if src.shape != dst.data.shape:
+            raise ValueError(
+                f"memcpy shape mismatch: host {src.shape} vs device "
+                f"{dst.data.shape}")
+        dst.data[...] = src.astype(dst.data.dtype)
+
+    def cudaMemcpyDtoH(self, src: DeviceBuffer) -> np.ndarray:
+        """Copy device buffer → new host array."""
+        return src.data.copy()
+
+    # ------------------------------------------------------------------
+    # launch family
+    # ------------------------------------------------------------------
+
+    def _launch(self, api: str, kern: Kernel, grid, block, args) -> None:
+        stack = capture_call_stack(skip_innermost=2,
+                                   anchor=self.call_stack_anchor)
+        config = LaunchConfig.create(grid, block)
+        record = LaunchRecord(
+            api=api, kernel_name=kern.name, call_stack=stack,
+            grid=config.grid, block=config.block, seq=self._launch_seq)
+        self._launch_seq += 1
+        if self._tracer is not None:
+            self._tracer.on_launch(record)
+        self.device.launch(kern, grid, block, *args)
+
+    def cuLaunchKernel(self, kern: Kernel, grid, block, *args) -> None:
+        self._launch("cuLaunchKernel", kern, grid, block, args)
+
+    def cuLaunchKernel_ptsz(self, kern: Kernel, grid, block, *args) -> None:
+        self._launch("cuLaunchKernel_ptsz", kern, grid, block, args)

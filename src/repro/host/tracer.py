@@ -1,0 +1,84 @@
+"""The Pin analogue: host-side observation and address normalisation.
+
+:class:`HostTracer` collects the host events Owl needs — allocation records
+and kernel-launch records — and provides the address→offset normalisation
+that removes memory-layout (and, when enabled, ASLR) noise from device
+traces before any differential analysis runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.gpusim.memory import AllocationError, DeviceMemory
+from repro.host.runtime import LaunchRecord, MallocRecord
+
+
+@dataclass(frozen=True)
+class NormalizedAddress:
+    """A raw device address rewritten as ``(allocation label, offset)``.
+
+    Offsets are what the leakage analysis histograms; two runs with
+    different layouts (or ASLR slides) produce identical normalised
+    addresses unless the *access pattern itself* differs.
+    """
+
+    alloc_label: str
+    offset: int
+
+    def as_key(self) -> Tuple[str, int]:
+        return (self.alloc_label, self.offset)
+
+
+class HostTracer:
+    """Observes one program execution's host-side CUDA activity."""
+
+    def __init__(self, memory: DeviceMemory) -> None:
+        self._memory = memory
+        self.malloc_records: List[MallocRecord] = []
+        self.launch_records: List[LaunchRecord] = []
+
+    # ------------------------------------------------------------------
+    # runtime callbacks
+    # ------------------------------------------------------------------
+
+    def on_malloc(self, record: MallocRecord) -> None:
+        self.malloc_records.append(record)
+
+    def on_launch(self, record: LaunchRecord) -> None:
+        self.launch_records.append(record)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def launch_sequence(self) -> Tuple[str, ...]:
+        """Ordered kernel identities (name + call-stack digest)."""
+        return tuple(r.identity for r in self.launch_records)
+
+    def normalize(self, address: int) -> NormalizedAddress:
+        """Rewrite a raw device *address* into ``(label, offset)``.
+
+        Raises :class:`~repro.gpusim.memory.AllocationError` for addresses
+        outside every recorded allocation (a wild access the analysis
+        should not silently fold in).
+        """
+        allocation, offset = self._memory.resolve(address)
+        return NormalizedAddress(alloc_label=allocation.label, offset=offset)
+
+    def try_normalize(self, address: int) -> Optional[NormalizedAddress]:
+        """Like :meth:`normalize` but returns None for unknown addresses."""
+        try:
+            return self.normalize(address)
+        except AllocationError:
+            return None
+
+    def malloc_trace_bytes(self) -> int:
+        """Serialised size of all allocation records (Fig. 5 series)."""
+        return sum(r.size_bytes() for r in self.malloc_records)
+
+    def launch_trace_bytes(self) -> int:
+        """Serialised size of all launch records (Fig. 5 series)."""
+        return sum(r.size_bytes() for r in self.launch_records)

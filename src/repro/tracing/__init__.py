@@ -1,0 +1,29 @@
+"""NVBit-like device tracing: channel, monitor, and hierarchical recorder.
+
+§V-A of the paper traces CUDA execution at three levels:
+
+* **program level** — the ordered sequence of kernel invocations (plus the
+  host allocation records), captured by the Pin-like
+  :mod:`repro.host.tracer`;
+* **kernel level** — each launch executes as a set of warps; the
+  :class:`~repro.tracing.monitor.WarpTraceMonitor` keeps per-warp context,
+  identified by *(block id, warp id)* because NVBit warp ids are only unique
+  within a block;
+* **warp level** — each warp's basic-block entries and per-instruction
+  memory accesses, aggregated straight into the invocation's A-DCFG.
+
+:class:`~repro.tracing.recorder.TraceRecorder` wires everything together and
+produces a :class:`~repro.tracing.recorder.ProgramTrace` per execution.
+"""
+
+from repro.tracing.channel import Channel
+from repro.tracing.monitor import WarpTraceMonitor
+from repro.tracing.recorder import KernelInvocation, ProgramTrace, TraceRecorder
+
+__all__ = [
+    "Channel",
+    "KernelInvocation",
+    "ProgramTrace",
+    "TraceRecorder",
+    "WarpTraceMonitor",
+]

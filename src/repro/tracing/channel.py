@@ -1,0 +1,55 @@
+"""The device→monitor event channel.
+
+NVBit instrumentation injects trampoline code into each kernel; the
+instrumentation functions push events through a channel to a host-side
+monitor process.  We model the channel as an explicit FIFO so the transport
+is visible (and testable) rather than a hidden function call: events can be
+buffered and drained in batches, as the real tool does to amortise
+device→host transfers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Iterator, List, Optional
+
+from repro.gpusim.events import TraceEvent
+
+
+class Channel:
+    """A FIFO of trace events with optional eager delivery.
+
+    With a ``sink`` attached, events are forwarded immediately (the
+    low-latency configuration); without one they accumulate until
+    :meth:`drain` is called (the batched configuration).
+    """
+
+    def __init__(self, sink: Optional[Callable[[TraceEvent], None]] = None,
+                 capacity: Optional[int] = None) -> None:
+        self._queue: Deque[TraceEvent] = deque()
+        self._sink = sink
+        self._capacity = capacity
+        self.total_events = 0
+
+    def send(self, event: TraceEvent) -> None:
+        """Push one event from the device side."""
+        self.total_events += 1
+        if self._sink is not None:
+            self._sink(event)
+            return
+        if self._capacity is not None and len(self._queue) >= self._capacity:
+            raise OverflowError(
+                f"channel capacity {self._capacity} exceeded; drain first")
+        self._queue.append(event)
+
+    def drain(self) -> List[TraceEvent]:
+        """Pop and return all buffered events in order."""
+        events = list(self._queue)
+        self._queue.clear()
+        return events
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._queue)

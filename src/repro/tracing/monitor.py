@@ -1,0 +1,100 @@
+"""The host-side monitor that turns warp events into A-DCFGs.
+
+Per §V-C of the paper, the monitor identifies warps by the pair
+*(block id, warp id)* — warp ids alone are only unique within a block — and
+maintains each warp's trace context.  Basic-block and memory events are
+folded straight into the current invocation's
+:class:`~repro.adcfg.builder.ADCFGBuilder`, so per-thread data never
+accumulates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.adcfg.builder import ADCFGBuilder, Normalizer
+from repro.adcfg.graph import ADCFG
+from repro.gpusim.events import (
+    BasicBlockEvent,
+    KernelBeginEvent,
+    KernelEndEvent,
+    MemoryAccessEvent,
+    SyncEvent,
+    TraceEvent,
+)
+
+
+class MonitorError(Exception):
+    """Raised when the event stream is malformed (e.g. unmatched begin/end)."""
+
+
+class WarpTraceMonitor:
+    """Consumes the device event stream for a sequence of kernel launches.
+
+    The monitor does not know kernel identities (call stacks live on the
+    host side); the caller supplies the identity for each upcoming launch
+    through :meth:`expect_kernel`, mirroring how Owl joins Pin's launch
+    records with NVBit's device stream.
+    """
+
+    def __init__(self, normalizer: Optional[Normalizer] = None) -> None:
+        self._normalizer = normalizer
+        self._pending_identity: Optional[str] = None
+        self._builder: Optional[ADCFGBuilder] = None
+        self.completed: List[ADCFG] = []
+        self.sync_events = 0
+
+    def expect_kernel(self, identity: str) -> None:
+        """Declare the identity of the next kernel launch."""
+        self._pending_identity = identity
+
+    # ------------------------------------------------------------------
+    # event stream
+    # ------------------------------------------------------------------
+
+    def on_event(self, event: TraceEvent) -> None:
+        if isinstance(event, KernelBeginEvent):
+            self._begin(event)
+        elif isinstance(event, KernelEndEvent):
+            self._end(event)
+        elif isinstance(event, BasicBlockEvent):
+            self._require_builder().on_basic_block(event)
+        elif isinstance(event, MemoryAccessEvent):
+            self._require_builder().on_memory_access(event)
+        elif isinstance(event, SyncEvent):
+            self.sync_events += 1
+        else:
+            raise MonitorError(f"unknown trace event {event!r}")
+
+    def _begin(self, event: KernelBeginEvent) -> None:
+        if self._builder is not None:
+            raise MonitorError(
+                f"kernel {event.kernel_name!r} began while another launch "
+                "is still active")
+        identity = self._pending_identity or event.kernel_name
+        self._pending_identity = None
+        self._builder = ADCFGBuilder(
+            kernel_identity=identity, kernel_name=event.kernel_name,
+            total_threads=event.total_threads, num_warps=event.num_warps,
+            normalizer=self._normalizer)
+
+    def _end(self, event: KernelEndEvent) -> None:
+        builder = self._require_builder()
+        if builder.graph.kernel_name != event.kernel_name:
+            raise MonitorError(
+                f"kernel end for {event.kernel_name!r} does not match the "
+                f"active launch {builder.graph.kernel_name!r}")
+        self.completed.append(builder.finish())
+        self._builder = None
+
+    def _require_builder(self) -> ADCFGBuilder:
+        if self._builder is None:
+            raise MonitorError("device event outside any kernel launch")
+        return self._builder
+
+    def finish(self) -> List[ADCFG]:
+        """Return all completed invocation graphs; the stream must be closed."""
+        if self._builder is not None:
+            raise MonitorError(
+                f"kernel {self._builder.graph.kernel_name!r} never ended")
+        return self.completed

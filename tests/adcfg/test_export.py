@@ -1,0 +1,105 @@
+"""A-DCFG export: NetworkX conversion and DOT rendering."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.adcfg.export import hot_paths, to_dot, to_networkx
+from repro.adcfg.graph import END_LABEL, START_LABEL
+from repro.gpusim import kernel
+from repro.tracing import TraceRecorder
+
+
+@kernel()
+def looping_kernel(k, data, out):
+    k.block("entry")
+    tid = k.global_tid()
+    value = k.load(data, tid)
+    for _i in k.range_("loop", 3):
+        value = value + 1
+    k.block("exit")
+    k.store(out, tid, value)
+
+
+def record_graph():
+    def program(rt, secret):
+        data = rt.cudaMalloc(32, label="data")
+        rt.cudaMemcpyHtoD(data, np.full(32, secret))
+        out = rt.cudaMalloc(32, label="out")
+        rt.cuLaunchKernel(looping_kernel, 1, 32, data, out)
+
+    return TraceRecorder().record(program, 3).invocations[0].adcfg
+
+
+class TestToNetworkx:
+    def test_nodes_and_edges_transfer(self):
+        graph = record_graph()
+        nxg = to_networkx(graph)
+        assert set(graph.nodes) <= set(nxg.nodes)
+        for (src, dst), edge in graph.edges.items():
+            assert nxg.has_edge(src, dst)
+            assert nxg.edges[src, dst]["count"] == edge.count
+
+    def test_node_attributes(self):
+        nxg = to_networkx(record_graph())
+        assert nxg.nodes["entry"]["entries"] == 1
+        assert nxg.nodes["entry"]["memory_accesses"] == 32  # one load/lane
+        assert nxg.nodes["loop"]["entries"] == 3
+
+    def test_virtual_endpoints_included(self):
+        nxg = to_networkx(record_graph())
+        assert START_LABEL in nxg
+        assert END_LABEL in nxg
+
+    def test_graph_metadata(self):
+        nxg = to_networkx(record_graph())
+        assert nxg.graph["kernel_name"] == "looping_kernel"
+        assert nxg.graph["total_threads"] == 32
+
+    def test_usable_with_networkx_algorithms(self):
+        nxg = to_networkx(record_graph())
+        path = nx.shortest_path(nxg, START_LABEL, END_LABEL)
+        assert path[0] == START_LABEL and path[-1] == END_LABEL
+        assert "entry" in path
+
+    def test_self_loop_preserved(self):
+        nxg = to_networkx(record_graph())
+        assert nxg.has_edge("loop", "loop")
+        assert nxg.edges["loop", "loop"]["count"] == 2
+
+
+class TestHotPaths:
+    def test_orders_by_traversal_count(self):
+        paths = hot_paths(record_graph())
+        assert paths[0] == ("loop", "loop", 2)
+
+    def test_excludes_virtual_endpoints(self):
+        for src, dst, _count in hot_paths(record_graph(), top=10):
+            assert START_LABEL not in (src, dst)
+            assert END_LABEL not in (src, dst)
+
+
+class TestToDot:
+    def test_contains_all_blocks_and_edges(self):
+        graph = record_graph()
+        dot = to_dot(graph)
+        for label in graph.nodes:
+            assert f'"{label}"' in dot
+        assert '"entry" -> "loop"' in dot
+        assert dot.startswith('digraph "looping_kernel"')
+        assert dot.rstrip().endswith("}")
+
+    def test_leak_highlighting(self):
+        dot = to_dot(record_graph(), leaking_blocks=["loop"])
+        assert "fillcolor" in dot
+        highlighted = [line for line in dot.splitlines()
+                       if "fillcolor" in line]
+        assert len(highlighted) == 1
+        assert '"loop"' in highlighted[0]
+
+    def test_quotes_escaped(self):
+        from repro.adcfg.graph import ADCFG
+        graph = ADCFG('weird"name', kernel_name='weird"name')
+        graph.node('block"x').record_entry()
+        dot = to_dot(graph)
+        assert '\\"' in dot

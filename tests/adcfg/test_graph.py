@@ -1,0 +1,164 @@
+"""A-DCFG node/edge/graph data-structure tests."""
+
+import pytest
+
+from repro.adcfg.graph import ADCFG, END_LABEL, START_LABEL, Edge, MemoryRecord, Node
+
+
+class TestMemoryRecord:
+    def test_add_counts_occurrences(self):
+        record = MemoryRecord()
+        record.add([("buf", 0), ("buf", 0), ("buf", 8)])
+        assert record.counts == {("buf", 0): 2, ("buf", 8): 1}
+
+    def test_merge_sums(self):
+        first = MemoryRecord(counts={("b", 0): 1, ("b", 8): 2})
+        second = MemoryRecord(counts={("b", 8): 3, ("b", 16): 1})
+        first.merge(second)
+        assert first.counts == {("b", 0): 1, ("b", 8): 5, ("b", 16): 1}
+
+    def test_totals(self):
+        record = MemoryRecord(counts={("b", 0): 2, ("b", 8): 3})
+        assert record.total_accesses == 5
+        assert record.distinct_addresses == 2
+
+    def test_copy_is_independent(self):
+        record = MemoryRecord(counts={("b", 0): 1})
+        clone = record.copy()
+        clone.add([("b", 0)])
+        assert record.counts[("b", 0)] == 1
+
+    def test_equality_includes_space_and_kind(self):
+        base = MemoryRecord(space=3, is_store=False, counts={("b", 0): 1})
+        assert base == MemoryRecord(space=3, is_store=False,
+                                    counts={("b", 0): 1})
+        assert base != MemoryRecord(space=4, is_store=False,
+                                    counts={("b", 0): 1})
+        assert base != MemoryRecord(space=3, is_store=True,
+                                    counts={("b", 0): 1})
+
+
+class TestNode:
+    def test_record_access_creates_slots(self):
+        node = Node(label="a")
+        node.record_access(visit=2, instr=1, space=3, is_store=False,
+                           keys=[("b", 0)])
+        assert len(node.visits) == 3
+        assert len(node.visits[2]) == 2
+        assert node.visits[2][1].counts == {("b", 0): 1}
+
+    def test_first_access_sets_space_and_kind(self):
+        node = Node(label="a")
+        node.record_access(0, 0, space=5, is_store=True, keys=[("b", 0)])
+        record = node.visits[0][0]
+        assert record.space == 5
+        assert record.is_store
+
+    def test_aggregation_across_warps(self):
+        node = Node(label="a")
+        node.record_access(0, 0, 3, False, [("b", 0)])
+        node.record_access(0, 0, 3, False, [("b", 0), ("b", 8)])
+        assert node.visits[0][0].counts == {("b", 0): 2, ("b", 8): 1}
+
+    def test_iter_instructions_skips_empty(self):
+        node = Node(label="a")
+        node.record_access(1, 1, 3, False, [("b", 0)])
+        slots = list(node.iter_instructions())
+        assert slots == [(1, 1, node.visits[1][1])]
+
+    def test_total_accesses(self):
+        node = Node(label="a")
+        node.record_access(0, 0, 3, False, [("b", 0)] * 3)
+        node.record_access(1, 0, 3, False, [("b", 8)])
+        assert node.total_accesses == 4
+
+    def test_entries_counter(self):
+        node = Node(label="a")
+        node.record_entry()
+        node.record_entry(5)
+        assert node.entries == 6
+
+
+class TestEdge:
+    def test_record_tracks_prev(self):
+        edge = Edge(src="a", dst="b")
+        edge.record(prev_src=START_LABEL)
+        edge.record(prev_src="x")
+        edge.record(prev_src="x")
+        assert edge.count == 3
+        assert edge.prev_counts == {START_LABEL: 1, "x": 2}
+
+    def test_merge_compatible(self):
+        first = Edge(src="a", dst="b", count=2, prev_counts={"x": 2})
+        second = Edge(src="a", dst="b", count=1, prev_counts={"y": 1})
+        first.merge(second)
+        assert first.count == 3
+        assert first.prev_counts == {"x": 2, "y": 1}
+
+    def test_merge_mismatched_endpoints(self):
+        with pytest.raises(ValueError):
+            Edge(src="a", dst="b").merge(Edge(src="a", dst="c"))
+
+
+class TestADCFG:
+    def make_graph(self):
+        graph = ADCFG(kernel_identity="k@1", kernel_name="k")
+        graph.edge(START_LABEL, "a").record(START_LABEL)
+        graph.edge("a", "b").record(START_LABEL)
+        graph.edge("b", END_LABEL).record("a")
+        graph.node("a").record_entry()
+        graph.node("b").record_entry()
+        return graph
+
+    def test_node_edge_lazily_created(self):
+        graph = ADCFG("k@1")
+        node = graph.node("a")
+        assert graph.node("a") is node
+        edge = graph.edge("a", "b")
+        assert graph.edge("a", "b") is edge
+
+    def test_in_out_edges(self):
+        graph = self.make_graph()
+        assert [e.src for e in graph.in_edges("b")] == ["a"]
+        assert [e.dst for e in graph.out_edges("b")] == [END_LABEL]
+
+    def test_start_end_labels(self):
+        graph = self.make_graph()
+        assert graph.start_labels() == ["a"]
+        assert graph.end_labels() == ["b"]
+
+    def test_multiple_start_nodes_allowed(self):
+        """§V-B: different warps may enter different code regions."""
+        graph = ADCFG("k@1")
+        graph.edge(START_LABEL, "a").record(START_LABEL)
+        graph.edge(START_LABEL, "z").record(START_LABEL)
+        assert graph.start_labels() == ["a", "z"]
+
+    def test_counts(self):
+        graph = self.make_graph()
+        assert graph.num_nodes == 2
+        assert graph.num_edges == 3
+
+    def test_copy_deep(self):
+        graph = self.make_graph()
+        clone = graph.copy()
+        clone.node("a").record_entry()
+        clone.edge("a", "b").record("q")
+        assert graph.nodes["a"].entries == 1
+        assert graph.edges[("a", "b")].count == 1
+
+    def test_equality(self):
+        assert self.make_graph() == self.make_graph()
+        other = self.make_graph()
+        other.node("c")
+        assert self.make_graph() != other
+
+    def test_equality_differs_on_identity(self):
+        graph = self.make_graph()
+        renamed = self.make_graph()
+        renamed.kernel_identity = "k@2"
+        assert graph != renamed
+
+    def test_repr_mentions_shape(self):
+        text = repr(self.make_graph())
+        assert "nodes=2" in text and "edges=3" in text

@@ -1,0 +1,143 @@
+"""Binary serialisation round-trips and size accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adcfg.graph import ADCFG, END_LABEL, START_LABEL
+from repro.adcfg.serialize import (
+    SerializationError,
+    adcfg_size_bytes,
+    deserialize_adcfg,
+    serialize_adcfg,
+)
+
+
+def sample_graph():
+    graph = ADCFG("kern@abcd", kernel_name="kern", total_threads=64,
+                  num_warps=2)
+    graph.edge(START_LABEL, "a").record(START_LABEL, 2)
+    graph.edge("a", "b").record(START_LABEL, 2)
+    graph.edge("b", "b").record("a", 1)
+    graph.edge("b", END_LABEL).record("b", 2)
+    node_a = graph.node("a")
+    node_a.record_entry(2)
+    node_a.record_access(0, 0, 3, False, [("input", 0), ("input", 8)])
+    node_a.record_access(0, 1, 5, True, [("output", -16)])
+    node_b = graph.node("b")
+    node_b.record_entry(3)
+    node_b.record_access(1, 0, 4, False, [("shared", 4)] * 7)
+    return graph
+
+
+class TestRoundTrip:
+    def test_sample_graph(self):
+        graph = sample_graph()
+        assert deserialize_adcfg(serialize_adcfg(graph)) == graph
+
+    def test_empty_graph(self):
+        graph = ADCFG("empty@0")
+        assert deserialize_adcfg(serialize_adcfg(graph)) == graph
+
+    def test_metadata_preserved(self):
+        restored = deserialize_adcfg(serialize_adcfg(sample_graph()))
+        assert restored.kernel_identity == "kern@abcd"
+        assert restored.kernel_name == "kern"
+        assert restored.total_threads == 64
+        assert restored.num_warps == 2
+
+    def test_negative_offsets_survive(self):
+        restored = deserialize_adcfg(serialize_adcfg(sample_graph()))
+        assert ("output", -16) in restored.nodes["a"].visits[0][1].counts
+
+    def test_unicode_labels(self):
+        graph = ADCFG("kernel@λ", kernel_name="kernel")
+        graph.node("blök").record_entry()
+        assert deserialize_adcfg(serialize_adcfg(graph)) == graph
+
+    def test_serialisation_is_canonical(self):
+        """Equal graphs built in different insertion orders serialise
+        identically — the property the filtering phase's digests rely on."""
+        forward = ADCFG("k@1")
+        forward.node("a").record_entry()
+        forward.node("b").record_entry()
+        backward = ADCFG("k@1")
+        backward.node("b").record_entry()
+        backward.node("a").record_entry()
+        assert serialize_adcfg(forward) == serialize_adcfg(backward)
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(SerializationError):
+            deserialize_adcfg(b"NOPE" + b"\x00" * 16)
+
+    def test_truncated_payload(self):
+        payload = serialize_adcfg(sample_graph())
+        with pytest.raises(SerializationError):
+            deserialize_adcfg(payload[:len(payload) // 2])
+
+    def test_trailing_bytes(self):
+        payload = serialize_adcfg(sample_graph())
+        with pytest.raises(SerializationError):
+            deserialize_adcfg(payload + b"\x00")
+
+    def test_unsupported_version(self):
+        payload = bytearray(serialize_adcfg(sample_graph()))
+        payload[4] = 99
+        with pytest.raises(SerializationError):
+            deserialize_adcfg(bytes(payload))
+
+
+class TestSizeAccounting:
+    def test_size_equals_payload_length(self):
+        graph = sample_graph()
+        assert adcfg_size_bytes(graph) == len(serialize_adcfg(graph))
+
+    def test_size_grows_with_distinct_addresses(self):
+        small = ADCFG("k@1")
+        small.node("a").record_access(0, 0, 3, False, [("b", 0)])
+        big = ADCFG("k@1")
+        big.node("a").record_access(0, 0, 3, False,
+                                    [("b", 8 * i) for i in range(100)])
+        assert adcfg_size_bytes(big) > adcfg_size_bytes(small)
+
+    def test_size_constant_under_repeat_access(self):
+        """Duplicate accesses only bump counters: the de-duplication that
+        keeps thread-heavy traces bounded (§V-B)."""
+        once = ADCFG("k@1")
+        once.node("a").record_access(0, 0, 3, False, [("b", 0)])
+        many = ADCFG("k@1")
+        many.node("a").record_access(0, 0, 3, False, [("b", 0)] * 10_000)
+        assert adcfg_size_bytes(many) == adcfg_size_bytes(once)
+
+
+@st.composite
+def random_graphs(draw):
+    graph = ADCFG(draw(st.sampled_from(["k@1", "kernel@ff", "x@0"])))
+    labels = draw(st.lists(st.sampled_from(["a", "b", "c", "d"]),
+                           min_size=1, max_size=4, unique=True))
+    for label in labels:
+        node = graph.node(label)
+        node.record_entry(draw(st.integers(1, 5)))
+        for visit in range(draw(st.integers(0, 2))):
+            for instr in range(draw(st.integers(0, 2))):
+                offsets = draw(st.lists(
+                    st.integers(-1000, 1000), min_size=1, max_size=4))
+                node.record_access(visit, instr, draw(st.integers(0, 8)),
+                                   draw(st.booleans()),
+                                   [("buf", off) for off in offsets])
+    for src in labels:
+        for dst in labels:
+            if draw(st.booleans()):
+                graph.edge(src, dst).record(
+                    draw(st.sampled_from(labels + [START_LABEL])),
+                    draw(st.integers(1, 9)))
+    return graph
+
+
+@given(graph=random_graphs())
+@settings(max_examples=60, deadline=None)
+def test_property_roundtrip(graph):
+    assert deserialize_adcfg(serialize_adcfg(graph)) == graph

@@ -1,0 +1,72 @@
+"""Serializer robustness: corrupt and adversarial payloads must raise
+SerializationError — never crash, hang, or silently mis-parse."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adcfg.graph import ADCFG
+from repro.adcfg.serialize import (
+    SerializationError,
+    deserialize_adcfg,
+    serialize_adcfg,
+)
+
+
+def sample_payload() -> bytes:
+    graph = ADCFG("kern@1", kernel_name="kern", total_threads=64, num_warps=2)
+    node = graph.node("a")
+    node.record_entry(2)
+    node.record_access(0, 0, 3, False, [("buf", 0), ("buf", 8)])
+    graph.edge("a", "b").record("x", 3)
+    graph.node("b").record_entry(1)
+    return serialize_adcfg(graph)
+
+
+class TestTruncation:
+    def test_every_truncation_point_raises_cleanly(self):
+        payload = sample_payload()
+        for cut in range(len(payload)):
+            with pytest.raises(SerializationError):
+                deserialize_adcfg(payload[:cut])
+
+
+class TestBitFlips:
+    @given(position=st.integers(0, 200), flip=st.integers(1, 255))
+    @settings(max_examples=200, deadline=None)
+    def test_single_byte_corruption_never_crashes(self, position, flip):
+        payload = bytearray(sample_payload())
+        position %= len(payload)
+        payload[position] ^= flip
+        try:
+            graph = deserialize_adcfg(bytes(payload))
+        except SerializationError:
+            return  # clean rejection
+        except (UnicodeDecodeError, MemoryError):
+            pytest.fail("corruption escaped the format's validation layer")
+        # a decode that 'succeeds' must at least produce a coherent object
+        assert isinstance(graph, ADCFG)
+        _ = graph.num_nodes, graph.num_edges
+
+
+class TestAdversarialInputs:
+    @given(junk=st.binary(max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_random_bytes_rejected(self, junk):
+        # only a payload that happens to start with the magic could even
+        # begin parsing; anything else must raise immediately
+        try:
+            deserialize_adcfg(junk)
+        except SerializationError:
+            return
+        pytest.fail("random bytes accepted as an A-DCFG")
+
+    def test_huge_declared_table_is_bounded_by_truncation(self):
+        """A payload declaring 2^32-1 strings must fail on truncation, not
+        attempt to allocate them all."""
+        payload = bytearray(sample_payload())
+        # header: magic(4) + version(2) + threads(4) + warps(4) = offset 14
+        payload[14:18] = (0xFFFFFFFF).to_bytes(4, "little")  # string count
+        with pytest.raises(SerializationError):
+            deserialize_adcfg(bytes(payload))

@@ -1,0 +1,83 @@
+"""The dummy scalability workload (Fig. 5's pattern ②)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.dummy import (
+    OUT_SIZE,
+    SEED_SIZE,
+    TABLE_SIZE,
+    dummy_program,
+    fixed_input,
+    random_input,
+)
+from repro.gpusim import Device
+from repro.host import CudaRuntime
+from repro.tracing import TraceRecorder
+
+
+def runtime():
+    return CudaRuntime(Device())
+
+
+class TestDummyProgram:
+    def test_histogram_counts_all_threads(self):
+        secret = np.arange(64) % TABLE_SIZE
+        out = dummy_program(runtime(), secret)
+        assert out.shape == (OUT_SIZE,)
+        assert out.sum() == 64  # one atomic increment per thread
+
+    def test_output_depends_on_seed(self):
+        first = dummy_program(runtime(), np.full(64, 1))
+        second = dummy_program(runtime(), np.full(64, 2))
+        assert (first != second).any()
+
+    def test_thread_count_follows_input_size(self):
+        device = Device()
+        rt = CudaRuntime(device)
+        from repro.gpusim.events import KernelBeginEvent
+        threads = []
+        device.subscribe(lambda e: threads.append(e.total_threads)
+                         if isinstance(e, KernelBeginEvent) else None)
+        dummy_program(rt, fixed_input(100))
+        dummy_program(rt, fixed_input(1000))
+        assert threads[0] < threads[1]
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            dummy_program(runtime(), np.array([]))
+
+    def test_inputs_wrap_modulo_table(self):
+        wrapped = dummy_program(runtime(), np.array([TABLE_SIZE + 3]))
+        plain = dummy_program(runtime(), np.array([3]))
+        assert (wrapped == plain).all()
+
+    def test_seed_truncated_to_fixed_size(self):
+        long_input = np.arange(SEED_SIZE * 4) % TABLE_SIZE
+        out = dummy_program(runtime(), long_input)
+        assert out.sum() == long_input.size
+
+    def test_fixed_input_deterministic(self):
+        assert (fixed_input(16) == fixed_input(16)).all()
+
+    def test_random_input_in_range(self, rng):
+        values = random_input(rng, size=128)
+        assert values.shape == (128,)
+        assert ((0 <= values) & (values < TABLE_SIZE)).all()
+
+
+class TestTraceSaturation:
+    def test_trace_size_saturates_with_threads(self):
+        """Fig. 5 pattern ②: once every table entry has been touched, new
+        threads stop adding distinct addresses and growth flattens."""
+        recorder = TraceRecorder()
+        rng = np.random.default_rng(0)
+        sizes = {}
+        for n in (64, 512, 4096):
+            trace = recorder.record(dummy_program,
+                                    rng.integers(0, TABLE_SIZE, n))
+            sizes[n] = trace.adcfg_bytes()
+        growth_early = sizes[512] - sizes[64]
+        growth_late = sizes[4096] - sizes[512]
+        # late growth is much slower despite 8x the thread delta
+        assert growth_late < growth_early

@@ -1,0 +1,97 @@
+"""Sequential models: forward correctness, kernel leakage, extraction."""
+
+import numpy as np
+import pytest
+
+from repro.apps.minitorch.model import (
+    ARCHITECTURE_ZOO,
+    Layer,
+    Sequential,
+    extract_architecture,
+    model_serving_program,
+    random_architecture,
+)
+from repro.apps.minitorch.ops import _fixed_weights
+from repro.core import Owl, OwlConfig
+from repro.gpusim import Device
+from repro.host import CudaRuntime
+
+
+def runtime():
+    return CudaRuntime(Device())
+
+
+class TestLayers:
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(ValueError):
+            Layer("attention")
+
+    def test_linear_layer_matches_matmul(self):
+        model = Sequential([Layer("linear", 8)], seed=11)
+        x = np.linspace(-1, 1, 16)
+        out = model.forward(runtime(), x)
+        weight = _fixed_weights(8 * 16, seed=11).reshape(8, 16)
+        bias = _fixed_weights(8, seed=111)
+        assert np.allclose(out, weight @ x + bias)
+
+    def test_activation_layers(self):
+        x = np.linspace(-2, 2, 16)
+        relu_out = Sequential([Layer("relu")]).forward(runtime(), x)
+        assert np.allclose(relu_out, np.maximum(x, 0))
+        tanh_out = Sequential([Layer("tanh")]).forward(runtime(), x)
+        assert np.allclose(tanh_out, np.tanh(x))
+
+    def test_inference_dropout_is_identity(self):
+        x = np.linspace(-1, 1, 16)
+        out = Sequential([Layer("dropout")]).forward(runtime(), x)
+        assert np.allclose(out, x)
+
+    def test_stacked_model_composes(self):
+        model = Sequential([Layer("linear", 8), Layer("relu"),
+                            Layer("linear", 4)], seed=3)
+        out = model.forward(runtime(), np.linspace(-1, 1, 16))
+        assert out.shape == (4,)
+
+    def test_architecture_property(self):
+        model = Sequential(ARCHITECTURE_ZOO[2])
+        assert model.architecture == ("linear", "relu", "linear", "relu",
+                                      "linear")
+
+
+class TestKernelLeakage:
+    def test_owl_reports_architecture_dependent_launches(self):
+        """Serving different architectures from the same endpoint leaks the
+        hyperparameters through the kernel sequence — the paper's MEA
+        motivation, detected as kernel leakage."""
+        config = OwlConfig(fixed_runs=15, random_runs=15)
+        owl = Owl(model_serving_program, name="mlaas", config=config)
+        result = owl.detect(inputs=[0, 2], random_input=random_architecture)
+        # layer *types* leak through which kernels are launched...
+        leaky_kernels = {leak.kernel_name
+                         for leak in result.report.kernel_leaks}
+        assert leaky_kernels  # e.g. tanh vs relu variants
+        # ...and layer *widths* leak through the linear kernel's
+        # data-flow footprint (more output features => wider accesses)
+        assert all(leak.kernel_name == "linear_kernel"
+                   for leak in result.report.data_flow_leaks)
+
+    def test_fixed_architecture_is_clean(self):
+        """If the architecture never varies there is nothing to leak."""
+        config = OwlConfig(fixed_runs=10, random_runs=10)
+        owl = Owl(model_serving_program, name="mlaas", config=config)
+        result = owl.detect(inputs=[1, 1], random_input=lambda rng: 1)
+        assert result.leak_free_by_filtering
+
+
+class TestExtractionAttack:
+    @pytest.mark.parametrize("index", range(len(ARCHITECTURE_ZOO)))
+    def test_architecture_recovered_from_launch_trace(self, index):
+        model = Sequential(ARCHITECTURE_ZOO[index])
+        recovered = extract_architecture(model, np.linspace(-1, 1, 16))
+        assert recovered == model.architecture
+
+    def test_zoo_architectures_are_distinguishable(self):
+        traces = {extract_architecture(Sequential(layers),
+                                       np.linspace(-1, 1, 16))
+                  for layers in ARCHITECTURE_ZOO}
+        assert len(traces) == len(ARCHITECTURE_ZOO)

@@ -1,0 +1,200 @@
+"""minitorch op correctness against NumPy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.apps import minitorch as mt
+from repro.apps.minitorch.ops import (
+    BATCH,
+    IMAGE_SIDE,
+    LINEAR_IN,
+    NUM_CLASSES,
+    OP_NAMES,
+    fixed_op_input,
+    make_op_program,
+    make_random_input,
+)
+from repro.gpusim import Device
+from repro.host import CudaRuntime
+
+
+def runtime():
+    return CudaRuntime(Device())
+
+
+small_vectors = hnp.arrays(np.float64, 64,
+                           elements=st.floats(-10, 10, width=64))
+
+
+class TestElementwise:
+    def test_relu(self):
+        x = np.linspace(-2, 2, 64)
+        assert np.allclose(mt.relu(runtime(), x), np.maximum(x, 0))
+
+    def test_sigmoid(self):
+        x = np.linspace(-4, 4, 64)
+        assert np.allclose(mt.sigmoid(runtime(), x), 1 / (1 + np.exp(-x)))
+
+    def test_tanh(self):
+        x = np.linspace(-3, 3, 64)
+        assert np.allclose(mt.tanh(runtime(), x), np.tanh(x))
+
+    @given(x=small_vectors)
+    @settings(max_examples=10, deadline=None)
+    def test_property_relu_matches_numpy(self, x):
+        assert np.allclose(mt.relu(runtime(), x), np.maximum(x, 0))
+
+    def test_softmax_sums_to_one(self):
+        x = np.linspace(-2, 2, 32)
+        out = mt.softmax(runtime(), x)
+        assert out.sum() == pytest.approx(1.0)
+        expected = np.exp(x - x.max())
+        assert np.allclose(out, expected / expected.sum())
+
+    def test_softmax_numerically_stable(self):
+        x = np.full(32, 1000.0)
+        out = mt.softmax(runtime(), x)
+        assert np.allclose(out, 1 / 32)
+
+    def test_softmax_size_limit(self):
+        with pytest.raises(ValueError):
+            mt.softmax(runtime(), np.zeros(33))
+
+
+class TestPooling:
+    def test_maxpool(self):
+        image = np.arange(64, dtype=float).reshape(8, 8)
+        out = mt.maxpool2d(runtime(), image)
+        assert np.allclose(out, image.reshape(4, 2, 4, 2).max(axis=(1, 3)))
+
+    def test_maxpool_negative_values(self):
+        image = -np.arange(64, dtype=float).reshape(8, 8)
+        out = mt.maxpool2d(runtime(), image)
+        assert np.allclose(out, image.reshape(4, 2, 4, 2).max(axis=(1, 3)))
+
+    def test_avgpool(self):
+        image = np.arange(64, dtype=float).reshape(8, 8)
+        out = mt.avgpool2d(runtime(), image)
+        assert np.allclose(out, image.reshape(4, 2, 4, 2).mean(axis=(1, 3)))
+
+
+class TestConvLinear:
+    def test_conv2d_matches_direct_convolution(self):
+        rng = np.random.default_rng(0)
+        image = rng.standard_normal((8, 8))
+        weight = rng.standard_normal((3, 3))
+        out = mt.conv2d(runtime(), image, weight)
+        expected = np.zeros((6, 6))
+        for oy in range(6):
+            for ox in range(6):
+                expected[oy, ox] = (image[oy:oy + 3, ox:ox + 3]
+                                    * weight).sum()
+        assert np.allclose(out, expected)
+
+    def test_conv2d_zero_input_fast_path(self):
+        out = mt.conv2d(runtime(), np.zeros((8, 8)))
+        assert np.allclose(out, 0.0)
+        assert out.shape == (6, 6)
+
+    def test_conv2d_fast_path_matches_dense_result(self):
+        """The sparse optimisation must be semantics-preserving (the leak is
+        in the kernel *choice*, not the values)."""
+        weight = np.ones((3, 3))
+        dense = mt.conv2d(runtime(), np.full((8, 8), 1e-12), weight)
+        fast = mt.conv2d(runtime(), np.zeros((8, 8)), weight)
+        assert np.allclose(dense, fast, atol=1e-9)
+
+    def test_linear_matches_matmul(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(16)
+        weight = rng.standard_normal((8, 16))
+        bias = rng.standard_normal(8)
+        out = mt.linear(runtime(), x, weight, bias)
+        assert np.allclose(out, weight @ x + bias)
+
+
+class TestLosses:
+    def test_mseloss(self):
+        pred = np.linspace(0, 1, 64)
+        target = np.linspace(1, 0, 64)
+        out = mt.mseloss(runtime(), pred, target)
+        assert out == pytest.approx(((pred - target) ** 2).mean())
+
+    def test_mseloss_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mt.mseloss(runtime(), np.zeros(4), np.zeros(5))
+
+    def test_nllloss_gathers_targets(self):
+        log_probs = np.log(np.arange(1, 65, dtype=float).reshape(8, 8))
+        log_probs -= log_probs.max()
+        targets = np.array([0, 1, 2, 3, 4, 5, 6, 7])
+        out = mt.nllloss(runtime(), log_probs, targets)
+        expected = [-log_probs[i, t] for i, t in enumerate(targets)]
+        assert np.allclose(out, expected)
+
+    def test_nllloss_target_count_mismatch(self):
+        with pytest.raises(ValueError):
+            mt.nllloss(runtime(), np.zeros((8, 8)), np.zeros(3))
+
+    def test_crossentropy_matches_scipy_style_reference(self):
+        rng = np.random.default_rng(2)
+        logits = rng.standard_normal((8, 8))
+        targets = rng.integers(0, 8, size=8)
+        out = mt.crossentropy(runtime(), logits, targets)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(
+            np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = [-log_probs[i, t] for i, t in enumerate(targets)]
+        assert np.allclose(out, expected)
+
+
+class TestDropout:
+    def test_dropout_zeroes_or_scales(self):
+        x = np.ones(64)
+        out = mt.dropout(runtime(), x, p=0.5,
+                         rng=np.random.default_rng(0))
+        assert set(np.round(np.unique(out), 6)) <= {0.0, 2.0}
+
+    def test_dropout_seeded_reproducible(self):
+        x = np.linspace(0, 1, 64)
+        first = mt.dropout(runtime(), x, rng=np.random.default_rng(5))
+        second = mt.dropout(runtime(), x, rng=np.random.default_rng(5))
+        assert np.allclose(first, second)
+
+
+class TestProgramFactories:
+    def test_all_ops_enumerate(self):
+        assert set(OP_NAMES) == {
+            "relu", "sigmoid", "tanh", "softmax", "maxpool2d", "avgpool2d",
+            "conv2d", "linear", "mseloss", "nllloss", "crossentropy",
+            "dropout"}
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(KeyError):
+            make_op_program("attention")
+
+    @pytest.mark.parametrize("name", OP_NAMES)
+    def test_programs_run_on_fixed_and_random_inputs(self, name, rng):
+        program = make_op_program(name)
+        program(runtime(), fixed_op_input(name))
+        program(runtime(), make_random_input(name)(rng))
+
+    def test_random_input_shapes(self, rng):
+        assert make_random_input("relu")(rng).shape == (64,)
+        assert make_random_input("softmax")(rng).shape == (32,)
+        assert make_random_input("linear")(rng).shape == (LINEAR_IN,)
+        assert make_random_input("conv2d")(rng).shape == (
+            IMAGE_SIDE * IMAGE_SIDE,)
+        assert make_random_input("nllloss")(rng).shape == (BATCH,)
+
+    def test_conv2d_random_inputs_include_sparse_tensors(self, rng):
+        generate = make_random_input("conv2d")
+        zeros_seen = any(not generate(rng).any() for _ in range(50))
+        assert zeros_seen
+
+    def test_class_targets_in_range(self, rng):
+        targets = make_random_input("crossentropy")(rng)
+        assert ((0 <= targets) & (targets < NUM_CLASSES)).all()

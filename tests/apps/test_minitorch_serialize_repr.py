@@ -1,0 +1,112 @@
+"""Tensor serialization and __repr__: behaviour and leak triggers."""
+
+import numpy as np
+import pytest
+
+from repro.apps.minitorch.serialize import (
+    deserialize_tensor,
+    serialize_program,
+    serialize_random_input,
+    serialize_tensor,
+)
+from repro.apps.minitorch.tensor import (
+    SCI_THRESHOLD,
+    Tensor,
+    repr_random_input,
+    tensor,
+    tensor_repr_program,
+    tensor_summary,
+)
+from repro.gpusim import Device
+from repro.gpusim.events import KernelBeginEvent
+from repro.host import CudaRuntime
+
+
+def runtime():
+    return CudaRuntime(Device())
+
+
+def launched_kernels(program, *args):
+    device = Device()
+    names = []
+    device.subscribe(lambda e: names.append(e.kernel_name)
+                     if isinstance(e, KernelBeginEvent) else None)
+    program(CudaRuntime(device), *args)
+    return names
+
+
+class TestSerialization:
+    def test_roundtrip_dense(self):
+        data = np.linspace(-1, 1, 32)
+        blob = serialize_tensor(runtime(), data)
+        assert np.allclose(deserialize_tensor(blob), data)
+
+    def test_roundtrip_sparse(self):
+        blob = serialize_tensor(runtime(), np.zeros(32))
+        restored = deserialize_tensor(blob)
+        assert restored.shape == (32,)
+        assert not restored.any()
+
+    def test_sparse_payload_is_smaller(self):
+        dense = serialize_tensor(runtime(), np.ones(64))
+        sparse = serialize_tensor(runtime(), np.zeros(64))
+        assert len(sparse) < len(dense)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize_tensor(b"XXXX" + b"\x00" * 16)
+
+    def test_dense_tensor_launches_staging_copy(self):
+        names = launched_kernels(serialize_program, np.ones(64))
+        assert "copy_kernel" in names
+
+    def test_zero_tensor_skips_staging_copy(self):
+        """The paper's kernel leak: zero tensors launch fewer kernels."""
+        names = launched_kernels(serialize_program, np.zeros(64))
+        assert "copy_kernel" not in names
+
+    def test_random_inputs_cover_both_paths(self, rng):
+        kinds = {serialize_random_input(rng).any() for _ in range(50)}
+        assert kinds == {True, False}
+
+
+class TestTensorRepr:
+    def test_unbound_tensor_repr_is_host_only(self):
+        text = repr(Tensor(np.zeros((2, 2))))
+        assert "shape=(2, 2)" in text
+
+    def test_bound_tensor_repr_reports_summary(self):
+        rt = runtime()
+        text = repr(tensor(np.ones(64), rt=rt))
+        assert "abs_sum=64" in text
+
+    def test_summary_matches_abs_sum(self):
+        data = np.linspace(-2, 2, 64)
+        assert tensor_summary(runtime(), data) == pytest.approx(
+            np.abs(data).sum())
+
+    def test_small_tensor_one_kernel(self):
+        names = launched_kernels(tensor_repr_program, np.linspace(-1, 1, 64))
+        assert names == ["summary_kernel"]
+
+    def test_large_magnitude_triggers_scale_kernel(self):
+        data = np.linspace(-1, 1, 64) * (SCI_THRESHOLD * 10)
+        names = launched_kernels(tensor_repr_program, data)
+        assert names == ["summary_kernel", "scale_stats_kernel"]
+
+    def test_fixed_thread_count_regardless_of_size(self):
+        """Fig. 5 pattern ①: __repr__ uses 32 threads for any input size."""
+        device = Device()
+        threads = []
+        device.subscribe(lambda e: threads.append(e.total_threads)
+                         if isinstance(e, KernelBeginEvent) else None)
+        rt = CudaRuntime(device)
+        tensor_repr_program(rt, np.ones(64))
+        tensor_repr_program(rt, np.ones(4096))
+        assert set(threads) == {32}
+
+    def test_repr_random_input_sometimes_large(self, rng):
+        magnitudes = [np.abs(repr_random_input(rng)).max()
+                      for _ in range(50)]
+        assert any(m > SCI_THRESHOLD for m in magnitudes)
+        assert any(m < SCI_THRESHOLD for m in magnitudes)

@@ -1,0 +1,128 @@
+"""The full nvjpeg codec: device vs reference, round-trips, image source."""
+
+import numpy as np
+import pytest
+
+from repro.apps.nvjpeg import (
+    nvjpeg_decode,
+    nvjpeg_encode,
+    random_image,
+    synthetic_image,
+)
+from repro.apps.nvjpeg.color import rgb_to_ycbcr_reference
+from repro.apps.nvjpeg.decoder import decode_program, decode_reference
+from repro.apps.nvjpeg.encoder import encode_program, encode_reference
+from repro.apps.nvjpeg.images import to_fixed_size
+from repro.gpusim import Device
+from repro.gpusim.events import BasicBlockEvent
+from repro.host import CudaRuntime
+
+
+def runtime():
+    return CudaRuntime(Device())
+
+
+class TestImages:
+    def test_synthetic_image_shape_and_dtype(self):
+        image = synthetic_image(16, 24, seed=0)
+        assert image.shape == (16, 24, 3)
+        assert image.dtype == np.uint8
+
+    def test_seed_determinism(self):
+        assert (synthetic_image(16, 16, seed=5)
+                == synthetic_image(16, 16, seed=5)).all()
+
+    def test_seeds_vary_content(self):
+        assert (synthetic_image(16, 16, seed=1)
+                != synthetic_image(16, 16, seed=2)).any()
+
+    def test_seeds_vary_statistics(self):
+        """COCO-style heterogeneity: brightness/contrast differ by seed."""
+        means = [synthetic_image(16, 16, seed=s).mean() for s in range(12)]
+        assert np.std(means) > 5.0
+
+    def test_random_image_uses_generator(self, rng):
+        first = random_image(rng, 16, 16)
+        second = random_image(rng, 16, 16)
+        assert (first != second).any()
+
+    def test_to_fixed_size(self):
+        image = synthetic_image(32, 48, seed=0)
+        resized = to_fixed_size(image, 16, 16)
+        assert resized.shape == (16, 16, 3)
+
+
+class TestEncoder:
+    def test_device_matches_reference_bitstream(self):
+        for seed in (1, 2, 3):
+            image = synthetic_image(16, 16, seed=seed)
+            assert nvjpeg_encode(runtime(), image) == encode_reference(image)
+
+    def test_non_multiple_of_8_rejected(self):
+        with pytest.raises(ValueError):
+            nvjpeg_encode(runtime(), np.zeros((10, 16, 3)))
+
+    def test_grayscale_input_rejected(self):
+        with pytest.raises(ValueError):
+            nvjpeg_encode(runtime(), np.zeros((16, 16)))
+
+    def test_busy_images_encode_larger(self):
+        flat = np.full((16, 16, 3), 128, dtype=np.uint8)
+        rng = np.random.default_rng(0)
+        busy = rng.integers(0, 256, size=(16, 16, 3)).astype(np.uint8)
+        assert len(encode_reference(busy)) > len(encode_reference(flat))
+
+
+class TestDecoder:
+    def test_device_matches_reference(self):
+        image = synthetic_image(16, 16, seed=7)
+        blob = encode_reference(image)
+        assert np.allclose(nvjpeg_decode(runtime(), blob),
+                           decode_reference(blob))
+
+    def test_lossy_roundtrip_quality(self):
+        """Quantisation is lossy but the luma error must stay JPEG-like."""
+        image = synthetic_image(16, 16, seed=8)
+        decoded = decode_program(runtime(), image)
+        luma_in = rgb_to_ycbcr_reference(image)[..., 0]
+        luma_out = rgb_to_ycbcr_reference(decoded)[..., 0]
+        assert np.abs(luma_in - luma_out).mean() < 20.0
+
+    def test_flat_image_nearly_exact(self):
+        image = np.full((8, 8, 3), 128, dtype=np.uint8)
+        decoded = decode_program(runtime(), image)
+        luma_in = rgb_to_ycbcr_reference(image)[..., 0]
+        luma_out = rgb_to_ycbcr_reference(decoded)[..., 0]
+        assert np.abs(luma_in - luma_out).max() < 1.0
+
+    def test_output_clipped_to_pixel_range(self):
+        decoded = decode_program(runtime(), synthetic_image(16, 16, seed=9))
+        assert decoded.min() >= 0.0
+        assert decoded.max() <= 255.0
+
+
+class TestObservableBehaviour:
+    @staticmethod
+    def warp_block_trace(program, image):
+        device = Device()
+        events = []
+        device.subscribe(lambda e: events.append(e)
+                         if isinstance(e, BasicBlockEvent) else None)
+        program(CudaRuntime(device), image)
+        return [(e.label, e.block_id, e.warp_id) for e in events]
+
+    def test_encoder_trace_depends_on_image_content(self):
+        """The entropy stage's loops make the encode trace value-dependent."""
+        trace_a = self.warp_block_trace(
+            encode_program, synthetic_image(16, 16, seed=1))
+        trace_b = self.warp_block_trace(
+            encode_program, synthetic_image(16, 16, seed=2))
+        assert trace_a != trace_b
+
+    def test_decoder_trace_is_content_independent(self):
+        """Same-size images decode with identical observable control flow."""
+        trace_a = self.warp_block_trace(
+            decode_program, synthetic_image(16, 16, seed=1))
+        trace_b = self.warp_block_trace(
+            decode_program, synthetic_image(16, 16, seed=2))
+        assert trace_a == trace_b

@@ -1,0 +1,183 @@
+"""DCT/IDCT, colour conversion, and quantisation correctness."""
+
+import numpy as np
+import pytest
+import scipy.fft
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.apps.nvjpeg.color import (
+    rgb_to_ycbcr_kernel,
+    rgb_to_ycbcr_reference,
+    ycbcr_to_rgb_kernel,
+    ycbcr_to_rgb_reference,
+)
+from repro.apps.nvjpeg.dct import (
+    BLOCK_PIXELS,
+    DCT_MATRIX,
+    dct2_reference,
+    dct8x8_kernel,
+    idct2_reference,
+    idct8x8_kernel,
+)
+from repro.apps.nvjpeg.quant import (
+    LUMA_QUANT_TABLE,
+    dequantize_kernel,
+    dequantize_reference,
+    quantize_kernel,
+    quantize_reference,
+)
+from repro.gpusim import Device
+from repro.host import CudaRuntime
+
+blocks_8x8 = hnp.arrays(np.float64, (8, 8),
+                        elements=st.floats(-128, 127, width=64))
+
+
+class TestDctReference:
+    def test_matrix_is_orthonormal(self):
+        assert np.allclose(DCT_MATRIX @ DCT_MATRIX.T, np.eye(8), atol=1e-12)
+
+    def test_dc_coefficient_is_scaled_mean(self):
+        block = np.full((8, 8), 10.0)
+        coeffs = dct2_reference(block)
+        assert coeffs[0, 0] == pytest.approx(80.0)  # 8 * mean
+        assert np.allclose(coeffs.reshape(-1)[1:], 0.0, atol=1e-12)
+
+    def test_matches_scipy_orthonormal_dct(self):
+        rng = np.random.default_rng(0)
+        block = rng.standard_normal((8, 8))
+        expected = scipy.fft.dctn(block, norm="ortho")
+        assert np.allclose(dct2_reference(block), expected)
+
+    def test_idct_matches_scipy(self):
+        rng = np.random.default_rng(1)
+        coeffs = rng.standard_normal((8, 8))
+        expected = scipy.fft.idctn(coeffs, norm="ortho")
+        assert np.allclose(idct2_reference(coeffs), expected)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            dct2_reference(np.zeros((4, 4)))
+
+    @given(block=blocks_8x8)
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip(self, block):
+        assert np.allclose(idct2_reference(dct2_reference(block)), block,
+                           atol=1e-9)
+
+    @given(block=blocks_8x8)
+    @settings(max_examples=40, deadline=None)
+    def test_property_energy_preserved(self, block):
+        """Orthonormal transforms are isometries (Parseval)."""
+        coeffs = dct2_reference(block)
+        assert np.sum(coeffs ** 2) == pytest.approx(np.sum(block ** 2),
+                                                    rel=1e-9, abs=1e-9)
+
+
+class TestDctKernels:
+    def run_dct(self, plane, blocks_x):
+        rt = CudaRuntime(Device())
+        num_blocks = plane.size // BLOCK_PIXELS
+        src = rt.cudaMalloc(plane.size, dtype=np.float64, label="plane")
+        rt.cudaMemcpyHtoD(src, plane.reshape(-1))
+        dst = rt.cudaMalloc(plane.size, dtype=np.float64, label="coeffs")
+        rt.cuLaunchKernel(dct8x8_kernel, 1, 32, src, dst, blocks_x,
+                          num_blocks)
+        return rt.cudaMemcpyDtoH(dst)
+
+    def test_kernel_matches_reference_multi_block(self):
+        rng = np.random.default_rng(3)
+        plane = rng.standard_normal((16, 16))
+        out = self.run_dct(plane, blocks_x=2)
+        for b in range(4):
+            by, bx = divmod(b, 2)
+            tile = plane[8 * by:8 * by + 8, 8 * bx:8 * bx + 8]
+            got = out[b * 64:(b + 1) * 64].reshape(8, 8)
+            assert np.allclose(got, dct2_reference(tile))
+
+    def test_idct_kernel_inverts_dct_kernel(self):
+        rng = np.random.default_rng(4)
+        plane = rng.standard_normal((8, 16))
+        rt = CudaRuntime(Device())
+        src = rt.cudaMalloc(plane.size, dtype=np.float64, label="plane")
+        rt.cudaMemcpyHtoD(src, plane.reshape(-1))
+        coeffs = rt.cudaMalloc(plane.size, dtype=np.float64, label="coeffs")
+        rt.cuLaunchKernel(dct8x8_kernel, 1, 32, src, coeffs, 2, 2)
+        back = rt.cudaMalloc(plane.size, dtype=np.float64, label="back")
+        rt.cuLaunchKernel(idct8x8_kernel, 1, 32, coeffs, back, 2, 2)
+        assert np.allclose(rt.cudaMemcpyDtoH(back).reshape(8, 16), plane,
+                           atol=1e-9)
+
+
+class TestColor:
+    def test_gray_pixel_neutral_chroma(self):
+        rgb = np.full((1, 1, 3), 100.0)
+        ycbcr = rgb_to_ycbcr_reference(rgb)
+        assert ycbcr[0, 0, 0] == pytest.approx(100.0)
+        assert ycbcr[0, 0, 1] == pytest.approx(128.0)
+        assert ycbcr[0, 0, 2] == pytest.approx(128.0)
+
+    @given(rgb=hnp.arrays(np.float64, (2, 2, 3),
+                          elements=st.floats(0, 255, width=64)))
+    @settings(max_examples=40, deadline=None)
+    def test_property_color_roundtrip(self, rgb):
+        back = ycbcr_to_rgb_reference(rgb_to_ycbcr_reference(rgb))
+        # the standard BT.601 constants are rounded to 6 decimals, so the
+        # inverse is exact only to ~1e-4 over the 0..255 range
+        assert np.allclose(back, rgb, atol=1e-3)
+
+    def test_kernels_match_references(self):
+        rng = np.random.default_rng(5)
+        rgb = rng.uniform(0, 255, size=(4, 8, 3))
+        rt = CudaRuntime(Device())
+        src = rt.cudaMalloc(rgb.size, dtype=np.float64, label="rgb")
+        rt.cudaMemcpyHtoD(src, rgb.reshape(-1))
+        mid = rt.cudaMalloc(rgb.size, dtype=np.float64, label="ycbcr")
+        rt.cuLaunchKernel(rgb_to_ycbcr_kernel, 1, 32, src, mid, 32)
+        assert np.allclose(rt.cudaMemcpyDtoH(mid).reshape(rgb.shape),
+                           rgb_to_ycbcr_reference(rgb))
+        back = rt.cudaMalloc(rgb.size, dtype=np.float64, label="back")
+        rt.cuLaunchKernel(ycbcr_to_rgb_kernel, 1, 32, mid, back, 32)
+        assert np.allclose(rt.cudaMemcpyDtoH(back).reshape(rgb.shape), rgb,
+                           atol=1e-3)
+
+
+class TestQuantisation:
+    def test_reference_rounding(self):
+        coeffs = LUMA_QUANT_TABLE.reshape(8, 8) * 2.4
+        quantized = quantize_reference(coeffs)
+        assert (quantized == 2).all()
+
+    def test_dequantize_inverts_scaling(self):
+        quantized = np.arange(64).reshape(8, 8)
+        restored = dequantize_reference(quantized)
+        assert np.allclose(restored,
+                           quantized * LUMA_QUANT_TABLE.reshape(8, 8))
+
+    def test_quant_table_is_annex_k(self):
+        assert LUMA_QUANT_TABLE[0] == 16
+        assert LUMA_QUANT_TABLE[63] == 99
+        assert LUMA_QUANT_TABLE.min() == 10
+
+    def test_kernels_match_references(self):
+        rng = np.random.default_rng(6)
+        coeffs = rng.uniform(-500, 500, size=128)  # two blocks
+        rt = CudaRuntime(Device())
+        src = rt.cudaMalloc(128, dtype=np.float64, label="coeffs")
+        rt.cudaMemcpyHtoD(src, coeffs)
+        table = rt.constMalloc(64, dtype=np.float64, label="qtable")
+        rt.cudaMemcpyHtoD(table, LUMA_QUANT_TABLE)
+        out = rt.cudaMalloc(128, dtype=np.float64, label="q")
+        rt.cuLaunchKernel(quantize_kernel, 4, 32, src, table, out, 128)
+        got = rt.cudaMemcpyDtoH(out)
+        for b in range(2):
+            expected = quantize_reference(coeffs[b * 64:(b + 1) * 64])
+            assert np.allclose(got[b * 64:(b + 1) * 64].reshape(8, 8),
+                               expected)
+        restored = rt.cudaMalloc(128, dtype=np.float64, label="dq")
+        rt.cuLaunchKernel(dequantize_kernel, 4, 32, out, table, restored, 128)
+        assert np.allclose(
+            rt.cudaMemcpyDtoH(restored)[:64].reshape(8, 8),
+            dequantize_reference(got[:64].reshape(8, 8)))

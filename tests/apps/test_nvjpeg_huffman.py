@@ -1,0 +1,135 @@
+"""Entropy-coding reference: zigzag, symbols, stream format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.nvjpeg.huffman import (
+    EOB,
+    MAX_SYMBOLS,
+    ZIGZAG_LINEAR,
+    ZIGZAG_POSITIONS,
+    bitstream_length_bits,
+    code_length_bits,
+    decode_block_symbols,
+    encode_block_symbols,
+    magnitude_size,
+)
+from repro.apps.nvjpeg.encoder import pack_stream, unpack_stream
+
+
+class TestZigzag:
+    def test_is_a_permutation_of_the_block(self):
+        assert sorted(ZIGZAG_LINEAR) == list(range(64))
+
+    def test_standard_prefix(self):
+        # the canonical JPEG zigzag starts (0,0),(0,1),(1,0),(2,0),(1,1),(0,2)
+        assert ZIGZAG_POSITIONS[:6] == [
+            (0, 0), (0, 1), (1, 0), (2, 0), (1, 1), (0, 2)]
+
+    def test_standard_suffix(self):
+        assert ZIGZAG_POSITIONS[-1] == (7, 7)
+        assert ZIGZAG_POSITIONS[-2] == (7, 6)
+
+
+class TestMagnitudeSize:
+    @pytest.mark.parametrize("value,size", [
+        (0, 0), (1, 1), (-1, 1), (2, 2), (3, 2), (-3, 2), (4, 3),
+        (255, 8), (256, 9), (-1024, 11)])
+    def test_known_categories(self, value, size):
+        assert magnitude_size(value) == size
+
+    @given(value=st.integers(-10_000, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_property_size_bounds_value(self, value):
+        size = magnitude_size(value)
+        if value == 0:
+            assert size == 0
+        else:
+            assert 2 ** (size - 1) <= abs(value) < 2 ** size
+
+
+class TestCodeLengths:
+    def test_short_codes_for_frequent_symbols(self):
+        assert code_length_bits(0, 1) < code_length_bits(8, 4)
+
+    def test_invalid_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            code_length_bits(63, 0)
+        with pytest.raises(ValueError):
+            code_length_bits(0, 17)
+
+    def test_bitstream_length_sums_code_and_amplitude_bits(self):
+        symbols = [(0, 2, 3), (1, 1, -1)]
+        expected = (code_length_bits(0, 2) + 2) + (code_length_bits(1, 1) + 1)
+        assert bitstream_length_bits(symbols) == expected
+
+
+class TestBlockSymbols:
+    def test_all_zero_block(self):
+        symbols = encode_block_symbols(np.zeros(64, dtype=np.int64))
+        assert symbols == [(0, 0, 0), EOB]
+
+    def test_dc_only_block(self):
+        block = np.zeros(64, dtype=np.int64)
+        block[0] = -5
+        symbols = encode_block_symbols(block)
+        assert symbols[0] == (0, 3, -5)
+        assert symbols[-1] == EOB
+
+    def test_runs_counted_in_zigzag_order(self):
+        block = np.zeros(64, dtype=np.int64)
+        block[0] = 1
+        block[ZIGZAG_LINEAR[4]] = 7  # 3 zeros precede it in scan order
+        symbols = encode_block_symbols(block)
+        assert symbols[1] == (3, 3, 7)
+
+    def test_trailing_nonzero_omits_eob(self):
+        block = np.zeros(64, dtype=np.int64)
+        block[ZIGZAG_LINEAR[63]] = 2
+        symbols = encode_block_symbols(block)
+        assert symbols[-1] == (62, 2, 2)
+
+    def test_symbol_count_bounded(self):
+        dense = np.arange(1, 65, dtype=np.int64)
+        assert len(encode_block_symbols(dense)) <= MAX_SYMBOLS
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            encode_block_symbols(np.zeros(32, dtype=np.int64))
+
+    @given(block=st.lists(st.integers(-300, 300), min_size=64, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_property_roundtrip(self, block):
+        block = np.array(block, dtype=np.int64)
+        symbols = encode_block_symbols(block)
+        assert (decode_block_symbols(symbols) == block).all()
+
+    @given(block=st.lists(st.integers(-5, 5), min_size=64, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_property_sparser_blocks_code_shorter(self, block):
+        block = np.array(block, dtype=np.int64)
+        sparse = block.copy()
+        sparse[32:] = 0
+        length_full = bitstream_length_bits(encode_block_symbols(block))
+        length_sparse = bitstream_length_bits(encode_block_symbols(sparse))
+        assert length_sparse <= length_full
+
+
+class TestStreamFormat:
+    def test_pack_unpack_roundtrip(self):
+        blocks = [[(0, 2, 3), (1, 1, -1), EOB], [(0, 0, 0), EOB]]
+        blob = pack_stream(16, 8, blocks)
+        height, width, restored = unpack_stream(blob)
+        assert (height, width) == (16, 8)
+        assert restored == blocks
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            unpack_stream(b"JUNK" + b"\x00" * 12)
+
+    def test_negative_amplitudes_survive(self):
+        blob = pack_stream(8, 8, [[(0, 11, -1024)]])
+        _h, _w, blocks = unpack_stream(blob)
+        assert blocks[0][0] == (0, 11, -1024)

@@ -1,0 +1,125 @@
+"""RSA modular exponentiation: correctness and control-flow structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.libgpucrypto.rsa import (
+    LADDER_BITS,
+    RSA_DEFAULT_MODULUS,
+    RSA_PRIME_P,
+    RSA_PRIME_Q,
+    exponent_bits_msb_first,
+    fixed_messages,
+    modexp_reference,
+    random_exponent,
+    rsa_program,
+    rsa_program_ct,
+)
+from repro.gpusim import Device
+from repro.gpusim.events import BasicBlockEvent
+from repro.host import CudaRuntime
+
+
+class TestParameters:
+    def test_modulus_is_product_of_primes(self):
+        assert RSA_DEFAULT_MODULUS == RSA_PRIME_P * RSA_PRIME_Q
+
+    def test_primality(self):
+        def is_prime(n):
+            return n > 1 and all(n % d for d in range(2, int(n ** 0.5) + 1))
+
+        assert is_prime(RSA_PRIME_P)
+        assert is_prime(RSA_PRIME_Q)
+
+    def test_rsa_roundtrip_with_key_pair(self):
+        phi = (RSA_PRIME_P - 1) * (RSA_PRIME_Q - 1)
+        e = 65537
+        d = pow(e, -1, phi)
+        message = 123456789 % RSA_DEFAULT_MODULUS
+        cipher = pow(message, e, RSA_DEFAULT_MODULUS)
+        assert pow(cipher, d, RSA_DEFAULT_MODULUS) == message
+
+
+class TestExponentBits:
+    def test_msb_first(self):
+        assert list(exponent_bits_msb_first(0b1011)) == [1, 0, 1, 1]
+
+    def test_single_bit(self):
+        assert list(exponent_bits_msb_first(1)) == [1]
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            exponent_bits_msb_first(0)
+
+    def test_random_exponent_is_odd_with_top_bit(self, rng):
+        for _ in range(5):
+            exponent = random_exponent(rng, bits=31)
+            assert exponent % 2 == 1
+            assert exponent.bit_length() == 31
+
+
+class TestKernels:
+    @pytest.mark.parametrize("exponent", [1, 2, 3, 0b1011, 65537,
+                                          0x6ACF8231])
+    def test_leaky_kernel_correct(self, exponent):
+        out = rsa_program(CudaRuntime(Device()), exponent)
+        expected = [modexp_reference(int(m), exponent, RSA_DEFAULT_MODULUS)
+                    for m in fixed_messages()]
+        assert list(out) == expected
+
+    @pytest.mark.parametrize("exponent", [1, 3, 0b1011, 65537, 0x6ACF8231])
+    def test_ladder_kernel_correct(self, exponent):
+        out = rsa_program_ct(CudaRuntime(Device()), exponent)
+        expected = [modexp_reference(int(m), exponent, RSA_DEFAULT_MODULUS)
+                    for m in fixed_messages()]
+        assert list(out) == expected
+
+    def test_ladder_rejects_oversized_exponent(self):
+        with pytest.raises(ValueError):
+            rsa_program_ct(CudaRuntime(Device()), 1 << LADDER_BITS)
+
+    @given(exponent=st.integers(min_value=1, max_value=2 ** 31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_property_kernels_match_pow(self, exponent):
+        leaky = rsa_program(CudaRuntime(Device()), exponent)
+        ladder = rsa_program_ct(CudaRuntime(Device()), exponent)
+        assert list(leaky) == list(ladder)
+        assert leaky[0] == pow(int(fixed_messages()[0]), exponent,
+                               RSA_DEFAULT_MODULUS)
+
+
+class TestControlFlowStructure:
+    @staticmethod
+    def block_trace(program, exponent):
+        device = Device()
+        events = []
+        device.subscribe(lambda e: events.append(e)
+                         if isinstance(e, BasicBlockEvent) else None)
+        program(CudaRuntime(device), exponent)
+        return [e.label for e in events if e.warp_id == 0 and e.block_id == 0]
+
+    def test_leaky_trace_spells_out_the_exponent(self):
+        """The block sequence of the square-and-multiply kernel encodes the
+        key bits: 'multiply' follows 'square' exactly for set bits."""
+        exponent = 0b1011001
+        labels = self.block_trace(rsa_program, exponent)
+        recovered_bits = []
+        for i, label in enumerate(labels):
+            if label == "square":
+                follows_multiply = (i + 1 < len(labels)
+                                    and labels[i + 1] == "multiply")
+                recovered_bits.append(1 if follows_multiply else 0)
+        assert recovered_bits == list(exponent_bits_msb_first(exponent))
+
+    def test_ladder_trace_is_exponent_independent(self):
+        first = self.block_trace(rsa_program_ct, 0b1011001)
+        second = self.block_trace(rsa_program_ct, 0b1111111)
+        third = self.block_trace(rsa_program_ct, 3)
+        assert first == second == third
+
+    def test_leaky_trace_length_depends_on_bit_length(self):
+        short = self.block_trace(rsa_program, 0b11)
+        long = self.block_trace(rsa_program, (1 << 30) + 1)
+        assert len(long) > len(short)

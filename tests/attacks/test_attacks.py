@@ -1,0 +1,93 @@
+"""Exploitability proofs: AES cache-line key recovery, timing attacks."""
+
+import numpy as np
+import pytest
+
+from repro.apps.libgpucrypto import aes_program_ct
+from repro.attacks import (
+    aes_single_block_program,
+    collect_observations,
+    recover_key_classes,
+    time_program,
+    timing_distinguisher,
+    true_key_classes,
+)
+from repro.attacks.aes_recovery import ENTRIES_PER_LINE, POSITIONS_PER_TABLE
+
+
+class TestObservationModel:
+    def test_positions_partition_the_key(self):
+        covered = sorted(p for positions in POSITIONS_PER_TABLE.values()
+                         for p in positions)
+        assert covered == list(range(16))
+
+    def test_observation_contains_all_four_tables(self):
+        observation = collect_observations(bytes(16), 1)[0]
+        assert set(observation.table_lines) == {0, 1, 2, 3}
+        assert all(lines for lines in observation.table_lines.values())
+
+    def test_plaintext_must_be_one_block(self):
+        from repro.gpusim import Device
+        from repro.host import CudaRuntime
+        with pytest.raises(ValueError):
+            aes_single_block_program(CudaRuntime(Device()),
+                                     (bytes(16), b"short"))
+
+
+class TestKeyRecovery:
+    @pytest.mark.parametrize("key", [
+        bytes(range(16)),
+        bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"),
+    ])
+    def test_recovers_line_class_of_every_byte(self, key):
+        observations = collect_observations(key, 40,
+                                            np.random.default_rng(7))
+        survivors = recover_key_classes(observations)
+        expected = true_key_classes(key)
+        assert survivors == expected
+        assert all(len(s) == ENTRIES_PER_LINE for s in survivors)
+
+    def test_true_key_never_eliminated(self):
+        key = b"\xa5" * 16
+        observations = collect_observations(key, 10,
+                                            np.random.default_rng(1))
+        survivors = recover_key_classes(observations)
+        for position, candidates in enumerate(survivors):
+            assert key[position] in candidates
+
+    def test_more_traces_never_widen_survivors(self):
+        key = bytes(range(16))
+        rng = np.random.default_rng(5)
+        observations = collect_observations(key, 30, rng)
+        few = recover_key_classes(observations[:5])
+        many = recover_key_classes(observations)
+        for position in range(16):
+            assert many[position] <= few[position]
+
+    def test_entropy_reduction_is_five_bits_per_byte(self):
+        key = bytes(range(16))
+        survivors = recover_key_classes(
+            collect_observations(key, 40, np.random.default_rng(2)))
+        # 256 -> 8 candidates: 5 bits recovered per byte, 80 bits total
+        remaining_bits = sum(np.log2(len(s)) for s in survivors)
+        assert remaining_bits == pytest.approx(16 * 3)
+
+
+class TestTiming:
+    def test_leaky_aes_timing_depends_on_key(self):
+        plaintext = bytes(range(16))
+        secrets = [(bytes(range(16)), plaintext),
+                   (bytes(range(1, 17)), plaintext),
+                   (b"\x07" * 16, plaintext)]
+        timings = timing_distinguisher(aes_single_block_program, secrets)
+        assert len(set(timings.values())) > 1
+
+    def test_constant_flow_aes_timing_is_key_independent(self):
+        keys = [bytes(range(16)), bytes(range(1, 17)), b"\x07" * 16]
+        timings = timing_distinguisher(aes_program_ct, keys)
+        assert len(set(timings.values())) == 1
+
+    def test_time_program_deterministic(self):
+        secret = (bytes(range(16)), bytes(range(16)))
+        assert (time_program(aes_single_block_program, secret)
+                == time_program(aes_single_block_program, secret))

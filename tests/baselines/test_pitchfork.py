@@ -1,0 +1,112 @@
+"""pitchfork baseline: taint propagation and its two false-positive modes."""
+
+import numpy as np
+import pytest
+
+from repro.apps.libgpucrypto import aes_program, rsa_program
+from repro.apps.minitorch import make_op_program
+from repro.apps.minitorch.ops import fixed_op_input
+from repro.baselines.pitchfork import (
+    TID_TAINT,
+    TaintedArray,
+    pitchfork_analyze,
+    taint_of,
+)
+
+
+class TestTaintedArray:
+    def test_arithmetic_propagates_taint(self):
+        value = TaintedArray(np.arange(4), frozenset({"key"}))
+        out = value * 2 + 1
+        assert taint_of(out) == {"key"}
+        assert (out.data == np.arange(4) * 2 + 1).all()
+
+    def test_binary_op_unions_taints(self):
+        a = TaintedArray(np.ones(4), frozenset({"a"}))
+        b = TaintedArray(np.ones(4), frozenset({"b"}))
+        assert taint_of(a + b) == {"a", "b"}
+
+    def test_plain_operand_keeps_taint(self):
+        a = TaintedArray(np.ones(4), frozenset({"a"}))
+        assert taint_of(np.asarray([1, 2, 3, 4]) + a) == {"a"}
+
+    def test_comparisons_are_tainted(self):
+        a = TaintedArray(np.arange(4), frozenset({"a"}))
+        result = a > 1
+        assert taint_of(result) == {"a"}
+        assert result.data.dtype == bool
+
+    def test_ufuncs_propagate(self):
+        a = TaintedArray(np.arange(4, dtype=float), frozenset({"a"}))
+        assert taint_of(np.exp(a)) == {"a"}
+        assert taint_of(np.abs(a)) == {"a"}
+
+    def test_astype_and_getitem(self):
+        a = TaintedArray(np.arange(4, dtype=float), frozenset({"a"}))
+        assert taint_of(a.astype(np.int64)) == {"a"}
+        assert taint_of(a[1:3]) == {"a"}
+
+    def test_mod_and_floordiv(self):
+        a = TaintedArray(np.arange(4) + 10, frozenset({"a"}))
+        assert taint_of(a % 3) == {"a"}
+        assert taint_of(a // 2) == {"a"}
+
+    def test_untainted_by_default(self):
+        assert taint_of(TaintedArray(np.ones(4))) == frozenset()
+        assert taint_of(np.ones(4)) == frozenset()
+
+
+class TestAnalysisOnCrypto:
+    def test_aes_table_lookups_flagged(self):
+        report = pitchfork_analyze(aes_program, bytes(range(16)),
+                                   secret_labels={"aes.round_keys"})
+        secret_loads = [f for f in report.memory_findings
+                        if "aes.round_keys" in f.taint
+                        or any(t.startswith("aes.T") for t in f.taint)]
+        assert secret_loads  # true positives exist
+
+    def test_aes_tid_false_positives_present(self):
+        """The paper's RQ3 finding: tid-indexed plaintext/ciphertext
+        accesses are flagged even though they carry no secret."""
+        report = pitchfork_analyze(aes_program, bytes(range(16)),
+                                   secret_labels={"aes.round_keys"})
+        assert report.tid_false_positives
+
+    def test_rsa_branch_flagged(self):
+        report = pitchfork_analyze(rsa_program, 0x6ACF8231,
+                                   secret_labels={"rsa.exponent_bits"})
+        assert any("rsa.exponent_bits" in f.taint
+                   for f in report.control_findings)
+
+
+class TestPredicationBlindness:
+    def test_maxpool_control_false_positive(self):
+        """maxpool2d's divergent guard is predication-safe (Owl finds no CF
+        leak there) but pitchfork flags control flow anyway."""
+        report = pitchfork_analyze(make_op_program("maxpool2d"),
+                                   fixed_op_input("maxpool2d"),
+                                   secret_labels={"maxpool2d.x"})
+        assert report.control_findings
+
+    def test_relu_tid_memory_false_positives(self):
+        report = pitchfork_analyze(make_op_program("relu"),
+                                   fixed_op_input("relu"),
+                                   secret_labels={"relu.x"})
+        tid_memory = [f for f in report.memory_findings if f.tid_only]
+        assert tid_memory  # loads/stores indexed purely by thread id
+
+
+class TestReportStructure:
+    def test_findings_carry_locations(self):
+        report = pitchfork_analyze(make_op_program("relu"),
+                                   fixed_op_input("relu"),
+                                   secret_labels=set())
+        for finding in report.findings:
+            assert finding.kernel_name == "relu_kernel"
+            assert finding.block
+            assert finding.kind in ("memory", "control")
+
+    def test_unmarked_secrets_reduce_to_tid_findings(self):
+        report = pitchfork_analyze(aes_program, bytes(range(16)),
+                                   secret_labels=set())
+        assert all(set(f.taint) == {TID_TAINT} for f in report.findings)

@@ -1,0 +1,39 @@
+"""Shared fixtures for the Owl reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import Device, DeviceConfig
+from repro.host import CudaRuntime
+from repro.tracing import TraceRecorder
+
+
+@pytest.fixture
+def device() -> Device:
+    """A fresh deterministic simulated device."""
+    return Device(DeviceConfig(seed=0))
+
+
+@pytest.fixture
+def rt(device: Device) -> CudaRuntime:
+    """A runtime bound to a fresh device."""
+    return CudaRuntime(device)
+
+
+@pytest.fixture
+def recorder() -> TraceRecorder:
+    """A trace recorder with the default device configuration."""
+    return TraceRecorder()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded random generator for reproducible tests."""
+    return np.random.default_rng(1234)
+
+
+def fresh_runtime() -> CudaRuntime:
+    """Helper for tests needing several independent runtimes."""
+    return CudaRuntime(Device(DeviceConfig(seed=0)))

@@ -1,0 +1,153 @@
+"""Myers diff: correctness, optimality, and properties against difflib."""
+
+import difflib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alignment import (
+    EditOp,
+    align_pairs,
+    edit_distance,
+    myers_diff,
+)
+
+
+def apply_script(a, b, script):
+    """Replay an edit script; the result must equal b."""
+    out = []
+    for step in script:
+        if step.op is EditOp.EQUAL:
+            assert a[step.a_index] == b[step.b_index]
+            out.append(a[step.a_index])
+        elif step.op is EditOp.INSERT:
+            out.append(b[step.b_index])
+        # deletes contribute nothing
+    return out
+
+
+class TestBasicCases:
+    def test_empty_vs_empty(self):
+        assert myers_diff([], []) == []
+
+    def test_empty_vs_nonempty(self):
+        script = myers_diff([], list("abc"))
+        assert [s.op for s in script] == [EditOp.INSERT] * 3
+
+    def test_nonempty_vs_empty(self):
+        script = myers_diff(list("abc"), [])
+        assert [s.op for s in script] == [EditOp.DELETE] * 3
+
+    def test_identical(self):
+        script = myers_diff(list("abc"), list("abc"))
+        assert [s.op for s in script] == [EditOp.EQUAL] * 3
+
+    def test_classic_example(self):
+        # Myers' paper example: ABCABBA -> CBABAC, distance 5
+        assert edit_distance(list("ABCABBA"), list("CBABAC")) == 5
+
+    def test_single_substitution_costs_two(self):
+        assert edit_distance(list("abc"), list("axc")) == 2
+
+    def test_prefix_insert(self):
+        script = myers_diff(list("bc"), list("abc"))
+        assert [s.op for s in script] == [
+            EditOp.INSERT, EditOp.EQUAL, EditOp.EQUAL]
+
+    def test_suffix_delete(self):
+        script = myers_diff(list("abc"), list("ab"))
+        assert [s.op for s in script][-1] is EditOp.DELETE
+
+    def test_works_on_arbitrary_hashables(self):
+        a = [("k1", 0), ("k2", 1)]
+        b = [("k1", 0), ("k3", 2), ("k2", 1)]
+        assert edit_distance(a, b) == 1
+
+
+class TestScriptValidity:
+    def test_script_replays_to_target(self):
+        a, b = list("kernel_a kernel_b kernel_c"), list("kernel_a kernel_x")
+        assert apply_script(a, b, myers_diff(a, b)) == b
+
+    def test_indices_are_monotonic(self):
+        a, b = list("abcabba"), list("cbabac")
+        script = myers_diff(a, b)
+        a_indices = [s.a_index for s in script if s.a_index >= 0]
+        b_indices = [s.b_index for s in script if s.b_index >= 0]
+        assert a_indices == sorted(a_indices)
+        assert b_indices == sorted(b_indices)
+        assert a_indices == list(range(len(a)))
+        assert b_indices == list(range(len(b)))
+
+    def test_align_pairs_are_equal_elements(self):
+        a, b = list("xaybzc"), list("aqbc")
+        for i, j in align_pairs(a, b):
+            assert a[i] == b[j]
+
+
+class TestOptimality:
+    def cases(self):
+        return [
+            ("", ""), ("a", ""), ("", "a"), ("a", "a"), ("a", "b"),
+            ("ab", "ba"), ("abcabba", "cbabac"), ("xxx", "xxxx"),
+            ("kitten", "sitting"), ("same", "same"),
+        ]
+
+    def test_distance_matches_dp_reference(self):
+        for a, b in self.cases():
+            assert edit_distance(list(a), list(b)) == _dp_distance(a, b), \
+                (a, b)
+
+
+def _dp_distance(a, b):
+    """O(nm) insert/delete (LCS-style) edit distance reference."""
+    n, m = len(a), len(b)
+    dp = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n + 1):
+        dp[i][0] = i
+    for j in range(m + 1):
+        dp[0][j] = j
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            if a[i - 1] == b[j - 1]:
+                dp[i][j] = dp[i - 1][j - 1]
+            else:
+                dp[i][j] = 1 + min(dp[i - 1][j], dp[i][j - 1])
+    return dp[n][m]
+
+
+@given(a=st.lists(st.integers(0, 4), max_size=16),
+       b=st.lists(st.integers(0, 4), max_size=16))
+@settings(max_examples=200, deadline=None)
+def test_property_script_replays_and_is_optimal(a, b):
+    script = myers_diff(a, b)
+    assert apply_script(a, b, script) == b
+    assert sum(1 for s in script if s.op is not EditOp.EQUAL) \
+        == _dp_distance(a, b)
+
+
+@given(a=st.lists(st.integers(0, 3), max_size=12))
+@settings(max_examples=50, deadline=None)
+def test_property_self_diff_is_all_equal(a):
+    assert all(s.op is EditOp.EQUAL for s in myers_diff(a, a))
+
+
+@given(a=st.lists(st.integers(0, 4), max_size=12),
+       b=st.lists(st.integers(0, 4), max_size=12))
+@settings(max_examples=100, deadline=None)
+def test_property_distance_symmetric(a, b):
+    assert edit_distance(a, b) == edit_distance(b, a)
+
+
+@given(a=st.text(alphabet="abc", max_size=20),
+       b=st.text(alphabet="abc", max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_property_equal_blocks_at_least_difflib(a, b):
+    """Myers finds a maximal alignment: its EQUAL count is never below
+    difflib's (difflib's autojunk-free matcher is also LCS-based)."""
+    matcher = difflib.SequenceMatcher(a=a, b=b, autojunk=False)
+    difflib_equal = sum(size for _i, _j, size in matcher.get_matching_blocks())
+    ours = sum(1 for s in myers_diff(list(a), list(b))
+               if s.op is EditOp.EQUAL)
+    assert ours >= difflib_equal

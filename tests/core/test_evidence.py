@@ -1,0 +1,111 @@
+"""Evidence merging (§VII-A) and fixed/random evidence alignment."""
+
+import numpy as np
+import pytest
+
+from repro.core.evidence import Evidence, align_evidence
+from repro.gpusim import kernel
+from repro.tracing import TraceRecorder
+
+
+@kernel()
+def touch_kernel(k, data):
+    k.block("entry")
+    k.load(data, k.global_tid())
+
+
+@kernel()
+def extra_kernel(k, data):
+    k.block("entry")
+    k.load(data, k.global_tid())
+
+
+def program(rt, secret):
+    """Launches touch always; extra only when secret >= 10; nondet only when
+    the (input-independent) coin flips true."""
+    value, coin = secret
+    data = rt.cudaMalloc(32, label="data")
+    rt.cudaMemcpyHtoD(data, np.full(32, value))
+    rt.cuLaunchKernel(touch_kernel, 1, 32, data)
+    if value >= 10:
+        rt.cuLaunchKernel(extra_kernel, 1, 32, data)
+    if coin:
+        rt.cuLaunchKernel(extra_kernel, 1, 32, data)
+
+
+@pytest.fixture
+def record(recorder):
+    return lambda value, coin=False: recorder.record(program, (value, coin))
+
+
+class TestEvidenceMerging:
+    def test_identical_runs_merge_into_one_slot_set(self, record):
+        evidence = Evidence.from_traces([record(1) for _ in range(5)])
+        assert evidence.num_runs == 5
+        assert len(evidence.slots) == 1
+        slot = evidence.slots[0]
+        assert slot.total_count == 5
+        assert slot.per_run_present == [True] * 5
+
+    def test_adcfg_counts_accumulate(self, record):
+        evidence = Evidence.from_traces([record(1) for _ in range(3)])
+        graph = evidence.slots[0].adcfg
+        assert graph.nodes["entry"].entries == 3
+
+    def test_unstable_invocation_gets_partial_presence(self, record):
+        traces = [record(1, coin=False), record(1, coin=True),
+                  record(1, coin=False)]
+        evidence = Evidence.from_traces(traces)
+        assert len(evidence.slots) == 2
+        flaky = evidence.slots[1]
+        assert flaky.per_run_present == [False, True, False]
+
+    def test_insertion_before_existing_slots(self, record):
+        """A run whose sequence has a new head invocation must insert the
+        slot in order, not append it."""
+        first = record(1)          # touch only
+        second = record(12)        # touch + extra
+        evidence = Evidence.from_traces([second, first])
+        identities = [slot.kernel_name for slot in evidence.slots]
+        assert identities == ["touch_kernel", "extra_kernel"]
+
+    def test_presence_histogram(self, record):
+        evidence = Evidence.from_traces(
+            [record(1, coin=c) for c in (True, False, True)])
+        flaky = evidence.slots[1]
+        assert flaky.presence_histogram() == {0: 1, 1: 2}
+
+    def test_slot_by_identity(self, record):
+        evidence = Evidence.from_traces([record(12)])
+        assert evidence.slot_by_identity(
+            evidence.slots[0].identity) is evidence.slots[0]
+        assert evidence.slot_by_identity("missing@0") is None
+
+    def test_empty_evidence(self):
+        evidence = Evidence()
+        assert evidence.num_runs == 0
+        assert evidence.slots == []
+
+
+class TestEvidenceAlignment:
+    def test_matching_evidences_align_fully(self, record):
+        fixed = Evidence.from_traces([record(1) for _ in range(3)])
+        random = Evidence.from_traces([record(2) for _ in range(3)])
+        pairs = align_evidence(fixed, random)
+        assert len(pairs) == 1
+        assert pairs[0].aligned
+
+    def test_one_sided_slots_are_unaligned(self, record):
+        fixed = Evidence.from_traces([record(1)])
+        random = Evidence.from_traces([record(12)])
+        pairs = align_evidence(fixed, random)
+        assert [p.aligned for p in pairs] == [True, False]
+        unaligned = pairs[1]
+        assert unaligned.fixed is None
+        assert unaligned.random.kernel_name == "extra_kernel"
+
+    def test_identity_property(self, record):
+        fixed = Evidence.from_traces([record(12)])
+        random = Evidence.from_traces([record(12)])
+        for pair in align_evidence(fixed, random):
+            assert pair.identity == pair.fixed.identity

@@ -1,0 +1,86 @@
+"""The duplicates-removing phase: input equivalence classes."""
+
+import numpy as np
+import pytest
+
+from repro.core.filtering import filter_traces
+from repro.gpusim import kernel
+from repro.tracing import TraceRecorder
+
+
+@kernel()
+def parity_kernel(k, data, out):
+    k.block("entry")
+    tid = k.global_tid()
+    value = k.load(data, tid)
+    br = k.branch(value % 2 == 0)
+    for _ in br.then("even"):
+        k.store(out, tid, 0)
+    for _ in br.otherwise("odd"):
+        k.store(out, tid, 1)
+    k.block("exit")
+
+
+def parity_program(rt, secret):
+    data = rt.cudaMalloc(32, label="data")
+    rt.cudaMemcpyHtoD(data, np.full(32, secret))
+    out = rt.cudaMalloc(32, label="out")
+    rt.cuLaunchKernel(parity_kernel, 1, 32, data, out)
+
+
+@pytest.fixture
+def traced(recorder):
+    def trace_all(inputs):
+        return recorder.record_many(parity_program, inputs)
+    return trace_all
+
+
+class TestClassGrouping:
+    def test_parity_classes(self, traced):
+        inputs = [2, 4, 3, 6, 5]
+        result = filter_traces(inputs, traced(inputs))
+        assert result.num_classes == 2
+        sizes = sorted(cls.size for cls in result.classes)
+        assert sizes == [2, 3]
+
+    def test_representative_is_first_seen(self, traced):
+        inputs = [2, 3, 4]
+        result = filter_traces(inputs, traced(inputs))
+        assert result.representatives() == [2, 3]
+
+    def test_single_class_means_no_leak(self, traced):
+        inputs = [2, 4, 6]
+        result = filter_traces(inputs, traced(inputs))
+        assert result.num_classes == 1
+        assert not result.shows_potential_leakage
+
+    def test_multiple_classes_flag_potential_leak(self, traced):
+        inputs = [2, 3]
+        result = filter_traces(inputs, traced(inputs))
+        assert result.shows_potential_leakage
+
+    def test_class_of_maps_members(self, traced):
+        inputs = [2, 3, 4, 5]
+        result = filter_traces(inputs, traced(inputs))
+        assert result.class_of(0) is result.class_of(2)
+        assert result.class_of(1) is result.class_of(3)
+        assert result.class_of(0) is not result.class_of(1)
+
+    def test_class_of_unknown_index(self, traced):
+        result = filter_traces([2], traced([2]))
+        with pytest.raises(KeyError):
+            result.class_of(5)
+
+    def test_length_mismatch_rejected(self, traced):
+        with pytest.raises(ValueError):
+            filter_traces([1, 2], traced([2]))
+
+    def test_classes_keep_first_seen_order(self, traced):
+        inputs = [3, 2, 5]
+        result = filter_traces(inputs, traced(inputs))
+        assert result.representatives() == [3, 2]
+
+    def test_empty_inputs(self):
+        result = filter_traces([], [])
+        assert result.num_classes == 0
+        assert not result.shows_potential_leakage

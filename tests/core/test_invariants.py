@@ -1,0 +1,116 @@
+"""Cross-module invariants of the analysis pipeline (property-style)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.evidence import Evidence
+from repro.core.kstest import ks_threshold
+from repro.core.report import Leak, LeakType, LeakageReport
+from repro.core.transition import transition_matrix
+from repro.gpusim import kernel
+from repro.tracing import TraceRecorder
+
+
+@kernel()
+def branchy_kernel(k, data, out):
+    k.block("entry")
+    tid = k.global_tid()
+    value = k.load(data, tid)
+    br = k.branch(value % 2 == 0)
+    for _ in br.then("even"):
+        k.store(out, tid, 0)
+    for _ in br.otherwise("odd"):
+        k.store(out, tid, 1)
+    k.block("exit")
+
+
+def branchy_program(rt, secret):
+    data = rt.cudaMalloc(32, label="data")
+    rt.cudaMemcpyHtoD(data, np.full(32, secret))
+    out = rt.cudaMalloc(32, label="out")
+    rt.cuLaunchKernel(branchy_kernel, 1, 32, data, out)
+
+
+class TestEvidenceInvariants:
+    def test_merging_n_identical_traces_scales_counts_linearly(self, recorder):
+        trace = recorder.record(branchy_program, 2)
+        for n in (1, 3, 7):
+            evidence = Evidence.from_traces(
+                recorder.record(branchy_program, 2) for _ in range(n))
+            graph = evidence.slots[0].adcfg
+            base = trace.invocations[0].adcfg
+            for label, node in base.nodes.items():
+                assert evidence.slots[0].adcfg.nodes[label].entries \
+                    == n * node.entries
+            for key, edge in base.edges.items():
+                assert graph.edges[key].count == n * edge.count
+
+    def test_evidence_merge_preserves_total_accesses(self, recorder):
+        traces = [recorder.record(branchy_program, 2) for _ in range(4)]
+        evidence = Evidence.from_traces(traces)
+        merged_total = evidence.slots[0].adcfg.total_memory_accesses
+        assert merged_total == sum(
+            t.invocations[0].adcfg.total_memory_accesses for t in traces)
+
+    def test_transition_balance_holds_after_merging(self, recorder):
+        evidence = Evidence.from_traces(
+            recorder.record(branchy_program, value)
+            for value in (2, 3, 2, 5, 4))
+        graph = evidence.slots[0].adcfg
+        for label in graph.nodes:
+            assert transition_matrix(graph, label).verify_balance()
+
+    def test_run_count_bookkeeping(self, recorder):
+        evidence = Evidence.from_traces(
+            recorder.record(branchy_program, 2) for _ in range(6))
+        assert evidence.num_runs == 6
+        assert all(len(slot.per_run_present) == 6
+                   for slot in evidence.slots)
+
+
+class TestThresholdInvariants:
+    @given(n=st.integers(2, 500), m=st.integers(2, 500))
+    @settings(max_examples=100, deadline=None)
+    def test_property_threshold_positive_and_symmetric(self, n, m):
+        assert ks_threshold(n, m) > 0
+        assert ks_threshold(n, m) == pytest.approx(ks_threshold(m, n))
+
+    @given(n=st.integers(2, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_more_samples_tighter_threshold(self, n):
+        assert ks_threshold(2 * n, 2 * n) < ks_threshold(n, n)
+
+    @given(n=st.integers(2, 200),
+           strict=st.floats(0.951, 0.999),
+           loose=st.floats(0.5, 0.949))
+    @settings(max_examples=50, deadline=None)
+    def test_property_higher_confidence_higher_threshold(self, n, strict,
+                                                         loose):
+        assert ks_threshold(n, n, strict) > ks_threshold(n, n, loose)
+
+
+class TestReportInvariants:
+    @given(p_values=st.lists(st.floats(0, 1), min_size=1, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_property_dedup_idempotent(self, p_values):
+        report = LeakageReport(program_name="p")
+        for i, p_value in enumerate(p_values):
+            report.add(Leak(leak_type=LeakType.DEVICE_DATA_FLOW,
+                            kernel_identity="k@1", kernel_name="k",
+                            block=f"b{i % 3}", instr=i % 2,
+                            p_value=p_value, statistic=0.5))
+        once = report.dedup_by_location()
+        twice = once.dedup_by_location()
+        assert [l.location for l in once.leaks] == [
+            l.location for l in twice.leaks]
+        assert [l.p_value for l in once.leaks] == [
+            l.p_value for l in twice.leaks]
+
+    def test_counts_partition_the_leaks(self):
+        report = LeakageReport(program_name="p")
+        for leak_type in LeakType:
+            report.add(Leak(leak_type=leak_type, kernel_identity="k@1",
+                            kernel_name="k"))
+        assert sum(report.counts().values()) == len(report.leaks)

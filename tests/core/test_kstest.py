@@ -1,0 +1,222 @@
+"""Distribution tests: the paper's KS equations, weighted variants, Welch."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kstest import (
+    DistributionTestError,
+    ks_p_value,
+    ks_statistic,
+    ks_statistic_weighted,
+    ks_test,
+    ks_test_weighted,
+    ks_threshold,
+    welch_t_test,
+    welch_t_test_weighted,
+)
+
+
+class TestKsStatistic:
+    def test_identical_samples(self):
+        assert ks_statistic([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_disjoint_samples(self):
+        assert ks_statistic([0, 1, 2], [10, 11, 12]) == 1.0
+
+    def test_known_half_overlap(self):
+        # F_X jumps to 1 at 1; F_Y jumps to 0.5 at 1 and 1.0 at 2
+        assert ks_statistic([1, 1], [1, 2]) == pytest.approx(0.5)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(DistributionTestError):
+            ks_statistic([], [1.0])
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=80)
+        y = rng.normal(0.5, size=60)
+        ours = ks_statistic(x, y)
+        theirs = scipy.stats.ks_2samp(x, y, method="asymp").statistic
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    @given(x=st.lists(st.integers(-50, 50), min_size=1, max_size=60),
+           y=st.lists(st.integers(-50, 50), min_size=1, max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_property_matches_scipy(self, x, y):
+        ours = ks_statistic(x, y)
+        theirs = scipy.stats.ks_2samp(x, y, method="asymp").statistic
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    @given(x=st.lists(st.floats(-100, 100), min_size=1, max_size=40),
+           y=st.lists(st.floats(-100, 100), min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_property_bounds_and_symmetry(self, x, y):
+        d = ks_statistic(x, y)
+        assert 0.0 <= d <= 1.0
+        assert d == pytest.approx(ks_statistic(y, x))
+
+
+class TestEquations:
+    def test_threshold_equation_3(self):
+        # D_{n,m} = sqrt(-ln(alpha/2)/2) * sqrt((n+m)/(n*m)), alpha = 0.05
+        expected = math.sqrt(-math.log(0.025) * 0.5) * math.sqrt(200 / 10_000)
+        assert ks_threshold(100, 100, confidence=0.95) == pytest.approx(expected)
+
+    def test_threshold_shrinks_with_samples(self):
+        assert ks_threshold(1000, 1000) < ks_threshold(10, 10)
+
+    def test_p_value_equation_4(self):
+        d, n, m = 0.3, 50, 60
+        expected = 2 * math.exp(-2 * d * d * n * m / (n + m))
+        assert ks_p_value(d, n, m) == pytest.approx(expected)
+
+    def test_p_value_clamped_to_one(self):
+        assert ks_p_value(0.0, 10, 10) == 1.0
+
+    def test_invalid_confidence(self):
+        with pytest.raises(DistributionTestError):
+            ks_threshold(10, 10, confidence=1.0)
+
+    def test_threshold_and_p_value_agree_at_boundary(self):
+        """D == D_{n,m} implies p == 1 - confidence (the two decision rules
+        in the paper coincide)."""
+        n, m, confidence = 100, 120, 0.95
+        d = ks_threshold(n, m, confidence)
+        assert ks_p_value(d, n, m) == pytest.approx(1 - confidence)
+
+
+class TestKsTest:
+    def test_same_distribution_passes(self):
+        rng = np.random.default_rng(7)
+        result = ks_test(rng.normal(size=100), rng.normal(size=100))
+        assert not result.rejected
+
+    def test_shifted_distribution_fails(self):
+        rng = np.random.default_rng(7)
+        result = ks_test(rng.normal(size=100), rng.normal(3.0, size=100))
+        assert result.rejected
+
+    def test_result_fields(self):
+        result = ks_test([1, 2, 3], [1, 2, 4])
+        assert result.n == 3 and result.m == 3
+        assert 0 <= result.p_value <= 1
+        assert result.confidence == 0.95
+
+    def test_false_positive_rate_near_alpha(self):
+        """Under the null, rejections happen at roughly 1 - confidence."""
+        rng = np.random.default_rng(42)
+        rejections = sum(
+            ks_test(rng.normal(size=50), rng.normal(size=50)).rejected
+            for _ in range(300))
+        assert rejections / 300 < 0.09  # asymptotic p-values run conservative
+
+
+class TestWeightedKs:
+    def test_equal_histograms(self):
+        hist = {0: 5, 8: 3}
+        assert ks_statistic_weighted(hist, hist) == 0.0
+
+    def test_scaled_histograms_equal_distribution(self):
+        assert ks_statistic_weighted({0: 1, 8: 1},
+                                     {0: 100, 8: 100}) == 0.0
+
+    def test_matches_expanded_plain_samples(self):
+        hist_x = {0: 3, 8: 2, 16: 5}
+        hist_y = {0: 1, 8: 7}
+        expanded_x = [v for v, c in hist_x.items() for _ in range(c)]
+        expanded_y = [v for v, c in hist_y.items() for _ in range(c)]
+        assert ks_statistic_weighted(hist_x, hist_y) == pytest.approx(
+            ks_statistic(expanded_x, expanded_y))
+
+    def test_tuple_keys_sorted_lexicographically(self):
+        hist_x = {("buf", 0): 2, ("buf", 8): 2}
+        hist_y = {("buf", 0): 4}
+        assert ks_statistic_weighted(hist_x, hist_y) == pytest.approx(0.5)
+
+    def test_explicit_categorical_order(self):
+        hist_x = {"t1": 1, "t2": 3}
+        hist_y = {"t1": 3, "t2": 1}
+        d = ks_statistic_weighted(hist_x, hist_y,
+                                  order={"t1": 0, "t2": 1})
+        assert d == pytest.approx(0.5)
+
+    def test_sample_sizes_are_total_weights(self):
+        result = ks_test_weighted({0: 30}, {0: 25, 1: 5})
+        assert result.n == 30 and result.m == 30
+
+    def test_sample_size_cap(self):
+        result = ks_test_weighted({0: 10_000}, {1: 10_000},
+                                  sample_size_cap=50)
+        assert result.n == 50 and result.m == 50
+
+    def test_empty_histograms_rejected(self):
+        with pytest.raises(DistributionTestError):
+            ks_test_weighted({}, {})
+        with pytest.raises(DistributionTestError):
+            ks_test_weighted({0: 0}, {1: 1})
+
+    @given(hist_x=st.dictionaries(st.integers(0, 20), st.integers(1, 9),
+                                  min_size=1, max_size=8),
+           hist_y=st.dictionaries(st.integers(0, 20), st.integers(1, 9),
+                                  min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_property_weighted_equals_expanded(self, hist_x, hist_y):
+        expanded_x = [v for v, c in hist_x.items() for _ in range(c)]
+        expanded_y = [v for v, c in hist_y.items() for _ in range(c)]
+        assert ks_statistic_weighted(hist_x, hist_y) == pytest.approx(
+            ks_statistic(expanded_x, expanded_y))
+
+
+class TestWelch:
+    def test_same_mean_passes(self):
+        rng = np.random.default_rng(3)
+        result = welch_t_test(rng.normal(size=100), rng.normal(size=100))
+        assert not result.rejected
+
+    def test_shifted_mean_fails(self):
+        rng = np.random.default_rng(3)
+        result = welch_t_test(rng.normal(size=100),
+                              rng.normal(2.0, size=100))
+        assert result.rejected
+
+    def test_zero_variance_equal_means(self):
+        result = welch_t_test([5.0] * 10, [5.0] * 10)
+        assert not result.rejected
+
+    def test_zero_variance_different_means(self):
+        result = welch_t_test([5.0] * 10, [6.0] * 10)
+        assert result.rejected
+
+    def test_needs_two_samples(self):
+        with pytest.raises(DistributionTestError):
+            welch_t_test([1.0], [1.0, 2.0])
+
+    def test_statistic_matches_scipy(self):
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=60)
+        y = rng.normal(0.3, size=80)
+        ours = welch_t_test(x, y)
+        theirs = scipy.stats.ttest_ind(x, y, equal_var=False)
+        assert ours.statistic == pytest.approx(abs(theirs.statistic))
+
+    def test_welch_misses_equal_mean_different_shape(self):
+        """The paper's motivation for KS: Welch's t only compares means, so
+        a variance-only difference slips through while KS catches it."""
+        rng = np.random.default_rng(5)
+        x = rng.normal(0.0, 0.1, size=400)
+        y = rng.normal(0.0, 3.0, size=400)
+        assert not welch_t_test(x, y).rejected
+        assert ks_test(x, y).rejected
+
+    def test_weighted_welch_equal_histograms(self):
+        hist = {0.0: 10, 1.0: 10}
+        assert not welch_t_test_weighted(hist, hist).rejected
+
+    def test_weighted_welch_shifted(self):
+        assert welch_t_test_weighted({0.0: 50, 1.0: 50},
+                                     {10.0: 50, 11.0: 50}).rejected

@@ -1,0 +1,164 @@
+"""The three leakage tests on synthetic programs with planted ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.core.evidence import Evidence
+from repro.core.leakage import LeakageAnalyzer, LeakageConfig
+from repro.core.report import LeakType
+from repro.gpusim import kernel
+from repro.tracing import TraceRecorder
+
+TABLE_SIZE = 64
+
+
+@kernel()
+def planted_kernel(k, table, data, noise, out, mode):
+    """mode selects which leak is planted:
+
+    - "df": a secret-indexed table load (data-flow leak at instr 1);
+    - "cf": a secret-dependent warp-uniform branch (control-flow leak);
+    - "clean": thread-indexed accesses only;
+    - any mode also loads nondeterministic *values* at fixed addresses.
+    """
+    k.block("entry")
+    tid = k.global_tid()
+    secret = k.load(data, tid)                      # instr 0: benign
+    if mode == "df":
+        value = k.load(table, secret % TABLE_SIZE)  # instr 1: leaky
+    else:
+        value = k.load(table, tid % TABLE_SIZE)     # instr 1: benign
+    k.load(noise, tid % 8)                          # instr 2: noisy values
+    if mode == "cf":
+        br = k.branch(secret % 2 == 0)
+        for _ in br.then("even"):
+            k.store(out, tid, value)
+        for _ in br.otherwise("odd"):
+            k.store(out, tid, value + 1)
+    else:
+        k.store(out, tid, value)
+    k.block("exit")
+
+
+def make_program(mode, launch_extra_kernel_for=None):
+    @kernel()
+    def extra_kernel(k):
+        k.block("entry")
+
+    def program(rt, secret):
+        rng = np.random.default_rng()  # true nondeterminism
+        table = rt.cudaMalloc(TABLE_SIZE, label="table")
+        rt.cudaMemcpyHtoD(table, np.arange(TABLE_SIZE))
+        data = rt.cudaMalloc(32, label="data")
+        rt.cudaMemcpyHtoD(data, np.full(32, secret))
+        noise = rt.cudaMalloc(8, label="noise")
+        rt.cudaMemcpyHtoD(noise, rng.integers(0, 100, 8))
+        out = rt.cudaMalloc(32, label="out")
+        rt.cuLaunchKernel(planted_kernel, 1, 32, table, data, noise, out,
+                          mode)
+        if launch_extra_kernel_for is not None \
+                and launch_extra_kernel_for(secret):
+            rt.cuLaunchKernel(extra_kernel, 1, 32)
+
+    return program
+
+
+def evidences(program, fixed_value, runs=40, seed=0):
+    recorder = TraceRecorder()
+    rng = np.random.default_rng(seed)
+    fixed = Evidence.from_traces(
+        recorder.record(program, fixed_value) for _ in range(runs))
+    random = Evidence.from_traces(
+        recorder.record(program, int(rng.integers(0, TABLE_SIZE)))
+        for _ in range(runs))
+    return fixed, random
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return LeakageAnalyzer()
+
+
+class TestDataFlowLeak:
+    def test_detects_secret_indexed_load(self, analyzer):
+        fixed, random = evidences(make_program("df"), fixed_value=3)
+        report = analyzer.analyze(fixed, random)
+        df = report.data_flow_leaks
+        assert len(df) == 1
+        assert df[0].block == "entry"
+        assert df[0].instr == 1  # exactly the table load
+
+    def test_benign_and_noisy_instructions_pass(self, analyzer):
+        fixed, random = evidences(make_program("df"), fixed_value=3)
+        report = analyzer.analyze(fixed, random)
+        flagged = {(l.block, l.instr) for l in report.data_flow_leaks}
+        assert ("entry", 0) not in flagged  # tid-indexed secret load
+        assert ("entry", 2) not in flagged  # nondeterministic values
+
+    def test_clean_program_no_leaks(self, analyzer):
+        fixed, random = evidences(make_program("clean"), fixed_value=3)
+        report = analyzer.analyze(fixed, random)
+        assert not report.has_leaks
+
+
+class TestControlFlowLeak:
+    def test_detects_secret_branch(self, analyzer):
+        fixed, random = evidences(make_program("cf"), fixed_value=3)
+        report = analyzer.analyze(fixed, random)
+        cf_blocks = {l.block for l in report.control_flow_leaks}
+        # fixed secret 3 is odd: 'even' appears only under random inputs,
+        # and entry's transition matrix deviates
+        assert "even" in cf_blocks
+        assert "entry" in cf_blocks
+
+    def test_no_false_kernel_leak(self, analyzer):
+        fixed, random = evidences(make_program("cf"), fixed_value=3)
+        assert analyzer.analyze(fixed, random).kernel_leaks == []
+
+
+class TestKernelLeak:
+    def test_detects_secret_dependent_launch(self, analyzer):
+        program = make_program("clean",
+                               launch_extra_kernel_for=lambda s: s >= 32)
+        fixed, random = evidences(program, fixed_value=3)
+        report = analyzer.analyze(fixed, random)
+        assert len(report.kernel_leaks) == 1
+        assert report.kernel_leaks[0].kernel_name == "extra_kernel"
+
+    def test_nondeterministic_launch_is_filtered(self, analyzer):
+        """An input-independent random launch appears in similar fractions
+        of fixed and random runs: no kernel leak may be reported."""
+        rng_holder = np.random.default_rng(123)
+        program = make_program(
+            "clean",
+            launch_extra_kernel_for=lambda s: rng_holder.random() < 0.5)
+        fixed, random = evidences(program, fixed_value=3, runs=60)
+        report = analyzer.analyze(fixed, random)
+        assert report.kernel_leaks == []
+
+
+class TestConfig:
+    def test_welch_mode_runs(self):
+        analyzer = LeakageAnalyzer(LeakageConfig(test="welch"))
+        fixed, random = evidences(make_program("df"), fixed_value=3)
+        report = analyzer.analyze(fixed, random)
+        assert isinstance(report.data_flow_leaks, list)
+
+    def test_invalid_test_name(self):
+        with pytest.raises(ValueError):
+            LeakageConfig(test="chi2")
+
+    def test_stricter_confidence_fewer_leaks(self):
+        fixed, random = evidences(make_program("df"), fixed_value=3)
+        loose = LeakageAnalyzer(LeakageConfig(confidence=0.8)).analyze(
+            fixed, random)
+        strict = LeakageAnalyzer(
+            LeakageConfig(confidence=0.999999)).analyze(fixed, random)
+        assert len(strict.leaks) <= len(loose.leaks)
+
+    def test_report_counts_match_types(self):
+        fixed, random = evidences(make_program("cf"), fixed_value=3)
+        report = LeakageAnalyzer().analyze(fixed, random)
+        counts = report.counts()
+        assert counts["control_flow"] == len(report.of_type(
+            LeakType.DEVICE_CONTROL_FLOW))

@@ -1,0 +1,113 @@
+"""Analyzer extensions: attacker granularity and leak quantification."""
+
+import numpy as np
+import pytest
+
+from repro.core import Owl, OwlConfig
+from repro.core.leakage import LeakageAnalyzer, LeakageConfig
+from repro.gpusim import kernel
+
+TABLE = 256
+
+
+@kernel()
+def lookup_kernel(k, table, data, out):
+    k.block("entry")
+    tid = k.global_tid()
+    secret = k.load(data, tid)
+    k.store(out, tid, k.load(table, secret % TABLE))
+
+
+def lookup_program(rt, secret):
+    table = rt.cudaMalloc(TABLE, label="table")
+    rt.cudaMemcpyHtoD(table, np.arange(TABLE))
+    data = rt.cudaMalloc(32, label="data")
+    rt.cudaMemcpyHtoD(data, np.full(32, secret))
+    out = rt.cudaMalloc(32, label="out")
+    rt.cuLaunchKernel(lookup_kernel, 1, 32, table, data, out)
+
+
+def detect(config):
+    owl = Owl(lookup_program, name="lookup", config=config)
+    return owl.detect(inputs=[3, 99],
+                      random_input=lambda rng: int(rng.integers(0, TABLE)))
+
+
+class TestOffsetGranularity:
+    def test_byte_attacker_sees_the_leak(self):
+        result = detect(OwlConfig(fixed_runs=25, random_runs=25,
+                                  offset_granularity=1))
+        assert result.report.data_flow_leaks
+
+    def test_cache_line_attacker_still_sees_it(self):
+        """256 int64 entries span 32 cache lines: plenty of resolution."""
+        result = detect(OwlConfig(fixed_runs=25, random_runs=25,
+                                  offset_granularity=64))
+        assert result.report.data_flow_leaks
+
+    def test_whole_table_granularity_blinds_the_attacker(self):
+        """At table-sized resolution every lookup hits the same 'address'."""
+        result = detect(OwlConfig(fixed_runs=25, random_runs=25,
+                                  offset_granularity=TABLE * 8))
+        assert not result.report.data_flow_leaks
+
+    def test_granularity_validation(self):
+        with pytest.raises(ValueError):
+            LeakageConfig(offset_granularity=0)
+
+    def test_coarsening_preserves_total_counts(self):
+        analyzer = LeakageAnalyzer(LeakageConfig(offset_granularity=64))
+        counts = {("t", 0): 2, ("t", 8): 3, ("t", 64): 5, ("t", 200): 1}
+        coarse = analyzer._coarsen(counts)
+        assert sum(coarse.values()) == sum(counts.values())
+        assert coarse == {("t", 0): 5, ("t", 64): 5, ("t", 192): 1}
+
+
+class TestQuantification:
+    def test_bits_default_zero(self):
+        result = detect(OwlConfig(fixed_runs=25, random_runs=25))
+        assert all(leak.bits == 0.0 for leak in result.report.leaks)
+
+    def test_bits_populated_when_enabled(self):
+        result = detect(OwlConfig(fixed_runs=25, random_runs=25,
+                                  quantify=True))
+        leaks = result.report.data_flow_leaks
+        assert leaks
+        # a fixed input concentrates on one address while random inputs
+        # spread over 256: a strong (but < 1 bit) leak per observation
+        assert all(0.3 < leak.bits <= 1.0 for leak in leaks)
+
+    def test_bits_rendered_in_report(self):
+        result = detect(OwlConfig(fixed_runs=25, random_runs=25,
+                                  quantify=True))
+        assert "bits/obs" in result.report.render()
+
+    def test_one_sided_leaks_get_one_bit(self):
+        @kernel()
+        def branchy(k, data, out):
+            k.block("entry")
+            tid = k.global_tid()
+            secret = k.load(data, tid)
+            br = k.branch(secret > 100)
+            for _ in br.then("high"):
+                k.store(out, tid, 1)
+            for _ in br.otherwise("low"):
+                k.store(out, tid, 0)
+
+        def program(rt, secret):
+            data = rt.cudaMalloc(32, label="data")
+            rt.cudaMemcpyHtoD(data, np.full(32, secret))
+            out = rt.cudaMalloc(32, label="out")
+            rt.cuLaunchKernel(branchy, 1, 32, data, out)
+
+        # representative (first) input 200 -> 'high' only; random inputs
+        # stay below 90 -> 'low' only: both blocks are one-sided
+        owl = Owl(program, name="branchy",
+                  config=OwlConfig(fixed_runs=25, random_runs=25,
+                                   quantify=True))
+        result = owl.detect(inputs=[200, 3],
+                            random_input=lambda rng: int(rng.integers(0, 90)))
+        one_sided = [leak for leak in result.report.control_flow_leaks
+                     if "only under" in leak.detail]
+        assert {leak.block for leak in one_sided} == {"high", "low"}
+        assert all(leak.bits == 1.0 for leak in one_sided)

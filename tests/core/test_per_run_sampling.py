@@ -1,0 +1,136 @@
+"""The strict per-run sampling mode (DESIGN.md §6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Owl, OwlConfig
+from repro.core.evidence import Evidence
+from repro.core.leakage import LeakageAnalyzer, LeakageConfig
+from repro.gpusim import kernel
+from repro.tracing import TraceRecorder
+
+TABLE = 64
+
+
+@kernel()
+def lookup_kernel(k, table, data, out):
+    k.block("entry")
+    tid = k.global_tid()
+    secret = k.load(data, tid)
+    k.store(out, tid, k.load(table, secret % TABLE))
+
+
+def lookup_program(rt, secret):
+    table = rt.cudaMalloc(TABLE, label="table")
+    rt.cudaMemcpyHtoD(table, np.arange(TABLE))
+    data = rt.cudaMalloc(32, label="data")
+    rt.cudaMemcpyHtoD(data, np.full(32, secret))
+    out = rt.cudaMalloc(32, label="out")
+    rt.cuLaunchKernel(lookup_kernel, 1, 32, table, data, out)
+
+
+#: seeded rotation stream: random per run, reproducible across test runs
+_SHIFT_RNG = np.random.default_rng(77)
+
+
+def shifted_program(rt, secret):
+    """Per-run random table rotation, input-independent (the ORAM case).
+
+    All 32 lanes share one secret and one rotation: pooled counts are
+    32x-correlated — the scenario pooled sampling over-rejects on."""
+    rotation = int(_SHIFT_RNG.integers(0, TABLE))
+    table = rt.cudaMalloc(TABLE, label="table")
+    rt.cudaMemcpyHtoD(table, np.roll(np.arange(TABLE), -rotation))
+    data = rt.cudaMalloc(32, label="data")
+    rt.cudaMemcpyHtoD(data, np.full(32, (secret - rotation) % TABLE))
+    out = rt.cudaMalloc(32, label="out")
+    rt.cuLaunchKernel(lookup_kernel, 1, 32, table, data, out)
+
+
+def random_secret(rng):
+    return int(rng.integers(0, TABLE))
+
+
+class TestEvidenceRetention:
+    def test_per_run_graphs_only_kept_on_request(self, recorder):
+        traces = recorder.record_many(lookup_program, [3, 3])
+        pooled = Evidence.from_traces(traces)
+        assert pooled.slots[0].per_run_graphs is None
+        strict = Evidence.from_traces(traces, keep_per_run=True)
+        assert len(strict.slots[0].per_run_graphs) == 2
+
+    def test_absent_runs_recorded_as_none(self, recorder):
+        def maybe(rt, secret):
+            if secret:
+                lookup_program(rt, 1)
+
+        traces = recorder.record_many(maybe, [1, 0, 1])
+        strict = Evidence.from_traces(traces, keep_per_run=True)
+        graphs = strict.slots[0].per_run_graphs
+        assert [g is not None for g in graphs] == [True, False, True]
+
+    def test_per_run_mode_requires_retained_graphs(self, recorder):
+        traces = recorder.record_many(lookup_program, [3, 3])
+        pooled = Evidence.from_traces(traces)
+        analyzer = LeakageAnalyzer(LeakageConfig(sampling="per_run"))
+        with pytest.raises(ValueError):
+            analyzer.analyze(pooled, pooled)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            LeakageConfig(sampling="bootstrap")
+
+
+class TestDetectionParity:
+    def test_per_run_mode_finds_the_planted_leak(self):
+        config = OwlConfig(fixed_runs=25, random_runs=25,
+                           sampling="per_run")
+        result = Owl(lookup_program, name="lookup", config=config).detect(
+            inputs=[3, 40], random_input=random_secret)
+        df = result.report.data_flow_leaks
+        assert df
+        assert df[0].block == "entry"
+        assert "per-run" in df[0].detail
+
+    def test_per_run_mode_clean_on_clean_program(self):
+        @kernel()
+        def clean_kernel(k, data, out):
+            k.block("entry")
+            tid = k.global_tid()
+            k.store(out, tid, k.load(data, tid))
+
+        def clean_program(rt, secret):
+            data = rt.cudaMalloc(32, label="data")
+            rt.cudaMemcpyHtoD(data, np.full(32, secret))
+            out = rt.cudaMalloc(32, label="out")
+            rt.cuLaunchKernel(clean_kernel, 1, 32, data, out)
+
+        config = OwlConfig(fixed_runs=20, random_runs=20,
+                           sampling="per_run", always_analyze=True)
+        result = Owl(clean_program, name="clean", config=config).detect(
+            inputs=[3, 40], random_input=random_secret)
+        assert not result.report.has_leaks
+
+
+class TestOverdispersionRobustness:
+    def test_per_run_mode_calibrated_under_correlated_lanes(self):
+        """The motivation for strict mode: pooled sampling over-rejects on
+        run-level randomness with 32x-correlated lanes (unless capped);
+        per-run sampling handles it without a tuned cap."""
+        strict = OwlConfig(fixed_runs=25, random_runs=25,
+                           sampling="per_run")
+        result = Owl(shifted_program, name="shifted", config=strict).detect(
+            inputs=[3, 40], random_input=random_secret)
+        assert not result.report.has_leaks
+
+    def test_per_run_mode_retains_power(self):
+        """...while still catching the same leak pooled mode catches."""
+        strict = OwlConfig(fixed_runs=25, random_runs=25,
+                           sampling="per_run")
+        pooled = OwlConfig(fixed_runs=25, random_runs=25)
+        strict_result = Owl(lookup_program, config=strict).detect(
+            inputs=[3, 40], random_input=random_secret)
+        pooled_result = Owl(lookup_program, config=pooled).detect(
+            inputs=[3, 40], random_input=random_secret)
+        assert strict_result.report.data_flow_leaks
+        assert pooled_result.report.data_flow_leaks

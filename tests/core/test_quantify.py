@@ -1,0 +1,83 @@
+"""Leakage quantification: entropy, JSD, and sample-complexity estimates."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quantify import (
+    QuantifyError,
+    entropy_bits,
+    jensen_shannon_bits,
+    leakage_bits_per_observation,
+    observations_to_distinguish,
+)
+
+histograms = st.dictionaries(st.integers(0, 30), st.integers(1, 20),
+                             min_size=1, max_size=10)
+
+
+class TestEntropy:
+    def test_point_mass_zero(self):
+        assert entropy_bits({5: 100}) == 0.0
+
+    def test_uniform_two_values_one_bit(self):
+        assert entropy_bits({0: 10, 1: 10}) == pytest.approx(1.0)
+
+    def test_uniform_n_values(self):
+        hist = {value: 3 for value in range(8)}
+        assert entropy_bits(hist) == pytest.approx(3.0)
+
+    def test_weights_scale_invariant(self):
+        assert entropy_bits({0: 1, 1: 3}) == pytest.approx(
+            entropy_bits({0: 100, 1: 300}))
+
+    def test_empty_rejected(self):
+        with pytest.raises(QuantifyError):
+            entropy_bits({})
+
+
+class TestJensenShannon:
+    def test_identical_distributions_zero_bits(self):
+        hist = {0: 5, 8: 3, 16: 2}
+        assert jensen_shannon_bits(hist, hist) == pytest.approx(0.0, abs=1e-12)
+
+    def test_disjoint_distributions_one_bit(self):
+        assert jensen_shannon_bits({0: 10}, {1: 10}) == pytest.approx(1.0)
+
+    def test_partial_overlap_between(self):
+        bits = jensen_shannon_bits({0: 1, 1: 1}, {1: 1, 2: 1})
+        assert 0.0 < bits < 1.0
+
+    def test_symmetry(self):
+        p, q = {0: 3, 1: 1}, {0: 1, 2: 5}
+        assert jensen_shannon_bits(p, q) == pytest.approx(
+            jensen_shannon_bits(q, p))
+
+    @given(p=histograms, q=histograms)
+    @settings(max_examples=100, deadline=None)
+    def test_property_bounded_and_symmetric(self, p, q):
+        bits = jensen_shannon_bits(p, q)
+        assert 0.0 <= bits <= 1.0
+        assert bits == pytest.approx(jensen_shannon_bits(q, p), abs=1e-12)
+
+    @given(p=histograms)
+    @settings(max_examples=50, deadline=None)
+    def test_property_self_divergence_zero(self, p):
+        assert jensen_shannon_bits(p, p) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestSampleComplexity:
+    def test_leak_free_needs_infinite_observations(self):
+        assert observations_to_distinguish(0.0) == math.inf
+
+    def test_full_bit_needs_one_observation(self):
+        assert observations_to_distinguish(1.0) == pytest.approx(1.0)
+
+    def test_weak_leak_needs_more(self):
+        assert observations_to_distinguish(0.01) == pytest.approx(100.0)
+
+    def test_alias(self):
+        assert leakage_bits_per_observation({0: 1}, {1: 1}) == pytest.approx(1.0)

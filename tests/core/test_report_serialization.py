@@ -1,0 +1,65 @@
+"""Leakage-report persistence: dict/JSON round-trips."""
+
+import json
+
+import pytest
+
+from repro.core.report import Leak, LeakType, LeakageReport
+
+
+def sample_report():
+    report = LeakageReport(program_name="aes", num_fixed_runs=100,
+                           num_random_runs=100, confidence=0.95)
+    report.add(Leak(leak_type=LeakType.DEVICE_DATA_FLOW,
+                    kernel_identity="aes@abcd", kernel_name="aes_kernel",
+                    block="round", instr=7, p_value=1e-12, statistic=0.43,
+                    bits=0.81, detail="address histogram deviates"))
+    report.add(Leak(leak_type=LeakType.KERNEL,
+                    kernel_identity="copy@0f0f", kernel_name="copy_kernel",
+                    p_value=0.0, statistic=1.0,
+                    detail="invocation only under random inputs"))
+    report.add(Leak(leak_type=LeakType.DEVICE_CONTROL_FLOW,
+                    kernel_identity="rsa@9999", kernel_name="rsa_kernel",
+                    block="square", p_value=0.004, statistic=0.11))
+    return report
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        report = sample_report()
+        restored = LeakageReport.from_dict(report.to_dict())
+        assert restored.program_name == report.program_name
+        assert restored.counts() == report.counts()
+        assert [l.location for l in restored.leaks] == [
+            l.location for l in report.leaks]
+        assert [l.leak_type for l in restored.leaks] == [
+            l.leak_type for l in report.leaks]
+
+    def test_json_roundtrip(self):
+        report = sample_report()
+        restored = LeakageReport.from_json(report.to_json())
+        assert restored.to_dict() == report.to_dict()
+
+    def test_json_is_valid_and_stable(self):
+        text = sample_report().to_json()
+        payload = json.loads(text)
+        assert payload["program_name"] == "aes"
+        assert len(payload["leaks"]) == 3
+        # sorted keys => byte-stable output for diffing in CI
+        assert text == sample_report().to_json()
+
+    def test_bits_field_survives(self):
+        restored = LeakageReport.from_json(sample_report().to_json())
+        assert restored.leaks[0].bits == pytest.approx(0.81)
+
+    def test_missing_bits_defaults_to_zero(self):
+        payload = sample_report().to_dict()
+        for entry in payload["leaks"]:
+            entry.pop("bits")
+        restored = LeakageReport.from_dict(payload)
+        assert all(leak.bits == 0.0 for leak in restored.leaks)
+
+    def test_empty_report_roundtrip(self):
+        report = LeakageReport(program_name="clean")
+        assert LeakageReport.from_json(report.to_json()).counts() == {
+            "kernel": 0, "control_flow": 0, "data_flow": 0}

@@ -1,0 +1,122 @@
+"""Control-flow transition matrices (eqs. 5–8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adcfg.graph import ADCFG, END_LABEL, START_LABEL
+from repro.core.transition import all_transition_matrices, transition_matrix
+
+
+def chain_graph():
+    """START -> a -> b -> END, traversed twice."""
+    graph = ADCFG("k@1")
+    graph.edge(START_LABEL, "a").record(START_LABEL, 2)
+    graph.edge("a", "b").record(START_LABEL, 2)
+    graph.edge("b", END_LABEL).record("a", 2)
+    graph.node("a").record_entry(2)
+    graph.node("b").record_entry(2)
+    return graph
+
+
+def branch_graph():
+    """a branches to b (3×) or c (1×); both rejoin at d."""
+    graph = ADCFG("k@1")
+    graph.edge(START_LABEL, "a").record(START_LABEL, 4)
+    graph.edge("a", "b").record(START_LABEL, 3)
+    graph.edge("a", "c").record(START_LABEL, 1)
+    graph.edge("b", "d").record("a", 3)
+    graph.edge("c", "d").record("a", 1)
+    graph.edge("d", END_LABEL).record("b", 3)
+    graph.edge("d", END_LABEL).record("c", 1)
+    for label, entries in (("a", 4), ("b", 3), ("c", 1), ("d", 4)):
+        graph.node(label).record_entry(entries)
+    return graph
+
+
+class TestConstruction:
+    def test_chain_node_matrix(self):
+        matrix = transition_matrix(chain_graph(), "a")
+        assert matrix.sources == (START_LABEL,)
+        assert matrix.destinations == ("b",)
+        assert matrix.counts[0, 0] == 2
+
+    def test_branch_source_matrix(self):
+        matrix = transition_matrix(branch_graph(), "a")
+        assert matrix.destinations == ("b", "c")
+        assert list(matrix.o_vector) == [3, 1]
+        assert list(matrix.i_vector) == [4]
+
+    def test_join_node_matrix(self):
+        matrix = transition_matrix(branch_graph(), "d")
+        assert matrix.sources == ("b", "c")
+        assert matrix.destinations == (END_LABEL,)
+        assert list(matrix.i_vector) == [3, 1]
+
+    def test_missing_node_raises(self):
+        with pytest.raises(KeyError):
+            transition_matrix(chain_graph(), "zzz")
+
+    def test_all_matrices_cover_nodes(self):
+        graph = chain_graph()
+        labels = [m.label for m in all_transition_matrices(graph)]
+        assert labels == sorted(graph.nodes)
+
+
+class TestEquation7:
+    def test_i_times_a_equals_o_chain(self):
+        assert transition_matrix(chain_graph(), "a").verify_balance()
+
+    def test_i_times_a_equals_o_branch(self):
+        graph = branch_graph()
+        for label in ("a", "d"):
+            matrix = transition_matrix(graph, label)
+            lhs = matrix.i_vector.astype(float) @ matrix.probabilities
+            assert np.allclose(lhs, matrix.o_vector)
+
+    def test_probabilities_rows_are_stochastic(self):
+        matrix = transition_matrix(branch_graph(), "a")
+        assert np.allclose(matrix.probabilities.sum(axis=1), 1.0)
+
+    @given(counts=st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(1, 9)),
+        min_size=1, max_size=9))
+    @settings(max_examples=80, deadline=None)
+    def test_property_feasible_solution_balances(self, counts):
+        """Any observed (src, dst) pair multiset yields I·A = O."""
+        srcs = ["s0", "s1", "s2"]
+        dsts = ["d0", "d1", "d2"]
+        graph = ADCFG("k@1")
+        for src_i, dst_i, count in counts:
+            graph.edge("n", dsts[dst_i]).record(srcs[src_i], count)
+        graph.node("n")
+        matrix = transition_matrix(graph, "n")
+        assert matrix.verify_balance()
+        assert matrix.counts.sum() == sum(c for _s, _d, c in counts)
+
+
+class TestHistogram:
+    def test_histogram_flattens_matrix(self):
+        hist = transition_matrix(branch_graph(), "a").histogram()
+        assert hist == {(START_LABEL, "b"): 3, (START_LABEL, "c"): 1}
+
+    def test_histogram_omits_zero_cells(self):
+        graph = ADCFG("k@1")
+        graph.edge("n", "x").record("p", 1)
+        graph.edge("n", "y").record("q", 1)
+        graph.node("n")
+        hist = transition_matrix(graph, "n").histogram()
+        # (p, y) and (q, x) were never observed
+        assert set(hist) == {("p", "x"), ("q", "y")}
+
+    def test_loop_node_self_transitions(self):
+        graph = ADCFG("k@1")
+        graph.edge("loop", "loop").record("entry", 1)
+        graph.edge("loop", "loop").record("loop", 4)
+        graph.edge("loop", "exit").record("loop", 1)
+        graph.node("loop")
+        hist = transition_matrix(graph, "loop").histogram()
+        assert hist[("loop", "loop")] == 4
+        assert hist[("entry", "loop")] == 1
+        assert hist[("loop", "exit")] == 1

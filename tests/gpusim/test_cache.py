@@ -1,0 +1,173 @@
+"""Cache-hierarchy model: LRU, associativity, hierarchy, simulation."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import Device, kernel
+from repro.gpusim.cache import (
+    DRAM_CYCLES,
+    L1_HIT_CYCLES,
+    L2_HIT_CYCLES,
+    CacheConfig,
+    CacheHierarchy,
+    CacheSimulator,
+    SetAssociativeCache,
+)
+from repro.host import CudaRuntime
+
+
+class TestCacheConfig:
+    def test_capacity(self):
+        config = CacheConfig(line_size=64, num_sets=64, associativity=4)
+        assert config.capacity_bytes == 16 * 1024
+
+    def test_indexing(self):
+        config = CacheConfig(line_size=64, num_sets=64)
+        assert config.set_index(0) == 0
+        assert config.set_index(64) == 1
+        assert config.set_index(64 * 64) == 0  # wraps
+        assert config.tag(64 * 64) == 1
+        assert config.line_address(100) == 64
+
+
+class TestSetAssociativeCache:
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache()
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_line_hits(self):
+        cache = SetAssociativeCache()
+        cache.access(0x1000)
+        assert cache.access(0x1000 + 63)  # same 64B line
+        assert not cache.access(0x1000 + 64)  # next line
+
+    def test_associativity_respected(self):
+        config = CacheConfig(line_size=64, num_sets=4, associativity=2)
+        cache = SetAssociativeCache(config)
+        stride = 64 * 4  # same set every time
+        cache.access(0 * stride)
+        cache.access(1 * stride)
+        assert cache.access(0 * stride)      # still resident (2 ways)
+        cache.access(2 * stride)             # evicts LRU (way 1)
+        assert not cache.access(1 * stride)  # gone
+
+    def test_lru_order_updated_by_hits(self):
+        config = CacheConfig(line_size=64, num_sets=1, associativity=2)
+        cache = SetAssociativeCache(config)
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)      # refresh line 0
+        cache.access(128)    # evicts line 64, not line 0
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+    def test_flush(self):
+        cache = SetAssociativeCache()
+        cache.access(0)
+        cache.flush()
+        assert not cache.contains(0)
+
+    def test_occupancy(self):
+        config = CacheConfig(line_size=64, num_sets=2, associativity=4)
+        cache = SetAssociativeCache(config)
+        cache.access(0)
+        cache.access(64)
+        cache.access(128)
+        assert cache.resident_set_occupancy() == [2, 1]
+
+
+class TestHierarchy:
+    def test_latency_ordering(self):
+        hierarchy = CacheHierarchy()
+        level, cycles = hierarchy.access(0x4000)
+        assert (level, cycles) == ("DRAM", DRAM_CYCLES)
+        level, cycles = hierarchy.access(0x4000)
+        assert (level, cycles) == ("L1", L1_HIT_CYCLES)
+
+    def test_l2_backstop(self):
+        # thrash L1 (16 KB) with a 32 KB working set, then revisit: L2
+        # (256 KB) still holds the lines
+        hierarchy = CacheHierarchy()
+        addresses = [i * 64 for i in range(512)]
+        for address in addresses:
+            hierarchy.access(address)
+        level, cycles = hierarchy.access(addresses[0])
+        assert level == "L2"
+        assert cycles == L2_HIT_CYCLES
+
+
+@kernel()
+def sweep_kernel(k, buf, n):
+    k.block("entry")
+    tid = k.global_tid()
+    guard = k.branch(tid < n)
+    for _ in guard.then("body"):
+        k.load(buf, tid)
+
+
+class TestCacheSimulator:
+    def run_with_cache(self, n=64, repeat=1):
+        device = Device()
+        simulator = CacheSimulator(memory=device.memory)
+        device.subscribe(simulator.on_event)
+        rt = CudaRuntime(device)
+        buf = rt.cudaMalloc(256, label="buf")
+        for _ in range(repeat):
+            rt.cuLaunchKernel(sweep_kernel, 2, 32, buf, n)
+        return simulator
+
+    def test_per_kernel_stats(self):
+        simulator = self.run_with_cache(repeat=2)
+        assert len(simulator.per_kernel) == 2
+        assert all(s.kernel_name == "sweep_kernel"
+                   for s in simulator.per_kernel)
+        assert simulator.per_kernel[0].accesses == 64
+
+    def test_flush_between_kernels_default(self):
+        simulator = self.run_with_cache(repeat=2)
+        first, second = simulator.per_kernel
+        assert first.l1_hit_rate == second.l1_hit_rate
+
+    def test_no_flush_keeps_cache_warm(self):
+        device = Device()
+        simulator = CacheSimulator(memory=device.memory,
+                                   flush_between_kernels=False)
+        device.subscribe(simulator.on_event)
+        rt = CudaRuntime(device)
+        buf = rt.cudaMalloc(256, label="buf")
+        rt.cuLaunchKernel(sweep_kernel, 2, 32, buf, 64)
+        rt.cuLaunchKernel(sweep_kernel, 2, 32, buf, 64)
+        first, second = simulator.per_kernel
+        assert second.l1_hit_rate > first.l1_hit_rate
+
+    def test_lines_touched_normalised(self):
+        simulator = self.run_with_cache(n=64)
+        lines = simulator.per_kernel[0].touched("buf")
+        # 64 int64 elements = 512 bytes = 8 lines from offset 0
+        assert lines == {i * 64 for i in range(8)}
+
+    def test_total_cycles_accumulate(self):
+        simulator = self.run_with_cache(repeat=3)
+        assert simulator.total_cycles() == sum(
+            s.cycles for s in simulator.per_kernel)
+
+    def test_sequential_beats_random_hit_rate(self):
+        @kernel()
+        def strided(k, buf, stride):
+            k.block("entry")
+            tid = k.global_tid()
+            for i in k.range_("loop", 8):
+                k.load(buf, (tid * stride + i * stride * 32) % 4096)
+
+        def measure(stride):
+            device = Device()
+            simulator = CacheSimulator(memory=device.memory)
+            device.subscribe(simulator.on_event)
+            rt = CudaRuntime(device)
+            buf = rt.cudaMalloc(4096, label="buf")
+            rt.cuLaunchKernel(strided, 1, 32, buf, stride)
+            return simulator.per_kernel[0].l1_hit_rate
+
+        assert measure(1) > measure(8)  # dense reuse of lines vs scattered

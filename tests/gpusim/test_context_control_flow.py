@@ -1,0 +1,294 @@
+"""SIMT control-flow semantics: branching, predication, loops, intrinsics."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.context import SimtDivergenceError, WarpContext
+from repro.gpusim.events import BasicBlockEvent, SyncEvent
+from repro.gpusim.kernel import LaunchConfig
+from repro.gpusim.warp import WARP_SIZE
+
+
+def make_context(threads_per_block: int = 32, block_id: int = 0,
+                 warp_id: int = 0):
+    """A standalone warp context capturing its own events."""
+    events = []
+    launch = LaunchConfig.create(1, threads_per_block)
+    ctx = WarpContext(launch=launch, block_id=block_id, warp_id=warp_id,
+                      emit=events.append, shared_alloc=None)
+    return ctx, events
+
+
+def block_sequence(events):
+    return [e.label for e in events if isinstance(e, BasicBlockEvent)]
+
+
+class TestIdentity:
+    def test_lane_vector(self):
+        ctx, _ = make_context()
+        assert list(ctx.lane) == list(range(WARP_SIZE))
+
+    def test_global_tid_second_warp(self):
+        ctx, _ = make_context(threads_per_block=64, warp_id=1)
+        assert ctx.global_tid()[0] == 32
+
+    def test_global_tid_second_block(self):
+        ctx, _ = make_context(threads_per_block=64, block_id=1)
+        assert ctx.global_tid()[0] == 64
+
+    def test_partial_warp_masks_nonexistent_lanes(self):
+        ctx, _ = make_context(threads_per_block=40, warp_id=1)
+        # lanes 8..31 of warp 1 don't exist (threads 40..63)
+        assert ctx.active.sum() == 8
+
+    def test_thread_idx_3d(self):
+        events = []
+        launch = LaunchConfig.create(1, (4, 4, 2))
+        ctx = WarpContext(launch=launch, block_id=0, warp_id=0,
+                          emit=events.append, shared_alloc=None)
+        x, y, z = ctx.thread_idx()
+        assert (x[:4] == [0, 1, 2, 3]).all()
+        assert y[4] == 1
+        assert z[16] == 1
+
+    def test_global_warp_id(self):
+        ctx, _ = make_context(threads_per_block=64, block_id=2, warp_id=1)
+        assert ctx.global_warp_id == 5
+
+
+class TestBasicBlocks:
+    def test_block_emits_event(self):
+        ctx, events = make_context()
+        ctx.block("a")
+        assert block_sequence(events) == ["a"]
+
+    def test_visit_counter_per_label(self):
+        ctx, events = make_context()
+        ctx.block("a")
+        ctx.block("b")
+        ctx.block("a")
+        bb = [e for e in events if isinstance(e, BasicBlockEvent)]
+        assert [(e.label, e.visit) for e in bb] == [
+            ("a", 0), ("b", 0), ("a", 1)]
+
+    def test_active_lane_count_recorded(self):
+        ctx, events = make_context(threads_per_block=10)
+        ctx.block("a")
+        assert events[0].active_lanes == 10
+
+    def test_block_with_no_active_lanes_is_an_error(self):
+        ctx, _ = make_context()
+        ctx._set_active(np.zeros(WARP_SIZE, dtype=bool))
+        with pytest.raises(SimtDivergenceError):
+            ctx.block("dead")
+
+
+class TestBranch:
+    def test_uniform_true_skips_else(self):
+        ctx, events = make_context()
+        br = ctx.branch(ctx.lane >= 0)
+        for _ in br.then("taken"):
+            pass
+        for _ in br.otherwise("untaken"):
+            raise AssertionError("must not execute")
+        assert block_sequence(events) == ["taken"]
+
+    def test_uniform_false_skips_then(self):
+        ctx, events = make_context()
+        br = ctx.branch(ctx.lane < 0)
+        for _ in br.then("untaken"):
+            raise AssertionError("must not execute")
+        for _ in br.otherwise("taken"):
+            pass
+        assert block_sequence(events) == ["taken"]
+
+    def test_divergent_branch_visits_both_sides(self):
+        """Predicated execution: a divergent warp traverses both arms."""
+        ctx, events = make_context()
+        br = ctx.branch(ctx.lane < 16)
+        for _ in br.then("low"):
+            assert ctx.active.sum() == 16
+        for _ in br.otherwise("high"):
+            assert ctx.active.sum() == 16
+        assert block_sequence(events) == ["low", "high"]
+        assert ctx.active.sum() == WARP_SIZE  # mask restored
+
+    def test_nested_branches_intersect_masks(self):
+        ctx, events = make_context()
+        outer = ctx.branch(ctx.lane < 16)
+        for _ in outer.then("outer"):
+            inner = ctx.branch(ctx.lane % 2 == 0)
+            for _ in inner.then("inner"):
+                assert ctx.active.sum() == 8
+        assert block_sequence(events) == ["outer", "inner"]
+
+    def test_mask_restored_after_exception(self):
+        ctx, _ = make_context()
+        br = ctx.branch(ctx.lane < 4)
+        with pytest.raises(RuntimeError):
+            for _ in br.then("boom"):
+                raise RuntimeError("body failed")
+        assert ctx.active.sum() == WARP_SIZE
+
+    def test_branch_respects_enclosing_mask(self):
+        ctx, events = make_context()
+        outer = ctx.branch(ctx.lane < 8)
+        for _ in outer.then("outer"):
+            inner = ctx.branch(ctx.lane >= 8)  # disjoint from outer
+            for _ in inner.then("never"):
+                raise AssertionError("no lane can be active here")
+            for _ in inner.otherwise("all_outer"):
+                assert ctx.active.sum() == 8
+
+
+class TestLoops:
+    def test_range_counts_visits(self):
+        ctx, events = make_context()
+        total = 0
+        for i in ctx.range_("loop", 5):
+            total += i
+        assert total == 10
+        assert block_sequence(events) == ["loop"] * 5
+
+    def test_range_start_stop_step(self):
+        ctx, _ = make_context()
+        assert list(ctx.range_("loop", 2, 10, 3)) == [2, 5, 8]
+
+    def test_range_zero_iterations(self):
+        ctx, events = make_context()
+        for _ in ctx.range_("loop", 0):
+            raise AssertionError("no iterations expected")
+        assert block_sequence(events) == []
+
+    def test_while_uniform_trip_count(self):
+        ctx, events = make_context()
+        counter = {"v": 3}
+
+        def cond():
+            return np.full(WARP_SIZE, counter["v"] > 0)
+
+        for _ in ctx.while_("w", cond):
+            counter["v"] -= 1
+        assert counter["v"] == 0
+        assert block_sequence(events) == ["w"] * 3
+
+    def test_while_divergent_runs_max_lane_trips(self):
+        """SIMT loops run until the slowest lane retires."""
+        ctx, events = make_context()
+        remaining = ctx.lane % 4  # lanes need 0..3 iterations
+        state = {"r": remaining.copy()}
+
+        def cond():
+            return state["r"] > 0
+
+        iterations = 0
+        for _ in ctx.while_("w", cond):
+            state["r"] = np.where(state["r"] > 0, state["r"] - 1, state["r"])
+            iterations += 1
+        assert iterations == 3  # max over lanes
+        assert block_sequence(events) == ["w"] * 3
+
+    def test_while_restores_mask(self):
+        ctx, _ = make_context()
+        state = {"r": ctx.lane % 2}
+        for _ in ctx.while_("w", lambda: state["r"] > 0):
+            state["r"] = np.where(state["r"] > 0, state["r"] - 1, state["r"])
+        assert ctx.active.sum() == WARP_SIZE
+
+    def test_while_zero_iterations(self):
+        ctx, events = make_context()
+        for _ in ctx.while_("w", lambda: np.zeros(WARP_SIZE, dtype=bool)):
+            raise AssertionError("never entered")
+        assert block_sequence(events) == []
+
+    def test_while_iteration_guard(self):
+        ctx, _ = make_context()
+        with pytest.raises(SimtDivergenceError):
+            for _ in ctx.while_("w", lambda: True, max_iter=10):
+                pass
+
+    def test_while_masks_only_live_lanes_inside(self):
+        ctx, _ = make_context()
+        state = {"r": np.where(ctx.lane < 4, 2, 1)}
+        observed = []
+
+        def cond():
+            return state["r"] > 0
+
+        for _ in ctx.while_("w", cond):
+            observed.append(int(ctx.active.sum()))
+            state["r"] = state["r"] - 1
+        assert observed == [32, 4]
+
+
+class TestIntrinsics:
+    def test_select_is_pure_predication(self):
+        ctx, events = make_context()
+        out = ctx.select(ctx.lane < 16, 1, 2)
+        assert out[0] == 1 and out[31] == 2
+        assert events == []  # no control flow, no trace
+
+    def test_uniform_ok(self):
+        ctx, _ = make_context()
+        assert ctx.uniform(np.full(WARP_SIZE, 9)) == 9
+
+    def test_uniform_divergent_raises(self):
+        ctx, _ = make_context()
+        with pytest.raises(SimtDivergenceError):
+            ctx.uniform(ctx.lane)
+
+    def test_uniform_ignores_inactive_lanes(self):
+        ctx, _ = make_context()
+        values = np.zeros(WARP_SIZE)
+        values[20:] = 5
+        br = ctx.branch(ctx.lane < 20)
+        for _ in br.then("low"):
+            assert ctx.uniform(values) == 0
+
+    def test_any_all(self):
+        ctx, _ = make_context()
+        assert ctx.any(ctx.lane == 0)
+        assert not ctx.any(ctx.lane < 0)
+        assert ctx.all(ctx.lane >= 0)
+        assert not ctx.all(ctx.lane > 0)
+
+    def test_any_all_respect_mask(self):
+        ctx, _ = make_context()
+        br = ctx.branch(ctx.lane < 8)
+        for _ in br.then("low"):
+            assert ctx.all(ctx.lane < 8)
+            assert not ctx.any(ctx.lane >= 8)
+
+    def test_ballot(self):
+        ctx, _ = make_context()
+        assert ctx.ballot(ctx.lane < 2) == 0b11
+        assert ctx.ballot(ctx.lane == 31) == 1 << 31
+
+    def test_reductions(self):
+        ctx, _ = make_context()
+        assert ctx.reduce_sum(np.ones(WARP_SIZE)) == WARP_SIZE
+        assert ctx.reduce_max(ctx.lane) == 31
+        assert ctx.reduce_min(ctx.lane + 5) == 5
+
+    def test_reduction_respects_mask(self):
+        ctx, _ = make_context()
+        br = ctx.branch(ctx.lane < 4)
+        for _ in br.then("low"):
+            assert ctx.reduce_sum(np.ones(WARP_SIZE)) == 4
+            assert ctx.reduce_max(ctx.lane) == 3
+
+    def test_reduce_empty_raises(self):
+        ctx, _ = make_context()
+        ctx._set_active(np.zeros(WARP_SIZE, dtype=bool))
+        with pytest.raises(SimtDivergenceError):
+            ctx.reduce_max(ctx.lane)
+
+    def test_shfl_broadcast(self):
+        ctx, _ = make_context()
+        out = ctx.shfl(ctx.lane, 7)
+        assert (out == 7).all()
+
+    def test_syncthreads_traced(self):
+        ctx, events = make_context()
+        ctx.syncthreads()
+        assert isinstance(events[0], SyncEvent)

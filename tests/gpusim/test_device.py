@@ -1,0 +1,141 @@
+"""Device launch dispatch, scheduling, shared memory, and event fan-out."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import Device, DeviceConfig, kernel
+from repro.gpusim.device import LaunchError
+from repro.gpusim.events import (
+    BasicBlockEvent,
+    KernelBeginEvent,
+    KernelEndEvent,
+)
+
+
+@kernel()
+def tid_writer(k, out):
+    k.block("body")
+    tid = k.global_tid()
+    k.store(out, tid, tid)
+
+
+@kernel()
+def shared_user(k, out):
+    k.block("body")
+    scratch = k.shared("scratch", 32)
+    k.store(scratch, k.lane, k.lane * 2)
+    k.store(out, k.global_tid(), k.load(scratch, k.lane))
+
+
+class TestLaunch:
+    def test_every_thread_runs(self):
+        device = Device()
+        out = device.alloc(128)
+        device.launch(tid_writer, 2, 64, out)
+        assert (out.data == np.arange(128)).all()
+
+    def test_partial_last_warp(self):
+        device = Device()
+        out = device.alloc(40)
+        device.launch(tid_writer, 1, 40, out)
+        assert (out.data == np.arange(40)).all()
+
+    def test_launch_count_increments(self):
+        device = Device()
+        out = device.alloc(32)
+        device.launch(tid_writer, 1, 32, out)
+        device.launch(tid_writer, 1, 32, out)
+        assert device.launch_count == 2
+
+    def test_threads_per_block_limit(self):
+        device = Device(DeviceConfig(max_threads_per_block=64))
+        out = device.alloc(256)
+        with pytest.raises(LaunchError):
+            device.launch(tid_writer, 1, 128, out)
+
+    def test_begin_end_events_bracket_trace(self):
+        device = Device()
+        events = []
+        device.subscribe(events.append)
+        out = device.alloc(32)
+        device.launch(tid_writer, 1, 32, out)
+        assert isinstance(events[0], KernelBeginEvent)
+        assert isinstance(events[-1], KernelEndEvent)
+        assert events[0].kernel_name == "tid_writer"
+        assert events[0].total_threads == 32
+        assert events[0].num_warps == 1
+
+    def test_unsubscribe_stops_delivery(self):
+        device = Device()
+        events = []
+        device.subscribe(events.append)
+        device.unsubscribe(events.append)
+        out = device.alloc(32)
+        device.launch(tid_writer, 1, 32, out)
+        assert events == []
+
+    def test_warp_events_cover_all_warps(self):
+        device = Device()
+        events = []
+        device.subscribe(events.append)
+        out = device.alloc(128)
+        device.launch(tid_writer, 2, 64, out)
+        bb = [e for e in events if isinstance(e, BasicBlockEvent)]
+        assert {(e.block_id, e.warp_id) for e in bb} == {
+            (0, 0), (0, 1), (1, 0), (1, 1)}
+
+
+class TestSharedMemory:
+    def test_shared_buffer_visible_to_kernel(self):
+        device = Device()
+        out = device.alloc(64)
+        device.launch(shared_user, 2, 32, out)
+        assert (out.data[:32] == np.arange(32) * 2).all()
+        assert (out.data[32:] == np.arange(32) * 2).all()
+
+    def test_shared_allocations_are_per_block(self):
+        device = Device()
+        out = device.alloc(64)
+        device.launch(shared_user, 2, 32, out)
+        shared = [b for b in device.memory.buffers
+                  if "shared" in b.label]
+        assert len(shared) == 2  # one per block
+        # same label for all blocks: offsets aggregate in the analysis
+        assert len({b.label for b in shared}) == 1
+
+
+class TestScheduling:
+    def test_shuffle_changes_event_order_not_results(self):
+        def run(config):
+            device = Device(config)
+            events = []
+            device.subscribe(events.append)
+            out = device.alloc(256)
+            device.launch(tid_writer, 4, 64, out)
+            order = [(e.block_id, e.warp_id) for e in events
+                     if isinstance(e, BasicBlockEvent)]
+            return order, out.data.copy()
+
+        order_det, data_det = run(DeviceConfig(shuffle_schedule=False))
+        order_shuf, data_shuf = run(DeviceConfig(shuffle_schedule=True,
+                                                 seed=99))
+        assert sorted(order_det) == sorted(order_shuf)
+        assert order_det != order_shuf
+        assert (data_det == data_shuf).all()
+
+
+class TestDeviceConfig:
+    def test_describe_rows(self):
+        rows = DeviceConfig().describe()
+        assert "GPU (simulated)" in rows
+        assert rows["Warp size"] == "32"
+        assert rows["Device ASLR"] == "disabled"
+
+    def test_reset_clears_memory_and_stats(self):
+        device = Device()
+        device.alloc(16)
+        out = device.alloc(32)
+        device.launch(tid_writer, 1, 32, out)
+        device.reset()
+        assert device.memory.buffers == ()
+        assert device.launch_count == 0

@@ -1,0 +1,96 @@
+"""Unit tests for kernels and launch geometry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.kernel import Kernel, LaunchConfig, kernel
+
+
+class TestLaunchConfig:
+    def test_int_dims_normalise(self):
+        cfg = LaunchConfig.create(4, 128)
+        assert cfg.grid == (4, 1, 1)
+        assert cfg.block == (128, 1, 1)
+
+    def test_partial_tuple_dims(self):
+        cfg = LaunchConfig.create((2, 3), (8, 4))
+        assert cfg.grid == (2, 3, 1)
+        assert cfg.block == (8, 4, 1)
+
+    def test_full_3d(self):
+        cfg = LaunchConfig.create((2, 3, 4), (8, 4, 2))
+        assert cfg.num_blocks == 24
+        assert cfg.threads_per_block == 64
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(ValueError):
+            LaunchConfig.create(0, 32)
+
+    def test_too_many_components_rejected(self):
+        with pytest.raises(ValueError):
+            LaunchConfig.create((1, 2, 3, 4), 32)
+
+    def test_warps_round_up(self):
+        assert LaunchConfig.create(1, 33).warps_per_block == 2
+        assert LaunchConfig.create(1, 32).warps_per_block == 1
+        assert LaunchConfig.create(1, 1).warps_per_block == 1
+
+    def test_totals(self):
+        cfg = LaunchConfig.create(3, 48)
+        assert cfg.total_threads == 144
+        assert cfg.total_warps == 6  # 2 warps per 48-thread block
+
+    def test_block_index_roundtrip(self):
+        cfg = LaunchConfig.create((3, 2, 2), 32)
+        seen = set()
+        for linear in range(cfg.num_blocks):
+            seen.add(cfg.block_index(linear))
+        assert len(seen) == cfg.num_blocks
+        assert cfg.block_index(0) == (0, 0, 0)
+        assert cfg.block_index(1) == (1, 0, 0)  # x fastest
+        assert cfg.block_index(3) == (0, 1, 0)
+
+    def test_thread_index_roundtrip(self):
+        cfg = LaunchConfig.create(1, (4, 2, 2))
+        assert cfg.thread_index(0) == (0, 0, 0)
+        assert cfg.thread_index(1) == (1, 0, 0)
+        assert cfg.thread_index(4) == (0, 1, 0)
+        assert cfg.thread_index(8) == (0, 0, 1)
+
+    @given(gx=st.integers(1, 8), gy=st.integers(1, 8), gz=st.integers(1, 4),
+           bx=st.integers(1, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_property_block_indices_cover_grid(self, gx, gy, gz, bx):
+        cfg = LaunchConfig.create((gx, gy, gz), bx)
+        indices = {cfg.block_index(i) for i in range(cfg.num_blocks)}
+        assert len(indices) == gx * gy * gz
+        assert all(0 <= x < gx and 0 <= y < gy and 0 <= z < gz
+                   for x, y, z in indices)
+
+
+class TestKernelDecorator:
+    def test_name_defaults_to_function_name(self):
+        @kernel()
+        def my_kernel(k):
+            pass
+
+        assert isinstance(my_kernel, Kernel)
+        assert my_kernel.name == "my_kernel"
+
+    def test_explicit_name(self):
+        @kernel("custom")
+        def my_kernel(k):
+            pass
+
+        assert my_kernel.name == "custom"
+
+    def test_call_forwards_arguments(self):
+        calls = []
+
+        @kernel()
+        def probe(k, a, b):
+            calls.append((k, a, b))
+
+        probe("ctx", 1, 2)
+        assert calls == [("ctx", 1, 2)]

@@ -1,0 +1,188 @@
+"""Unit tests for the device memory model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.memory import (
+    ALLOCATION_ALIGNMENT,
+    AllocationError,
+    DeviceMemory,
+    MemoryAllocator,
+    MemorySpace,
+)
+
+
+class TestMemoryAllocator:
+    def test_bases_are_aligned(self):
+        allocator = MemoryAllocator()
+        for size in (1, 7, 255, 256, 257, 4096):
+            alloc = allocator.allocate(size)
+            assert alloc.base % ALLOCATION_ALIGNMENT == 0
+
+    def test_allocations_do_not_overlap(self):
+        allocator = MemoryAllocator()
+        allocs = [allocator.allocate(100 + i) for i in range(20)]
+        for first, second in zip(allocs, allocs[1:]):
+            assert first.end <= second.base
+
+    def test_sizes_are_preserved(self):
+        allocator = MemoryAllocator()
+        alloc = allocator.allocate(123)
+        assert alloc.size == 123
+
+    def test_zero_size_rejected(self):
+        allocator = MemoryAllocator()
+        with pytest.raises(AllocationError):
+            allocator.allocate(0)
+
+    def test_negative_size_rejected(self):
+        allocator = MemoryAllocator()
+        with pytest.raises(AllocationError):
+            allocator.allocate(-5)
+
+    def test_resolve_finds_owner_and_offset(self):
+        allocator = MemoryAllocator()
+        first = allocator.allocate(300)
+        second = allocator.allocate(300)
+        alloc, offset = allocator.resolve(second.base + 17)
+        assert alloc is second
+        assert offset == 17
+        alloc, offset = allocator.resolve(first.base)
+        assert alloc is first
+        assert offset == 0
+
+    def test_resolve_unknown_address_raises(self):
+        allocator = MemoryAllocator()
+        allocator.allocate(64)
+        with pytest.raises(AllocationError):
+            allocator.resolve(0x10)
+
+    def test_resolve_end_is_exclusive(self):
+        allocator = MemoryAllocator()
+        alloc = allocator.allocate(64)
+        with pytest.raises(AllocationError):
+            # one past the last byte, inside alignment padding
+            allocator.resolve(alloc.base + 64)
+
+    def test_deterministic_without_aslr(self):
+        bases_a = [a.base for a in
+                   (MemoryAllocator(aslr=False).allocate(10),)]
+        bases_b = [a.base for a in
+                   (MemoryAllocator(aslr=False).allocate(10),)]
+        assert bases_a == bases_b
+
+    def test_aslr_randomises_bases(self):
+        bases = {MemoryAllocator(aslr=True, seed=s).allocate(10).base
+                 for s in range(8)}
+        assert len(bases) > 1
+
+    def test_aslr_reset_reslides(self):
+        allocator = MemoryAllocator(aslr=True, seed=3)
+        first = allocator.allocate(10).base
+        allocator.reset()
+        second = allocator.allocate(10).base
+        assert first != second
+
+    def test_reset_clears_allocations(self):
+        allocator = MemoryAllocator()
+        allocator.allocate(10)
+        allocator.reset()
+        assert allocator.allocations == ()
+
+    def test_alloc_ids_are_sequential(self):
+        allocator = MemoryAllocator()
+        ids = [allocator.allocate(8).alloc_id for _ in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=10_000),
+                          min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_property_every_inner_byte_resolves_to_its_allocation(self, sizes):
+        allocator = MemoryAllocator()
+        allocs = [allocator.allocate(size) for size in sizes]
+        for alloc in allocs:
+            for probe in {0, alloc.size // 2, alloc.size - 1}:
+                found, offset = allocator.resolve(alloc.base + probe)
+                assert found is alloc
+                assert offset == probe
+
+
+class TestDeviceBuffer:
+    def test_alloc_zero_initialises(self):
+        memory = DeviceMemory()
+        buf = memory.alloc(16)
+        assert (buf.data == 0).all()
+
+    def test_alloc_like_copies(self):
+        memory = DeviceMemory()
+        src = np.arange(12, dtype=np.float64)
+        buf = memory.alloc_like(src)
+        src[0] = 999.0
+        assert buf.data[0] == 0.0
+
+    def test_addresses_scale_by_itemsize(self):
+        memory = DeviceMemory()
+        buf = memory.alloc(8, dtype=np.int64)
+        addrs = buf.addresses_for(np.array([0, 1, 2]))
+        assert list(np.diff(addrs)) == [8, 8]
+        assert addrs[0] == buf.base
+
+    def test_bounds_check_accepts_valid(self):
+        memory = DeviceMemory()
+        buf = memory.alloc(10)
+        buf.check_bounds(np.array([0, 9]))
+
+    def test_bounds_check_rejects_high(self):
+        memory = DeviceMemory()
+        buf = memory.alloc(10)
+        with pytest.raises(AllocationError):
+            buf.check_bounds(np.array([10]))
+
+    def test_bounds_check_rejects_negative(self):
+        memory = DeviceMemory()
+        buf = memory.alloc(10)
+        with pytest.raises(AllocationError):
+            buf.check_bounds(np.array([-1]))
+
+    def test_bounds_check_empty_ok(self):
+        memory = DeviceMemory()
+        buf = memory.alloc(10)
+        buf.check_bounds(np.array([], dtype=np.int64))
+
+    def test_space_tags(self):
+        memory = DeviceMemory()
+        for space in (MemorySpace.GLOBAL, MemorySpace.CONSTANT,
+                      MemorySpace.SHARED, MemorySpace.TEXTURE):
+            buf = memory.alloc(4, space=space)
+            assert buf.space is space
+
+    def test_labels_default_to_alloc_id(self):
+        memory = DeviceMemory()
+        buf = memory.alloc(4)
+        assert buf.label == "alloc0"
+
+    def test_buffer_for_unknown_id(self):
+        memory = DeviceMemory()
+        with pytest.raises(AllocationError):
+            memory.buffer_for(42)
+
+    def test_memory_reset_forgets_buffers(self):
+        memory = DeviceMemory()
+        memory.alloc(4)
+        memory.reset()
+        assert memory.buffers == ()
+
+
+class TestMemorySpaceEnum:
+    def test_nvbit_categories_present(self):
+        names = {space.name for space in MemorySpace}
+        assert names == {"NONE", "LOCAL", "GENERIC", "GLOBAL", "SHARED",
+                         "CONSTANT", "GLOBAL_TO_SHARED", "SURFACE", "TEXTURE"}
+
+    def test_values_are_stable(self):
+        # serialized traces depend on these values staying put
+        assert MemorySpace.GLOBAL.value == 3
+        assert MemorySpace.SHARED.value == 4
+        assert MemorySpace.CONSTANT.value == 5

@@ -1,0 +1,85 @@
+"""Warp shuffle intrinsics: up/down/xor semantics and reduction patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.context import WarpContext
+from repro.gpusim.kernel import LaunchConfig
+from repro.gpusim.warp import WARP_SIZE
+
+
+def make_context():
+    return WarpContext(LaunchConfig.create(1, 32), 0, 0,
+                       emit=lambda e: None, shared_alloc=None)
+
+
+class TestShflUp:
+    def test_shift_semantics(self):
+        ctx = make_context()
+        out = ctx.shfl_up(ctx.lane, 1)
+        assert out[0] == 0           # lane 0 keeps its own
+        assert (out[1:] == np.arange(31)).all()
+
+    def test_zero_delta_is_identity(self):
+        ctx = make_context()
+        assert (ctx.shfl_up(ctx.lane, 0) == ctx.lane).all()
+
+    def test_low_lanes_keep_their_values(self):
+        ctx = make_context()
+        out = ctx.shfl_up(ctx.lane * 10, 4)
+        assert (out[:4] == ctx.lane[:4] * 10).all()
+
+
+class TestShflDown:
+    def test_shift_semantics(self):
+        ctx = make_context()
+        out = ctx.shfl_down(ctx.lane, 1)
+        assert (out[:-1] == np.arange(1, 32)).all()
+        assert out[-1] == 31         # top lane keeps its own
+
+    def test_prefix_sum_pattern(self):
+        """The classic shfl_up inclusive scan."""
+        ctx = make_context()
+        values = np.ones(WARP_SIZE)
+        total = values.copy()
+        delta = 1
+        while delta < WARP_SIZE:
+            shifted = ctx.shfl_up(total, delta)
+            total = np.where(ctx.lane >= delta, total + shifted, total)
+            delta *= 2
+        assert (total == np.arange(1, WARP_SIZE + 1)).all()
+
+
+class TestShflXor:
+    def test_butterfly_exchange(self):
+        ctx = make_context()
+        out = ctx.shfl_xor(ctx.lane, 1)
+        assert out[0] == 1 and out[1] == 0
+        assert out[30] == 31 and out[31] == 30
+
+    def test_xor_is_an_involution(self):
+        ctx = make_context()
+        values = np.arange(WARP_SIZE) * 3.5
+        twice = ctx.shfl_xor(ctx.shfl_xor(values, 5), 5)
+        assert (twice == values).all()
+
+    @pytest.mark.parametrize("mask", [1, 2, 4, 8, 16])
+    def test_butterfly_reduction_reaches_all_lanes(self, mask):
+        """Repeated xor-shuffles with halving masks give a full reduction."""
+        ctx = make_context()
+        values = ctx.lane.astype(float)
+        total = values.copy()
+        m = 16
+        while m >= 1:
+            total = total + ctx.shfl_xor(total, m)
+            m //= 2
+        assert (total == values.sum()).all()
+
+    @given(mask=st.integers(0, 31))
+    @settings(max_examples=32, deadline=None)
+    def test_property_permutation(self, mask):
+        ctx = make_context()
+        out = ctx.shfl_xor(ctx.lane, mask)
+        assert sorted(out) == list(range(WARP_SIZE))

@@ -1,0 +1,84 @@
+"""Unit tests for warp/lane primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.warp import (
+    WARP_SIZE,
+    empty_mask,
+    full_mask,
+    is_uniform,
+    lane_bool,
+    lane_vector,
+)
+
+
+class TestLaneVector:
+    def test_scalar_broadcasts(self):
+        vec = lane_vector(7)
+        assert vec.shape == (WARP_SIZE,)
+        assert (vec == 7).all()
+
+    def test_float_scalar(self):
+        vec = lane_vector(1.5)
+        assert vec.dtype.kind == "f"
+        assert (vec == 1.5).all()
+
+    def test_existing_vector_passthrough(self):
+        src = np.arange(WARP_SIZE)
+        assert (lane_vector(src) == src).all()
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            lane_vector(np.arange(5))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            lane_vector(np.zeros((4, 8)))
+
+    def test_dtype_conversion(self):
+        vec = lane_vector(np.arange(WARP_SIZE, dtype=np.int32),
+                          dtype=np.int64)
+        assert vec.dtype == np.int64
+
+    def test_bool_broadcast(self):
+        assert lane_bool(True).all()
+        assert not lane_bool(False).any()
+
+
+class TestMasks:
+    def test_full_mask(self):
+        assert full_mask().sum() == WARP_SIZE
+
+    def test_empty_mask(self):
+        assert empty_mask().sum() == 0
+
+    def test_masks_are_fresh_objects(self):
+        a = full_mask()
+        a[0] = False
+        assert full_mask()[0]
+
+
+class TestIsUniform:
+    def test_uniform_values(self):
+        assert is_uniform(lane_vector(3), full_mask())
+
+    def test_divergent_values(self):
+        assert not is_uniform(np.arange(WARP_SIZE), full_mask())
+
+    def test_divergence_outside_mask_ignored(self):
+        values = np.zeros(WARP_SIZE)
+        values[-1] = 99  # inactive lane
+        mask = full_mask()
+        mask[-1] = False
+        assert is_uniform(values, mask)
+
+    def test_empty_mask_is_vacuously_uniform(self):
+        assert is_uniform(np.arange(WARP_SIZE), empty_mask())
+
+    @given(value=st.integers(min_value=-1000, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_broadcast_always_uniform(self, value):
+        assert is_uniform(lane_vector(value), full_mask())

@@ -1,0 +1,89 @@
+"""Call-stack capture and kernel-identity semantics."""
+
+from repro.host.callstack import (
+    CallSite,
+    CallStack,
+    capture_call_stack,
+    current_stack_depth,
+)
+
+
+def outer_caller():
+    return middle_caller()
+
+
+def middle_caller():
+    return capture_call_stack(skip_innermost=0)
+
+
+class TestCapture:
+    def test_captures_application_frames(self):
+        stack = outer_caller()
+        functions = [frame.function for frame in stack.frames]
+        assert "outer_caller" in functions
+        assert "middle_caller" in functions
+
+    def test_skip_innermost_drops_wrapper_frames(self):
+        def wrapper():
+            return capture_call_stack(skip_innermost=1)
+
+        stack = wrapper()
+        functions = [frame.function for frame in stack.frames]
+        assert "wrapper" not in functions
+
+    def test_anchor_drops_outer_frames(self):
+        def probe():
+            anchor = current_stack_depth()
+            return inner(anchor)
+
+        def inner(anchor):
+            return capture_call_stack(skip_innermost=0, anchor=anchor)
+
+        stack = probe()
+        functions = [frame.function for frame in stack.frames]
+        assert "probe" not in functions
+        assert "inner" in functions
+
+    def test_runtime_frames_filtered(self):
+        stack = capture_call_stack(skip_innermost=0)
+        assert not any("repro/host/" in frame.filename.replace("\\", "/")
+                       for frame in stack.frames)
+
+    def test_max_depth_truncates_from_outside(self):
+        def recurse(depth):
+            if depth == 0:
+                return capture_call_stack(skip_innermost=0, max_depth=4)
+            return recurse(depth - 1)
+
+        stack = recurse(20)
+        assert len(stack.frames) == 4
+        assert stack.innermost.function == "recurse"
+
+
+class TestCallStackIdentity:
+    def test_digest_is_stable(self):
+        # both captures originate from the same source line, so the whole
+        # identifying stack is identical
+        first, second = [outer_caller() for _ in range(2)]
+        assert first.digest == second.digest
+
+    def test_digest_distinguishes_call_sites(self):
+        first = middle_caller()
+        second = middle_caller()  # different line number
+        assert first.digest != second.digest
+
+    def test_digest_length(self):
+        assert len(outer_caller().digest) == 16
+
+    def test_str_renders_frames(self):
+        stack = CallStack(frames=(
+            CallSite(filename="a.py", lineno=3, function="f"),
+            CallSite(filename="b.py", lineno=9, function="g"),
+        ))
+        assert str(stack) == "a.py:3 in f -> b.py:9 in g"
+
+    def test_innermost_of_empty_stack(self):
+        stack = CallStack(frames=())
+        assert stack.innermost.function == "<unknown>"
+        # empty stacks still have a digest (it is just the empty hash)
+        assert isinstance(stack.digest, str)

@@ -1,0 +1,133 @@
+"""CUDA host-runtime API surface: allocation family, memcpy, launch family."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import Device, MemorySpace, kernel
+from repro.host import CudaRuntime, HostTracer
+
+
+@kernel()
+def noop_kernel(k):
+    k.block("entry")
+
+
+@pytest.fixture
+def traced_rt():
+    device = Device()
+    rt = CudaRuntime(device)
+    tracer = HostTracer(device.memory)
+    rt.attach_tracer(tracer)
+    return rt, tracer
+
+
+class TestAllocationFamily:
+    def test_cudaMalloc_is_global(self, rt):
+        buf = rt.cudaMalloc(16)
+        assert buf.space is MemorySpace.GLOBAL
+
+    def test_managed_is_generic(self, rt):
+        assert rt.cudaMallocManaged(16).space is MemorySpace.GENERIC
+
+    def test_const_and_texture_spaces(self, rt):
+        assert rt.constMalloc(16).space is MemorySpace.CONSTANT
+        assert rt.textureMalloc(16).space is MemorySpace.TEXTURE
+
+    def test_each_family_member_records_its_api_name(self, traced_rt):
+        rt, tracer = traced_rt
+        rt.cudaMalloc(4)
+        rt.cudaHostAlloc(4)
+        rt.cudaMallocHost(4)
+        rt.cudaMallocManaged(4)
+        rt.cudaMallocAsync(4)
+        rt.cudaMallocFromPoolAsync(4)
+        apis = [record.api for record in tracer.malloc_records]
+        assert apis == ["cudaMalloc", "cudaHostAlloc", "cudaMallocHost",
+                        "cudaMallocManaged", "cudaMallocAsync",
+                        "cudaMallocFromPoolAsync"]
+
+    def test_malloc_record_contents(self, traced_rt):
+        rt, tracer = traced_rt
+        buf = rt.cudaMalloc(10, label="payload")
+        record = tracer.malloc_records[0]
+        assert record.base == buf.base
+        assert record.size == buf.allocation.size
+        assert record.label == "payload"
+
+    def test_no_tracer_no_failure(self, rt):
+        rt.cudaMalloc(4)  # silently untraced
+
+
+class TestMemcpy:
+    def test_htod_dtoh_roundtrip(self, rt):
+        buf = rt.cudaMalloc(8, dtype=np.float64)
+        src = np.linspace(0, 1, 8)
+        rt.cudaMemcpyHtoD(buf, src)
+        assert np.allclose(rt.cudaMemcpyDtoH(buf), src)
+
+    def test_htod_shape_mismatch(self, rt):
+        buf = rt.cudaMalloc(8)
+        with pytest.raises(ValueError):
+            rt.cudaMemcpyHtoD(buf, np.zeros(9))
+
+    def test_dtoh_returns_copy(self, rt):
+        buf = rt.cudaMalloc(4)
+        out = rt.cudaMemcpyDtoH(buf)
+        out[0] = 42
+        assert buf.data[0] == 0
+
+
+class TestLaunchFamily:
+    def test_launch_records_identity(self, traced_rt):
+        rt, tracer = traced_rt
+        rt.cuLaunchKernel(noop_kernel, 1, 32)
+        record = tracer.launch_records[0]
+        assert record.api == "cuLaunchKernel"
+        assert record.kernel_name == "noop_kernel"
+        assert record.identity.startswith("noop_kernel@")
+
+    def test_ptsz_variant(self, traced_rt):
+        rt, tracer = traced_rt
+        rt.cuLaunchKernel_ptsz(noop_kernel, 1, 32)
+        assert tracer.launch_records[0].api == "cuLaunchKernel_ptsz"
+
+    def test_grid_block_normalised_in_record(self, traced_rt):
+        rt, tracer = traced_rt
+        rt.cuLaunchKernel(noop_kernel, (2, 2), 32)
+        record = tracer.launch_records[0]
+        assert record.grid == (2, 2, 1)
+        assert record.block == (32, 1, 1)
+
+    def test_seq_numbers_increment(self, traced_rt):
+        rt, tracer = traced_rt
+        rt.cuLaunchKernel(noop_kernel, 1, 32)
+        rt.cuLaunchKernel(noop_kernel, 1, 32)
+        assert [r.seq for r in tracer.launch_records] == [0, 1]
+
+    def test_different_sites_different_identities(self, traced_rt):
+        rt, tracer = traced_rt
+        rt.cuLaunchKernel(noop_kernel, 1, 32)  # site A
+        rt.cuLaunchKernel(noop_kernel, 1, 32)  # site B
+        first, second = tracer.launch_records
+        assert first.identity != second.identity
+
+    def test_same_site_same_identity(self, traced_rt):
+        rt, tracer = traced_rt
+        for _ in range(2):
+            rt.cuLaunchKernel(noop_kernel, 1, 32)
+        first, second = tracer.launch_records
+        assert first.identity == second.identity
+
+    def test_launch_actually_executes(self, traced_rt):
+        rt, _tracer = traced_rt
+        events = []
+        rt.device.subscribe(events.append)
+        rt.cuLaunchKernel(noop_kernel, 1, 32)
+        assert events  # kernel begin/end + basic block
+
+    def test_record_size_accounting_positive(self, traced_rt):
+        rt, tracer = traced_rt
+        rt.cudaMalloc(4, label="x")
+        rt.cuLaunchKernel(noop_kernel, 1, 32)
+        assert tracer.malloc_trace_bytes() > 0
+        assert tracer.launch_trace_bytes() > 0

@@ -1,0 +1,91 @@
+"""Host tracer: address normalisation against layout and ASLR noise."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import Device, DeviceConfig, kernel
+from repro.gpusim.memory import AllocationError
+from repro.host import CudaRuntime, HostTracer
+
+
+def traced_runtime(config=None):
+    device = Device(config or DeviceConfig())
+    rt = CudaRuntime(device)
+    tracer = HostTracer(device.memory)
+    rt.attach_tracer(tracer)
+    return rt, tracer
+
+
+class TestNormalization:
+    def test_offsets_relative_to_allocation(self):
+        rt, tracer = traced_runtime()
+        rt.cudaMalloc(16, label="first")
+        buf = rt.cudaMalloc(16, label="second")
+        normalized = tracer.normalize(buf.base + 24)
+        assert normalized.alloc_label == "second"
+        assert normalized.offset == 24
+
+    def test_as_key(self):
+        rt, tracer = traced_runtime()
+        buf = rt.cudaMalloc(16, label="data")
+        assert tracer.normalize(buf.base).as_key() == ("data", 0)
+
+    def test_unknown_address_raises(self):
+        _rt, tracer = traced_runtime()
+        with pytest.raises(AllocationError):
+            tracer.normalize(0x1234)
+
+    def test_try_normalize_returns_none(self):
+        _rt, tracer = traced_runtime()
+        assert tracer.try_normalize(0x1234) is None
+
+    def test_layout_independence(self):
+        """Inserting an extra allocation shifts bases but not offsets."""
+        def record(extra_alloc: bool):
+            rt, tracer = traced_runtime()
+            if extra_alloc:
+                rt.cudaMalloc(1000, label="padding")
+            buf = rt.cudaMalloc(16, label="data")
+            return buf, tracer
+
+        buf_a, tracer_a = record(False)
+        buf_b, tracer_b = record(True)
+        assert buf_a.base != buf_b.base
+        key_a = tracer_a.normalize(buf_a.base + 8).as_key()
+        key_b = tracer_b.normalize(buf_b.base + 8).as_key()
+        assert key_a == key_b == ("data", 8)
+
+    def test_aslr_independence(self):
+        """Different ASLR slides normalise to identical keys."""
+        keys = []
+        for seed in (1, 2, 3):
+            rt, tracer = traced_runtime(DeviceConfig(aslr=True, seed=seed))
+            buf = rt.cudaMalloc(64, label="data")
+            keys.append(tracer.normalize(buf.base + 40).as_key())
+        assert len(set(keys)) == 1
+
+    def test_aslr_bases_actually_differ(self):
+        bases = set()
+        for seed in (1, 2, 3):
+            rt, _tracer = traced_runtime(DeviceConfig(aslr=True, seed=seed))
+            bases.add(rt.cudaMalloc(64).base)
+        assert len(bases) > 1
+
+
+class TestLaunchSequence:
+    def test_sequence_is_ordered_identities(self):
+        @kernel()
+        def first(k):
+            k.block("entry")
+
+        @kernel()
+        def second(k):
+            k.block("entry")
+
+        rt, tracer = traced_runtime()
+        rt.cuLaunchKernel(first, 1, 32)
+        rt.cuLaunchKernel(second, 1, 32)
+        seq = tracer.launch_sequence
+        assert len(seq) == 2
+        assert seq[0].startswith("first@")
+        assert seq[1].startswith("second@")

@@ -1,0 +1,48 @@
+"""CLI report output: JSON emission and --save-report round-trips."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.report import LeakageReport
+
+
+class TestJsonOutput:
+    def test_json_flag_emits_parseable_report(self, capsys):
+        code = main(["rsa", "--fixed-runs", "8", "--random-runs", "8",
+                     "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["program_name"] == "rsa"
+        assert (code == 1) == bool(payload["leaks"])
+
+    def test_quantify_flag_populates_bits(self, capsys):
+        main(["rsa", "--fixed-runs", "10", "--random-runs", "10",
+              "--json", "--quantify"])
+        payload = json.loads(capsys.readouterr().out)
+        if payload["leaks"]:
+            assert any(entry["bits"] > 0 for entry in payload["leaks"])
+
+    def test_granularity_flag_accepted(self, capsys):
+        code = main(["rsa", "--fixed-runs", "5", "--random-runs", "5",
+                     "--granularity", "64"])
+        assert code in (0, 1)
+
+
+class TestSaveReport:
+    def test_report_written_and_loadable(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        main(["rsa", "--fixed-runs", "8", "--random-runs", "8",
+              "--save-report", str(path)])
+        capsys.readouterr()
+        report = LeakageReport.from_json(path.read_text())
+        assert report.program_name == "rsa"
+        assert report.num_fixed_runs == 8
+
+    def test_saved_report_matches_json_output(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        main(["rsa", "--fixed-runs", "8", "--random-runs", "8",
+              "--json", "--save-report", str(path)])
+        stdout_payload = json.loads(capsys.readouterr().out)
+        saved_payload = json.loads(path.read_text())
+        assert stdout_payload == saved_payload

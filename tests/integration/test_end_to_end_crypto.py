@@ -1,0 +1,72 @@
+"""End-to-end Owl detection on the libgpucrypto workloads (Table III)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.libgpucrypto import (
+    aes_program,
+    aes_program_ct,
+    random_exponent,
+    random_key,
+    rsa_program,
+    rsa_program_ct,
+)
+from repro.core import Owl, OwlConfig
+
+CONFIG = OwlConfig(fixed_runs=20, random_runs=20)
+
+
+@pytest.fixture(scope="module")
+def aes_result():
+    owl = Owl(aes_program, name="aes", config=CONFIG)
+    return owl.detect(inputs=[bytes(range(16)), bytes(range(1, 17))],
+                      random_input=random_key)
+
+
+@pytest.fixture(scope="module")
+def rsa_result():
+    owl = Owl(rsa_program, name="rsa", config=CONFIG)
+    return owl.detect(inputs=[0x6ACF8231, 0x7FD4C9A7],
+                      random_input=random_exponent)
+
+
+class TestAes:
+    def test_data_flow_leaks_dominate(self, aes_result):
+        counts = aes_result.report.counts()
+        assert counts["data_flow"] >= 16  # T-table + final-round lookups
+        assert counts["kernel"] == 0
+
+    def test_leaks_are_in_the_table_lookup_instructions(self, aes_result):
+        blocks = {leak.block for leak in aes_result.report.data_flow_leaks}
+        assert blocks <= {"round", "final_round"}
+
+    def test_benign_state_loads_not_flagged(self, aes_result):
+        flagged = {(l.block, l.instr)
+                   for l in aes_result.report.data_flow_leaks}
+        # the plaintext loads (load_state instrs 0..3) are thread-indexed
+        assert not any(block == "load_state" for block, _ in flagged)
+
+    def test_patched_aes_is_clean(self):
+        owl = Owl(aes_program_ct, name="aes_ct", config=CONFIG)
+        result = owl.detect(inputs=[bytes(range(16)), bytes(range(1, 17))],
+                            random_input=random_key)
+        assert result.leak_free_by_filtering
+        assert not result.report.has_leaks
+
+
+class TestRsa:
+    def test_control_flow_leak_found(self, rsa_result):
+        counts = rsa_result.report.counts()
+        assert counts["control_flow"] >= 1
+        assert counts["data_flow"] == 0
+
+    def test_leak_located_at_the_squaring_loop(self, rsa_result):
+        blocks = {leak.block for leak in rsa_result.report.control_flow_leaks}
+        assert blocks & {"square", "multiply"}
+
+    def test_patched_rsa_is_clean(self):
+        owl = Owl(rsa_program_ct, name="rsa_ct", config=CONFIG)
+        result = owl.detect(inputs=[0x6ACF8231, 0x7FD4C9A7],
+                            random_input=random_exponent)
+        assert result.leak_free_by_filtering
+        assert not result.report.has_leaks

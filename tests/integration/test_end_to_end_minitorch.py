@@ -1,0 +1,95 @@
+"""End-to-end Owl detection on minitorch (the PyTorch rows of Table III)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.minitorch import (
+    make_op_program,
+    make_random_input,
+    serialize_program,
+    tensor_repr_program,
+)
+from repro.apps.minitorch.ops import fixed_op_input
+from repro.apps.minitorch.serialize import serialize_random_input
+from repro.apps.minitorch.tensor import repr_random_input
+from repro.core import Owl, OwlConfig
+
+FAST = OwlConfig(fixed_runs=20, random_runs=20)
+THOROUGH = OwlConfig(fixed_runs=100, random_runs=100)
+
+#: ops the paper's reasoning says are constant-observable
+CLEAN_OPS = ("relu", "sigmoid", "tanh", "softmax", "avgpool2d", "maxpool2d",
+             "linear", "mseloss", "dropout")
+
+
+@pytest.mark.parametrize("name", CLEAN_OPS)
+def test_clean_ops_report_no_leaks(name, rng):
+    program = make_op_program(name)
+    generate = make_random_input(name)
+    owl = Owl(program, name=name, config=FAST)
+    result = owl.detect(inputs=[fixed_op_input(name), generate(rng)],
+                        random_input=generate)
+    assert not result.report.has_leaks
+
+
+def test_maxpool2d_predication_masks_control_flow(rng):
+    """The paper's flagship negative result: the CPU max_pool2d leaks, the
+    CUDA one does not, because intra-warp divergence is predicated."""
+    generate = make_random_input("maxpool2d")
+    owl = Owl(make_op_program("maxpool2d"), name="maxpool2d", config=FAST)
+    result = owl.detect(inputs=[fixed_op_input("maxpool2d"), generate(rng)],
+                        random_input=generate)
+    assert result.report.control_flow_leaks == []
+
+
+def test_conv2d_sparse_fast_path_is_a_kernel_leak(rng):
+    generate = make_random_input("conv2d")
+    owl = Owl(make_op_program("conv2d"), name="conv2d", config=FAST)
+    result = owl.detect(
+        inputs=[np.zeros(64), fixed_op_input("conv2d")],
+        random_input=generate)
+    kernel_names = {leak.kernel_name for leak in result.report.kernel_leaks}
+    assert kernel_names  # zero-input fast path vs dense path
+    assert kernel_names <= {"conv2d_kernel", "zero_fill_kernel"}
+
+
+def test_nllloss_target_gather_is_a_data_flow_leak():
+    """Needs the paper-scale run count: the per-item gather shifts the
+    offset distribution subtly."""
+    generate = make_random_input("nllloss")
+    owl = Owl(make_op_program("nllloss"), name="nllloss", config=THOROUGH)
+    rng = np.random.default_rng(0)
+    result = owl.detect(inputs=[fixed_op_input("nllloss"), generate(rng)],
+                        random_input=generate)
+    df = result.report.data_flow_leaks
+    assert len(df) >= 1
+    assert all(leak.kernel_name == "nllloss_kernel" for leak in df)
+
+
+def test_serialization_kernel_leak(rng):
+    owl = Owl(serialize_program, name="serialize", config=FAST)
+    result = owl.detect(inputs=[np.zeros(64), np.linspace(-2, 2, 64)],
+                        random_input=serialize_random_input)
+    kernel_leaks = result.report.kernel_leaks
+    assert len(kernel_leaks) == 1
+    assert kernel_leaks[0].kernel_name == "copy_kernel"
+
+
+def test_tensor_repr_kernel_leak(rng):
+    owl = Owl(tensor_repr_program, name="repr", config=FAST)
+    result = owl.detect(
+        inputs=[np.linspace(-2, 2, 64), np.linspace(-2, 2, 64) * 10_000],
+        random_input=repr_random_input)
+    kernel_leaks = result.report.kernel_leaks
+    assert len(kernel_leaks) == 1
+    assert kernel_leaks[0].kernel_name == "scale_stats_kernel"
+
+
+def test_dropout_nondeterminism_not_misattributed(rng):
+    """Dropout's random mask makes every trace's *values* differ, but the
+    addresses are thread-indexed: the distribution test must filter it."""
+    generate = make_random_input("dropout")
+    owl = Owl(make_op_program("dropout"), name="dropout", config=FAST)
+    result = owl.detect(inputs=[fixed_op_input("dropout"), generate(rng)],
+                        random_input=generate)
+    assert not result.report.has_leaks

@@ -1,0 +1,106 @@
+"""Failure injection: the pipeline must fail loudly, never silently."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import Device, MemorySpace, kernel
+from repro.gpusim.events import KernelBeginEvent, KernelEndEvent
+from repro.gpusim.memory import AllocationError
+from repro.host import CudaRuntime
+from repro.tracing import TraceRecorder
+from repro.tracing.monitor import MonitorError, WarpTraceMonitor
+from repro.tracing.recorder import RecordingError
+
+
+@kernel()
+def oob_kernel(k, buf):
+    k.block("entry")
+    k.load(buf, k.global_tid() + 1_000_000)
+
+
+@kernel()
+def good_kernel(k, buf):
+    k.block("entry")
+    k.load(buf, k.global_tid())
+
+
+class TestProgramFailures:
+    def test_out_of_bounds_access_propagates(self, recorder):
+        def program(rt, _secret):
+            buf = rt.cudaMalloc(32, label="buf")
+            rt.cuLaunchKernel(oob_kernel, 1, 32, buf)
+
+        with pytest.raises(AllocationError):
+            recorder.record(program, 0)
+
+    def test_host_exception_propagates(self, recorder):
+        def program(rt, _secret):
+            raise RuntimeError("victim crashed")
+
+        with pytest.raises(RuntimeError, match="victim crashed"):
+            recorder.record(program, 0)
+
+    def test_recorder_is_reusable_after_a_failure(self, recorder):
+        def bad(rt, _secret):
+            raise RuntimeError("boom")
+
+        def good(rt, _secret):
+            buf = rt.cudaMalloc(32, label="buf")
+            rt.cuLaunchKernel(good_kernel, 1, 32, buf)
+
+        with pytest.raises(RuntimeError):
+            recorder.record(bad, 0)
+        trace = recorder.record(good, 0)
+        assert len(trace.invocations) == 1
+
+    def test_failed_run_does_not_leak_subscriptions(self, recorder):
+        """A crashed victim must not leave the next device listening to a
+        dead monitor (the try/finally in record())."""
+        def bad(rt, _secret):
+            buf = rt.cudaMalloc(32, label="buf")
+            rt.cuLaunchKernel(good_kernel, 1, 32, buf)
+            raise RuntimeError("after first launch")
+
+        with pytest.raises(RuntimeError):
+            recorder.record(bad, 0)
+        # two clean runs in a row produce identical traces
+        def good(rt, _secret):
+            buf = rt.cudaMalloc(32, label="buf")
+            rt.cuLaunchKernel(good_kernel, 1, 32, buf)
+
+        assert recorder.record(good, 0) == recorder.record(good, 0)
+
+
+class TestJoinValidation:
+    def test_launch_without_device_trace_detected(self):
+        """If the host claims launches the device never executed, the join
+        must fail rather than fabricate invocations."""
+        recorder = TraceRecorder()
+
+        def program(rt, _secret):
+            # bypass the device: forge a host-only launch record
+            from repro.host.runtime import LaunchRecord
+            from repro.host.callstack import CallStack
+            rt._tracer.on_launch(LaunchRecord(
+                api="cuLaunchKernel", kernel_name="ghost",
+                call_stack=CallStack(frames=()), grid=(1, 1, 1),
+                block=(32, 1, 1), seq=99))
+
+        with pytest.raises(RecordingError):
+            recorder.record(program, 0)
+
+
+class TestMonitorRobustness:
+    def test_end_without_begin(self):
+        monitor = WarpTraceMonitor()
+        with pytest.raises(MonitorError):
+            monitor.on_event(KernelEndEvent(kernel_name="k"))
+
+    def test_monitor_survives_and_reports_partial_stream(self):
+        monitor = WarpTraceMonitor()
+        monitor.on_event(KernelBeginEvent(
+            kernel_name="k", grid=(1, 1, 1), block=(32, 1, 1),
+            total_threads=32, num_warps=1))
+        # stream cut off mid-kernel: finish must refuse
+        with pytest.raises(MonitorError):
+            monitor.finish()

@@ -1,0 +1,58 @@
+"""The NVBit-like device→monitor channel."""
+
+import pytest
+
+from repro.gpusim.events import KernelEndEvent
+from repro.tracing.channel import Channel
+
+
+def event(name="k"):
+    return KernelEndEvent(kernel_name=name)
+
+
+class TestBufferedMode:
+    def test_events_accumulate_until_drain(self):
+        channel = Channel()
+        channel.send(event("a"))
+        channel.send(event("b"))
+        assert len(channel) == 2
+        drained = channel.drain()
+        assert [e.kernel_name for e in drained] == ["a", "b"]
+        assert len(channel) == 0
+
+    def test_drain_empty(self):
+        assert Channel().drain() == []
+
+    def test_capacity_enforced(self):
+        channel = Channel(capacity=2)
+        channel.send(event())
+        channel.send(event())
+        with pytest.raises(OverflowError):
+            channel.send(event())
+
+    def test_capacity_freed_by_drain(self):
+        channel = Channel(capacity=1)
+        channel.send(event())
+        channel.drain()
+        channel.send(event())  # no overflow
+
+    def test_iteration_preserves_order(self):
+        channel = Channel()
+        for name in "abc":
+            channel.send(event(name))
+        assert [e.kernel_name for e in channel] == ["a", "b", "c"]
+
+
+class TestEagerMode:
+    def test_sink_receives_immediately(self):
+        received = []
+        channel = Channel(sink=received.append)
+        channel.send(event("x"))
+        assert [e.kernel_name for e in received] == ["x"]
+        assert len(channel) == 0  # nothing buffered
+
+    def test_total_events_counter(self):
+        channel = Channel(sink=lambda e: None)
+        for _ in range(5):
+            channel.send(event())
+        assert channel.total_events == 5
