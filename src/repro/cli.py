@@ -93,6 +93,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="distribution test to apply")
     parser.add_argument("--seed", type=int, default=2024,
                         help="seed for the random-input generator")
+    parser.add_argument("--workers", default="1", metavar="N|auto",
+                        help="trace-recording worker processes: a positive "
+                             "int or 'auto' for one per CPU core; any value "
+                             "yields bit-identical reports (default: 1)")
     parser.add_argument("--all-representatives", action="store_true",
                         help="analyze every input class, not just the first")
     parser.add_argument("--granularity", type=int, default=1,
@@ -123,11 +127,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"unknown workload {args.workload!r}; see --list")
     program, fixed_inputs, random_input = workloads[args.workload]
 
+    workers = args.workers if args.workers == "auto" else None
+    if workers is None:
+        try:
+            workers = int(args.workers)
+        except ValueError:
+            workers = 0
+        if workers < 1:
+            parser.error(f"--workers takes a positive int or 'auto', "
+                         f"got {args.workers!r}")
     config = OwlConfig(
         fixed_runs=args.fixed_runs, random_runs=args.random_runs,
         confidence=args.confidence, test=args.test, seed=args.seed,
         analyze_all_representatives=args.all_representatives,
-        offset_granularity=args.granularity, quantify=args.quantify)
+        offset_granularity=args.granularity, quantify=args.quantify,
+        workers=workers)
     owl = Owl(program, name=args.workload, config=config)
     result = owl.detect(inputs=fixed_inputs(), random_input=random_input)
 

@@ -17,18 +17,26 @@ from repro.core.kstest import (
     ks_statistic,
     ks_statistic_weighted,
     ks_test,
+    ks_test_batch,
     ks_test_weighted,
     ks_threshold,
     welch_t_test,
     welch_t_test_weighted,
 )
 from repro.core.leakage import LeakageAnalyzer, LeakageConfig
+from repro.core.parallel import (
+    ChunkStats,
+    TraceRecordingPool,
+    chunk_slices,
+    resolve_workers,
+)
 from repro.core.pipeline import Owl, OwlConfig, OwlResult, PhaseStats
 from repro.core.report import Leak, LeakType, LeakageReport
 from repro.core.transition import TransitionMatrix, all_transition_matrices, transition_matrix
 
 __all__ = [
     "AlignedSlotPair",
+    "ChunkStats",
     "DEFAULT_CONFIDENCE",
     "EditOp",
     "EditStep",
@@ -46,19 +54,23 @@ __all__ = [
     "OwlResult",
     "PhaseStats",
     "TestResult",
+    "TraceRecordingPool",
     "TransitionMatrix",
     "align_evidence",
     "align_pairs",
     "all_transition_matrices",
+    "chunk_slices",
     "edit_distance",
     "filter_traces",
     "ks_p_value",
     "ks_statistic",
     "ks_statistic_weighted",
     "ks_test",
+    "ks_test_batch",
     "ks_test_weighted",
     "ks_threshold",
     "myers_diff",
+    "resolve_workers",
     "transition_matrix",
     "welch_t_test",
     "welch_t_test_weighted",

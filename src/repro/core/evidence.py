@@ -118,6 +118,52 @@ class Evidence:
         self.slots = new_slots
         self.num_runs += 1
 
+    def merge(self, other: "Evidence") -> "Evidence":
+        """Fold *other* — a later block of runs — into this evidence.
+
+        The parallel recording backend folds each worker's chunk of runs
+        into a partial evidence and merges the partials in chunk order;
+        this is the chunk-level analogue of :meth:`add_trace`: slots are
+        Myers-aligned by identity, aligned slots concatenate their per-run
+        presence vectors (run order is preserved because chunks are
+        contiguous and merged left-to-right) and aggregate their A-DCFGs,
+        unaligned slots are padded with absent runs on the missing side.
+
+        *other* is consumed: its slots may be adopted wholesale, so it must
+        not be used afterwards.
+        """
+        if self.keep_per_run != other.keep_per_run:
+            raise ValueError(
+                "cannot merge evidences with different keep_per_run modes")
+        script = myers_diff(self.identity_sequence, other.identity_sequence)
+        new_slots: List[EvidenceSlot] = []
+        for step in script:
+            if step.op is EditOp.EQUAL:
+                slot = self.slots[step.a_index]
+                other_slot = other.slots[step.b_index]
+                slot.per_run_present.extend(other_slot.per_run_present)
+                merge_adcfg_into(slot.adcfg, other_slot.adcfg)
+                if slot.per_run_graphs is not None:
+                    slot.per_run_graphs.extend(other_slot.per_run_graphs or [])
+                new_slots.append(slot)
+            elif step.op is EditOp.DELETE:
+                slot = self.slots[step.a_index]
+                slot.per_run_present.extend([False] * other.num_runs)
+                if slot.per_run_graphs is not None:
+                    slot.per_run_graphs.extend([None] * other.num_runs)
+                new_slots.append(slot)
+            else:  # INSERT: slot unseen in this evidence's runs
+                other_slot = other.slots[step.b_index]
+                other_slot.per_run_present = (
+                    [False] * self.num_runs + other_slot.per_run_present)
+                if other_slot.per_run_graphs is not None:
+                    other_slot.per_run_graphs = (
+                        [None] * self.num_runs + other_slot.per_run_graphs)
+                new_slots.append(other_slot)
+        self.slots = new_slots
+        self.num_runs += other.num_runs
+        return self
+
     def slot_by_identity(self, identity: str) -> Optional[EvidenceSlot]:
         """First slot with the given identity (None when absent)."""
         for slot in self.slots:

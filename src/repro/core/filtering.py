@@ -83,7 +83,16 @@ def filter_traces(inputs: Sequence[object],
                 member_indices=[index], trace=trace)
             order.append(signature)
         else:
-            if not (found.trace == trace):
+            # The SHA-256 signature already digests the full trace content,
+            # so a matching digest is accepted after a cheap kernel-sequence
+            # cross-check — grouping costs O(n) digests instead of one
+            # O(trace-size) structural comparison per duplicate.  Only a
+            # genuine collision (same digest, different sequence) falls back
+            # to the full __eq__ arbiter.
+            if (found.trace.kernel_sequence == trace.kernel_sequence
+                    or found.trace == trace):
+                found.member_indices.append(index)
+            else:
                 # A digest collision would silently merge distinct traces;
                 # fall back to treating the input as its own class.
                 collision_sig = f"{signature}:collision:{index}"
@@ -91,7 +100,5 @@ def filter_traces(inputs: Sequence[object],
                     signature=collision_sig, representative_index=index,
                     member_indices=[index], trace=trace)
                 order.append(collision_sig)
-            else:
-                found.member_indices.append(index)
     return FilterResult(classes=[by_signature[s] for s in order],
                         inputs=inputs)

@@ -103,15 +103,17 @@ def ks_test(x: Sequence[float], y: Sequence[float],
 Histogram = Mapping[Hashable, int]
 
 
-def _weighted_cdf_points(
+def _ordered_weights(
         hist_x: Histogram, hist_y: Histogram,
         order: Optional[Dict[Hashable, int]] = None
-) -> Tuple[np.ndarray, np.ndarray, int, int]:
-    """Common support and the two weighted ECDFs evaluated on it.
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Weight vectors of both histograms over their ordered common support.
 
     Values are ordered numerically when possible; otherwise by an explicit
     *order* mapping (used for categorical features such as control-flow
     transition types, where any fixed order yields a valid ECDF comparison).
+    The scalar and batched KS paths share this helper so they evaluate the
+    ECDFs on identical supports.
     """
     support = set(hist_x) | set(hist_y)
     if not support:
@@ -125,6 +127,15 @@ def _weighted_cdf_points(
         ordered = sorted(support, key=lambda v: order[v])
     wx = np.array([hist_x.get(v, 0) for v in ordered], dtype=float)
     wy = np.array([hist_y.get(v, 0) for v in ordered], dtype=float)
+    return wx, wy
+
+
+def _weighted_cdf_points(
+        hist_x: Histogram, hist_y: Histogram,
+        order: Optional[Dict[Hashable, int]] = None
+) -> Tuple[np.ndarray, np.ndarray, int, int]:
+    """Common support and the two weighted ECDFs evaluated on it."""
+    wx, wy = _ordered_weights(hist_x, hist_y, order)
     n = int(wx.sum())
     m = int(wy.sum())
     if n == 0 or m == 0:
@@ -159,6 +170,81 @@ def ks_test_weighted(hist_x: Histogram, hist_y: Histogram,
     return TestResult(statistic=d, p_value=ks_p_value(d, n, m), n=n, m=m,
                       threshold=ks_threshold(n, m, confidence),
                       confidence=confidence)
+
+
+#: One batched request: ``(hist_x, hist_y)`` or ``(hist_x, hist_y, order)``.
+BatchRequest = Tuple
+
+
+def ks_test_batch(requests: Sequence[BatchRequest],
+                  confidence: float = DEFAULT_CONFIDENCE,
+                  sample_size_cap: Optional[int] = None
+                  ) -> list:
+    """Vectorized two-sample KS over many weighted-histogram pairs.
+
+    Semantically equivalent to calling :func:`ks_test_weighted` per request
+    (the scalar function stays the reference implementation — the test
+    suite asserts agreement to 1e-12), but all statistics, thresholds and
+    p-values are computed in one NumPy pass over a zero-padded weight
+    matrix: trailing zero weights leave both cumulative sums at their
+    totals, where the normalised CDFs agree at 1.0, so padding never moves
+    the supremum.
+
+    Returns one :class:`TestResult` per request, with ``None`` wherever the
+    scalar call would raise :class:`DistributionTestError` (empty support
+    or an empty side) — degenerate features are skipped, not fatal, when
+    testing thousands of features at once.
+    """
+    alpha = 1.0 - confidence
+    if not 0.0 < alpha < 1.0:
+        raise DistributionTestError(
+            f"confidence must be in (0, 1), got {confidence}")
+    results: list = [None] * len(requests)
+    rows: list = []  # (request index, wx, wy)
+    for index, request in enumerate(requests):
+        if len(request) == 2:
+            hist_x, hist_y = request
+            order = None
+        else:
+            hist_x, hist_y, order = request
+        try:
+            wx, wy = _ordered_weights(hist_x, hist_y, order)
+        except DistributionTestError:
+            continue
+        if wx.sum() == 0 or wy.sum() == 0:
+            continue
+        rows.append((index, wx, wy))
+    if not rows:
+        return results
+
+    width = max(len(wx) for _i, wx, _wy in rows)
+    weight_x = np.zeros((len(rows), width))
+    weight_y = np.zeros((len(rows), width))
+    for row, (_index, wx, wy) in enumerate(rows):
+        weight_x[row, :len(wx)] = wx
+        weight_y[row, :len(wy)] = wy
+
+    n = weight_x.sum(axis=1)
+    m = weight_y.sum(axis=1)
+    cdf_x = np.cumsum(weight_x, axis=1) / n[:, None]
+    cdf_y = np.cumsum(weight_y, axis=1) / m[:, None]
+    d = np.abs(cdf_x - cdf_y).max(axis=1)
+
+    if sample_size_cap is not None:
+        n = np.minimum(n, sample_size_cap)
+        m = np.minimum(m, sample_size_cap)
+    # same operation order as the scalar ks_p_value / ks_threshold
+    exponent = -2.0 * d * d * (n * m) / (n + m)
+    p = np.minimum(1.0, 2.0 * np.exp(exponent))
+    threshold = (math.sqrt(-math.log(alpha / 2.0) * 0.5)
+                 * np.sqrt((n + m) / (n * m)))
+
+    for row, (index, _wx, _wy) in enumerate(rows):
+        results[index] = TestResult(
+            statistic=float(d[row]), p_value=float(p[row]),
+            n=int(n[row]), m=int(m[row]),
+            threshold=float(threshold[row]), confidence=confidence)
+    return results
 
 
 def welch_t_test(x: Sequence[float], y: Sequence[float],

@@ -20,8 +20,9 @@ feature whether the two sides follow the same distribution:
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.adcfg.graph import ADCFG
 from repro.core.evidence import AlignedSlotPair, Evidence, align_evidence
@@ -30,6 +31,7 @@ from repro.core.kstest import (
     DistributionTestError,
     TestResult,
     ks_test,
+    ks_test_batch,
     ks_test_weighted,
     welch_t_test,
     welch_t_test_weighted,
@@ -65,6 +67,10 @@ class LeakageConfig:
     #: feature sample per run — requires evidence built with
     #: ``keep_per_run=True``; immune to correlated-lane over-dispersion)
     sampling: str = "pooled"
+    #: evaluate all KS features in one vectorized NumPy pass
+    #: (:func:`~repro.core.kstest.ks_test_batch`); False forces the scalar
+    #: per-feature reference path.  Only affects ``test="ks"``.
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.test not in ("ks", "welch"):
@@ -73,6 +79,73 @@ class LeakageConfig:
             raise ValueError("offset_granularity must be >= 1 byte")
         if self.sampling not in ("pooled", "per_run"):
             raise ValueError(f"unknown sampling mode {self.sampling!r}")
+
+
+class _ScalarTester:
+    """Reference dispatch: one Python/NumPy test call per feature."""
+
+    def __init__(self, analyzer: "LeakageAnalyzer") -> None:
+        self._analyzer = analyzer
+
+    def plain(self, x: List[float], y: List[float]) -> Optional[TestResult]:
+        try:
+            return self._analyzer._plain_test(x, y)
+        except DistributionTestError:
+            return None
+
+    def weighted(self, hist_x: Dict, hist_y: Dict,
+                 order: Optional[Dict] = None) -> Optional[TestResult]:
+        return self._analyzer._categorical_test(hist_x, hist_y, order=order)
+
+
+class _BatchPlanner:
+    """First pass of the vectorized path: records every feature request.
+
+    Plain-sample requests are recast as weighted histograms of their
+    values — the weighted ECDF over a sample's value counts is the sample's
+    ECDF, so the KS statistic and the effective sample sizes are unchanged.
+    Always answers ``None``; the traversal's leaks are discarded, only the
+    request sequence matters.
+    """
+
+    def __init__(self) -> None:
+        self.requests: List[Tuple] = []
+
+    def plain(self, x: List[float], y: List[float]) -> None:
+        self.requests.append((Counter(x), Counter(y)))
+        return None
+
+    def weighted(self, hist_x: Dict, hist_y: Dict,
+                 order: Optional[Dict] = None) -> None:
+        self.requests.append((hist_x, hist_y, order))
+        return None
+
+
+class _BatchReplayer:
+    """Second pass: hands out the batch results in request order.
+
+    Valid because the traversal is deterministic and which features get
+    *requested* never depends on earlier test outcomes (outcomes only
+    select which leaks are reported).
+    """
+
+    def __init__(self, results: Sequence[Optional[TestResult]]) -> None:
+        self._results = iter(results)
+
+    def _next(self) -> Optional[TestResult]:
+        try:
+            return next(self._results)
+        except StopIteration:
+            raise RuntimeError(
+                "batched leakage traversal requested more tests than "
+                "planned — the two passes diverged") from None
+
+    def plain(self, x: List[float], y: List[float]) -> Optional[TestResult]:
+        return self._next()
+
+    def weighted(self, hist_x: Dict, hist_y: Dict,
+                 order: Optional[Dict] = None) -> Optional[TestResult]:
+        return self._next()
 
 
 class LeakageAnalyzer:
@@ -92,17 +165,35 @@ class LeakageAnalyzer:
                                num_random_runs=random.num_runs,
                                confidence=self.config.confidence)
         pairs = align_evidence(fixed, random)
-        for pair in pairs:
-            report.extend(self._kernel_test(pair))
-            if pair.aligned:
-                report.extend(self._device_tests(pair))
+        if self.config.test == "ks" and self.config.vectorized:
+            # pass 1 collects every feature's histogram pair, one NumPy
+            # call evaluates them all, pass 2 replays the traversal with
+            # the precomputed results
+            planner = _BatchPlanner()
+            self._collect_leaks(pairs, planner)
+            results = ks_test_batch(
+                planner.requests, confidence=self.config.confidence,
+                sample_size_cap=self.config.sample_size_cap)
+            tester = _BatchReplayer(results)
+        else:
+            tester = _ScalarTester(self)
+        report.extend(self._collect_leaks(pairs, tester))
         return report
+
+    def _collect_leaks(self, pairs: List[AlignedSlotPair],
+                       tester) -> List[Leak]:
+        leaks: List[Leak] = []
+        for pair in pairs:
+            leaks.extend(self._kernel_test(pair, tester))
+            if pair.aligned:
+                leaks.extend(self._device_tests(pair, tester))
+        return leaks
 
     # ------------------------------------------------------------------
     # kernel leakage
     # ------------------------------------------------------------------
 
-    def _kernel_test(self, pair: AlignedSlotPair) -> List[Leak]:
+    def _kernel_test(self, pair: AlignedSlotPair, tester) -> List[Leak]:
         if not pair.aligned:
             slot = pair.fixed if pair.fixed is not None else pair.random
             assert slot is not None
@@ -118,11 +209,8 @@ class LeakageAnalyzer:
         samples_random = [1.0 if p else 0.0 for p in random_slot.per_run_present]
         if samples_fixed == samples_random:
             return []
-        try:
-            result = self._plain_test(samples_fixed, samples_random)
-        except DistributionTestError:
-            return []
-        if result.rejected:
+        result = tester.plain(samples_fixed, samples_random)
+        if result is not None and result.rejected:
             return [Leak(
                 leak_type=LeakType.KERNEL,
                 kernel_identity=fixed_slot.identity,
@@ -140,7 +228,7 @@ class LeakageAnalyzer:
     # device leakage
     # ------------------------------------------------------------------
 
-    def _device_tests(self, pair: AlignedSlotPair) -> List[Leak]:
+    def _device_tests(self, pair: AlignedSlotPair, tester) -> List[Leak]:
         assert pair.fixed is not None and pair.random is not None
         if self.config.sampling == "per_run":
             if (pair.fixed.per_run_graphs is None
@@ -148,17 +236,17 @@ class LeakageAnalyzer:
                 raise ValueError(
                     "per_run sampling requires evidence built with "
                     "keep_per_run=True")
-            return self._per_run_device_tests(pair)
+            return self._per_run_device_tests(pair, tester)
         fixed_graph = pair.fixed.adcfg
         random_graph = pair.random.adcfg
         leaks = self._control_flow_tests(pair.identity, fixed_graph,
-                                         random_graph)
+                                         random_graph, tester)
         leaks.extend(self._data_flow_tests(pair.identity, fixed_graph,
-                                           random_graph))
+                                           random_graph, tester))
         return leaks
 
     def _control_flow_tests(self, identity: str, fixed_graph: ADCFG,
-                            random_graph: ADCFG) -> List[Leak]:
+                            random_graph: ADCFG, tester) -> List[Leak]:
         leaks: List[Leak] = []
         labels = sorted(set(fixed_graph.nodes) | set(random_graph.nodes))
         for label in labels:
@@ -178,7 +266,7 @@ class LeakageAnalyzer:
             hist_random = transition_matrix(random_graph, label).histogram()
             if hist_fixed == hist_random:
                 continue
-            result = self._categorical_test(hist_fixed, hist_random)
+            result = tester.weighted(hist_fixed, hist_random)
             if result is not None and result.rejected:
                 leaks.append(Leak(
                     leak_type=LeakType.DEVICE_CONTROL_FLOW,
@@ -191,7 +279,7 @@ class LeakageAnalyzer:
         return leaks
 
     def _data_flow_tests(self, identity: str, fixed_graph: ADCFG,
-                         random_graph: ADCFG) -> List[Leak]:
+                         random_graph: ADCFG, tester) -> List[Leak]:
         leaks: List[Leak] = []
         common_labels = sorted(set(fixed_graph.nodes) & set(random_graph.nodes))
         for label in common_labels:
@@ -211,7 +299,7 @@ class LeakageAnalyzer:
                 record_random = self._coarsen(random_slots[key].counts)
                 if record_fixed == record_random:
                     continue
-                result = self._categorical_test(record_fixed, record_random)
+                result = tester.weighted(record_fixed, record_random)
                 if result is None or not result.rejected:
                     continue
                 visit, instr = key
@@ -234,7 +322,8 @@ class LeakageAnalyzer:
     # strict per-run sampling mode
     # ------------------------------------------------------------------
 
-    def _per_run_device_tests(self, pair: AlignedSlotPair) -> List[Leak]:
+    def _per_run_device_tests(self, pair: AlignedSlotPair,
+                              tester) -> List[Leak]:
         """Device tests where each run contributes one sample per feature.
 
         For every feature coordinate (a transition type for control flow, a
@@ -269,9 +358,11 @@ class LeakageAnalyzer:
                     detail=f"basic block executed only under {side} inputs"))
                 continue
             leaks.extend(self._per_run_cf_test(identity, kernel_name, label,
-                                               fixed_graphs, random_graphs))
+                                               fixed_graphs, random_graphs,
+                                               tester))
             leaks.extend(self._per_run_df_test(identity, kernel_name, label,
-                                               fixed_graphs, random_graphs))
+                                               fixed_graphs, random_graphs,
+                                               tester))
         return leaks
 
     @staticmethod
@@ -285,7 +376,7 @@ class LeakageAnalyzer:
         return histograms
 
     def _per_run_cf_test(self, identity, kernel_name, label,
-                         fixed_graphs, random_graphs) -> List[Leak]:
+                         fixed_graphs, random_graphs, tester) -> List[Leak]:
         fixed_hists = self._per_run_cf_samples(fixed_graphs, label)
         random_hists = self._per_run_cf_samples(random_graphs, label)
         keys = set()
@@ -297,9 +388,8 @@ class LeakageAnalyzer:
             y = [float(hist.get(key, 0)) for hist in random_hists]
             if x == y:
                 continue
-            try:
-                result = self._plain_test(x, y)
-            except DistributionTestError:
+            result = tester.plain(x, y)
+            if result is None:
                 continue
             if result.rejected and (worst is None
                                     or result.p_value < worst.p_value):
@@ -315,7 +405,7 @@ class LeakageAnalyzer:
             detail="per-run transition counts deviate")]
 
     def _per_run_df_test(self, identity, kernel_name, label,
-                         fixed_graphs, random_graphs) -> List[Leak]:
+                         fixed_graphs, random_graphs, tester) -> List[Leak]:
         def slot_maps(graphs):
             per_run = []
             for graph in graphs:
@@ -345,9 +435,8 @@ class LeakageAnalyzer:
                      for run in random_runs]
                 if x == y:
                     continue
-                try:
-                    result = self._plain_test(x, y)
-                except DistributionTestError:
+                result = tester.plain(x, y)
+                if result is None:
                     continue
                 if result.rejected and (slot_worst is None
                                         or result.p_value < slot_worst.p_value):
@@ -399,7 +488,8 @@ class LeakageAnalyzer:
             return welch_t_test(x, y, confidence=self.config.confidence)
         return ks_test(x, y, confidence=self.config.confidence)
 
-    def _categorical_test(self, hist_x: Dict, hist_y: Dict
+    def _categorical_test(self, hist_x: Dict, hist_y: Dict,
+                          order: Optional[Dict] = None
                           ) -> Optional[TestResult]:
         try:
             if self.config.test == "welch":
@@ -407,7 +497,7 @@ class LeakageAnalyzer:
                     _numeric_keys(hist_x), _numeric_keys(hist_y),
                     confidence=self.config.confidence)
             return ks_test_weighted(
-                hist_x, hist_y, confidence=self.config.confidence,
+                hist_x, hist_y, confidence=self.config.confidence, order=order,
                 sample_size_cap=self.config.sample_size_cap)
         except DistributionTestError:
             return None

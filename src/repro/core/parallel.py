@@ -1,0 +1,256 @@
+"""Worker-pool trace recording — the §VIII-A hot path, parallelised.
+
+Phases 1 and 3 re-execute the program under test hundreds of times, and
+every execution is independent by construction (each run gets a fresh
+simulated :class:`~repro.gpusim.device.Device`, like a fresh process), so
+the recording loop parallelises across a ``ProcessPoolExecutor``.
+
+Two design points keep the parallel pipeline byte-identical to the serial
+one:
+
+* **inputs are drawn in the parent** — the pipeline materialises every run
+  input from one seeded generator in the serial draw order and dispatches
+  *contiguous* chunks of them, so run *i* executes the same input no matter
+  how many workers exist, and a run's trace cannot depend on which worker
+  executed it (devices are seeded from the static ``DeviceConfig``, never
+  from worker state);
+* **partial evidence, folded in chunk order** — each worker folds its chunk
+  of runs into a partial :class:`~repro.core.evidence.Evidence` (the same
+  streaming fold the serial path uses) and ships *that* back instead of
+  pickling hundreds of full ``ProgramTrace`` objects; the parent merges the
+  partials left-to-right with :meth:`Evidence.merge`, which extends the
+  per-run presence vectors in run order and aggregates A-DCFGs with the
+  associative :func:`~repro.adcfg.merge.merge_adcfg_into`.
+
+The pool degrades gracefully: ``workers=1``, tiny batches, unpicklable
+programs (e.g. closure-built workloads), or a sandbox that cannot fork all
+fall back to the in-process serial loop, which remains the reference
+implementation.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.evidence import Evidence
+from repro.gpusim.device import DeviceConfig
+from repro.tracing.recorder import Program, ProgramTrace, TraceRecorder
+
+#: Worker-count specification: a positive int, ``"auto"`` (one worker per
+#: available core), or None (serial).
+WorkerSpec = Union[int, str, None]
+
+
+def resolve_workers(workers: WorkerSpec) -> int:
+    """Normalise a worker spec to a concrete positive worker count."""
+    if workers is None:
+        return 1
+    if isinstance(workers, str):
+        if workers == "auto":
+            return max(1, os.cpu_count() or 1)
+        try:
+            workers = int(workers)
+        except ValueError:
+            raise ValueError(
+                f"workers must be a positive int or 'auto', got {workers!r}"
+            ) from None
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ValueError(f"workers must be a positive int or 'auto', got {workers!r}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def chunk_slices(n: int, chunks: int) -> List[slice]:
+    """Split ``range(n)`` into at most *chunks* contiguous balanced slices.
+
+    Deterministic: depends only on ``(n, chunks)``.  Earlier slices get the
+    remainder, matching ``np.array_split`` semantics.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if chunks < 1:
+        raise ValueError("chunks must be >= 1")
+    chunks = min(chunks, n) or 1
+    base, extra = divmod(n, chunks)
+    slices = []
+    start = 0
+    for i in range(chunks):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            break
+        slices.append(slice(start, start + size))
+        start += size
+    return slices
+
+
+@dataclass
+class ChunkStats:
+    """Cost accounting for one recorded chunk of runs.
+
+    ``trace_seconds_total`` sums per-run recording cost (CPU-side wall time
+    of each ``record`` call — with workers these overlap, so the sum can
+    exceed the enclosing phase's wall clock); ``evidence_seconds`` is the
+    time spent folding traces into evidence.
+    """
+
+    trace_count: int = 0
+    trace_bytes_total: int = 0
+    trace_seconds_total: float = 0.0
+    evidence_seconds: float = 0.0
+
+    def add_trace(self, trace: ProgramTrace, seconds: float) -> None:
+        self.trace_count += 1
+        self.trace_bytes_total += trace.trace_size_bytes()
+        self.trace_seconds_total += seconds
+
+    def absorb(self, other: "ChunkStats") -> None:
+        self.trace_count += other.trace_count
+        self.trace_bytes_total += other.trace_bytes_total
+        self.trace_seconds_total += other.trace_seconds_total
+        self.evidence_seconds += other.evidence_seconds
+
+
+def _record_trace_chunk(
+        program: Program, device_config: Optional[DeviceConfig],
+        values: Sequence[object], buffered: bool,
+) -> Tuple[List[ProgramTrace], ChunkStats]:
+    """Worker body for phase 1: record and return the raw traces."""
+    recorder = TraceRecorder(device_config=device_config, buffered=buffered)
+    stats = ChunkStats()
+    traces: List[ProgramTrace] = []
+    for value in values:
+        started = time.perf_counter()
+        trace = recorder.record(program, value)
+        stats.add_trace(trace, time.perf_counter() - started)
+        # pre-compute the digest worker-side so the phase-2 grouping in the
+        # parent reuses it instead of re-serialising every A-DCFG
+        trace.signature()
+        traces.append(trace)
+    return traces, stats
+
+
+def _record_evidence_chunk(
+        program: Program, device_config: Optional[DeviceConfig],
+        values: Sequence[object], keep_per_run: bool, buffered: bool,
+) -> Tuple[Evidence, ChunkStats]:
+    """Worker body for phase 3: fold the chunk's runs into partial evidence.
+
+    Each trace is dropped as soon as it is merged, so worker peak RAM is one
+    trace plus the growing partial evidence — the streaming fold that keeps
+    the Table IV memory column flat at high run counts.
+    """
+    recorder = TraceRecorder(device_config=device_config, buffered=buffered)
+    stats = ChunkStats()
+    evidence = Evidence(keep_per_run=keep_per_run)
+    for value in values:
+        started = time.perf_counter()
+        trace = recorder.record(program, value)
+        recorded = time.perf_counter()
+        stats.add_trace(trace, recorded - started)
+        evidence.add_trace(trace)
+        stats.evidence_seconds += time.perf_counter() - recorded
+    return evidence, stats
+
+
+class TraceRecordingPool:
+    """Records batches of runs serially or across a process pool.
+
+    The pool is created per batch (``ProcessPoolExecutor`` startup is
+    negligible next to hundreds of instrumented executions) and the serial
+    in-process path is the reference: for any picklable program the pooled
+    result is identical, and unpicklable programs silently use the serial
+    path so callers never have to care.
+    """
+
+    def __init__(self, program: Program,
+                 device_config: Optional[DeviceConfig] = None,
+                 workers: WorkerSpec = 1, buffered: bool = False) -> None:
+        self.program = program
+        self.device_config = device_config
+        self.workers = resolve_workers(workers)
+        self.buffered = buffered
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def record_traces(self, values: Sequence[object]
+                      ) -> Tuple[List[ProgramTrace], ChunkStats]:
+        """Record one trace per value (phase 1: traces are kept)."""
+        chunks = self._run_chunks(_record_trace_chunk, values,
+                                  (self.buffered,))
+        traces: List[ProgramTrace] = []
+        stats = ChunkStats()
+        for chunk_traces, chunk_stats in chunks:
+            traces.extend(chunk_traces)
+            stats.absorb(chunk_stats)
+        return traces, stats
+
+    def record_evidence(self, values: Sequence[object],
+                        keep_per_run: bool = False
+                        ) -> Tuple[Evidence, ChunkStats]:
+        """Record runs and fold them straight into one evidence (phase 3)."""
+        chunks = self._run_chunks(_record_evidence_chunk, values,
+                                  (keep_per_run, self.buffered))
+        evidence: Optional[Evidence] = None
+        stats = ChunkStats()
+        for chunk_evidence, chunk_stats in chunks:
+            stats.absorb(chunk_stats)
+            if evidence is None:
+                evidence = chunk_evidence
+            else:
+                merge_started = time.perf_counter()
+                evidence.merge(chunk_evidence)
+                stats.evidence_seconds += time.perf_counter() - merge_started
+        return evidence if evidence is not None else Evidence(
+            keep_per_run=keep_per_run), stats
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def _effective_workers(self, n_values: int) -> int:
+        workers = min(self.workers, n_values)
+        if workers <= 1:
+            return 1
+        if not self._payload_picklable():
+            return 1
+        return workers
+
+    def _payload_picklable(self) -> bool:
+        try:
+            pickle.dumps((self.program, self.device_config))
+        except Exception:
+            return False
+        return True
+
+    def _run_chunks(self, worker_fn, values: Sequence[object],
+                    extra_args: Tuple) -> List[Tuple]:
+        values = list(values)
+        workers = self._effective_workers(len(values))
+        if workers <= 1:
+            return [worker_fn(self.program, self.device_config, values,
+                              *extra_args)]
+        slices = chunk_slices(len(values), workers)
+        try:
+            with ProcessPoolExecutor(max_workers=len(slices)) as pool:
+                futures = [
+                    pool.submit(worker_fn, self.program, self.device_config,
+                                values[s], *extra_args)
+                    for s in slices
+                ]
+                # collect in submission (= run) order so downstream folds
+                # see runs exactly as the serial loop would
+                return [future.result() for future in futures]
+        except (BrokenProcessPool, OSError, pickle.PicklingError):
+            # sandboxes without fork, or lazily-unpicklable run values:
+            # fall back to the reference serial path
+            return [worker_fn(self.program, self.device_config, values,
+                              *extra_args)]

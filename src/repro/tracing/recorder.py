@@ -65,6 +65,7 @@ class ProgramTrace:
         self.invocations = invocations
         self.malloc_records = malloc_records
         self.launch_records = launch_records
+        self._signature: Optional[str] = None
 
     @property
     def kernel_sequence(self) -> Tuple[str, ...]:
@@ -97,12 +98,16 @@ class ProgramTrace:
 
         Two executions with identical kernel sequences and identical
         A-DCFGs (§VI's trace-equality criterion) share a signature.
+        Memoised: a trace is immutable once recorded, and the filtering
+        phase, worker transfers, and tests all re-ask for the digest.
         """
-        hasher = hashlib.sha256()
-        for inv in self.invocations:
-            hasher.update(inv.identity.encode())
-            hasher.update(serialize_adcfg(inv.adcfg))
-        return hasher.hexdigest()
+        if self._signature is None:
+            hasher = hashlib.sha256()
+            for inv in self.invocations:
+                hasher.update(inv.identity.encode())
+                hasher.update(serialize_adcfg(inv.adcfg))
+            self._signature = hasher.hexdigest()
+        return self._signature
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, ProgramTrace):

@@ -1,0 +1,122 @@
+"""Vectorized KS batching must agree with the scalar reference tests."""
+
+import math
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kstest import (
+    DistributionTestError,
+    ks_test,
+    ks_test_batch,
+    ks_test_weighted,
+)
+
+#: Tolerance from the acceptance criteria: batch agrees with scalar to 1e-12.
+TOL = 1e-12
+
+
+def assert_matches_scalar(request, result, confidence=0.95,
+                          sample_size_cap=None):
+    hist_x, hist_y = request[0], request[1]
+    order = request[2] if len(request) == 3 else None
+    try:
+        want = ks_test_weighted(hist_x, hist_y, confidence=confidence,
+                                order=order, sample_size_cap=sample_size_cap)
+    except DistributionTestError:
+        assert result is None
+        return
+    assert result is not None
+    assert math.isclose(result.statistic, want.statistic,
+                        rel_tol=TOL, abs_tol=TOL)
+    assert math.isclose(result.p_value, want.p_value,
+                        rel_tol=TOL, abs_tol=TOL)
+    assert math.isclose(result.threshold, want.threshold,
+                        rel_tol=TOL, abs_tol=TOL)
+    assert result.n == want.n
+    assert result.m == want.m
+    assert result.rejected == want.rejected
+
+
+histograms = st.dictionaries(st.integers(min_value=-50, max_value=50),
+                             st.integers(min_value=0, max_value=40),
+                             max_size=12)
+
+
+class TestBatchAgainstScalar:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(histograms, histograms),
+                    min_size=1, max_size=8))
+    def test_property_randomized_histograms(self, requests):
+        results = ks_test_batch(requests)
+        assert len(results) == len(requests)
+        for request, result in zip(requests, results):
+            assert_matches_scalar(request, result)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.tuples(histograms, histograms),
+           st.integers(min_value=1, max_value=50))
+    def test_property_sample_size_cap(self, request, cap):
+        [result] = ks_test_batch([request], sample_size_cap=cap)
+        assert_matches_scalar(request, result, sample_size_cap=cap)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=-5, max_value=5, allow_nan=False),
+                    min_size=1, max_size=30),
+           st.lists(st.floats(min_value=-5, max_value=5, allow_nan=False),
+                    min_size=1, max_size=30))
+    def test_plain_samples_recast_as_histograms(self, x, y):
+        """The batched analyzer feeds plain samples as value-count
+        histograms; that recast preserves the full plain-sample test."""
+        [result] = ks_test_batch([(Counter(x), Counter(y))])
+        want = ks_test(x, y)
+        assert math.isclose(result.statistic, want.statistic,
+                            rel_tol=TOL, abs_tol=TOL)
+        assert math.isclose(result.p_value, want.p_value,
+                            rel_tol=TOL, abs_tol=TOL)
+        assert (result.n, result.m) == (want.n, want.m)
+
+
+class TestBatchEdges:
+    def test_empty_batch(self):
+        assert ks_test_batch([]) == []
+
+    def test_degenerate_requests_are_none_not_fatal(self):
+        requests = [
+            ({}, {}),                      # empty support
+            ({1: 0}, {2: 0}),              # zero weight both sides
+            ({1: 5}, {1: 0}),              # one side empty
+            ({1: 5, 2: 3}, {1: 2, 2: 6}),  # healthy
+        ]
+        results = ks_test_batch(requests)
+        assert results[0] is None
+        assert results[1] is None
+        assert results[2] is None
+        assert results[3] is not None
+        assert_matches_scalar(requests[3], results[3])
+
+    def test_explicit_order_mapping(self):
+        order = {"taken": 0, "fallthrough": 1, "exit": 2}
+        request = ({"taken": 8, "exit": 2}, {"fallthrough": 6, "exit": 4},
+                   order)
+        [result] = ks_test_batch([request])
+        assert_matches_scalar(request, result)
+
+    def test_mixed_support_sizes_pad_safely(self):
+        wide = ({i: 1 for i in range(30)}, {i: 2 for i in range(30)})
+        narrow = ({0: 10}, {1: 10})
+        for request, result in zip([wide, narrow],
+                                   ks_test_batch([wide, narrow])):
+            assert_matches_scalar(request, result)
+
+    def test_confidence_levels(self):
+        request = ({1: 20, 2: 5}, {1: 5, 2: 20})
+        for confidence in (0.9, 0.95, 0.999):
+            [result] = ks_test_batch([request], confidence=confidence)
+            assert_matches_scalar(request, result, confidence=confidence)
+
+    def test_invalid_confidence_raises(self):
+        with pytest.raises(DistributionTestError):
+            ks_test_batch([({1: 1}, {1: 1})], confidence=1.0)
