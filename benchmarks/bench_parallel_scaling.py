@@ -19,7 +19,7 @@ from __future__ import annotations
 import os
 import time
 
-from _bench_utils import bench_runs, emit_table
+from _bench_utils import RESULTS_DIR, bench_runs, emit_table
 from repro.apps.libgpucrypto import aes_program, random_key
 from repro.core import Owl, OwlConfig
 
@@ -68,6 +68,17 @@ def test_parallel_scaling(benchmark):
         f"{cores} CPU core{'s' if cores != 1 else ''})",
         ["Workers", "Detect s", "Speedup", "Efficiency", "Rec. overlap"],
         rows)
+    # worker speedups are core-count-gated: on a host with fewer cores than
+    # workers the extra processes only add dispatch overhead, so read the
+    # speedup column against the core count in the title.  Per-trace CPU
+    # cost reductions live in trace_hotpath.txt (columnar fast path), which
+    # helps regardless of core count.
+    note = ("\nNote: speedup is bounded by the host core count above; "
+            "worker counts beyond it measure overhead, not scaling. "
+            "Core-count-independent per-trace gains are tracked in "
+            "trace_hotpath.txt.\n")
+    with open(RESULTS_DIR / "parallel_scaling.txt", "a") as handle:
+        handle.write(note)
 
     # the pool may move work, never change it: every worker count must
     # produce the same report bit for bit

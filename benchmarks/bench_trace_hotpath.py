@@ -1,0 +1,129 @@
+"""Trace-recording hot path: per-event objects vs. the columnar pipeline.
+
+Table IV attributes most of Owl's end-to-end cost to trace recording, and
+profiling the object path shows why: every memory instruction allocates a
+`MemoryAccessEvent`, and every one of its ~32 lane addresses takes a Python
+round trip through the scalar normaliser.  The columnar path batches each
+warp's accesses into arrays, normalises them with one ``np.searchsorted``
+per batch, and bulk-folds the result into the A-DCFG.
+
+This bench times both paths on single-trace recording (AES and RSA) and on
+a small end-to-end ``Owl.detect`` (AES), asserts the recording speedup that
+justifies columnar-by-default (≥3× on AES), and re-checks bit-identity of
+the traces while it is at it.
+
+Run modes:
+
+* ``pytest benchmarks/bench_trace_hotpath.py --benchmark-only -s`` — full
+  measurement, asserts the speedup bars;
+* ``python benchmarks/bench_trace_hotpath.py --smoke`` — one quick pass for
+  CI: records the timing artefact and checks equality, no speedup bars
+  (shared runners are too noisy to gate merges on a ratio).
+
+``OWL_BENCH_RECORDS`` overrides the per-measurement record count.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from _bench_utils import emit_table
+from repro.apps.libgpucrypto import aes_program, random_key, rsa_program
+from repro.core import Owl, OwlConfig
+from repro.tracing.recorder import TraceRecorder
+
+AES_INPUT = bytes(range(16))
+RSA_INPUT = 0x6ACF8231
+
+AES_INPUTS = [bytes(range(16)), bytes(range(1, 17))]
+
+
+def bench_records(default: int = 6) -> int:
+    return int(os.environ.get("OWL_BENCH_RECORDS", default))
+
+
+def seconds_per_record(program, value, columnar: bool, records: int,
+                       reps: int) -> float:
+    """Best-of-*reps* mean recording time over *records* traces."""
+    best = float("inf")
+    for _ in range(reps):
+        recorder = TraceRecorder(columnar=columnar)
+        started = time.perf_counter()
+        for _ in range(records):
+            recorder.record(program, value)
+        best = min(best, (time.perf_counter() - started) / records)
+    return best
+
+
+def detect_seconds(columnar: bool, runs: int) -> float:
+    config = OwlConfig(fixed_runs=runs, random_runs=runs, columnar=columnar,
+                       always_analyze=True)
+    owl = Owl(aes_program, name="libgpucrypto/AES", config=config)
+    started = time.perf_counter()
+    owl.detect(inputs=AES_INPUTS, random_input=random_key)
+    return time.perf_counter() - started
+
+
+def profile(records: int, reps: int, detect_runs: int):
+    measurements = {}
+    for name, program, value in (("AES record", aes_program, AES_INPUT),
+                                 ("RSA record", rsa_program, RSA_INPUT)):
+        measurements[name] = tuple(
+            seconds_per_record(program, value, columnar, records, reps)
+            for columnar in (False, True))
+    measurements["AES detect (e2e)"] = tuple(
+        detect_seconds(columnar, detect_runs)
+        for columnar in (False, True))
+    return measurements
+
+
+def check_equality() -> None:
+    """Both paths must produce byte-identical traces (belt and braces —
+    the real coverage lives in tests/tracing/test_columnar.py)."""
+    for program, value in ((aes_program, AES_INPUT),
+                           (rsa_program, RSA_INPUT)):
+        reference = TraceRecorder(columnar=False).record(program, value)
+        fast = TraceRecorder(columnar=True).record(program, value)
+        assert fast.signature() == reference.signature(), program
+
+
+def report(measurements, records: int, smoke: bool):
+    rows = []
+    speedups = {}
+    for name, (object_s, columnar_s) in measurements.items():
+        speedups[name] = object_s / columnar_s
+        rows.append((name, f"{object_s:.4f}", f"{columnar_s:.4f}",
+                     f"{speedups[name]:.2f}x"))
+    mode = "smoke" if smoke else f"best-of-reps, {records} records"
+    emit_table(
+        "trace_hotpath",
+        f"Trace hot path: per-event objects vs columnar batches ({mode})",
+        ["Workload", "Object s", "Columnar s", "Speedup"],
+        rows)
+    return speedups
+
+
+def run(smoke: bool) -> None:
+    check_equality()
+    records = bench_records(2 if smoke else 6)
+    reps = 1 if smoke else 3
+    detect_runs = 2 if smoke else 8
+    measurements = profile(records, reps, detect_runs)
+    speedups = report(measurements, records, smoke)
+    if smoke:
+        return
+    # the bar that justifies columnar-by-default
+    assert speedups["AES record"] >= 3.0, speedups
+    assert speedups["RSA record"] >= 1.2, speedups
+    # recording dominates detect, so the end-to-end wall clock must move too
+    assert speedups["AES detect (e2e)"] >= 1.5, speedups
+
+
+def test_trace_hotpath(benchmark):
+    benchmark.pedantic(run, args=(False,), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    sys.exit(run(smoke="--smoke" in sys.argv[1:]))

@@ -14,16 +14,22 @@ bracketed with the virtual :data:`~repro.adcfg.graph.START_LABEL` /
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.adcfg.graph import ADCFG, END_LABEL, START_LABEL, AddressKey
 from repro.gpusim.events import (
     BasicBlockEvent,
     MemoryAccessEvent,
+    MemoryBatchEvent,
 )
 
 #: Maps a raw device byte address to a normalised (label, offset) key.
 Normalizer = Callable[[int], AddressKey]
+
+#: Maps a whole address array to its normalised keys in one call.
+BatchNormalizer = Callable[[np.ndarray], List[AddressKey]]
 
 
 def identity_normalizer(address: int) -> AddressKey:
@@ -36,11 +42,13 @@ class ADCFGBuilder:
 
     def __init__(self, kernel_identity: str, kernel_name: str = "",
                  total_threads: int = 0, num_warps: int = 0,
-                 normalizer: Optional[Normalizer] = None) -> None:
+                 normalizer: Optional[Normalizer] = None,
+                 batch_normalizer: Optional[BatchNormalizer] = None) -> None:
         self.graph = ADCFG(kernel_identity=kernel_identity,
                            kernel_name=kernel_name,
                            total_threads=total_threads, num_warps=num_warps)
         self._normalizer = normalizer or identity_normalizer
+        self._batch_normalizer = batch_normalizer
         # per-warp control-flow context: (prev_prev_label, prev_label)
         self._warp_state: Dict[Tuple[int, int], Tuple[str, str]] = {}
 
@@ -66,6 +74,60 @@ class ADCFGBuilder:
         node.record_access(visit=event.visit, instr=event.instr,
                            space=event.space.value, is_store=event.is_store,
                            keys=keys)
+
+    def on_memory_batch(self, event: MemoryBatchEvent) -> None:
+        """Bulk-fold one warp's columnar memory batch.
+
+        The whole batch collapses in three vectorised steps: one
+        ``lexsort`` over ``(instruction, address)`` groups every
+        instruction's repeated addresses into runs, the run starts yield
+        unique ``(instruction, address)`` pairs with multiplicities
+        (address → (allocation, offset) is injective, so counting raw
+        addresses counts normalised keys), and the unique addresses of
+        *all* instructions are normalised with a single batch-normaliser
+        call.  Only the per-slot dict folds remain per-instruction.  The
+        result is identical to folding the expanded per-instruction events
+        one lane at a time (asserted by the equality tests).
+        """
+        addresses = event.addresses
+        extents = event.extents
+        n_instr = event.num_instructions
+        total = addresses.shape[0]
+        if total == 0:
+            return
+        instr_of_addr = np.repeat(np.arange(n_instr), np.diff(extents))
+        order = np.lexsort((addresses, instr_of_addr))
+        sorted_addr = addresses[order]
+        sorted_instr = instr_of_addr[order]
+        run_start = np.empty(total, dtype=bool)
+        run_start[0] = True
+        run_start[1:] = ((sorted_addr[1:] != sorted_addr[:-1])
+                         | (sorted_instr[1:] != sorted_instr[:-1]))
+        starts = np.flatnonzero(run_start)
+        counts = np.diff(starts, append=total).tolist()
+        unique_addr = sorted_addr[starts]
+        unique_instr = sorted_instr[starts]
+        if self._batch_normalizer is not None:
+            keys = self._batch_normalizer(unique_addr)
+        else:
+            keys = [self._normalizer(address)
+                    for address in unique_addr.tolist()]
+        # slice boundaries of each instruction's unique keys
+        bounds = np.searchsorted(unique_instr,
+                                 np.arange(n_instr + 1)).tolist()
+
+        labels = event.labels
+        label_ids = event.label_ids.tolist()
+        visits = event.visits.tolist()
+        instrs = event.instrs.tolist()
+        spaces = event.spaces.tolist()
+        stores = event.is_stores.tolist()
+        node = self.graph.node
+        for i, label_id in enumerate(label_ids):
+            lo, hi = bounds[i], bounds[i + 1]
+            node(labels[label_id]).record_access_bulk(
+                visit=visits[i], instr=instrs[i], space=spaces[i],
+                is_store=stores[i], keys=keys[lo:hi], counts=counts[lo:hi])
 
     # ------------------------------------------------------------------
     # finalisation

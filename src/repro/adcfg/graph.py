@@ -19,7 +19,7 @@ Structure (following §V-B of the paper):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 #: Virtual predecessor of each warp's first basic block.
 START_LABEL = "<START>"
@@ -47,6 +47,23 @@ class MemoryRecord:
         """Count one access per key occurrence."""
         for key in keys:
             self.counts[key] = self.counts.get(key, 0) + 1
+
+    def add_counts(self, keys: Sequence[AddressKey],
+                   counts: Sequence[int]) -> None:
+        """Bulk variant of :meth:`add`: fold pre-aggregated key counts.
+
+        The columnar pipeline collapses one instruction's address vector
+        into unique keys with multiplicities and lands the result here in
+        one call instead of one :meth:`add` per lane.  *keys* must not
+        contain duplicates (the empty-record fast path folds them with a
+        single ``dict`` construction).
+        """
+        existing = self.counts
+        if not existing:
+            self.counts = dict(zip(keys, map(int, counts)))
+            return
+        for key, count in zip(keys, counts):
+            existing[key] = existing.get(key, 0) + int(count)
 
     def merge(self, other: "MemoryRecord") -> None:
         """Fold *other*'s counts into this record."""
@@ -101,6 +118,21 @@ class Node:
             record.space = space
             record.is_store = is_store
         record.add(keys)
+
+    def record_access_bulk(self, visit: int, instr: int, space: int,
+                           is_store: bool, keys: Sequence[AddressKey],
+                           counts: Sequence[int]) -> None:
+        """Bulk :meth:`record_access`: fold pre-counted keys into a slot."""
+        while len(self.visits) <= visit:
+            self.visits.append([])
+        slot_list = self.visits[visit]
+        while len(slot_list) <= instr:
+            slot_list.append(MemoryRecord())
+        record = slot_list[instr]
+        if record.total_accesses == 0:
+            record.space = space
+            record.is_store = is_store
+        record.add_counts(keys, counts)
 
     def iter_instructions(self):
         """Yield ``(visit, instr, record)`` for every non-empty slot."""
@@ -172,6 +204,12 @@ class ADCFG:
         self.num_warps = num_warps
         self.nodes: Dict[str, Node] = {}
         self.edges: Dict[Tuple[str, str], Edge] = {}
+        # adjacency indexes: src -> [edges], dst -> [edges], maintained by
+        # edge() so in_edges/out_edges are O(degree) instead of O(E) scans
+        # (the transition-matrix construction queries them per node)
+        self._out_index: Dict[str, List[Edge]] = {}
+        self._in_index: Dict[str, List[Edge]] = {}
+        self._indexed_edges = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -190,19 +228,41 @@ class ADCFG:
         key = (src, dst)
         found = self.edges.get(key)
         if found is None:
+            self._ensure_indexes()
             found = Edge(src=src, dst=dst)
             self.edges[key] = found
+            self._out_index.setdefault(src, []).append(found)
+            self._in_index.setdefault(dst, []).append(found)
+            self._indexed_edges = len(self.edges)
         return found
+
+    def _ensure_indexes(self) -> None:
+        """Rebuild the adjacency indexes after out-of-band edge insertion.
+
+        Deserialisation populates ``self.edges`` directly; a count mismatch
+        detects that and triggers one O(E) rebuild, after which queries are
+        O(degree) again.
+        """
+        if self._indexed_edges == len(self.edges):
+            return
+        self._out_index = {}
+        self._in_index = {}
+        for edge in self.edges.values():
+            self._out_index.setdefault(edge.src, []).append(edge)
+            self._in_index.setdefault(edge.dst, []).append(edge)
+        self._indexed_edges = len(self.edges)
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
 
     def in_edges(self, label: str) -> List[Edge]:
-        return [e for e in self.edges.values() if e.dst == label]
+        self._ensure_indexes()
+        return list(self._in_index.get(label, ()))
 
     def out_edges(self, label: str) -> List[Edge]:
-        return [e for e in self.edges.values() if e.src == label]
+        self._ensure_indexes()
+        return list(self._out_index.get(label, ()))
 
     @property
     def num_nodes(self) -> int:
@@ -231,6 +291,7 @@ class ADCFG:
                       num_warps=self.num_warps)
         clone.nodes = {label: node.copy() for label, node in self.nodes.items()}
         clone.edges = {key: edge.copy() for key, edge in self.edges.items()}
+        clone._ensure_indexes()
         return clone
 
     def __eq__(self, other) -> bool:

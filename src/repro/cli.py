@@ -97,6 +97,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="trace-recording worker processes: a positive "
                              "int or 'auto' for one per CPU core; any value "
                              "yields bit-identical reports (default: 1)")
+    parser.add_argument("--no-columnar", action="store_true",
+                        help="record traces through the per-event object "
+                             "pipeline instead of the (default) columnar "
+                             "fast path; both produce identical traces")
     parser.add_argument("--all-representatives", action="store_true",
                         help="analyze every input class, not just the first")
     parser.add_argument("--granularity", type=int, default=1,
@@ -141,7 +145,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         confidence=args.confidence, test=args.test, seed=args.seed,
         analyze_all_representatives=args.all_representatives,
         offset_granularity=args.granularity, quantify=args.quantify,
-        workers=workers)
+        workers=workers, columnar=not args.no_columnar)
     owl = Owl(program, name=args.workload, config=config)
     result = owl.detect(inputs=fixed_inputs(), random_input=random_input)
 

@@ -73,6 +73,12 @@ class OwlConfig:
     #: per-feature scalar calls (identical verdicts; the scalar path stays
     #: available as the reference implementation)
     vectorized: bool = True
+    #: record traces through the columnar fast path: per-warp batched
+    #: memory events, one vectorized address normalisation per instruction,
+    #: and bulk A-DCFG folding.  Produces byte-identical traces to the
+    #: per-event object path (``columnar=False``), which stays as the
+    #: reference implementation.
+    columnar: bool = True
 
     def leakage_config(self) -> LeakageConfig:
         return LeakageConfig(confidence=self.confidence,
@@ -161,9 +167,11 @@ class Owl:
         self.program = program
         self.name = name
         self.config = config or OwlConfig()
-        self.recorder = TraceRecorder(device_config=device_config)
+        self.recorder = TraceRecorder(device_config=device_config,
+                                      columnar=self.config.columnar)
         self.pool = TraceRecordingPool(program, device_config=device_config,
-                                       workers=self.config.workers)
+                                       workers=self.config.workers,
+                                       columnar=self.config.columnar)
         self.analyzer = LeakageAnalyzer(self.config.leakage_config())
 
     # ------------------------------------------------------------------

@@ -34,6 +34,7 @@ from repro.gpusim.events import (
     KernelBeginEvent,
     KernelEndEvent,
     MemoryAccessEvent,
+    MemoryBatchEvent,
     SyncEvent,
     TraceEvent,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "KernelEndEvent",
     "LaunchConfig",
     "MemoryAccessEvent",
+    "MemoryBatchEvent",
     "MemoryAllocator",
     "MemorySpace",
     "SimtDivergenceError",

@@ -26,13 +26,14 @@ code, mirroring a taken/untaken branch.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.gpusim.events import (
     BasicBlockEvent,
     MemoryAccessEvent,
+    MemoryBatchEvent,
     SyncEvent,
 )
 from repro.gpusim.kernel import LaunchConfig
@@ -42,6 +43,10 @@ from repro.gpusim.warp import (
     lane_bool,
     lane_vector,
 )
+
+#: Per-lane ballot weights: bit *i* for lane *i* (``__ballot_sync`` layout).
+_BALLOT_WEIGHTS = np.left_shift(np.uint64(1),
+                                np.arange(WARP_SIZE, dtype=np.uint64))
 
 
 class SimtDivergenceError(Exception):
@@ -90,12 +95,21 @@ class WarpContext:
     """
 
     def __init__(self, launch: LaunchConfig, block_id: int, warp_id: int,
-                 emit: Callable, shared_alloc: Callable) -> None:
+                 emit: Callable, shared_alloc: Callable,
+                 columnar: bool = False) -> None:
         self._launch = launch
         self._block_id = block_id
         self._warp_id = warp_id
         self._emit = emit
         self._shared_alloc = shared_alloc
+        self._columnar = columnar
+        if columnar:
+            # per-warp columnar buffers: one row per memory instruction,
+            # flushed as a single MemoryBatchEvent at warp retirement
+            self._col_label_index: Dict[str, int] = {}
+            self._col_labels: List[str] = []
+            self._col_rows: List[Tuple[int, int, int, int, bool]] = []
+            self._col_addresses: List[np.ndarray] = []
 
         self.lane = np.arange(WARP_SIZE, dtype=np.int64)
         thread_in_block = warp_id * WARP_SIZE + self.lane
@@ -268,9 +282,14 @@ class WarpContext:
         return bool(masked.all()) if masked.size else True
 
     def ballot(self, cond) -> int:
-        """``__ballot_sync``: bitmask of active lanes with a true condition."""
+        """``__ballot_sync``: bitmask of active lanes with a true condition.
+
+        Vectorised: one dot product of the lane mask with the per-lane bit
+        weights replaces the Python ``sum`` over ``np.nonzero`` (property-
+        tested against the scalar formulation).
+        """
         bits = lane_bool(cond) & self._active
-        return int(sum(1 << int(i) for i in np.nonzero(bits)[0]))
+        return int(bits.astype(np.uint64) @ _BALLOT_WEIGHTS)
 
     def reduce_sum(self, values) -> float:
         """Warp reduction: sum of the active lanes."""
@@ -394,10 +413,50 @@ class WarpContext:
             raise SimtDivergenceError(
                 "memory access outside any basic block: call k.block() first")
         addresses = buf.addresses_for(active_idx)
-        self._emit(MemoryAccessEvent.from_array(
-            block_id=self._block_id, warp_id=self._warp_id,
-            label=self._current_label, visit=self._current_visit,
-            instr=self._instr_ordinal,
-            space=space if space is not None else buf.space,
-            is_store=is_store, addresses=addresses))
+        resolved_space = space if space is not None else buf.space
+        if self._columnar:
+            label = self._current_label
+            label_id = self._col_label_index.get(label)
+            if label_id is None:
+                label_id = len(self._col_labels)
+                self._col_label_index[label] = label_id
+                self._col_labels.append(label)
+            self._col_rows.append((label_id, self._current_visit,
+                                   self._instr_ordinal, resolved_space.value,
+                                   is_store))
+            self._col_addresses.append(addresses)
+        else:
+            self._emit(MemoryAccessEvent.from_array(
+                block_id=self._block_id, warp_id=self._warp_id,
+                label=self._current_label, visit=self._current_visit,
+                instr=self._instr_ordinal, space=resolved_space,
+                is_store=is_store, addresses=addresses))
         self._instr_ordinal += 1
+
+    def flush_columnar(self) -> Optional[MemoryBatchEvent]:
+        """Package the warp's buffered memory instructions into one batch.
+
+        Called by the device at warp retirement in columnar mode; returns
+        None when the warp issued no memory instruction.  The buffers are
+        cleared so a context could in principle be flushed mid-launch.
+        """
+        if not self._columnar or not self._col_rows:
+            return None
+        label_ids, visits, instrs, spaces, stores = zip(*self._col_rows)
+        sizes = np.fromiter((chunk.shape[0] for chunk in self._col_addresses),
+                            dtype=np.int64, count=len(self._col_addresses))
+        extents = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=extents[1:])
+        event = MemoryBatchEvent(
+            block_id=self._block_id, warp_id=self._warp_id,
+            labels=tuple(self._col_labels),
+            label_ids=np.asarray(label_ids, dtype=np.int32),
+            visits=np.asarray(visits, dtype=np.int32),
+            instrs=np.asarray(instrs, dtype=np.int32),
+            spaces=np.asarray(spaces, dtype=np.uint8),
+            is_stores=np.asarray(stores, dtype=bool),
+            addresses=np.concatenate(self._col_addresses),
+            extents=extents)
+        self._col_rows = []
+        self._col_addresses = []
+        return event

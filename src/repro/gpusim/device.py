@@ -59,12 +59,16 @@ class LaunchError(Exception):
 class Device:
     """A simulated CUDA-capable GPU."""
 
-    def __init__(self, config: Optional[DeviceConfig] = None) -> None:
+    def __init__(self, config: Optional[DeviceConfig] = None,
+                 columnar: bool = False) -> None:
         self.config = config or DeviceConfig()
         self.memory = DeviceMemory(aslr=self.config.aslr, seed=self.config.seed)
         self._listeners: List[Callable[[TraceEvent], None]] = []
         self._rng = np.random.default_rng(self.config.seed)
         self.launch_count = 0
+        #: columnar tracing: warps buffer memory accesses and emit one
+        #: MemoryBatchEvent at retirement instead of per-instruction events
+        self.columnar = columnar
 
     # ------------------------------------------------------------------
     # tracing hook-up
@@ -142,7 +146,12 @@ class Device:
         for block_id, warp_id in schedule:
             ctx = WarpContext(launch=launch, block_id=block_id,
                               warp_id=warp_id, emit=self._emit,
-                              shared_alloc=shared_alloc)
+                              shared_alloc=shared_alloc,
+                              columnar=self.columnar)
             kern(ctx, *args)
+            if self.columnar:
+                batch = ctx.flush_columnar()
+                if batch is not None:
+                    self._emit(batch)
 
         self._emit(KernelEndEvent(kernel_name=kern.name))

@@ -92,6 +92,63 @@ class MemoryAccessEvent(TraceEvent):
 
 
 @dataclass(frozen=True)
+class MemoryBatchEvent(TraceEvent):
+    """All memory instructions of one warp, in columnar form.
+
+    The columnar fast path (``columnar=True``) replaces the per-instruction
+    :class:`MemoryAccessEvent` stream with a single batch per warp, emitted
+    at warp retirement — the same move MicroWalk makes from per-event
+    callbacks to bulk trace preprocessing.  One batch carries every memory
+    instruction the warp executed, as parallel arrays indexed by instruction:
+
+    * ``labels`` is the warp's interned basic-block label table and
+      ``label_ids[i]`` indexes into it;
+    * ``visits[i]`` / ``instrs[i]`` locate the A-DCFG record slot exactly as
+      the corresponding :class:`MemoryAccessEvent` fields would;
+    * ``spaces[i]`` / ``is_stores[i]`` carry the NVBit memory-space tag value
+      and load/store flag;
+    * ``addresses`` is the concatenation of all instructions' active-lane
+      byte addresses (``int64``), with instruction *i* owning the slice
+      ``addresses[extents[i]:extents[i + 1]]``.
+
+    Instruction order within the batch is the warp's emission order, so
+    folding a batch is equivalent to folding its expansion into individual
+    events (the equality tests assert byte-identical A-DCFGs).
+    """
+
+    block_id: int
+    warp_id: int
+    labels: Tuple[str, ...]
+    label_ids: np.ndarray
+    visits: np.ndarray
+    instrs: np.ndarray
+    spaces: np.ndarray
+    is_stores: np.ndarray
+    addresses: np.ndarray
+    extents: np.ndarray
+
+    @property
+    def num_instructions(self) -> int:
+        return int(self.label_ids.shape[0])
+
+    def iter_events(self):
+        """Expand back into per-instruction :class:`MemoryAccessEvent`s.
+
+        Reference-path helper (tests and any consumer that predates the
+        columnar pipeline): yields events in the original emission order.
+        """
+        for i in range(self.num_instructions):
+            lo, hi = int(self.extents[i]), int(self.extents[i + 1])
+            yield MemoryAccessEvent.from_array(
+                block_id=self.block_id, warp_id=self.warp_id,
+                label=self.labels[int(self.label_ids[i])],
+                visit=int(self.visits[i]), instr=int(self.instrs[i]),
+                space=MemorySpace(int(self.spaces[i])),
+                is_store=bool(self.is_stores[i]),
+                addresses=self.addresses[lo:hi])
+
+
+@dataclass(frozen=True)
 class SyncEvent(TraceEvent):
     """A ``__syncthreads()`` executed by a warp (traced, semantically inert
     because warps of a block run to completion in sequence)."""

@@ -94,6 +94,7 @@ class MemoryAllocator:
         self._next: int = 0
         self._allocations: List[Allocation] = []
         self._next_id = 0
+        self._lookup_cache: Optional[Tuple] = None
         self.reset()
 
     @property
@@ -114,6 +115,7 @@ class MemoryAllocator:
         self._next = self._heap_base + slide
         self._allocations = []
         self._next_id = 0
+        self._lookup_cache = None
 
     def allocate(self, size: int, space: MemorySpace = MemorySpace.GLOBAL,
                  label: str = "") -> Allocation:
@@ -127,6 +129,7 @@ class MemoryAllocator:
                            space=space, label=label or f"alloc{self._next_id}")
         self._next_id += 1
         self._allocations.append(alloc)
+        self._lookup_cache = None
         return alloc
 
     def resolve(self, address: int) -> Tuple[Allocation, int]:
@@ -138,6 +141,45 @@ class MemoryAllocator:
             if alloc.contains(address):
                 return alloc, address - alloc.base
         raise AllocationError(f"address {address:#x} is not inside any allocation")
+
+    def _lookup_table(self) -> Tuple[np.ndarray, np.ndarray, List[Allocation]]:
+        """Base-sorted ``(bases, ends, allocations)`` arrays for binary search.
+
+        Rebuilt lazily after :meth:`allocate`/:meth:`reset` invalidate it;
+        the bump allocator hands out non-overlapping ranges, so sorting by
+        base yields a proper interval table.
+        """
+        if self._lookup_cache is None:
+            allocs = sorted(self._allocations, key=lambda a: a.base)
+            bases = np.array([a.base for a in allocs], dtype=np.int64)
+            ends = np.array([a.end for a in allocs], dtype=np.int64)
+            self._lookup_cache = (bases, ends, allocs)
+        return self._lookup_cache
+
+    def resolve_batch(self, addresses: np.ndarray
+                      ) -> Tuple[List[Allocation], np.ndarray, np.ndarray]:
+        """Vectorised :meth:`resolve` over a whole address array.
+
+        Returns ``(allocations, alloc_indices, offsets)`` where
+        ``allocations[alloc_indices[i]]`` contains ``addresses[i]`` at byte
+        offset ``offsets[i]``.  Raises :class:`AllocationError` for the first
+        address outside every allocation, exactly like the scalar path.
+        """
+        addrs = np.ascontiguousarray(addresses, dtype=np.int64)
+        bases, ends, allocs = self._lookup_table()
+        if bases.size == 0:
+            if addrs.size == 0:
+                return allocs, np.empty(0, dtype=np.int64), addrs
+            raise AllocationError(
+                f"address {int(addrs[0]):#x} is not inside any allocation")
+        indices = np.searchsorted(bases, addrs, side="right") - 1
+        clipped = np.maximum(indices, 0)
+        invalid = (indices < 0) | (addrs >= ends[clipped])
+        if invalid.any():
+            bad = int(addrs[invalid][0])
+            raise AllocationError(
+                f"address {bad:#x} is not inside any allocation")
+        return allocs, clipped, addrs - bases[clipped]
 
 
 @dataclass
@@ -236,3 +278,7 @@ class DeviceMemory:
 
     def resolve(self, address: int) -> Tuple[Allocation, int]:
         return self._allocator.resolve(address)
+
+    def resolve_batch(self, addresses: np.ndarray
+                      ) -> Tuple[List[Allocation], np.ndarray, np.ndarray]:
+        return self._allocator.resolve_batch(addresses)

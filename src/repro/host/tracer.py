@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.gpusim.memory import AllocationError, DeviceMemory
 from repro.host.runtime import LaunchRecord, MallocRecord
 
@@ -74,6 +76,22 @@ class HostTracer:
             return self.normalize(address)
         except AllocationError:
             return None
+
+    def normalize_keys(self, addresses: np.ndarray) -> List[Tuple[str, int]]:
+        """Vectorised :meth:`normalize` over a whole address array.
+
+        One ``np.searchsorted`` over the base-sorted allocation table maps
+        every address to its ``(allocation label, offset)`` key in a single
+        shot — the columnar replacement for calling :meth:`normalize` once
+        per address.  Produces exactly the keys the scalar path would
+        (asserted by the edge-case property tests) and raises
+        :class:`~repro.gpusim.memory.AllocationError` for any address
+        outside every recorded allocation.
+        """
+        allocs, indices, offsets = self._memory.resolve_batch(addresses)
+        labels = [alloc.label for alloc in allocs]
+        return [(labels[i], o)
+                for i, o in zip(indices.tolist(), offsets.tolist())]
 
     def malloc_trace_bytes(self) -> int:
         """Serialised size of all allocation records (Fig. 5 series)."""

@@ -32,14 +32,20 @@ class Channel:
         self.total_events = 0
 
     def send(self, event: TraceEvent) -> None:
-        """Push one event from the device side."""
+        """Push one event from the device side.
+
+        The capacity check runs *before* the event is counted: a rejected
+        event was never transported, so it must not inflate
+        ``total_events`` (regression-tested).
+        """
+        if (self._sink is None and self._capacity is not None
+                and len(self._queue) >= self._capacity):
+            raise OverflowError(
+                f"channel capacity {self._capacity} exceeded; drain first")
         self.total_events += 1
         if self._sink is not None:
             self._sink(event)
             return
-        if self._capacity is not None and len(self._queue) >= self._capacity:
-            raise OverflowError(
-                f"channel capacity {self._capacity} exceeded; drain first")
         self._queue.append(event)
 
     def drain(self) -> List[TraceEvent]:

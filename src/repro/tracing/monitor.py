@@ -12,13 +12,14 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.adcfg.builder import ADCFGBuilder, Normalizer
+from repro.adcfg.builder import ADCFGBuilder, BatchNormalizer, Normalizer
 from repro.adcfg.graph import ADCFG
 from repro.gpusim.events import (
     BasicBlockEvent,
     KernelBeginEvent,
     KernelEndEvent,
     MemoryAccessEvent,
+    MemoryBatchEvent,
     SyncEvent,
     TraceEvent,
 )
@@ -37,8 +38,10 @@ class WarpTraceMonitor:
     records with NVBit's device stream.
     """
 
-    def __init__(self, normalizer: Optional[Normalizer] = None) -> None:
+    def __init__(self, normalizer: Optional[Normalizer] = None,
+                 batch_normalizer: Optional[BatchNormalizer] = None) -> None:
         self._normalizer = normalizer
+        self._batch_normalizer = batch_normalizer
         self._pending_identity: Optional[str] = None
         self._builder: Optional[ADCFGBuilder] = None
         self.completed: List[ADCFG] = []
@@ -61,6 +64,8 @@ class WarpTraceMonitor:
             self._require_builder().on_basic_block(event)
         elif isinstance(event, MemoryAccessEvent):
             self._require_builder().on_memory_access(event)
+        elif isinstance(event, MemoryBatchEvent):
+            self._require_builder().on_memory_batch(event)
         elif isinstance(event, SyncEvent):
             self.sync_events += 1
         else:
@@ -76,7 +81,8 @@ class WarpTraceMonitor:
         self._builder = ADCFGBuilder(
             kernel_identity=identity, kernel_name=event.kernel_name,
             total_threads=event.total_threads, num_warps=event.num_warps,
-            normalizer=self._normalizer)
+            normalizer=self._normalizer,
+            batch_normalizer=self._batch_normalizer)
 
     def _end(self, event: KernelEndEvent) -> None:
         builder = self._require_builder()

@@ -158,19 +158,31 @@ class TraceRecorder:
     monitor after the program finishes.  Both modes produce identical
     traces (asserted in the tests); buffered mode additionally exercises
     the transport's ordering guarantees.
+
+    ``columnar=True`` (the default) uses the columnar fast path: warps
+    buffer memory accesses and ship one
+    :class:`~repro.gpusim.events.MemoryBatchEvent` per warp through the
+    channel, addresses are normalised with one vectorised ``searchsorted``
+    per instruction, and the A-DCFG is folded in bulk.  ``columnar=False``
+    keeps the per-event object pipeline as the reference implementation;
+    both produce byte-identical :class:`ProgramTrace` signatures (asserted
+    in the tests, in every combination with buffering, schedule shuffling,
+    and ASLR).
     """
 
     def __init__(self, device_config: Optional[DeviceConfig] = None,
-                 buffered: bool = False) -> None:
+                 buffered: bool = False, columnar: bool = True) -> None:
         self._device_config = device_config or DeviceConfig()
         self._buffered = buffered
+        self._columnar = columnar
 
     def record(self, program: Program, value: object) -> ProgramTrace:
         """Execute ``program(rt, value)`` under full instrumentation."""
-        device = Device(self._device_config)
+        device = Device(self._device_config, columnar=self._columnar)
         tracer = _SessionTracer(device.memory)
         monitor = WarpTraceMonitor(
-            normalizer=lambda addr: tracer.normalize(addr).as_key())
+            normalizer=lambda addr: tracer.normalize(addr).as_key(),
+            batch_normalizer=tracer.normalize_keys)
 
         if self._buffered:
             channel = Channel()

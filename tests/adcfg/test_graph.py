@@ -162,3 +162,68 @@ class TestADCFG:
     def test_repr_mentions_shape(self):
         text = repr(self.make_graph())
         assert "nodes=2" in text and "edges=3" in text
+
+
+class TestAdjacencyIndexes:
+    """in_edges/out_edges are served from maintained indexes, not O(E) scans;
+    the indexes must stay correct through every way edges can appear."""
+
+    def test_index_tracks_incremental_edges(self):
+        graph = ADCFG("k@1")
+        for dst in ("b", "c", "d"):
+            graph.edge("a", dst).record(START_LABEL)
+        graph.edge("b", "d").record("a")
+        assert sorted(e.dst for e in graph.out_edges("a")) == ["b", "c", "d"]
+        assert sorted(e.src for e in graph.in_edges("d")) == ["a", "b"]
+        assert graph.in_edges("a") == []
+        assert graph.out_edges("d") == []
+
+    def test_index_returns_same_edge_objects(self):
+        graph = ADCFG("k@1")
+        edge = graph.edge("a", "b")
+        assert graph.out_edges("a")[0] is edge
+        assert graph.in_edges("b")[0] is edge
+
+    def test_returned_lists_are_copies(self):
+        graph = ADCFG("k@1")
+        graph.edge("a", "b")
+        graph.out_edges("a").clear()
+        assert len(graph.out_edges("a")) == 1
+
+    def test_index_survives_copy(self):
+        graph = ADCFG("k@1")
+        graph.edge("a", "b").record(START_LABEL)
+        clone = graph.copy()
+        clone.edge("a", "c")
+        assert sorted(e.dst for e in clone.out_edges("a")) == ["b", "c"]
+        # the original is untouched and its index still serves its own edges
+        assert [e.dst for e in graph.out_edges("a")] == ["b"]
+        # clone's index holds the clone's (deep-copied) edge objects
+        assert clone.out_edges("a")[0] is clone.edges[("a", "b")]
+        assert clone.out_edges("a")[0] is not graph.edges[("a", "b")]
+
+    def test_index_rebuilt_after_direct_edge_insertion(self):
+        """Deserialisation writes ``graph.edges`` directly; queries must
+        notice and rebuild rather than serve a stale index."""
+        graph = ADCFG("k@1")
+        graph.edge("a", "b")
+        assert [e.dst for e in graph.out_edges("a")] == ["b"]  # index built
+        graph.edges[("a", "c")] = Edge(src="a", dst="c")       # out-of-band
+        assert sorted(e.dst for e in graph.out_edges("a")) == ["b", "c"]
+        assert [e.src for e in graph.in_edges("c")] == ["a"]
+
+    def test_serialize_round_trip_preserves_adjacency(self):
+        from repro.adcfg.serialize import deserialize_adcfg, serialize_adcfg
+
+        graph = ADCFG("k@1", kernel_name="k")
+        graph.edge(START_LABEL, "a").record(START_LABEL)
+        graph.edge("a", "b").record(START_LABEL)
+        graph.edge("a", "c").record(START_LABEL)
+        graph.edge("b", END_LABEL).record("a")
+        graph.node("a").record_entry()
+        restored = deserialize_adcfg(serialize_adcfg(graph))
+        for label in (START_LABEL, "a", "b", "c", END_LABEL):
+            assert (sorted((e.src, e.dst) for e in restored.out_edges(label))
+                    == sorted((e.src, e.dst) for e in graph.out_edges(label)))
+            assert (sorted((e.src, e.dst) for e in restored.in_edges(label))
+                    == sorted((e.src, e.dst) for e in graph.in_edges(label)))

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.gpusim.context import SimtDivergenceError, WarpContext
 from repro.gpusim.events import BasicBlockEvent, SyncEvent
@@ -263,6 +265,35 @@ class TestIntrinsics:
         ctx, _ = make_context()
         assert ctx.ballot(ctx.lane < 2) == 0b11
         assert ctx.ballot(ctx.lane == 31) == 1 << 31
+
+    def test_ballot_full_warp(self):
+        ctx, _ = make_context()
+        assert ctx.ballot(True) == (1 << WARP_SIZE) - 1
+        assert ctx.ballot(False) == 0
+
+    @given(cond=st.lists(st.booleans(), min_size=WARP_SIZE,
+                         max_size=WARP_SIZE),
+           active=st.lists(st.booleans(), min_size=WARP_SIZE,
+                           max_size=WARP_SIZE))
+    @settings(max_examples=200, deadline=None)
+    def test_ballot_matches_scalar_formulation(self, cond, active):
+        """The vectorised ballot equals the original per-bit Python sum."""
+        ctx, _ = make_context()
+        ctx._set_active(np.array(active, dtype=bool))
+        cond_vec = np.array(cond, dtype=bool)
+        bits = cond_vec & ctx.active
+        reference = int(sum(1 << int(i) for i in np.nonzero(bits)[0]))
+        assert ctx.ballot(cond_vec) == reference
+
+    @given(cond=st.lists(st.booleans(), min_size=WARP_SIZE,
+                         max_size=WARP_SIZE),
+           threads=st.integers(min_value=1, max_value=WARP_SIZE))
+    @settings(max_examples=100, deadline=None)
+    def test_ballot_partial_warp(self, cond, threads):
+        """Lanes beyond the block size never contribute a ballot bit."""
+        ctx, _ = make_context(threads_per_block=threads)
+        result = ctx.ballot(np.array(cond, dtype=bool))
+        assert result == int(sum(1 << i for i in range(threads) if cond[i]))
 
     def test_reductions(self):
         ctx, _ = make_context()

@@ -2,9 +2,11 @@
 
 import numpy as np
 import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
 
 from repro.gpusim import Device, DeviceConfig, kernel
-from repro.gpusim.memory import AllocationError
+from repro.gpusim.memory import ALLOCATION_ALIGNMENT, AllocationError
 from repro.host import CudaRuntime, HostTracer
 
 
@@ -70,6 +72,93 @@ class TestNormalization:
             rt, _tracer = traced_runtime(DeviceConfig(aslr=True, seed=seed))
             bases.add(rt.cudaMalloc(64).base)
         assert len(bases) > 1
+
+
+class TestBatchNormalization:
+    """``normalize_keys`` must agree with the scalar path byte for byte."""
+
+    def test_matches_scalar_path(self):
+        rt, tracer = traced_runtime()
+        a = rt.cudaMalloc(100, label="a")
+        b = rt.cudaMalloc(300, label="b")
+        addresses = np.array([a.base, a.base + 99, b.base, b.base + 150],
+                             dtype=np.int64)
+        expected = [tracer.normalize(int(addr)).as_key()
+                    for addr in addresses]
+        assert tracer.normalize_keys(addresses) == expected
+
+    def test_empty_array(self):
+        rt, tracer = traced_runtime()
+        rt.cudaMalloc(64, label="data")
+        assert tracer.normalize_keys(np.array([], dtype=np.int64)) == []
+
+    def test_unknown_address_raises(self):
+        rt, tracer = traced_runtime()
+        buf = rt.cudaMalloc(64, label="data")
+        with pytest.raises(AllocationError):
+            tracer.normalize_keys(
+                np.array([buf.base, 0x1234], dtype=np.int64))
+
+    def test_no_allocations_raises(self):
+        _rt, tracer = traced_runtime()
+        with pytest.raises(AllocationError):
+            tracer.normalize_keys(np.array([0x1234], dtype=np.int64))
+
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=1024),
+                          min_size=1, max_size=8),
+           aslr_seed=st.one_of(st.none(),
+                               st.integers(min_value=0, max_value=999)))
+    @settings(max_examples=100, deadline=None)
+    def test_boundary_addresses_over_random_layouts(self, sizes, aslr_seed):
+        """First/last byte of every allocation normalises identically on
+        both paths, for arbitrary layouts with and without ASLR."""
+        config = (DeviceConfig(aslr=True, seed=aslr_seed)
+                  if aslr_seed is not None else DeviceConfig())
+        rt, tracer = traced_runtime(config)
+        buffers = [rt.cudaMalloc(size, label=f"a{i}")
+                   for i, size in enumerate(sizes)]
+        probes = []
+        for buf in buffers:
+            probes.append(buf.base)                        # first byte
+            probes.append(buf.base + buf.allocation.size - 1)  # last byte
+            mid = buf.base + buf.allocation.size // 2
+            probes.append(mid)
+        addresses = np.array(probes, dtype=np.int64)
+        expected = [tracer.normalize(int(addr)).as_key()
+                    for addr in addresses]
+        assert tracer.normalize_keys(addresses) == expected
+
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=255),
+                          min_size=1, max_size=6),
+           which=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=100, deadline=None)
+    def test_alignment_gap_rejected_like_scalar(self, sizes, which):
+        """Addresses in the padding between allocations (bump allocator
+        aligns to 256 bytes) are invalid on both paths."""
+        rt, tracer = traced_runtime()
+        buffers = [rt.cudaMalloc(size, label=f"a{i}")
+                   for i, size in enumerate(sizes)]
+        buf = buffers[which % len(buffers)]
+        # a buffer whose byte size is an exact multiple of the alignment
+        # has no padding: base + size is the next allocation's base
+        assume(buf.allocation.size % ALLOCATION_ALIGNMENT != 0)
+        gap = buf.base + buf.allocation.size  # first padding byte
+        with pytest.raises(AllocationError):
+            tracer.normalize(gap)
+        with pytest.raises(AllocationError):
+            tracer.normalize_keys(np.array([gap], dtype=np.int64))
+
+    @given(delta=st.integers(min_value=1, max_value=1 << 30))
+    @settings(max_examples=50, deadline=None)
+    def test_below_heap_base_rejected(self, delta):
+        """Addresses before the first allocation are invalid on both paths."""
+        rt, tracer = traced_runtime()
+        buf = rt.cudaMalloc(64, label="data")
+        address = buf.base - delta
+        with pytest.raises(AllocationError):
+            tracer.normalize(address)
+        with pytest.raises(AllocationError):
+            tracer.normalize_keys(np.array([address], dtype=np.int64))
 
 
 class TestLaunchSequence:

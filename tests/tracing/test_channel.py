@@ -30,6 +30,19 @@ class TestBufferedMode:
         with pytest.raises(OverflowError):
             channel.send(event())
 
+    def test_rejected_event_not_counted(self):
+        """An overflowing send must not bump ``total_events``.
+
+        Regression: the counter used to increment before the capacity
+        check, so a rejected event inflated the trace-size statistics.
+        """
+        channel = Channel(capacity=1)
+        channel.send(event())
+        with pytest.raises(OverflowError):
+            channel.send(event())
+        assert channel.total_events == 1
+        assert len(channel) == 1
+
     def test_capacity_freed_by_drain(self):
         channel = Channel(capacity=1)
         channel.send(event())
