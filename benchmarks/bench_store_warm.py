@@ -1,0 +1,126 @@
+"""Campaign store: cold vs. warm `Owl.detect` wall clock.
+
+The store's value proposition is that the expensive phases (trace
+recording, evidence collection) are paid once: a warm re-run loads
+persisted artifacts, re-checks nothing it can prove cached, and returns
+a bit-identical report.  This bench measures that on two workloads:
+
+* **cold** — empty store, full recording + analysis + persistence;
+* **warm (evidence)** — report reuse disabled, so the analysis re-runs
+  over cached traces/evidence (the "new confidence level" scenario);
+* **warm (report)** — straight report cache hit (the re-audit scenario).
+
+Bit-identity of all three reports is asserted while timing.
+
+Run modes:
+
+* ``pytest benchmarks/bench_store_warm.py --benchmark-only -s`` — full
+  measurement, asserts the warm speedup bar;
+* ``python benchmarks/bench_store_warm.py --smoke`` — one quick pass for
+  CI: records the timing artefact and checks bit-identity, no speedup
+  bar (shared runners are too noisy to gate merges on a ratio).
+
+``OWL_BENCH_RUNS`` scales the fixed/random run counts (default 30).
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from _bench_utils import bench_runs, emit_table
+from repro.apps.libgpucrypto import aes_program, random_key
+from repro.core import Owl, OwlConfig
+from repro.store import TraceStore
+
+AES_INPUTS = [bytes(range(16)), bytes(range(1, 17))]
+
+WORKLOADS = {
+    "aes": (aes_program, AES_INPUTS, random_key),
+}
+
+
+def _dummy_workload():
+    from repro.apps import dummy
+    return (dummy.dummy_program,
+            [dummy.fixed_input(), dummy.fixed_input(value=9)],
+            dummy.random_input)
+
+
+def timed_detect(name, program, inputs, random_input, runs,
+                 store=None, reuse_report=True):
+    config = OwlConfig(fixed_runs=runs, random_runs=runs)
+    owl = Owl(program, name=name, config=config)
+    started = time.perf_counter()
+    result = owl.detect(inputs=inputs, random_input=random_input,
+                        store=store, reuse_report=reuse_report)
+    return time.perf_counter() - started, result
+
+
+def measure(smoke: bool = False):
+    runs = bench_runs(30 if not smoke else 6)
+    workloads = dict(WORKLOADS)
+    workloads["dummy"] = _dummy_workload()
+
+    rows = []
+    speedups = {}
+    for name in sorted(workloads):
+        program, inputs, random_input = workloads[name]
+        root = Path(tempfile.mkdtemp(prefix="owl-bench-store-"))
+        try:
+            cold_s, cold = timed_detect(
+                name, program, inputs, random_input, runs,
+                store=TraceStore(root / "store"))
+            warm_ev_s, warm_ev = timed_detect(
+                name, program, inputs, random_input, runs,
+                store=TraceStore(root / "store"), reuse_report=False)
+            warm_rp_s, warm_rp = timed_detect(
+                name, program, inputs, random_input, runs,
+                store=TraceStore(root / "store"))
+
+            assert warm_ev.report.to_json() == cold.report.to_json(), \
+                f"{name}: warm evidence-path report diverged from cold"
+            assert warm_rp.report.to_json() == cold.report.to_json(), \
+                f"{name}: warm report-path report diverged from cold"
+            assert warm_rp.stats.report_cache_hit
+            assert warm_ev.stats.cached_runs == 2 * runs
+
+            speedups[name] = (cold_s / warm_ev_s if warm_ev_s else 0.0,
+                              cold_s / warm_rp_s if warm_rp_s else 0.0)
+            rows.append([name, runs, f"{cold_s:.3f}", f"{warm_ev_s:.3f}",
+                         f"{warm_rp_s:.3f}",
+                         f"{speedups[name][0]:.2f}x",
+                         f"{speedups[name][1]:.2f}x",
+                         "identical"])
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    emit_table(
+        "store_warm",
+        f"Campaign store: cold vs warm detect wall clock "
+        f"({runs}+{runs} runs)",
+        ["workload", "runs", "cold s", "warm-evidence s", "warm-report s",
+         "evidence speedup", "report speedup", "reports"],
+        rows)
+    return speedups
+
+
+def test_store_warm_speedup(benchmark=None):
+    speedups = measure()
+    for name, (evidence_speedup, report_speedup) in speedups.items():
+        # the warm evidence path skips all recording; even with analysis
+        # re-run it must beat cold by a wide margin
+        assert evidence_speedup > 2.0, \
+            f"{name}: warm evidence path only {evidence_speedup:.2f}x"
+        assert report_speedup > evidence_speedup, \
+            f"{name}: report cache not faster than evidence cache"
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    measure(smoke=smoke)
+    print("\nbit-identity checks passed" +
+          (" (smoke mode: no speedup bars)" if smoke else ""))

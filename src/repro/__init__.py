@@ -10,13 +10,16 @@ Top-level convenience exports; see the subpackages for the full API:
 * :mod:`repro.adcfg` — attributed dynamic control-flow graphs;
 * :mod:`repro.apps` — the evaluated workloads (libgpucrypto, minitorch,
   nvjpeg, dummy);
-* :mod:`repro.baselines` — DATA-style and pitchfork-style comparators.
+* :mod:`repro.baselines` — DATA-style and pitchfork-style comparators;
+* :mod:`repro.store` — persistent trace store + campaign engine
+  (content-addressed artifacts, resumable runs, regression diffs).
 """
 
 from repro.core import Owl, OwlConfig, OwlResult
 from repro.core.report import Leak, LeakType, LeakageReport
 from repro.gpusim import Device, DeviceConfig, kernel
 from repro.host import CudaRuntime
+from repro.store import RegressionDiff, TraceStore, diff_reports
 from repro.tracing import ProgramTrace, TraceRecorder
 
 __version__ = "1.0.0"
@@ -32,7 +35,10 @@ __all__ = [
     "OwlConfig",
     "OwlResult",
     "ProgramTrace",
+    "RegressionDiff",
     "TraceRecorder",
+    "TraceStore",
     "__version__",
+    "diff_reports",
     "kernel",
 ]

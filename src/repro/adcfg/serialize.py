@@ -32,7 +32,9 @@ class SerializationError(Exception):
     """Raised on malformed serialised input."""
 
 
-class _Writer:
+class Writer:
+    """Little-endian struct writer shared by the binary trace formats."""
+
     def __init__(self) -> None:
         self._chunks: List[bytes] = []
 
@@ -42,11 +44,25 @@ class _Writer:
     def raw(self, data: bytes) -> None:
         self._chunks.append(data)
 
+    def string(self, value: str) -> None:
+        """Length-prefixed UTF-8 string (u32 length)."""
+        encoded = value.encode("utf-8")
+        self.pack("I", len(encoded))
+        self.raw(encoded)
+
     def getvalue(self) -> bytes:
         return b"".join(self._chunks)
 
 
-class _Reader:
+class Reader:
+    """Bounds-checked reader: every short read raises SerializationError.
+
+    The store loads these payloads from disk, where they count as untrusted
+    bytes (partial writes, bit rot), so besides truncation checks the reader
+    offers :meth:`ensure_capacity` to reject absurd declared element counts
+    *before* looping over them or allocating for them.
+    """
+
     def __init__(self, data: bytes) -> None:
         self._data = data
         self._pos = 0
@@ -55,21 +71,53 @@ class _Reader:
         fmt = "<" + fmt
         size = struct.calcsize(fmt)
         if self._pos + size > len(self._data):
-            raise SerializationError("truncated A-DCFG payload")
+            raise SerializationError("truncated payload")
         values = struct.unpack_from(fmt, self._data, self._pos)
         self._pos += size
         return values
 
     def raw(self, size: int) -> bytes:
-        if self._pos + size > len(self._data):
-            raise SerializationError("truncated A-DCFG payload")
+        if size < 0 or self._pos + size > len(self._data):
+            raise SerializationError("truncated payload")
         chunk = self._data[self._pos:self._pos + size]
         self._pos += size
         return chunk
 
+    def string(self) -> str:
+        """Length-prefixed UTF-8 string (u32 length)."""
+        (length,) = self.unpack("I")
+        try:
+            return self.raw(length).decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise SerializationError(
+                f"malformed UTF-8 string: {error}") from error
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def ensure_capacity(self, count: int, min_size: int, what: str) -> int:
+        """Reject a declared element count that cannot possibly fit.
+
+        Each element of *what* occupies at least *min_size* encoded bytes;
+        a corrupt count field claiming more elements than the remaining
+        payload could hold must fail here, not after a giant allocation or
+        a billion-iteration parse loop.
+        """
+        if count < 0 or count * min_size > self.remaining:
+            raise SerializationError(
+                f"declared {count} {what} exceed the {self.remaining} "
+                f"remaining payload bytes")
+        return count
+
     @property
     def exhausted(self) -> bool:
         return self._pos == len(self._data)
+
+
+#: Backwards-compatible aliases (pre-store internal names).
+_Writer = Writer
+_Reader = Reader
 
 
 def _collect_strings(graph: ADCFG) -> List[str]:
@@ -91,7 +139,7 @@ def serialize_adcfg(graph: ADCFG) -> bytes:
     table = _collect_strings(graph)
     index: Dict[str, int] = {s: i for i, s in enumerate(table)}
 
-    w = _Writer()
+    w = Writer()
     w.raw(_MAGIC)
     w.pack("HII", _VERSION, graph.total_threads, graph.num_warps)
 
@@ -137,8 +185,28 @@ def _lookup(table: List[str], index: int) -> str:
 
 
 def deserialize_adcfg(data: bytes) -> ADCFG:
-    """Reconstruct an :class:`ADCFG` from :func:`serialize_adcfg` output."""
-    r = _Reader(data)
+    """Reconstruct an :class:`ADCFG` from :func:`serialize_adcfg` output.
+
+    Every malformed input — short reads, out-of-range table indices,
+    implausible element counts — raises :class:`SerializationError`; the
+    store feeds this function bytes straight from disk, so a corrupt blob
+    must never surface as a bare ``struct.error`` or ``IndexError``.
+    """
+    try:
+        return _deserialize_adcfg_unchecked(data)
+    except SerializationError:
+        raise
+    except (struct.error, IndexError, KeyError, OverflowError,
+            MemoryError) as error:
+        # belt-and-braces: the explicit checks below should make this
+        # unreachable, but a corrupt payload must never escape as a bare
+        # parsing exception
+        raise SerializationError(
+            f"malformed A-DCFG payload: {error}") from error
+
+
+def _deserialize_adcfg_unchecked(data: bytes) -> ADCFG:
+    r = Reader(data)
     if r.raw(4) != _MAGIC:
         raise SerializationError("bad magic: not an A-DCFG payload")
     version, total_threads, num_warps = r.unpack("HII")
@@ -146,6 +214,7 @@ def deserialize_adcfg(data: bytes) -> ADCFG:
         raise SerializationError(f"unsupported A-DCFG version {version}")
 
     (table_len,) = r.unpack("I")
+    r.ensure_capacity(table_len, 2, "string-table entries")
     table: List[str] = []
     for _ in range(table_len):
         (str_len,) = r.unpack("H")
@@ -161,14 +230,18 @@ def deserialize_adcfg(data: bytes) -> ADCFG:
                   total_threads=total_threads, num_warps=num_warps)
 
     (num_nodes,) = r.unpack("I")
+    r.ensure_capacity(num_nodes, 16, "nodes")
     for _ in range(num_nodes):
         label_idx, entries, num_visits = r.unpack("IQI")
+        r.ensure_capacity(num_visits, 4, "node visits")
         node = Node(label=_lookup(table, label_idx), entries=entries)
         for _v in range(num_visits):
             (num_instrs,) = r.unpack("I")
+            r.ensure_capacity(num_instrs, 6, "memory instructions")
             slots = []
             for _i in range(num_instrs):
                 space, is_store, num_pairs = r.unpack("BBI")
+                r.ensure_capacity(num_pairs, 20, "access-count pairs")
                 record = MemoryRecord(space=space, is_store=bool(is_store))
                 for _p in range(num_pairs):
                     alloc_idx, offset, count = r.unpack("IqQ")
@@ -178,8 +251,10 @@ def deserialize_adcfg(data: bytes) -> ADCFG:
         graph.nodes[node.label] = node
 
     (num_edges,) = r.unpack("I")
+    r.ensure_capacity(num_edges, 20, "edges")
     for _ in range(num_edges):
         src_idx, dst_idx, count, num_prev = r.unpack("IIQI")
+        r.ensure_capacity(num_prev, 12, "predecessor counts")
         edge = Edge(src=_lookup(table, src_idx),
                     dst=_lookup(table, dst_idx), count=count)
         for _p in range(num_prev):

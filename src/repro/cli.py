@@ -1,21 +1,40 @@
-"""``owl-detect``: run the Owl pipeline on a bundled workload from the shell.
+"""``owl``: run the Owl pipeline on a bundled workload from the shell.
 
-Examples::
+Two invocation styles are supported.  The original flat form runs one
+detection and exits::
 
     owl-detect aes --fixed-runs 40 --random-runs 40
     owl-detect nvjpeg-encode --confidence 0.99
     owl-detect --list
+
+The subcommand form adds persistent campaigns on top of the same
+options::
+
+    owl run aes --store ./owl-store          # cached + checkpointed
+    owl resume --store ./owl-store           # finish interrupted campaigns
+    owl diff baseline.json candidate.json    # cross-version regression diff
+    owl ls --store ./owl-store               # inspect stored artifacts
+    owl gc --store ./owl-store               # drop unreferenced blobs
+
+``owl run WORKLOAD`` without ``--store`` behaves exactly like the flat
+form, and the flat form keeps working unchanged — existing scripts never
+see the subcommands.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core import Owl, OwlConfig
+
+#: First CLI token that selects the subcommand form instead of the flat one.
+SUBCOMMANDS = ("run", "resume", "diff", "ls", "gc")
 
 
 def _workloads() -> Dict[str, Tuple[Callable, Callable, Callable]]:
@@ -75,14 +94,8 @@ def _workloads() -> Dict[str, Tuple[Callable, Callable, Callable]]:
     return table
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="owl-detect",
-        description="Owl side-channel leakage detection on bundled workloads")
-    parser.add_argument("workload", nargs="?",
-                        help="workload name (see --list)")
-    parser.add_argument("--list", action="store_true",
-                        help="list available workloads and exit")
+def _add_detect_options(parser: argparse.ArgumentParser) -> None:
+    """The detection options shared by the flat form and ``owl run``."""
     parser.add_argument("--fixed-runs", type=int, default=40,
                         help="fixed-input executions (paper: 100)")
     parser.add_argument("--random-runs", type=int, default=40,
@@ -113,55 +126,306 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of text")
     parser.add_argument("--save-report", metavar="PATH", default=None,
-                        help="also write the JSON report to PATH")
+                        help="also write the JSON report to PATH "
+                             "(parent directories are created)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The original flat ``owl-detect`` parser (kept for compatibility)."""
+    parser = argparse.ArgumentParser(
+        prog="owl-detect",
+        description="Owl side-channel leakage detection on bundled workloads")
+    parser.add_argument("workload", nargs="?",
+                        help="workload name (see --list)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available workloads and exit")
+    _add_detect_options(parser)
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    workloads = _workloads()
+def build_subcommand_parser() -> argparse.ArgumentParser:
+    """The ``owl`` subcommand parser (run / resume / diff / ls / gc)."""
+    parser = argparse.ArgumentParser(
+        prog="owl",
+        description="Owl side-channel leakage detection with persistent "
+                    "campaign stores")
+    commands = parser.add_subparsers(dest="command", required=True)
 
-    if args.list or not args.workload:
-        for name in sorted(workloads):
-            print(name)
-        return 0
+    run = commands.add_parser(
+        "run", help="run detection on a workload, optionally store-backed")
+    run.add_argument("workload", help="workload name (see 'owl run --list')")
+    run.add_argument("--list", action="store_true",
+                     help="list available workloads and exit")
+    run.add_argument("--store", metavar="DIR", default=None,
+                     help="campaign store directory: cache traces, "
+                          "checkpoint evidence, persist the report")
+    run.add_argument("--no-reuse-report", action="store_true",
+                     help="re-analyse even when the store already holds "
+                          "this campaign's report (caches still apply)")
+    _add_detect_options(run)
 
-    if args.workload not in workloads:
-        parser.error(f"unknown workload {args.workload!r}; see --list")
-    program, fixed_inputs, random_input = workloads[args.workload]
+    resume = commands.add_parser(
+        "resume", help="finish every interrupted campaign in a store")
+    resume.add_argument("--store", metavar="DIR", required=True,
+                        help="campaign store directory")
+    resume.add_argument("--json", action="store_true",
+                        help="emit each finished report as JSON")
 
-    workers = args.workers if args.workers == "auto" else None
-    if workers is None:
-        try:
-            workers = int(args.workers)
-        except ValueError:
-            workers = 0
-        if workers < 1:
-            parser.error(f"--workers takes a positive int or 'auto', "
-                         f"got {args.workers!r}")
-    config = OwlConfig(
+    diff = commands.add_parser(
+        "diff", help="cross-version leakage regression diff of two reports")
+    diff.add_argument("baseline",
+                      help="report JSON file, or a workload name with "
+                           "--store (its most recent stored report)")
+    diff.add_argument("candidate", help="same, for the patched version")
+    diff.add_argument("--store", metavar="DIR", default=None,
+                      help="resolve bare names against this store")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the diff as JSON")
+
+    ls = commands.add_parser("ls", help="list a store's artifacts")
+    ls.add_argument("--store", metavar="DIR", required=True,
+                    help="campaign store directory")
+    ls.add_argument("--kind", default=None,
+                    choices=("trace", "evidence", "checkpoint", "report",
+                             "campaign"),
+                    help="only list entries of this kind")
+
+    gc = commands.add_parser(
+        "gc", help="drop blobs no manifest entry references")
+    gc.add_argument("--store", metavar="DIR", required=True,
+                    help="campaign store directory")
+
+    return parser
+
+
+def _resolve_workers(parser: argparse.ArgumentParser, value: str):
+    if value == "auto":
+        return "auto"
+    try:
+        workers = int(value)
+    except ValueError:
+        workers = 0
+    if workers < 1:
+        parser.error(f"--workers takes a positive int or 'auto', "
+                     f"got {value!r}")
+    return workers
+
+
+def _config_from_args(parser: argparse.ArgumentParser,
+                      args: argparse.Namespace) -> OwlConfig:
+    return OwlConfig(
         fixed_runs=args.fixed_runs, random_runs=args.random_runs,
         confidence=args.confidence, test=args.test, seed=args.seed,
         analyze_all_representatives=args.all_representatives,
         offset_granularity=args.granularity, quantify=args.quantify,
-        workers=workers, columnar=not args.no_columnar)
-    owl = Owl(program, name=args.workload, config=config)
-    result = owl.detect(inputs=fixed_inputs(), random_input=random_input)
+        workers=_resolve_workers(parser, args.workers),
+        columnar=not args.no_columnar)
 
-    if args.save_report:
-        with open(args.save_report, "w", encoding="utf-8") as handle:
-            handle.write(result.report.to_json() + "\n")
+
+def _write_report(path: str, report) -> bool:
+    """Write the report JSON to *path*; False (after a one-line error
+    message) when the destination is unwritable."""
+    target = Path(path)
+    try:
+        if str(target.parent) not in ("", "."):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+    except OSError as error:
+        reason = error.strerror or str(error)
+        print(f"owl: cannot write report to {path}: {reason}",
+              file=sys.stderr)
+        return False
+    return True
+
+
+def _emit_result(args: argparse.Namespace, workload: str, result) -> int:
+    if args.save_report and not _write_report(args.save_report,
+                                              result.report):
+        return 2
     if args.json:
         print(result.report.to_json())
         return 1 if result.report.has_leaks else 0
-    if result.leak_free_by_filtering:
-        print(f"{args.workload}: all inputs produced identical traces — "
+    if result.leak_free_by_filtering and not result.report.has_leaks:
+        print(f"{workload}: all inputs produced identical traces — "
               "no potential leakage (add more diverse inputs to widen "
               "coverage)")
         return 0
     print(result.report.render())
     return 1 if result.report.has_leaks else 0
+
+
+def _run_workload(parser: argparse.ArgumentParser, args: argparse.Namespace,
+                  store=None, reuse_report: bool = True) -> int:
+    workloads = _workloads()
+    if args.workload not in workloads:
+        parser.error(f"unknown workload {args.workload!r}; see --list")
+    program, fixed_inputs, random_input = workloads[args.workload]
+    config = _config_from_args(parser, args)
+    owl = Owl(program, name=args.workload, config=config)
+    result = owl.detect(inputs=fixed_inputs(), random_input=random_input,
+                        store=store, reuse_report=reuse_report)
+    if store is not None and not args.json:
+        stats = result.stats
+        if stats.report_cache_hit:
+            print(f"[store] report cache hit for {args.workload}")
+        elif stats.cached_traces or stats.cached_runs:
+            print(f"[store] reused {stats.cached_traces} traces, "
+                  f"{stats.cached_runs} evidence runs")
+    return _emit_result(args, args.workload, result)
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+
+def _cmd_run(parser: argparse.ArgumentParser,
+             args: argparse.Namespace) -> int:
+    if args.list:
+        for name in sorted(_workloads()):
+            print(name)
+        return 0
+    store = None
+    if args.store is not None:
+        from repro.store import TraceStore
+        store = TraceStore(args.store)
+    return _run_workload(parser, args, store=store,
+                         reuse_report=not args.no_reuse_report)
+
+
+def _cmd_resume(parser: argparse.ArgumentParser,
+                args: argparse.Namespace) -> int:
+    from repro.store import StoreError, TraceStore, incomplete_campaigns
+    try:
+        store = TraceStore(args.store, create=False)
+    except StoreError as error:
+        print(f"owl: {error}", file=sys.stderr)
+        return 2
+    pending = incomplete_campaigns(store)
+    if not pending:
+        print(f"{args.store}: no interrupted campaigns")
+        return 0
+    workloads = _workloads()
+    exit_code = 0
+    for entry in pending:
+        body = store.get_json(entry.key)
+        name = body.get("workload") if isinstance(body, dict) else None
+        if name not in workloads:
+            print(f"owl: skipping {entry.key}: unknown workload {name!r}",
+                  file=sys.stderr)
+            exit_code = max(exit_code, 2)
+            continue
+        program, fixed_inputs, random_input = workloads[name]
+        config = OwlConfig(**body["config"])
+        owl = Owl(program, name=name, config=config)
+        result = owl.detect(inputs=fixed_inputs(),
+                            random_input=random_input, store=store)
+        stats = result.stats
+        print(f"resumed {name}: reused {stats.cached_traces} traces, "
+              f"{stats.cached_runs} evidence runs")
+        if args.json:
+            print(result.report.to_json())
+        else:
+            print(result.report.render())
+        if result.report.has_leaks:
+            exit_code = max(exit_code, 1)
+    return exit_code
+
+
+def _load_report_for_diff(parser: argparse.ArgumentParser, ref: str, store):
+    from repro.core.report import LeakageReport
+    if os.path.exists(ref):
+        try:
+            return LeakageReport.from_json(
+                Path(ref).read_text(encoding="utf-8"))
+        except (OSError, ValueError, KeyError) as error:
+            parser.error(f"cannot load report {ref!r}: {error}")
+    if store is None:
+        parser.error(f"{ref!r} is not a report file (pass --store to "
+                     f"resolve workload names)")
+    entries = [entry for entry in store.entries(kind="report")
+               if entry.meta.get("workload") == ref]
+    if not entries:
+        parser.error(f"store holds no report for workload {ref!r}")
+    latest = max(entries, key=lambda entry: entry.created_at)
+    return store.get_report(latest.key)
+
+
+def _cmd_diff(parser: argparse.ArgumentParser,
+              args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.store import StoreError, TraceStore, diff_reports
+    store = None
+    if args.store is not None:
+        try:
+            store = TraceStore(args.store, create=False)
+        except StoreError as error:
+            print(f"owl: {error}", file=sys.stderr)
+            return 2
+    baseline = _load_report_for_diff(parser, args.baseline, store)
+    candidate = _load_report_for_diff(parser, args.candidate, store)
+    diff = diff_reports(baseline, candidate)
+    if args.json:
+        print(json_module.dumps(diff.to_dict(), indent=2))
+    else:
+        print(diff.render())
+    return 1 if diff.is_regression else 0
+
+
+def _cmd_ls(parser: argparse.ArgumentParser,
+            args: argparse.Namespace) -> int:
+    from repro.store import StoreError, TraceStore
+    try:
+        store = TraceStore(args.store, create=False)
+    except StoreError as error:
+        print(f"owl: {error}", file=sys.stderr)
+        return 2
+    entries = store.entries(kind=args.kind)
+    for entry in entries:
+        print(f"{entry.kind:<10} {entry.size:>10}  {entry.key}")
+    kinds: Dict[str, int] = {}
+    for entry in entries:
+        kinds[entry.kind] = kinds.get(entry.kind, 0) + 1
+    summary = ", ".join(f"{count} {kind}"
+                        for kind, count in sorted(kinds.items()))
+    print(f"{len(entries)} entries ({summary})" if entries else "0 entries")
+    return 0
+
+
+def _cmd_gc(parser: argparse.ArgumentParser,
+            args: argparse.Namespace) -> int:
+    from repro.store import StoreError, TraceStore
+    try:
+        store = TraceStore(args.store, create=False)
+    except StoreError as error:
+        print(f"owl: {error}", file=sys.stderr)
+        return 2
+    result = store.gc()
+    print(f"removed {result['removed']} unreferenced blobs "
+          f"({result['reclaimed_bytes']} bytes), kept {result['kept']}")
+    return 0
+
+
+_COMMANDS = {"run": _cmd_run, "resume": _cmd_resume, "diff": _cmd_diff,
+             "ls": _cmd_ls, "gc": _cmd_gc}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+
+    if argv and argv[0] in SUBCOMMANDS:
+        parser = build_subcommand_parser()
+        args = parser.parse_args(argv)
+        return _COMMANDS[args.command](parser, args)
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list or not args.workload:
+        for name in sorted(_workloads()):
+            print(name)
+        return 0
+    return _run_workload(parser, args)
 
 
 if __name__ == "__main__":

@@ -16,6 +16,14 @@
 
 The pipeline also collects the cost metrics reported in Table IV (per-trace
 size and time, evidence and test times, peak RAM).
+
+Passing ``store=`` to :meth:`Owl.detect` attaches a persistent
+:class:`~repro.store.store.TraceStore`: phase-1 traces are cached per
+(program, device config, input), phase-3 evidence is checkpointed every
+``OwlConfig.store_checkpoint_every`` runs (an interrupted campaign resumes
+from the last checkpoint instead of restarting), completed evidence and
+reports are reused outright, and a warm re-run is bit-identical to the
+cold run that populated the store (see :mod:`repro.store.campaign`).
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.evidence import Evidence
 from repro.core.filtering import FilterResult, filter_traces
 from repro.core.kstest import DEFAULT_CONFIDENCE
 from repro.core.leakage import LeakageAnalyzer, LeakageConfig
@@ -79,6 +88,11 @@ class OwlConfig:
     #: per-event object path (``columnar=False``), which stays as the
     #: reference implementation.
     columnar: bool = True
+    #: with a store attached, persist a phase-3 evidence checkpoint after
+    #: every this-many recorded runs per side; an interrupted campaign
+    #: resumes from the last checkpoint.  Purely an I/O cadence knob —
+    #: excluded from store fingerprints, like ``workers``.
+    store_checkpoint_every: int = 25
 
     def leakage_config(self) -> LeakageConfig:
         return LeakageConfig(confidence=self.confidence,
@@ -117,6 +131,13 @@ class PhaseStats:
     total_seconds: float = 0.0
     peak_ram_bytes: int = 0
     workers: int = 1
+    #: store reuse accounting (0 without a store): phase-1 traces loaded
+    #: from cache instead of recorded, and phase-3 runs skipped because
+    #: their evidence (full or checkpointed) was already persisted
+    cached_traces: int = 0
+    cached_runs: int = 0
+    #: the final report itself came straight from the store
+    report_cache_hit: bool = False
 
     @property
     def avg_trace_bytes(self) -> float:
@@ -167,9 +188,11 @@ class Owl:
         self.program = program
         self.name = name
         self.config = config or OwlConfig()
-        self.recorder = TraceRecorder(device_config=device_config,
+        self.device_config = device_config or DeviceConfig()
+        self.recorder = TraceRecorder(device_config=self.device_config,
                                       columnar=self.config.columnar)
-        self.pool = TraceRecordingPool(program, device_config=device_config,
+        self.pool = TraceRecordingPool(program,
+                                       device_config=self.device_config,
                                        workers=self.config.workers,
                                        columnar=self.config.columnar)
         self.analyzer = LeakageAnalyzer(self.config.leakage_config())
@@ -179,13 +202,39 @@ class Owl:
     # ------------------------------------------------------------------
 
     def record_traces(self, inputs: Sequence[object],
-                      stats: Optional[PhaseStats] = None) -> List[ProgramTrace]:
-        """Phase 1: one instrumented execution per input."""
-        started = time.perf_counter()
-        traces, chunk = self.pool.record_traces(inputs)
+                      stats: Optional[PhaseStats] = None,
+                      campaign=None) -> List[ProgramTrace]:
+        """Phase 1: one instrumented execution per input.
+
+        With a campaign attached, inputs whose traces are already in the
+        store are loaded instead of re-recorded (cache hits land in
+        ``stats.cached_traces``); only the misses are executed, and their
+        traces are persisted for the next run.
+        """
+        if campaign is None:
+            started = time.perf_counter()
+            traces, chunk = self.pool.record_traces(inputs)
+            if stats is not None:
+                stats.absorb_chunk(chunk, time.perf_counter() - started)
+            return traces
+        fps = [campaign.input_fingerprint(value) for value in inputs]
+        traces: List[Optional[ProgramTrace]] = [
+            campaign.load_trace(fp) for fp in fps]
+        missing = [index for index, trace in enumerate(traces)
+                   if trace is None]
+        if missing:
+            started = time.perf_counter()
+            recorded, chunk = self.pool.record_traces(
+                [inputs[index] for index in missing])
+            wall = time.perf_counter() - started
+            if stats is not None:
+                stats.absorb_chunk(chunk, wall)
+            for index, trace in zip(missing, recorded):
+                campaign.save_trace(fps[index], trace)
+                traces[index] = trace
         if stats is not None:
-            stats.absorb_chunk(chunk, time.perf_counter() - started)
-        return traces
+            stats.cached_traces += len(inputs) - len(missing)
+        return traces  # type: ignore[return-value]
 
     def filter_inputs(self, inputs: Sequence[object],
                       traces: Sequence[ProgramTrace]) -> FilterResult:
@@ -194,7 +243,8 @@ class Owl:
 
     def collect_evidence(self, fixed_input: object,
                          random_input: RandomInputFn,
-                         stats: Optional[PhaseStats] = None):
+                         stats: Optional[PhaseStats] = None,
+                         campaign=None):
         """Phase 3a: record and fold the fixed/random evidence pair.
 
         Run inputs are all drawn here, in the parent, from one seeded
@@ -202,29 +252,98 @@ class Owl:
         each side's runs stream straight into its evidence (each trace is
         dropped once folded, so peak RAM holds one trace per worker plus
         the merged graphs rather than 2N full traces).
+
+        With a campaign attached, a side whose completed evidence is in
+        the store is loaded outright; otherwise recording starts from the
+        side's last persisted checkpoint (if any) and writes a new
+        checkpoint every ``store_checkpoint_every`` runs.  The evidence
+        returned is always the store's canonical round-tripped form, which
+        is what makes warm re-runs bit-identical to cold ones.
         """
         rng = np.random.default_rng(self.config.seed)
         fixed_values = [fixed_input] * self.config.fixed_runs
         random_values = [random_input(rng)
                          for _ in range(self.config.random_runs)]
         keep_per_run = self.config.sampling == "per_run"
+        rep_fp = (campaign.input_fingerprint(fixed_input)
+                  if campaign is not None else None)
         evidences = []
-        for values in (fixed_values, random_values):
-            started = time.perf_counter()
-            evidence, chunk = self.pool.record_evidence(
-                values, keep_per_run=keep_per_run)
-            if stats is not None:
-                stats.absorb_chunk(chunk, time.perf_counter() - started)
+        for side, values in (("fixed", fixed_values),
+                             ("random", random_values)):
+            if campaign is None:
+                started = time.perf_counter()
+                evidence, chunk = self.pool.record_evidence(
+                    values, keep_per_run=keep_per_run)
+                if stats is not None:
+                    stats.absorb_chunk(chunk, time.perf_counter() - started)
+            else:
+                evidence = self._collect_side_checkpointed(
+                    campaign, side, rep_fp, values, keep_per_run, stats)
             evidences.append(evidence)
         return evidences[0], evidences[1]
+
+    def _collect_side_checkpointed(self, campaign, side: str,
+                                   rep_fp: Optional[str],
+                                   values: Sequence[object],
+                                   keep_per_run: bool,
+                                   stats: Optional[PhaseStats]):
+        """Record one evidence side through the store's cache/checkpoints."""
+        key = campaign.evidence_key(side, rep_fp)
+        cached = campaign.load_evidence(key)
+        if cached is not None:
+            if cached.num_runs != len(values):
+                raise RuntimeError(
+                    f"store evidence {key!r} holds {cached.num_runs} runs "
+                    f"but the configuration asks for {len(values)} — "
+                    f"fingerprint collision or tampered manifest")
+            if stats is not None:
+                stats.cached_runs += cached.num_runs
+            return cached
+        evidence = None
+        done = 0
+        checkpoint = campaign.load_checkpoint(key)
+        if checkpoint is not None:
+            evidence, done = checkpoint
+            if done > len(values):
+                evidence, done = None, 0  # stale checkpoint: restart side
+            elif stats is not None:
+                stats.cached_runs += done
+        chunk_size = max(1, self.config.store_checkpoint_every)
+        while done < len(values):
+            batch = list(values[done:done + chunk_size])
+            started = time.perf_counter()
+            partial, chunk = self.pool.record_evidence(
+                batch, keep_per_run=keep_per_run)
+            if stats is not None:
+                stats.absorb_chunk(chunk, time.perf_counter() - started)
+            evidence = partial if evidence is None else evidence.merge(partial)
+            done += len(batch)
+            if done < len(values):
+                campaign.save_checkpoint(key, evidence, done, len(values),
+                                         side)
+        if evidence is None:
+            evidence = Evidence(keep_per_run=keep_per_run)
+        return campaign.save_evidence(key, evidence, side)
 
     # ------------------------------------------------------------------
     # full pipeline
     # ------------------------------------------------------------------
 
     def detect(self, inputs: Sequence[object],
-               random_input: RandomInputFn) -> OwlResult:
-        """Run all three phases and return the located leaks."""
+               random_input: RandomInputFn,
+               store=None, reuse_report: bool = True) -> OwlResult:
+        """Run all three phases and return the located leaks.
+
+        ``store`` (a :class:`~repro.store.store.TraceStore` or a path to
+        create/open one) turns the call into a campaign: phase-1 traces
+        are cached per input, phase-3 evidence is checkpointed and reused,
+        and — with ``reuse_report=True`` — an already-completed campaign
+        returns its stored report outright.  A warm run is bit-identical
+        to the cold run that filled the store.  Distinct programs sharing
+        one store must use distinct ``name``s: the store cannot see
+        through the program callable, so the name *is* the version label.
+        """
+        campaign = self._campaign(store)
         stats = PhaseStats(workers=resolve_workers(self.config.workers))
         tracking_memory = False
         if self.config.measure_memory and not tracemalloc.is_tracing():
@@ -232,14 +351,33 @@ class Owl:
             tracking_memory = True
         started = time.perf_counter()
         try:
-            traces = self.record_traces(inputs, stats=stats)
+            traces = self.record_traces(inputs, stats=stats,
+                                        campaign=campaign)
             filter_result = self.filter_inputs(inputs, traces)
+
+            inputs_fp = None
+            if campaign is not None:
+                inputs_fp = campaign.inputs_fingerprint(
+                    [campaign.input_fingerprint(value) for value in inputs])
+                campaign.mark_started(inputs_fp)
+                if reuse_report:
+                    cached = campaign.load_report(inputs_fp)
+                    if cached is not None:
+                        stats.report_cache_hit = True
+                        stats.total_seconds = time.perf_counter() - started
+                        campaign.mark_complete(inputs_fp)
+                        return OwlResult(program_name=self.name,
+                                         filter_result=filter_result,
+                                         report=cached, stats=stats)
 
             empty = LeakageReport(program_name=self.name,
                                   confidence=self.config.confidence)
             if (not filter_result.shows_potential_leakage
                     and not self.config.always_analyze):
                 stats.total_seconds = time.perf_counter() - started
+                if campaign is not None:
+                    campaign.save_report(inputs_fp, empty, stats=stats)
+                    campaign.mark_complete(inputs_fp)
                 return OwlResult(program_name=self.name,
                                  filter_result=filter_result, report=empty,
                                  stats=stats)
@@ -251,7 +389,7 @@ class Owl:
             per_rep: List[LeakageReport] = []
             for rep in representatives:
                 fixed_evidence, random_evidence = self.collect_evidence(
-                    rep, random_input, stats=stats)
+                    rep, random_input, stats=stats, campaign=campaign)
                 test_started = time.perf_counter()
                 report = self.analyzer.analyze(fixed_evidence, random_evidence,
                                                program_name=self.name)
@@ -269,6 +407,9 @@ class Owl:
                 merged.num_fixed_runs = self.config.fixed_runs
                 merged.num_random_runs = self.config.random_runs
             stats.total_seconds = time.perf_counter() - started
+            if campaign is not None:
+                campaign.save_report(inputs_fp, merged, stats=stats)
+                campaign.mark_complete(inputs_fp)
             return OwlResult(program_name=self.name,
                              filter_result=filter_result, report=merged,
                              per_representative=per_rep, stats=stats)
@@ -277,3 +418,17 @@ class Owl:
                 _current, peak = tracemalloc.get_traced_memory()
                 stats.peak_ram_bytes = peak
                 tracemalloc.stop()
+
+    def _campaign(self, store):
+        """Normalise ``detect``'s store argument into a Campaign (or None).
+
+        Imported lazily so the store subsystem stays an optional layer on
+        top of the core pipeline.
+        """
+        if store is None:
+            return None
+        from repro.store.campaign import Campaign
+        from repro.store.store import TraceStore
+        if not isinstance(store, TraceStore):
+            store = TraceStore(store)
+        return Campaign(store, self.name, self.config, self.device_config)

@@ -1,0 +1,147 @@
+"""Content-addressed blob storage: the store's bottom layer.
+
+Every artifact body (serialised trace, evidence set, report JSON) lives as
+one *blob*: zlib-compressed bytes in ``objects/<aa>/<...62 hex>``, where
+the full path spells the SHA-256 of the **uncompressed** payload.  The
+address being a content digest gives three properties for free:
+
+* **dedup** — identical traces (phase 2's equivalence classes, re-recorded
+  runs) collapse to one object on disk;
+* **corruption detection** — a load decompresses and re-hashes; any bit
+  rot or partial write fails closed with :class:`StoreCorruptionError`;
+* **idempotent writes** — re-putting an existing payload is a no-op.
+
+Writes are atomic: payloads land in ``tmp/`` and are published with
+``os.replace``, so a crash mid-write can leave garbage in ``tmp/`` (swept
+opportunistically) but never a half-written object at a valid address.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import zlib
+from pathlib import Path
+from typing import Iterator, Union
+
+
+class StoreError(Exception):
+    """Base error for the persistent artifact store."""
+
+
+class StoreCorruptionError(StoreError):
+    """A stored artifact failed its integrity check on load."""
+
+
+def sha256_hex(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+class BlobStore:
+    """Flat content-addressed object directory with atomic publication."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.tmp_dir = self.root / "tmp"
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        self.tmp_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # addressing
+    # ------------------------------------------------------------------
+
+    def path_for(self, digest: str) -> Path:
+        if len(digest) != 64 or any(c not in "0123456789abcdef"
+                                    for c in digest):
+            raise StoreError(f"not a SHA-256 blob address: {digest!r}")
+        return self.objects_dir / digest[:2] / digest[2:]
+
+    # ------------------------------------------------------------------
+    # read / write
+    # ------------------------------------------------------------------
+
+    def put(self, payload: bytes) -> str:
+        """Store *payload*, returning its content address (idempotent)."""
+        digest = sha256_hex(payload)
+        path = self.path_for(digest)
+        if path.exists():
+            return digest
+        path.parent.mkdir(parents=True, exist_ok=True)
+        compressed = zlib.compress(payload, level=6)
+        tmp_path = self.tmp_dir / f"{digest}.{os.getpid()}.tmp"
+        try:
+            with open(tmp_path, "wb") as handle:
+                handle.write(compressed)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        finally:
+            if tmp_path.exists():
+                tmp_path.unlink()
+        return digest
+
+    def get(self, digest: str) -> bytes:
+        """Load and verify the payload stored at *digest*."""
+        path = self.path_for(digest)
+        try:
+            compressed = path.read_bytes()
+        except FileNotFoundError:
+            raise StoreError(f"missing blob {digest}") from None
+        try:
+            payload = zlib.decompress(compressed)
+        except zlib.error as error:
+            raise StoreCorruptionError(
+                f"blob {digest} is not valid zlib data "
+                f"(corrupt or truncated): {error}") from error
+        actual = sha256_hex(payload)
+        if actual != digest:
+            raise StoreCorruptionError(
+                f"blob content hash {actual} does not match its address "
+                f"{digest}: on-disk corruption")
+        return payload
+
+    def has(self, digest: str) -> bool:
+        return self.path_for(digest).exists()
+
+    def delete(self, digest: str) -> int:
+        """Remove a blob; returns the on-disk bytes reclaimed (0 if absent)."""
+        path = self.path_for(digest)
+        try:
+            size = path.stat().st_size
+            path.unlink()
+        except FileNotFoundError:
+            return 0
+        return size
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def iter_digests(self) -> Iterator[str]:
+        """All blob addresses currently on disk."""
+        for shard in sorted(self.objects_dir.iterdir()):
+            if not shard.is_dir() or len(shard.name) != 2:
+                continue
+            for entry in sorted(shard.iterdir()):
+                digest = shard.name + entry.name
+                if len(digest) == 64:
+                    yield digest
+
+    def sweep_tmp(self) -> int:
+        """Drop leftovers from interrupted writes; returns files removed."""
+        removed = 0
+        for stale in self.tmp_dir.glob("*.tmp"):
+            try:
+                stale.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def disk_bytes(self, digest: str) -> int:
+        """Compressed on-disk size of one blob (0 if absent)."""
+        try:
+            return self.path_for(digest).stat().st_size
+        except FileNotFoundError:
+            return 0

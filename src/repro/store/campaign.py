@@ -1,0 +1,308 @@
+"""The campaign engine: cached, resumable, diffable detection runs.
+
+A *campaign* is one ``Owl.detect`` invocation bound to a
+:class:`~repro.store.store.TraceStore`.  The engine gives the pipeline
+three layers of reuse, coarse to fine:
+
+* **report cache** — the exact (program, config, inputs) campaign already
+  completed: return its stored report;
+* **evidence cache** — the fixed/random evidence sets for this
+  configuration exist: skip all phase-3 recording and re-analyse;
+* **trace cache + checkpoints** — individual phase-1 traces are reused per
+  input, and phase-3 run batches fold into checkpointed partial evidence
+  every ``store_checkpoint_every`` runs, so a killed campaign resumes
+  where it stopped instead of starting over.
+
+Bit-identity contract: whenever a store is attached, the evidence handed
+to the analyzer is always the store's **canonical round-tripped form**
+(serialise → deserialise), for cold and warm runs alike.  Canonical bytes
+are what make "warm re-run ≡ cold run" an equality of report JSON, not an
+approximation — see :mod:`repro.store.serialize`.
+
+``diff_reports`` closes the paper's detect → patch → re-audit loop: two
+reports (two program versions) are joined on code location
+``(leak type, kernel, block, instr)`` — *not* on kernel identity, whose
+call-stack digest legitimately shifts when source lines move — and every
+leak is classified as introduced, fixed, or persisting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.evidence import Evidence
+from repro.core.report import Leak, LeakageReport
+from repro.store.fingerprint import (
+    analysis_fingerprint,
+    evidence_fingerprint,
+    fingerprint_inputs,
+    fingerprint_value,
+    trace_fingerprint,
+)
+from repro.store.serialize import deserialize_evidence, serialize_evidence
+from repro.store.store import TraceStore
+from repro.tracing.recorder import ProgramTrace
+
+SIDE_FIXED = "fixed"
+SIDE_RANDOM = "random"
+
+#: Campaign status values recorded in the manifest.
+STATUS_IN_PROGRESS = "in_progress"
+STATUS_COMPLETE = "complete"
+
+
+def _jsonable_config(config) -> Dict:
+    """OwlConfig as a JSON-safe dict (for ``owl resume`` reconstruction)."""
+    return dataclasses.asdict(config)
+
+
+class Campaign:
+    """Store-backed context for one named program + configuration."""
+
+    def __init__(self, store: TraceStore, name: str, config,
+                 device_config=None) -> None:
+        self.store = store
+        self.name = name
+        self.config = config
+        self.device_config = device_config
+        self.trace_fp = trace_fingerprint(config, device_config)
+        self.evidence_fp = evidence_fingerprint(config, device_config)
+        self.analysis_fp = analysis_fingerprint(config, device_config)
+
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+
+    def input_fingerprint(self, value) -> str:
+        return fingerprint_value(value)
+
+    def inputs_fingerprint(self, input_fps: Sequence[str]) -> str:
+        return fingerprint_inputs(input_fps)
+
+    def trace_key(self, input_fp: str) -> str:
+        return f"trace/{self.name}/{self.trace_fp}/{input_fp}"
+
+    def evidence_key(self, side: str, rep_fp: Optional[str] = None) -> str:
+        if side == SIDE_RANDOM:
+            # the random side depends only on (seed, runs), never on which
+            # representative is being analysed: all representatives share it
+            return f"evidence/{self.name}/{self.evidence_fp}/random"
+        return f"evidence/{self.name}/{self.evidence_fp}/fixed/{rep_fp}"
+
+    def checkpoint_key(self, evidence_key: str) -> str:
+        return "checkpoint/" + evidence_key[len("evidence/"):]
+
+    def report_key(self, inputs_fp: str) -> str:
+        return f"report/{self.name}/{self.analysis_fp}/{inputs_fp}"
+
+    def campaign_key(self, inputs_fp: str) -> str:
+        return f"campaign/{self.name}/{self.analysis_fp}/{inputs_fp}"
+
+    # ------------------------------------------------------------------
+    # phase 1: trace cache
+    # ------------------------------------------------------------------
+
+    def load_trace(self, input_fp: str) -> Optional[ProgramTrace]:
+        return self.store.get_trace(self.trace_key(input_fp))
+
+    def save_trace(self, input_fp: str, trace: ProgramTrace) -> None:
+        self.store.put_trace(
+            self.trace_key(input_fp), trace,
+            meta={"workload": self.name, "config": self.trace_fp,
+                  "input": input_fp, "seed": self.config.seed,
+                  "signature": trace.signature()})
+
+    # ------------------------------------------------------------------
+    # phase 3: evidence cache + checkpoints
+    # ------------------------------------------------------------------
+
+    def load_evidence(self, key: str) -> Optional[Evidence]:
+        return self.store.get_evidence(key)
+
+    def save_evidence(self, key: str, evidence: Evidence,
+                      side: str) -> Evidence:
+        """Persist a completed side and return its canonical form."""
+        payload = serialize_evidence(evidence)
+        self.store.put_bytes(
+            key, "evidence", payload,
+            meta={"workload": self.name, "config": self.evidence_fp,
+                  "side": side, "seed": self.config.seed,
+                  "runs": evidence.num_runs})
+        self.store.delete(self.checkpoint_key(key))
+        return deserialize_evidence(payload)
+
+    def load_checkpoint(self, evidence_key: str
+                        ) -> Optional[Tuple[Evidence, int]]:
+        """A side's partial evidence and its completed-run count, if any."""
+        key = self.checkpoint_key(evidence_key)
+        entry = self.store.get(key)
+        if entry is None:
+            return None
+        evidence = self.store.get_evidence(key)
+        runs_done = int(entry.meta.get("runs_done", evidence.num_runs))
+        if runs_done != evidence.num_runs:
+            # a checkpoint whose body and meta disagree is useless; treat
+            # it as absent rather than resuming from a wrong offset
+            return None
+        return evidence, runs_done
+
+    def save_checkpoint(self, evidence_key: str, evidence: Evidence,
+                        runs_done: int, total_runs: int, side: str) -> None:
+        self.store.put_evidence(
+            self.checkpoint_key(evidence_key), evidence, kind="checkpoint",
+            meta={"workload": self.name, "config": self.evidence_fp,
+                  "side": side, "seed": self.config.seed,
+                  "runs_done": runs_done, "total_runs": total_runs})
+
+    # ------------------------------------------------------------------
+    # reports + campaign status
+    # ------------------------------------------------------------------
+
+    def load_report(self, inputs_fp: str) -> Optional[LeakageReport]:
+        return self.store.get_report(self.report_key(inputs_fp))
+
+    def save_report(self, inputs_fp: str, report: LeakageReport,
+                    stats=None) -> None:
+        meta = {"workload": self.name, "config": self.analysis_fp,
+                "seed": self.config.seed, "inputs": inputs_fp}
+        if stats is not None:
+            meta["stats"] = {
+                "trace_count": stats.trace_count,
+                "trace_bytes_total": stats.trace_bytes_total,
+                "trace_seconds_total": stats.trace_seconds_total,
+                "trace_wall_seconds": stats.trace_wall_seconds,
+                "evidence_seconds": stats.evidence_seconds,
+                "test_seconds": stats.test_seconds,
+                "total_seconds": stats.total_seconds,
+                "cached_traces": stats.cached_traces,
+                "cached_runs": stats.cached_runs,
+                "workers": stats.workers,
+            }
+        self.store.put_report(self.report_key(inputs_fp), report, meta=meta)
+
+    def mark_started(self, inputs_fp: str) -> None:
+        key = self.campaign_key(inputs_fp)
+        existing = self.store.get(key)
+        if existing is not None and existing.meta.get(
+                "status") == STATUS_COMPLETE:
+            return
+        self.store.put_json(
+            key, "campaign",
+            {"workload": self.name, "inputs": inputs_fp,
+             "config": _jsonable_config(self.config)},
+            meta={"workload": self.name, "status": STATUS_IN_PROGRESS,
+                  "seed": self.config.seed, "inputs": inputs_fp})
+
+    def mark_complete(self, inputs_fp: str) -> None:
+        key = self.campaign_key(inputs_fp)
+        self.store.put_json(
+            key, "campaign",
+            {"workload": self.name, "inputs": inputs_fp,
+             "config": _jsonable_config(self.config)},
+            meta={"workload": self.name, "status": STATUS_COMPLETE,
+                  "seed": self.config.seed, "inputs": inputs_fp,
+                  "report": self.report_key(inputs_fp)})
+
+
+def incomplete_campaigns(store: TraceStore) -> List:
+    """Campaign entries still marked in-progress (for ``owl resume``)."""
+    return [entry for entry in store.entries(kind="campaign")
+            if entry.meta.get("status") != STATUS_COMPLETE]
+
+
+# ----------------------------------------------------------------------
+# cross-version regression diffs
+# ----------------------------------------------------------------------
+
+#: A leak's code location: the join key across program versions.
+LocationKey = Tuple[str, str, str, int]
+
+
+def _location_index(report: LeakageReport) -> Dict[LocationKey, Leak]:
+    """Most-significant leak per (type, kernel, block, instr) location."""
+    index: Dict[LocationKey, Leak] = {}
+    for leak in report.leaks:
+        key = (leak.leak_type.value,) + leak.location
+        current = index.get(key)
+        if current is None or leak.p_value < current.p_value:
+            index[key] = leak
+    return index
+
+
+@dataclass
+class RegressionDiff:
+    """Classification of every leak across two reports (A = before patch,
+    B = after): did the patch fix it, leave it, or make things worse?"""
+
+    baseline_name: str
+    candidate_name: str
+    introduced: List[Leak] = field(default_factory=list)
+    fixed: List[Leak] = field(default_factory=list)
+    persisting: List[Tuple[Leak, Leak]] = field(default_factory=list)
+
+    @property
+    def is_regression(self) -> bool:
+        return bool(self.introduced)
+
+    @property
+    def is_clean_fix(self) -> bool:
+        return bool(self.fixed) and not self.introduced and not self.persisting
+
+    def counts(self) -> Dict[str, int]:
+        return {"introduced": len(self.introduced), "fixed": len(self.fixed),
+                "persisting": len(self.persisting)}
+
+    def to_dict(self) -> Dict:
+        def leak_row(leak: Leak) -> Dict:
+            return {"leak_type": leak.leak_type.value,
+                    "kernel_name": leak.kernel_name, "block": leak.block,
+                    "instr": leak.instr, "p_value": leak.p_value}
+
+        return {
+            "baseline": self.baseline_name,
+            "candidate": self.candidate_name,
+            "counts": self.counts(),
+            "introduced": [leak_row(leak) for leak in self.introduced],
+            "fixed": [leak_row(leak) for leak in self.fixed],
+            "persisting": [{"before": leak_row(a), "after": leak_row(b)}
+                           for a, b in self.persisting],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"Leakage regression diff: {self.baseline_name} -> "
+            f"{self.candidate_name}",
+            f"  introduced: {len(self.introduced)}, "
+            f"fixed: {len(self.fixed)}, persisting: {len(self.persisting)}",
+        ]
+        for leak in self.introduced:
+            lines.append("  [introduced] " + leak.render())
+        for before, after in self.persisting:
+            lines.append("  [persisting] " + after.render())
+        for leak in self.fixed:
+            lines.append("  [fixed]      " + leak.render())
+        if not self.introduced and not self.persisting:
+            lines.append("  candidate is leak-free at every baseline "
+                         "location" if self.fixed else
+                         "  both versions are leak-free")
+        return "\n".join(lines)
+
+
+def diff_reports(baseline: LeakageReport,
+                 candidate: LeakageReport) -> RegressionDiff:
+    """Classify each leak location as introduced / fixed / persisting."""
+    before = _location_index(baseline)
+    after = _location_index(candidate)
+    diff = RegressionDiff(baseline_name=baseline.program_name,
+                          candidate_name=candidate.program_name)
+    for key in sorted(before):
+        if key in after:
+            diff.persisting.append((before[key], after[key]))
+        else:
+            diff.fixed.append(before[key])
+    for key in sorted(after):
+        if key not in before:
+            diff.introduced.append(after[key])
+    return diff

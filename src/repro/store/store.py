@@ -1,0 +1,257 @@
+"""The persistent artifact store: manifest + content-addressed blobs.
+
+A :class:`TraceStore` is one directory::
+
+    <root>/
+      manifest.json     # logical index: key -> {kind, blob, meta, ...}
+      objects/aa/<62x>  # zlib blobs addressed by SHA-256 (see blobs.py)
+      tmp/              # staging for atomic writes
+
+The **manifest** maps logical keys (``trace/aes/<cfg>/<input>``,
+``evidence/...``, ``report/...``, ``checkpoint/...``, ``campaign/...``) to
+entries carrying the blob address plus indexing metadata: workload name,
+config fingerprint, seed, and the run's :class:`PhaseStats` snapshot where
+relevant.  Entries are small JSON; bodies live in the blob layer.
+
+Both layers write atomically (temp file + ``os.replace``), verify content
+hashes on load, and fail closed with :class:`StoreCorruptionError` rather
+than hand back damaged artifacts.  ``gc()`` drops blobs no manifest entry
+references — deleting entries is what makes blobs collectable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.evidence import Evidence
+from repro.core.report import LeakageReport
+from repro.store.blobs import BlobStore, StoreCorruptionError, StoreError
+from repro.store.serialize import (
+    deserialize_evidence,
+    deserialize_trace,
+    serialize_evidence,
+    serialize_trace,
+)
+from repro.tracing.recorder import ProgramTrace
+
+MANIFEST_VERSION = 1
+
+#: Recognised entry kinds (informational; the store accepts any string).
+KINDS = ("trace", "evidence", "checkpoint", "report", "campaign")
+
+
+@dataclass
+class Entry:
+    """One manifest row: a logical key bound to a blob + metadata."""
+
+    key: str
+    kind: str
+    blob: str
+    size: int
+    created_at: float
+    meta: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {"kind": self.kind, "blob": self.blob, "size": self.size,
+                "created_at": self.created_at, "meta": self.meta}
+
+    @classmethod
+    def from_dict(cls, key: str, data: Dict) -> "Entry":
+        try:
+            return cls(key=key, kind=data["kind"], blob=data["blob"],
+                       size=data["size"], created_at=data["created_at"],
+                       meta=data.get("meta", {}))
+        except (KeyError, TypeError) as error:
+            raise StoreCorruptionError(
+                f"manifest entry {key!r} is malformed: {error}") from error
+
+
+class TraceStore:
+    """Content-addressed, versioned on-disk store for Owl artifacts."""
+
+    def __init__(self, root: Union[str, Path], create: bool = True) -> None:
+        self.root = Path(root)
+        manifest_exists = (self.root / "manifest.json").exists()
+        if not create and not manifest_exists:
+            raise StoreError(f"no store at {self.root} (missing manifest)")
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.blobs = BlobStore(self.root)
+        self.manifest_path = self.root / "manifest.json"
+        self._entries: Dict[str, Entry] = {}
+        if manifest_exists:
+            self._load_manifest()
+        else:
+            self._save_manifest()
+
+    # ------------------------------------------------------------------
+    # manifest persistence
+    # ------------------------------------------------------------------
+
+    def _load_manifest(self) -> None:
+        try:
+            data = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise StoreCorruptionError(
+                f"cannot read store manifest {self.manifest_path}: "
+                f"{error}") from error
+        if not isinstance(data, dict) or "entries" not in data:
+            raise StoreCorruptionError(
+                f"store manifest {self.manifest_path} has no entries table")
+        version = data.get("version")
+        if version != MANIFEST_VERSION:
+            raise StoreError(
+                f"unsupported store manifest version {version!r}")
+        self._entries = {key: Entry.from_dict(key, value)
+                         for key, value in data["entries"].items()}
+
+    def _save_manifest(self) -> None:
+        payload = json.dumps(
+            {"version": MANIFEST_VERSION,
+             "entries": {key: entry.to_dict()
+                         for key, entry in sorted(self._entries.items())}},
+            indent=2, sort_keys=True)
+        tmp_path = self.blobs.tmp_dir / f"manifest.{os.getpid()}.tmp"
+        tmp_path.write_text(payload + "\n", encoding="utf-8")
+        os.replace(tmp_path, self.manifest_path)
+
+    # ------------------------------------------------------------------
+    # generic entry API
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Entry]:
+        return self._entries.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self, kind: Optional[str] = None) -> List[Entry]:
+        """All entries (of one *kind* if given), sorted by key."""
+        return [entry for key, entry in sorted(self._entries.items())
+                if kind is None or entry.kind == kind]
+
+    def put_bytes(self, key: str, kind: str, payload: bytes,
+                  meta: Optional[Dict] = None) -> Entry:
+        """Store *payload* under *key* (blob write + manifest update)."""
+        blob = self.blobs.put(payload)
+        entry = Entry(key=key, kind=kind, blob=blob, size=len(payload),
+                      created_at=time.time(), meta=dict(meta or {}))
+        self._entries[key] = entry
+        self._save_manifest()
+        return entry
+
+    def get_bytes(self, key: str) -> Optional[bytes]:
+        """Load the verified payload under *key* (None when absent)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        payload = self.blobs.get(entry.blob)
+        if len(payload) != entry.size:
+            raise StoreCorruptionError(
+                f"entry {key!r} declares {entry.size} bytes but its blob "
+                f"holds {len(payload)}")
+        return payload
+
+    def delete(self, key: str) -> bool:
+        """Drop the manifest entry (its blob becomes gc-collectable)."""
+        if key not in self._entries:
+            return False
+        del self._entries[key]
+        self._save_manifest()
+        return True
+
+    # ------------------------------------------------------------------
+    # typed artifact helpers
+    # ------------------------------------------------------------------
+
+    def put_trace(self, key: str, trace: ProgramTrace,
+                  meta: Optional[Dict] = None) -> Entry:
+        return self.put_bytes(key, "trace", serialize_trace(trace), meta)
+
+    def get_trace(self, key: str) -> Optional[ProgramTrace]:
+        payload = self.get_bytes(key)
+        return None if payload is None else deserialize_trace(payload)
+
+    def put_evidence(self, key: str, evidence: Evidence,
+                     meta: Optional[Dict] = None,
+                     kind: str = "evidence") -> Entry:
+        return self.put_bytes(key, kind, serialize_evidence(evidence), meta)
+
+    def get_evidence(self, key: str) -> Optional[Evidence]:
+        payload = self.get_bytes(key)
+        return None if payload is None else deserialize_evidence(payload)
+
+    def put_report(self, key: str, report: LeakageReport,
+                   meta: Optional[Dict] = None) -> Entry:
+        payload = (report.to_json() + "\n").encode("utf-8")
+        return self.put_bytes(key, "report", payload, meta)
+
+    def get_report(self, key: str) -> Optional[LeakageReport]:
+        payload = self.get_bytes(key)
+        if payload is None:
+            return None
+        try:
+            return LeakageReport.from_json(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError, KeyError,
+                ValueError) as error:
+            raise StoreCorruptionError(
+                f"report entry {key!r} is malformed: {error}") from error
+
+    def put_json(self, key: str, kind: str, obj,
+                 meta: Optional[Dict] = None) -> Entry:
+        payload = json.dumps(obj, indent=2, sort_keys=True).encode("utf-8")
+        return self.put_bytes(key, kind, payload, meta)
+
+    def get_json(self, key: str):
+        payload = self.get_bytes(key)
+        if payload is None:
+            return None
+        try:
+            return json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise StoreCorruptionError(
+                f"JSON entry {key!r} is malformed: {error}") from error
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def gc(self) -> Dict[str, int]:
+        """Drop unreferenced blobs and stale temp files.
+
+        Returns ``{"removed": n, "reclaimed_bytes": b, "kept": k}`` where
+        sizes are compressed on-disk bytes.
+        """
+        referenced = {entry.blob for entry in self._entries.values()}
+        removed = 0
+        reclaimed = 0
+        kept = 0
+        for digest in list(self.blobs.iter_digests()):
+            if digest in referenced:
+                kept += 1
+                continue
+            reclaimed += self.blobs.delete(digest)
+            removed += 1
+        self.blobs.sweep_tmp()
+        return {"removed": removed, "reclaimed_bytes": reclaimed,
+                "kept": kept}
+
+    def verify(self) -> List[str]:
+        """Integrity-check every entry; returns the keys that failed."""
+        bad: List[str] = []
+        for key in sorted(self._entries):
+            try:
+                self.get_bytes(key)
+            except StoreError:
+                bad.append(key)
+        return bad
+
+    def __repr__(self) -> str:
+        return f"TraceStore({str(self.root)!r}, entries={len(self._entries)})"

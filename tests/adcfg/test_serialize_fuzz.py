@@ -70,3 +70,50 @@ class TestAdversarialInputs:
         payload[14:18] = (0xFFFFFFFF).to_bytes(4, "little")  # string count
         with pytest.raises(SerializationError):
             deserialize_adcfg(bytes(payload))
+
+
+class TestHardenedErrors:
+    """The hardening contract: short reads and bad table indices surface
+    as SerializationError, never as bare struct.error / IndexError."""
+
+    def test_out_of_range_string_index_raises_cleanly(self):
+        payload = bytearray(sample_payload())
+        # kernel identity/name indices directly follow the string table;
+        # scan for the first u32 pair after the header and poison it
+        # header: magic(4) + version(2) + threads(4) + warps(4) + count(4)
+        offset = 14 + 4
+        (table_len,) = np.frombuffer(payload[14:18], dtype="<u4")
+        for _ in range(int(table_len)):
+            (str_len,) = np.frombuffer(payload[offset:offset + 2],
+                                       dtype="<u2")
+            offset += 2 + int(str_len)
+        payload[offset:offset + 4] = (0xFFFF).to_bytes(4, "little")
+        with pytest.raises(SerializationError):
+            deserialize_adcfg(bytes(payload))
+
+    def test_no_bare_parsing_exceptions_across_all_corruptions(self):
+        payload = sample_payload()
+        rng = np.random.default_rng(7)
+        for _ in range(500):
+            corrupt = bytearray(payload)
+            for _flip in range(int(rng.integers(1, 4))):
+                corrupt[int(rng.integers(len(payload)))] ^= int(
+                    rng.integers(1, 256))
+            try:
+                deserialize_adcfg(bytes(corrupt))
+            except SerializationError:
+                continue
+
+    def test_huge_nested_count_rejected_before_loop(self):
+        """A count deep inside the payload (not just the string table)
+        must also be bounded by the remaining payload size."""
+        payload = bytearray(sample_payload())
+        hits = 0
+        for offset in range(14, len(payload) - 4):
+            poisoned = bytearray(payload)
+            poisoned[offset:offset + 4] = (0x7FFFFFFF).to_bytes(4, "little")
+            try:
+                deserialize_adcfg(bytes(poisoned))
+            except SerializationError:
+                hits += 1
+        assert hits > 0  # every poisoned offset either parsed or raised cleanly

@@ -1,0 +1,100 @@
+"""The content-addressed blob layer: hashing, atomicity, corruption."""
+
+import zlib
+
+import pytest
+
+from repro.store.blobs import (
+    BlobStore,
+    StoreCorruptionError,
+    StoreError,
+    sha256_hex,
+)
+
+
+@pytest.fixture
+def blobs(tmp_path):
+    return BlobStore(tmp_path)
+
+
+class TestPutGet:
+    def test_round_trip(self, blobs):
+        payload = b"owl artifact payload" * 100
+        digest = blobs.put(payload)
+        assert digest == sha256_hex(payload)
+        assert blobs.get(digest) == payload
+
+    def test_put_is_idempotent(self, blobs):
+        payload = b"same bytes"
+        first = blobs.put(payload)
+        second = blobs.put(payload)
+        assert first == second
+        assert sum(1 for _ in blobs.iter_digests()) == 1
+
+    def test_identical_content_deduplicates(self, blobs):
+        blobs.put(b"A" * 1000)
+        blobs.put(b"A" * 1000)
+        blobs.put(b"B" * 1000)
+        assert sum(1 for _ in blobs.iter_digests()) == 2
+
+    def test_empty_payload(self, blobs):
+        digest = blobs.put(b"")
+        assert blobs.get(digest) == b""
+
+    def test_blobs_are_compressed_on_disk(self, blobs):
+        payload = b"x" * 10_000
+        digest = blobs.put(payload)
+        assert blobs.disk_bytes(digest) < len(payload)
+
+    def test_missing_blob_raises_store_error(self, blobs):
+        with pytest.raises(StoreError):
+            blobs.get("0" * 64)
+
+    def test_has(self, blobs):
+        digest = blobs.put(b"present")
+        assert blobs.has(digest)
+        assert not blobs.has("f" * 64)
+
+    def test_bad_digest_rejected(self, blobs):
+        for bad in ("short", "g" * 64, "../../../etc/passwd"):
+            with pytest.raises(StoreError):
+                blobs.path_for(bad)
+
+
+class TestCorruption:
+    def test_flipped_byte_detected(self, blobs):
+        digest = blobs.put(b"precious artifact bytes" * 50)
+        path = blobs.path_for(digest)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(StoreCorruptionError):
+            blobs.get(digest)
+
+    def test_wrong_content_at_address_detected(self, blobs):
+        digest = blobs.put(b"original")
+        blobs.path_for(digest).write_bytes(zlib.compress(b"swapped"))
+        with pytest.raises(StoreCorruptionError):
+            blobs.get(digest)
+
+    def test_truncated_blob_detected(self, blobs):
+        digest = blobs.put(b"some artifact payload" * 20)
+        path = blobs.path_for(digest)
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(StoreCorruptionError):
+            blobs.get(digest)
+
+
+class TestMaintenance:
+    def test_delete_reports_reclaimed_bytes(self, blobs):
+        digest = blobs.put(b"to be deleted" * 100)
+        on_disk = blobs.disk_bytes(digest)
+        assert blobs.delete(digest) == on_disk
+        assert not blobs.has(digest)
+        assert blobs.delete(digest) == 0  # second delete is a no-op
+
+    def test_sweep_tmp_drops_stale_staging_files(self, blobs):
+        stale = blobs.tmp_dir / "stale.tmp"
+        stale.write_bytes(b"leftover from a crashed writer")
+        blobs.sweep_tmp()
+        assert not stale.exists()

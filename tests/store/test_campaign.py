@@ -1,0 +1,211 @@
+"""Campaign engine: fingerprints, keys, checkpoints, regression diffs."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import OwlConfig
+from repro.core.report import Leak, LeakageReport, LeakType
+from repro.gpusim.device import DeviceConfig
+from repro.store import Campaign, TraceStore, diff_reports
+from repro.store.fingerprint import (
+    FingerprintError,
+    analysis_fingerprint,
+    evidence_fingerprint,
+    fingerprint_value,
+    trace_fingerprint,
+)
+
+
+@pytest.fixture
+def campaign(tmp_path):
+    store = TraceStore(tmp_path / "store")
+    return Campaign(store, "prog", OwlConfig(fixed_runs=4, random_runs=4),
+                    DeviceConfig())
+
+
+def leak(kernel="kern", block="body", instr=1, p=1e-6,
+         leak_type=LeakType.DEVICE_DATA_FLOW) -> Leak:
+    return Leak(leak_type=leak_type, kernel_identity=f"{kernel}@abc",
+                kernel_name=kernel, block=block, instr=instr, p_value=p,
+                statistic=0.5)
+
+
+def report(name, *leaks) -> LeakageReport:
+    rep = LeakageReport(program_name=name, confidence=0.95)
+    for item in leaks:
+        rep.add(item)
+    return rep
+
+
+class TestFingerprints:
+    def test_deterministic_across_calls(self):
+        config = OwlConfig()
+        device = DeviceConfig()
+        assert trace_fingerprint(config, device) == \
+            trace_fingerprint(OwlConfig(), DeviceConfig())
+
+    def test_scopes_are_distinct(self):
+        config = OwlConfig()
+        fps = {trace_fingerprint(config, None),
+               evidence_fingerprint(config, None),
+               analysis_fingerprint(config, None)}
+        assert len(fps) == 3
+
+    def test_trace_fingerprint_ignores_run_counts(self):
+        device = DeviceConfig()
+        assert trace_fingerprint(OwlConfig(fixed_runs=10), device) == \
+            trace_fingerprint(OwlConfig(fixed_runs=99), device)
+
+    def test_evidence_fingerprint_tracks_runs_and_seed(self):
+        device = DeviceConfig()
+        base = evidence_fingerprint(OwlConfig(), device)
+        assert evidence_fingerprint(OwlConfig(fixed_runs=7), device) != base
+        assert evidence_fingerprint(OwlConfig(seed=1), device) != base
+
+    def test_analysis_fingerprint_tracks_confidence(self):
+        device = DeviceConfig()
+        assert analysis_fingerprint(OwlConfig(confidence=0.99), device) != \
+            analysis_fingerprint(OwlConfig(confidence=0.95), device)
+
+    def test_parallelism_knobs_do_not_change_any_fingerprint(self):
+        """workers / columnar / vectorized / checkpoint cadence are proven
+        bit-identical, so campaigns recorded under any of them share
+        cache entries."""
+        device = DeviceConfig()
+        base = OwlConfig()
+        variant = dataclasses.replace(base, workers=4, columnar=False,
+                                      vectorized=False,
+                                      store_checkpoint_every=3)
+        for fingerprint in (trace_fingerprint, evidence_fingerprint,
+                            analysis_fingerprint):
+            assert fingerprint(base, device) == fingerprint(variant, device)
+
+    def test_device_config_changes_trace_fingerprint(self):
+        config = OwlConfig()
+        assert trace_fingerprint(config, DeviceConfig()) != \
+            trace_fingerprint(config, DeviceConfig(seed=123))
+
+    def test_value_fingerprints_cover_input_types(self):
+        # every bundled workload input type must fingerprint cleanly
+        for value in (b"\x00\x01", 0x6ACF8231, np.zeros(8),
+                      np.linspace(0, 1, 4), "text", (1, 2), [3, 4],
+                      {"k": 1}, None, 3.5):
+            assert isinstance(fingerprint_value(value), str)
+
+    def test_value_fingerprint_distinguishes_dtype(self):
+        assert fingerprint_value(np.zeros(4, dtype=np.int64)) != \
+            fingerprint_value(np.zeros(4, dtype=np.float64))
+
+    def test_unfingerprintable_value_raises(self):
+        with pytest.raises(FingerprintError):
+            fingerprint_value(lambda x: x)
+
+
+class TestKeys:
+    def test_random_evidence_key_shared_across_representatives(self, campaign):
+        assert campaign.evidence_key("random", "rep-a") == \
+            campaign.evidence_key("random", "rep-b")
+        assert campaign.evidence_key("fixed", "rep-a") != \
+            campaign.evidence_key("fixed", "rep-b")
+
+    def test_checkpoint_key_mirrors_evidence_key(self, campaign):
+        evidence_key = campaign.evidence_key("fixed", "rep")
+        checkpoint = campaign.checkpoint_key(evidence_key)
+        assert checkpoint.startswith("checkpoint/")
+        assert checkpoint.split("/", 1)[1] == \
+            evidence_key.split("/", 1)[1]
+
+    def test_keys_embed_program_name(self, tmp_path):
+        store = TraceStore(tmp_path / "s")
+        config = OwlConfig()
+        a = Campaign(store, "version-a", config, None)
+        b = Campaign(store, "version-b", config, None)
+        assert a.trace_key("fp") != b.trace_key("fp")
+        assert a.report_key("fp") != b.report_key("fp")
+
+
+class TestCheckpoints:
+    def test_mismatched_checkpoint_meta_treated_as_absent(self, campaign):
+        from repro.core.evidence import Evidence
+        key = campaign.evidence_key("fixed", "rep")
+        evidence = Evidence()
+        evidence.num_runs = 2
+        campaign.save_checkpoint(key, evidence, runs_done=5, total_runs=8,
+                                 side="fixed")
+        assert campaign.load_checkpoint(key) is None
+
+    def test_save_evidence_clears_checkpoint(self, campaign):
+        from repro.core.evidence import Evidence
+        key = campaign.evidence_key("fixed", "rep")
+        evidence = Evidence()
+        evidence.num_runs = 3
+        campaign.save_checkpoint(key, evidence, runs_done=3, total_runs=8,
+                                 side="fixed")
+        assert campaign.load_checkpoint(key) is not None
+        campaign.save_evidence(key, evidence, side="fixed")
+        assert campaign.load_checkpoint(key) is None
+
+
+class TestDiffReports:
+    def test_fixed_leak(self):
+        diff = diff_reports(report("before", leak()), report("after"))
+        assert [l.kernel_name for l in diff.fixed] == ["kern"]
+        assert diff.is_clean_fix
+        assert not diff.is_regression
+
+    def test_introduced_leak(self):
+        diff = diff_reports(report("before"), report("after", leak()))
+        assert len(diff.introduced) == 1
+        assert diff.is_regression
+        assert not diff.is_clean_fix
+
+    def test_persisting_leak_pairs_before_and_after(self):
+        before = leak(p=1e-6)
+        after = leak(p=1e-9)
+        diff = diff_reports(report("a", before), report("b", after))
+        assert diff.persisting == [(before, after)]
+        assert diff.counts() == {"introduced": 0, "fixed": 0,
+                                 "persisting": 1}
+
+    def test_join_is_by_location_not_identity(self):
+        # the call-stack digest legitimately changes across versions; a
+        # leak at the same (kernel, block, instr) must still match up
+        before = leak()
+        after = leak()
+        after = dataclasses.replace(after, kernel_identity="kern@other")
+        diff = diff_reports(report("a", before), report("b", after))
+        assert len(diff.persisting) == 1
+
+    def test_different_locations_do_not_join(self):
+        diff = diff_reports(report("a", leak(instr=1)),
+                            report("b", leak(instr=2)))
+        assert len(diff.fixed) == 1
+        assert len(diff.introduced) == 1
+
+    def test_leak_type_is_part_of_the_location(self):
+        diff = diff_reports(
+            report("a", leak(leak_type=LeakType.DEVICE_DATA_FLOW)),
+            report("b", leak(leak_type=LeakType.DEVICE_CONTROL_FLOW)))
+        assert len(diff.fixed) == 1
+        assert len(diff.introduced) == 1
+
+    def test_most_significant_leak_represents_a_location(self):
+        diff = diff_reports(report("a", leak(p=1e-3), leak(p=1e-9)),
+                            report("b"))
+        assert len(diff.fixed) == 1
+        assert diff.fixed[0].p_value == 1e-9
+
+    def test_both_leak_free(self):
+        diff = diff_reports(report("a"), report("b"))
+        assert not diff.is_regression
+        assert not diff.is_clean_fix
+        assert "leak-free" in diff.render()
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+        diff = diff_reports(report("a", leak()), report("b", leak(instr=9)))
+        data = json.loads(json.dumps(diff.to_dict()))
+        assert data["counts"] == {"introduced": 1, "fixed": 1,
+                                  "persisting": 0}

@@ -1,0 +1,155 @@
+"""Whole-trace and evidence (de)serialisation: lossless, canonical, safe."""
+
+import numpy as np
+import pytest
+
+from repro.adcfg.serialize import SerializationError
+from repro.apps import dummy
+from repro.core.evidence import Evidence
+from repro.store.serialize import (
+    deserialize_evidence,
+    deserialize_trace,
+    serialize_evidence,
+    serialize_trace,
+)
+from repro.tracing import TraceRecorder
+
+
+@pytest.fixture
+def trace():
+    return TraceRecorder().record(dummy.dummy_program, dummy.fixed_input())
+
+
+@pytest.fixture
+def evidence():
+    recorder = TraceRecorder()
+    traces = [recorder.record(dummy.dummy_program, dummy.fixed_input(value=v))
+              for v in (1, 2, 3)]
+    return Evidence.from_traces(traces)
+
+
+@pytest.fixture
+def evidence_per_run():
+    recorder = TraceRecorder()
+    traces = [recorder.record(dummy.dummy_program, dummy.fixed_input(value=v))
+              for v in (4, 5)]
+    return Evidence.from_traces(traces, keep_per_run=True)
+
+
+class TestTraceRoundTrip:
+    def test_lossless(self, trace):
+        restored = deserialize_trace(serialize_trace(trace))
+        assert restored.signature() == trace.signature()
+        assert len(restored.invocations) == len(trace.invocations)
+        for a, b in zip(restored.invocations, trace.invocations):
+            assert (a.identity, a.kernel_name, a.seq) == \
+                (b.identity, b.kernel_name, b.seq)
+            assert (a.grid, a.block) == (b.grid, b.block)
+            assert a.adcfg == b.adcfg
+        assert restored.malloc_records == trace.malloc_records
+        assert restored.launch_records == trace.launch_records
+
+    def test_canonical(self, trace):
+        payload = serialize_trace(trace)
+        assert serialize_trace(deserialize_trace(payload)) == payload
+
+    def test_empty_trace(self):
+        from repro.tracing.recorder import ProgramTrace
+        empty = ProgramTrace(invocations=[],
+                             malloc_records=[],
+                             launch_records=[])
+        restored = deserialize_trace(serialize_trace(empty))
+        assert restored.invocations == []
+        assert restored.malloc_records == []
+        assert restored.launch_records == []
+
+
+class TestEvidenceRoundTrip:
+    def test_lossless(self, evidence):
+        restored = deserialize_evidence(serialize_evidence(evidence))
+        assert restored.num_runs == evidence.num_runs
+        assert restored.keep_per_run == evidence.keep_per_run
+        assert restored.identity_sequence == evidence.identity_sequence
+        for a, b in zip(restored.slots, evidence.slots):
+            assert a.per_run_present == b.per_run_present
+            assert a.adcfg == b.adcfg
+
+    def test_canonical(self, evidence):
+        payload = serialize_evidence(evidence)
+        assert serialize_evidence(deserialize_evidence(payload)) == payload
+
+    def test_per_run_graphs_survive(self, evidence_per_run):
+        payload = serialize_evidence(evidence_per_run)
+        restored = deserialize_evidence(payload)
+        assert restored.keep_per_run
+        for a, b in zip(restored.slots, evidence_per_run.slots):
+            assert a.per_run_graphs is not None
+            assert len(a.per_run_graphs) == len(b.per_run_graphs)
+            for ga, gb in zip(a.per_run_graphs, b.per_run_graphs):
+                assert ga == gb
+        assert serialize_evidence(restored) == payload
+
+    def test_empty_evidence(self):
+        empty = Evidence()
+        restored = deserialize_evidence(serialize_evidence(empty))
+        assert restored.num_runs == 0
+        assert restored.slots == []
+
+
+class TestMalformedPayloads:
+    def test_every_trace_truncation_raises_cleanly(self, trace):
+        payload = serialize_trace(trace)
+        step = max(1, len(payload) // 200)
+        for cut in range(0, len(payload), step):
+            with pytest.raises(SerializationError):
+                deserialize_trace(payload[:cut])
+
+    def test_every_evidence_truncation_raises_cleanly(self, evidence):
+        payload = serialize_evidence(evidence)
+        step = max(1, len(payload) // 200)
+        for cut in range(0, len(payload), step):
+            with pytest.raises(SerializationError):
+                deserialize_evidence(payload[:cut])
+
+    def test_wrong_magic(self, trace, evidence):
+        with pytest.raises(SerializationError):
+            deserialize_trace(serialize_evidence(evidence))
+        with pytest.raises(SerializationError):
+            deserialize_evidence(serialize_trace(trace))
+
+    def test_trailing_garbage(self, trace, evidence):
+        with pytest.raises(SerializationError):
+            deserialize_trace(serialize_trace(trace) + b"\x00")
+        with pytest.raises(SerializationError):
+            deserialize_evidence(serialize_evidence(evidence) + b"\x00")
+
+    def test_huge_declared_counts_rejected_before_allocation(self, trace):
+        payload = bytearray(serialize_trace(trace))
+        # header: magic(4) + version(2) = offset 6 is the invocation count
+        payload[6:10] = (0xFFFFFFFF).to_bytes(4, "little")
+        with pytest.raises(SerializationError):
+            deserialize_trace(bytes(payload))
+
+    def test_single_byte_corruption_never_crashes(self, trace):
+        payload = serialize_trace(trace)
+        rng = np.random.default_rng(99)
+        for _ in range(300):
+            corrupt = bytearray(payload)
+            corrupt[int(rng.integers(len(payload)))] ^= int(
+                rng.integers(1, 256))
+            try:
+                deserialize_trace(bytes(corrupt))
+            except SerializationError:
+                continue
+
+    def test_evidence_byte_corruption_never_crashes(self, evidence):
+        payload = serialize_evidence(evidence)
+        rng = np.random.default_rng(100)
+        for _ in range(300):
+            corrupt = bytearray(payload)
+            corrupt[int(rng.integers(len(payload)))] ^= int(
+                rng.integers(1, 256))
+            try:
+                deserialize_evidence(bytes(corrupt))
+            except SerializationError:
+                continue

@@ -1,0 +1,138 @@
+"""The store's central contract: a warm re-run is bit-identical to the
+cold run that populated it, while skipping already-recorded work, and an
+interrupted campaign resumes to the same report."""
+
+import pytest
+
+from repro.cli import _workloads
+from repro.core.pipeline import Owl, OwlConfig
+from repro.store import TraceStore
+
+TINY = dict(fixed_runs=4, random_runs=4, seed=11, store_checkpoint_every=2)
+
+
+def run_detection(workload, store=None, reuse_report=True, **overrides):
+    program, fixed_inputs, random_input = _workloads()[workload]
+    config = OwlConfig(**{**TINY, **overrides})
+    owl = Owl(program, name=workload, config=config)
+    return owl.detect(inputs=fixed_inputs(), random_input=random_input,
+                      store=store, reuse_report=reuse_report)
+
+
+class TestWarmEqualsCold:
+    @pytest.mark.parametrize("workload", sorted(_workloads()))
+    def test_every_workload_bit_identical_and_cached(self, workload,
+                                                     tmp_path):
+        cold = run_detection(workload, store=TraceStore(tmp_path / "s"))
+        assert not cold.stats.report_cache_hit
+        assert cold.stats.cached_traces == 0
+        assert cold.stats.cached_runs == 0
+
+        # warm with report reuse: straight cache hit
+        warm = run_detection(workload, store=TraceStore(tmp_path / "s"))
+        assert warm.stats.report_cache_hit
+        assert warm.report.to_json() == cold.report.to_json()
+
+        # warm without report reuse: full re-analysis over cached evidence
+        rerun = run_detection(workload, store=TraceStore(tmp_path / "s"),
+                              reuse_report=False)
+        assert not rerun.stats.report_cache_hit
+        assert rerun.stats.cached_traces == len(
+            _workloads()[workload][1]())
+        assert rerun.report.to_json() == cold.report.to_json()
+        if not rerun.leak_free_by_filtering:
+            assert rerun.stats.cached_runs == \
+                TINY["fixed_runs"] + TINY["random_runs"]
+
+    @pytest.mark.parametrize("workload", ["dummy", "aes"])
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("columnar", [True, False])
+    def test_store_reuse_across_recording_configs(self, workload, workers,
+                                                  columnar, tmp_path):
+        """workers / columnar are excluded from fingerprints (their paths
+        are proven bit-identical), so one cold serial run warms every
+        recording configuration."""
+        store_dir = tmp_path / "shared"
+        cold = run_detection(workload, store=TraceStore(store_dir))
+        warm = run_detection(workload, store=TraceStore(store_dir),
+                             reuse_report=False, workers=workers,
+                             columnar=columnar)
+        assert warm.stats.cached_traces > 0
+        assert warm.stats.cached_runs > 0
+        assert warm.report.to_json() == cold.report.to_json()
+
+    def test_store_attached_cold_run_matches_storeless_run(self, tmp_path):
+        plain = run_detection("dummy")
+        stored = run_detection("dummy", store=TraceStore(tmp_path / "s"))
+        assert stored.report.to_json() == plain.report.to_json()
+
+    def test_distinct_names_do_not_share_cache(self, tmp_path):
+        program, fixed_inputs, random_input = _workloads()["dummy"]
+        store_dir = tmp_path / "s"
+        config = OwlConfig(**TINY)
+        Owl(program, name="v1", config=config).detect(
+            inputs=fixed_inputs(), random_input=random_input,
+            store=TraceStore(store_dir))
+        second = Owl(program, name="v2", config=config).detect(
+            inputs=fixed_inputs(), random_input=random_input,
+            store=TraceStore(store_dir))
+        assert not second.stats.report_cache_hit
+        assert second.stats.cached_traces == 0
+
+    def test_config_change_invalidates_report_not_traces(self, tmp_path):
+        store_dir = tmp_path / "s"
+        run_detection("dummy", store=TraceStore(store_dir))
+        changed = run_detection("dummy", store=TraceStore(store_dir),
+                                confidence=0.99)
+        assert not changed.stats.report_cache_hit
+        assert changed.stats.cached_traces > 0  # trace scope unchanged
+
+
+class TestCrashResume:
+    def crash_after(self, owl, batches):
+        """Make the owl's pool die after *batches* record_evidence calls."""
+        calls = {"n": 0}
+        real = owl.pool.record_evidence
+
+        def bomb(values, keep_per_run=False):
+            calls["n"] += 1
+            if calls["n"] > batches:
+                raise KeyboardInterrupt("simulated crash")
+            return real(values, keep_per_run=keep_per_run)
+
+        owl.pool.record_evidence = bomb
+
+    @pytest.mark.parametrize("crash_batches", [1, 2, 3])
+    def test_resume_matches_uninterrupted_run(self, crash_batches, tmp_path):
+        program, fixed_inputs, random_input = _workloads()["dummy"]
+        config = OwlConfig(**TINY)
+
+        reference = run_detection("dummy",
+                                  store=TraceStore(tmp_path / "ref"))
+
+        crashed = Owl(program, name="dummy", config=config)
+        self.crash_after(crashed, crash_batches)
+        with pytest.raises(KeyboardInterrupt):
+            crashed.detect(inputs=fixed_inputs(),
+                           random_input=random_input,
+                           store=TraceStore(tmp_path / "s"))
+
+        resumed = run_detection("dummy", store=TraceStore(tmp_path / "s"))
+        assert not resumed.stats.report_cache_hit
+        assert resumed.stats.cached_runs > 0  # checkpointed work survived
+        assert resumed.report.to_json() == reference.report.to_json()
+
+    def test_interrupted_campaign_visible_until_finished(self, tmp_path):
+        from repro.store import incomplete_campaigns
+        program, fixed_inputs, random_input = _workloads()["dummy"]
+        config = OwlConfig(**TINY)
+        crashed = Owl(program, name="dummy", config=config)
+        self.crash_after(crashed, 1)
+        with pytest.raises(KeyboardInterrupt):
+            crashed.detect(inputs=fixed_inputs(),
+                           random_input=random_input,
+                           store=TraceStore(tmp_path / "s"))
+        store = TraceStore(tmp_path / "s")
+        assert len(incomplete_campaigns(store)) == 1
+        run_detection("dummy", store=store)
+        assert incomplete_campaigns(TraceStore(tmp_path / "s")) == []
