@@ -1,16 +1,24 @@
-"""Trace-recording hot path: per-event objects vs. the columnar pipeline.
+"""Trace-recording hot path: per-event objects, columnar batches, cohorts.
 
 Table IV attributes most of Owl's end-to-end cost to trace recording, and
 profiling the object path shows why: every memory instruction allocates a
 `MemoryAccessEvent`, and every one of its ~32 lane addresses takes a Python
 round trip through the scalar normaliser.  The columnar path batches each
 warp's accesses into arrays, normalises them with one ``np.searchsorted``
-per batch, and bulk-folds the result into the A-DCFG.
+per batch, and bulk-folds the result into the A-DCFG.  The warp-cohort
+engine then removes the remaining per-warp cost: the kernel body runs once
+per *launch* over a ``(num_warps, 32)`` lane grid instead of once per warp
+(DESIGN.md §10).
 
-This bench times both paths on single-trace recording (AES and RSA) and on
-a small end-to-end ``Owl.detect`` (AES), asserts the recording speedup that
-justifies columnar-by-default (≥3× on AES), and re-checks bit-identity of
-the traces while it is at it.
+This bench times three ladder rungs on single-trace recording (AES and
+RSA) and on a small end-to-end ``Owl.detect`` (AES):
+
+* per-event objects vs columnar batches (both on the per-warp loop — the
+  PR 2 comparison, asserted ≥3× on AES record);
+* the columnar per-warp loop vs the cohort engine (the PR 4 comparison,
+  asserted ≥2× on AES record);
+
+and re-checks bit-identity of the traces while it is at it.
 
 Run modes:
 
@@ -44,12 +52,12 @@ def bench_records(default: int = 6) -> int:
     return int(os.environ.get("OWL_BENCH_RECORDS", default))
 
 
-def seconds_per_record(program, value, columnar: bool, records: int,
-                       reps: int) -> float:
+def seconds_per_record(program, value, columnar: bool, cohort: bool,
+                       records: int, reps: int) -> float:
     """Best-of-*reps* mean recording time over *records* traces."""
     best = float("inf")
     for _ in range(reps):
-        recorder = TraceRecorder(columnar=columnar)
+        recorder = TraceRecorder(columnar=columnar, cohort=cohort)
         started = time.perf_counter()
         for _ in range(records):
             recorder.record(program, value)
@@ -57,9 +65,9 @@ def seconds_per_record(program, value, columnar: bool, records: int,
     return best
 
 
-def detect_seconds(columnar: bool, runs: int) -> float:
+def detect_seconds(columnar: bool, cohort: bool, runs: int) -> float:
     config = OwlConfig(fixed_runs=runs, random_runs=runs, columnar=columnar,
-                       always_analyze=True)
+                       cohort=cohort, always_analyze=True)
     owl = Owl(aes_program, name="libgpucrypto/AES", config=config)
     started = time.perf_counter()
     owl.detect(inputs=AES_INPUTS, random_input=random_key)
@@ -67,40 +75,59 @@ def detect_seconds(columnar: bool, runs: int) -> float:
 
 
 def profile(records: int, reps: int, detect_runs: int):
+    """{row name: (baseline seconds, fast-path seconds)}.
+
+    The object-vs-columnar rows pin ``cohort=False`` on both sides so they
+    keep measuring exactly the PR 2 transport comparison; the cohort rows
+    hold the columnar transport fixed and flip only the execution engine.
+    """
     measurements = {}
     for name, program, value in (("AES record", aes_program, AES_INPUT),
                                  ("RSA record", rsa_program, RSA_INPUT)):
         measurements[name] = tuple(
-            seconds_per_record(program, value, columnar, records, reps)
+            seconds_per_record(program, value, columnar, False, records,
+                               reps)
             for columnar in (False, True))
+        measurements[f"{name} (cohort)"] = tuple(
+            seconds_per_record(program, value, True, cohort, records, reps)
+            for cohort in (False, True))
     measurements["AES detect (e2e)"] = tuple(
-        detect_seconds(columnar, detect_runs)
+        detect_seconds(columnar, False, detect_runs)
         for columnar in (False, True))
+    measurements["AES detect (cohort e2e)"] = tuple(
+        detect_seconds(True, cohort, detect_runs)
+        for cohort in (False, True))
     return measurements
 
 
 def check_equality() -> None:
-    """Both paths must produce byte-identical traces (belt and braces —
-    the real coverage lives in tests/tracing/test_columnar.py)."""
+    """All three rungs must produce byte-identical traces (belt and braces
+    — the real coverage lives in tests/tracing/test_columnar.py and
+    tests/tracing/test_cohort.py)."""
     for program, value in ((aes_program, AES_INPUT),
                            (rsa_program, RSA_INPUT)):
-        reference = TraceRecorder(columnar=False).record(program, value)
-        fast = TraceRecorder(columnar=True).record(program, value)
-        assert fast.signature() == reference.signature(), program
+        reference = TraceRecorder(columnar=False, cohort=False).record(
+            program, value)
+        for columnar, cohort in ((True, False), (False, True), (True, True)):
+            fast = TraceRecorder(columnar=columnar, cohort=cohort).record(
+                program, value)
+            assert fast.signature() == reference.signature(), (
+                program, columnar, cohort)
 
 
 def report(measurements, records: int, smoke: bool):
     rows = []
     speedups = {}
-    for name, (object_s, columnar_s) in measurements.items():
-        speedups[name] = object_s / columnar_s
-        rows.append((name, f"{object_s:.4f}", f"{columnar_s:.4f}",
+    for name, (baseline_s, fast_s) in measurements.items():
+        speedups[name] = baseline_s / fast_s
+        rows.append((name, f"{baseline_s:.4f}", f"{fast_s:.4f}",
                      f"{speedups[name]:.2f}x"))
     mode = "smoke" if smoke else f"best-of-reps, {records} records"
     emit_table(
         "trace_hotpath",
-        f"Trace hot path: per-event objects vs columnar batches ({mode})",
-        ["Workload", "Object s", "Columnar s", "Speedup"],
+        "Trace hot path: objects vs columnar, per-warp vs cohort "
+        f"({mode})",
+        ["Workload", "Baseline s", "Fast s", "Speedup"],
         rows)
     return speedups
 
@@ -119,6 +146,8 @@ def run(smoke: bool) -> None:
     assert speedups["RSA record"] >= 1.2, speedups
     # recording dominates detect, so the end-to-end wall clock must move too
     assert speedups["AES detect (e2e)"] >= 1.5, speedups
+    # the bar that justifies cohort-by-default, over the columnar baseline
+    assert speedups["AES record (cohort)"] >= 2.0, speedups
 
 
 def test_trace_hotpath(benchmark):

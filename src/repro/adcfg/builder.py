@@ -96,17 +96,35 @@ class ADCFGBuilder:
         if total == 0:
             return
         instr_of_addr = np.repeat(np.arange(n_instr), np.diff(extents))
-        order = np.lexsort((addresses, instr_of_addr))
-        sorted_addr = addresses[order]
-        sorted_instr = instr_of_addr[order]
-        run_start = np.empty(total, dtype=bool)
-        run_start[0] = True
-        run_start[1:] = ((sorted_addr[1:] != sorted_addr[:-1])
-                         | (sorted_instr[1:] != sorted_instr[:-1]))
-        starts = np.flatnonzero(run_start)
+        low = int(addresses.min())
+        span = int(addresses.max()) - low + 1
+        if n_instr * span < 2 ** 63:
+            # Pack (instruction, address) into one int64 and sort the packed
+            # values directly — one non-stable value sort instead of
+            # lexsort's two stable argsorts (equal keys are identical pairs,
+            # so stability is irrelevant), and the unique pairs unpack
+            # straight from the sorted keys.
+            packed = instr_of_addr * span + (addresses - low)
+            packed.sort()
+            run_start = np.empty(total, dtype=bool)
+            run_start[0] = True
+            run_start[1:] = packed[1:] != packed[:-1]
+            starts = np.flatnonzero(run_start)
+            unique_packed = packed[starts]
+            unique_instr = unique_packed // span
+            unique_addr = unique_packed % span + low
+        else:
+            order = np.lexsort((addresses, instr_of_addr))
+            sorted_addr = addresses[order]
+            sorted_instr = instr_of_addr[order]
+            run_start = np.empty(total, dtype=bool)
+            run_start[0] = True
+            run_start[1:] = ((sorted_addr[1:] != sorted_addr[:-1])
+                             | (sorted_instr[1:] != sorted_instr[:-1]))
+            starts = np.flatnonzero(run_start)
+            unique_addr = sorted_addr[starts]
+            unique_instr = sorted_instr[starts]
         counts = np.diff(starts, append=total).tolist()
-        unique_addr = sorted_addr[starts]
-        unique_instr = sorted_instr[starts]
         if self._batch_normalizer is not None:
             keys = self._batch_normalizer(unique_addr)
         else:
@@ -123,9 +141,11 @@ class ADCFGBuilder:
         spaces = event.spaces.tolist()
         stores = event.is_stores.tolist()
         node = self.graph.node
+        # one node lookup per distinct label, not per instruction
+        nodes = [node(label) for label in labels]
         for i, label_id in enumerate(label_ids):
             lo, hi = bounds[i], bounds[i + 1]
-            node(labels[label_id]).record_access_bulk(
+            nodes[label_id].record_access_bulk(
                 visit=visits[i], instr=instrs[i], space=spaces[i],
                 is_store=stores[i], keys=keys[lo:hi], counts=counts[lo:hi])
 

@@ -56,14 +56,15 @@ class MemoryRecord:
         into unique keys with multiplicities and lands the result here in
         one call instead of one :meth:`add` per lane.  *keys* must not
         contain duplicates (the empty-record fast path folds them with a
-        single ``dict`` construction).
+        single ``dict`` construction); *counts* must be plain ints.
         """
         existing = self.counts
         if not existing:
-            self.counts = dict(zip(keys, map(int, counts)))
+            self.counts = dict(zip(keys, counts))
             return
+        get = existing.get
         for key, count in zip(keys, counts):
-            existing[key] = existing.get(key, 0) + int(count)
+            existing[key] = get(key, 0) + count
 
     def merge(self, other: "MemoryRecord") -> None:
         """Fold *other*'s counts into this record."""
@@ -114,7 +115,7 @@ class Node:
         while len(slot_list) <= instr:
             slot_list.append(MemoryRecord())
         record = slot_list[instr]
-        if record.total_accesses == 0:
+        if not record.counts:
             record.space = space
             record.is_store = is_store
         record.add(keys)
@@ -129,7 +130,7 @@ class Node:
         while len(slot_list) <= instr:
             slot_list.append(MemoryRecord())
         record = slot_list[instr]
-        if record.total_accesses == 0:
+        if not record.counts:
             record.space = space
             record.is_store = is_store
         record.add_counts(keys, counts)

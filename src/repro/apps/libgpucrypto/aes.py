@@ -37,8 +37,11 @@ from repro.host.runtime import CudaRuntime
 
 KeyLike = Union[bytes, bytearray, Sequence[int], np.ndarray]
 
-#: Number of 16-byte blocks each program encrypts (64 blocks = 2 warps).
-NUM_BLOCKS = 64
+#: Number of 16-byte blocks each program encrypts (256 blocks = 8 warps).
+#: Sized as a real multi-warp launch — libgpucrypto's AES drivers encrypt
+#: large batches, and one block per thread across several warps is the
+#: shape the warp-cohort engine (and the per-warp reference) must handle.
+NUM_BLOCKS = 256
 
 _MASK32 = 0xFFFFFFFF
 

@@ -212,19 +212,30 @@ def _segment_reduce(k, values, segments, op):
 
     Lanes with equal ``segments`` values are combined with *op*; every lane
     receives its segment's result.  Pure register traffic: no trace events.
+
+    The reduction is strictly per warp: under the warp-cohort engine lane
+    values are ``(num_warps, 32)`` grids and each row folds independently
+    (a segment straddling two warps is partially reduced in each, exactly
+    as the per-warp loop computes it).
     """
     values = np.asarray(values, dtype=float)
     segments = np.asarray(segments)
-    result = values.copy()
-    active = k.active
-    for seg in np.unique(segments[active]):
-        lanes = active & (segments == seg)
-        combined = values[lanes]
-        folded = combined[0]
-        for item in combined[1:]:
-            folded = op(folded, item)
-        result[lanes] = folded
-    return result
+    active = np.asarray(k.active)
+    squeeze = values.ndim == 1
+    source = np.atleast_2d(values)
+    result = source.copy()
+    seg_rows = np.broadcast_to(np.atleast_2d(segments), source.shape)
+    act_rows = np.broadcast_to(np.atleast_2d(active), source.shape)
+    for r in range(source.shape[0]):
+        segs, act = seg_rows[r], act_rows[r]
+        for seg in np.unique(segs[act]):
+            lanes = act & (segs == seg)
+            combined = source[r][lanes]
+            folded = combined[0]
+            for item in combined[1:]:
+                folded = op(folded, item)
+            result[r][lanes] = folded
+    return result[0] if squeeze else result
 
 
 @kernel()

@@ -24,6 +24,7 @@ see the subcommands.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
@@ -31,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import profiling
 from repro.core import Owl, OwlConfig
 
 #: First CLI token that selects the subcommand form instead of the flat one.
@@ -114,6 +116,11 @@ def _add_detect_options(parser: argparse.ArgumentParser) -> None:
                         help="record traces through the per-event object "
                              "pipeline instead of the (default) columnar "
                              "fast path; both produce identical traces")
+    parser.add_argument("--no-cohort", action="store_true",
+                        help="execute kernels with the per-warp reference "
+                             "loop instead of the (default) warp-cohort "
+                             "engine that runs all warps of a launch in one "
+                             "NumPy pass; both produce identical traces")
     parser.add_argument("--all-representatives", action="store_true",
                         help="analyze every input class, not just the first")
     parser.add_argument("--granularity", type=int, default=1,
@@ -128,6 +135,12 @@ def _add_detect_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--save-report", metavar="PATH", default=None,
                         help="also write the JSON report to PATH "
                              "(parent directories are created)")
+    parser.add_argument("--profile", metavar="PATH", default=None,
+                        help="write a per-phase timing breakdown (kernel "
+                             "execute / event emit / A-DCFG fold / "
+                             "analysis) as JSON to PATH; phases inside "
+                             "worker processes are not captured, so use "
+                             "--workers 1 for a complete breakdown")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -219,7 +232,8 @@ def _config_from_args(parser: argparse.ArgumentParser,
         analyze_all_representatives=args.all_representatives,
         offset_granularity=args.granularity, quantify=args.quantify,
         workers=_resolve_workers(parser, args.workers),
-        columnar=not args.no_columnar)
+        columnar=not args.no_columnar,
+        cohort=not args.no_cohort)
 
 
 def _write_report(path: str, report) -> bool:
@@ -234,6 +248,47 @@ def _write_report(path: str, report) -> bool:
     except OSError as error:
         reason = error.strerror or str(error)
         print(f"owl: cannot write report to {path}: {reason}",
+              file=sys.stderr)
+        return False
+    return True
+
+
+def _profile_payload(profiler, stats, workload: str) -> dict:
+    """Assemble the ``--profile`` JSON: hook-timed device phases plus the
+    analysis phases the pipeline already accounts in PhaseStats."""
+    emit = profiler.get("event_emit")
+    fold = profiler.get("adcfg_fold")
+    return {
+        "workload": workload,
+        "phases_seconds": {
+            "kernel_execute": profiler.get("kernel_execute"),
+            # _emit dispatch includes the fold when delivery is eager;
+            # report transport and folding separately
+            "event_emit": max(0.0, emit - fold),
+            "adcfg_fold": fold,
+            "analysis": stats.test_seconds,
+            "evidence_fold": stats.evidence_seconds,
+        },
+        "phase_counts": dict(profiler.counts),
+        "total_seconds": stats.total_seconds,
+        "trace_count": stats.trace_count,
+        "workers": stats.workers,
+    }
+
+
+def _write_profile(path: str, payload: dict) -> bool:
+    """Write the profile JSON to *path*; False (after a one-line error
+    message) when the destination is unwritable."""
+    target = Path(path)
+    try:
+        if str(target.parent) not in ("", "."):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError as error:
+        reason = error.strerror or str(error)
+        print(f"owl: cannot write profile to {path}: {reason}",
               file=sys.stderr)
         return False
     return True
@@ -263,8 +318,17 @@ def _run_workload(parser: argparse.ArgumentParser, args: argparse.Namespace,
     program, fixed_inputs, random_input = workloads[args.workload]
     config = _config_from_args(parser, args)
     owl = Owl(program, name=args.workload, config=config)
-    result = owl.detect(inputs=fixed_inputs(), random_input=random_input,
-                        store=store, reuse_report=reuse_report)
+    profiler = profiling.enable() if args.profile else None
+    try:
+        result = owl.detect(inputs=fixed_inputs(), random_input=random_input,
+                            store=store, reuse_report=reuse_report)
+    finally:
+        if profiler is not None:
+            profiling.disable()
+    if profiler is not None and not _write_profile(
+            args.profile,
+            _profile_payload(profiler, result.stats, args.workload)):
+        return 2
     if store is not None and not args.json:
         stats = result.stats
         if stats.report_cache_hit:

@@ -120,10 +120,11 @@ class ChunkStats:
 def _record_trace_chunk(
         program: Program, device_config: Optional[DeviceConfig],
         values: Sequence[object], buffered: bool, columnar: bool,
+        cohort: bool,
 ) -> Tuple[List[ProgramTrace], ChunkStats]:
     """Worker body for phase 1: record and return the raw traces."""
     recorder = TraceRecorder(device_config=device_config, buffered=buffered,
-                             columnar=columnar)
+                             columnar=columnar, cohort=cohort)
     stats = ChunkStats()
     traces: List[ProgramTrace] = []
     for value in values:
@@ -140,7 +141,7 @@ def _record_trace_chunk(
 def _record_evidence_chunk(
         program: Program, device_config: Optional[DeviceConfig],
         values: Sequence[object], keep_per_run: bool, buffered: bool,
-        columnar: bool,
+        columnar: bool, cohort: bool,
 ) -> Tuple[Evidence, ChunkStats]:
     """Worker body for phase 3: fold the chunk's runs into partial evidence.
 
@@ -149,7 +150,7 @@ def _record_evidence_chunk(
     the Table IV memory column flat at high run counts.
     """
     recorder = TraceRecorder(device_config=device_config, buffered=buffered,
-                             columnar=columnar)
+                             columnar=columnar, cohort=cohort)
     stats = ChunkStats()
     evidence = Evidence(keep_per_run=keep_per_run)
     for value in values:
@@ -175,12 +176,13 @@ class TraceRecordingPool:
     def __init__(self, program: Program,
                  device_config: Optional[DeviceConfig] = None,
                  workers: WorkerSpec = 1, buffered: bool = False,
-                 columnar: bool = True) -> None:
+                 columnar: bool = True, cohort: bool = True) -> None:
         self.program = program
         self.device_config = device_config
         self.workers = resolve_workers(workers)
         self.buffered = buffered
         self.columnar = columnar
+        self.cohort = cohort
 
     # ------------------------------------------------------------------
     # public API
@@ -190,7 +192,8 @@ class TraceRecordingPool:
                       ) -> Tuple[List[ProgramTrace], ChunkStats]:
         """Record one trace per value (phase 1: traces are kept)."""
         chunks = self._run_chunks(_record_trace_chunk, values,
-                                  (self.buffered, self.columnar))
+                                  (self.buffered, self.columnar,
+                                   self.cohort))
         traces: List[ProgramTrace] = []
         stats = ChunkStats()
         for chunk_traces, chunk_stats in chunks:
@@ -203,7 +206,8 @@ class TraceRecordingPool:
                         ) -> Tuple[Evidence, ChunkStats]:
         """Record runs and fold them straight into one evidence (phase 3)."""
         chunks = self._run_chunks(_record_evidence_chunk, values,
-                                  (keep_per_run, self.buffered, self.columnar))
+                                  (keep_per_run, self.buffered,
+                                   self.columnar, self.cohort))
         evidence: Optional[Evidence] = None
         stats = ChunkStats()
         for chunk_evidence, chunk_stats in chunks:

@@ -88,6 +88,12 @@ class OwlConfig:
     #: per-event object path (``columnar=False``), which stays as the
     #: reference implementation.
     columnar: bool = True
+    #: execute every warp of a kernel launch in one NumPy pass over a
+    #: ``(num_warps, 32)`` lane grid (the warp-cohort engine), replaying
+    #: byte-identical per-warp event streams at retirement.
+    #: ``cohort=False`` keeps the per-warp execution loop as the
+    #: reference.  Excluded from store fingerprints, like ``columnar``.
+    cohort: bool = True
     #: with a store attached, persist a phase-3 evidence checkpoint after
     #: every this-many recorded runs per side; an interrupted campaign
     #: resumes from the last checkpoint.  Purely an I/O cadence knob —
@@ -190,11 +196,13 @@ class Owl:
         self.config = config or OwlConfig()
         self.device_config = device_config or DeviceConfig()
         self.recorder = TraceRecorder(device_config=self.device_config,
-                                      columnar=self.config.columnar)
+                                      columnar=self.config.columnar,
+                                      cohort=self.config.cohort)
         self.pool = TraceRecordingPool(program,
                                        device_config=self.device_config,
                                        workers=self.config.workers,
-                                       columnar=self.config.columnar)
+                                       columnar=self.config.columnar,
+                                       cohort=self.config.cohort)
         self.analyzer = LeakageAnalyzer(self.config.leakage_config())
 
     # ------------------------------------------------------------------

@@ -27,6 +27,7 @@ from repro.gpusim.cache import (
     KernelCacheStats,
     SetAssociativeCache,
 )
+from repro.gpusim.cohort import CohortContext, CohortSharedView, CohortSplit
 from repro.gpusim.context import SimtDivergenceError, WarpContext
 from repro.gpusim.device import Device, DeviceConfig
 from repro.gpusim.events import (
@@ -57,6 +58,9 @@ __all__ = [
     "CacheSimulator",
     "KernelCacheStats",
     "SetAssociativeCache",
+    "CohortContext",
+    "CohortSharedView",
+    "CohortSplit",
     "Device",
     "DeviceBuffer",
     "DeviceConfig",

@@ -22,6 +22,13 @@ is a NumPy vector of 32 lanes, and control flow is expressed through the
 Bodies of ``then`` / ``otherwise`` / loops are written as ``for _ in ...:``
 so that a region whose mask is empty is skipped without executing Python
 code, mirroring a taken/untaken branch.
+
+This per-warp loop is the **reference execution engine**: the warp-cohort
+engine (:mod:`repro.gpusim.cohort`, on by default) runs every warp of a
+launch in one ``(num_warps, 32)`` pass and is asserted byte-identical to
+the traces produced here.  Debugging a suspected engine bug, or running a
+kernel that cannot keep its NumPy shape-polymorphic, is what
+``cohort=False`` / ``@kernel(cohort=False)`` are for.
 """
 
 from __future__ import annotations

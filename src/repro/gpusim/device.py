@@ -15,14 +15,22 @@ it by construction (there is a test asserting exactly that).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.gpusim.context import WarpContext
+from repro import profiling
+from repro.gpusim.cohort import CohortContext, CohortSplit
+from repro.gpusim.context import SimtDivergenceError, WarpContext
 from repro.gpusim.events import KernelBeginEvent, KernelEndEvent, TraceEvent
 from repro.gpusim.kernel import Kernel, LaunchConfig
-from repro.gpusim.memory import DeviceBuffer, DeviceMemory, MemorySpace
+from repro.gpusim.memory import (
+    DeviceBuffer,
+    DeviceMemory,
+    MemorySpace,
+    WriteJournal,
+)
 
 
 @dataclass(frozen=True)
@@ -60,7 +68,7 @@ class Device:
     """A simulated CUDA-capable GPU."""
 
     def __init__(self, config: Optional[DeviceConfig] = None,
-                 columnar: bool = False) -> None:
+                 columnar: bool = False, cohort: bool = False) -> None:
         self.config = config or DeviceConfig()
         self.memory = DeviceMemory(aslr=self.config.aslr, seed=self.config.seed)
         self._listeners: List[Callable[[TraceEvent], None]] = []
@@ -69,6 +77,10 @@ class Device:
         #: columnar tracing: warps buffer memory accesses and emit one
         #: MemoryBatchEvent at retirement instead of per-instruction events
         self.columnar = columnar
+        #: warp-cohort execution: run all warps of a launch in one NumPy
+        #: pass (see repro.gpusim.cohort); the per-warp loop stays as the
+        #: byte-identical reference path
+        self.cohort = cohort
 
     # ------------------------------------------------------------------
     # tracing hook-up
@@ -82,8 +94,15 @@ class Device:
         self._listeners.remove(listener)
 
     def _emit(self, event: TraceEvent) -> None:
+        prof = profiling.profiler()
+        if prof is None:
+            for listener in self._listeners:
+                listener(event)
+            return
+        started = perf_counter()
         for listener in self._listeners:
             listener(event)
+        prof.add("event_emit", perf_counter() - started)
 
     # ------------------------------------------------------------------
     # memory convenience
@@ -112,7 +131,23 @@ class Device:
         """Run *kern* over the grid/block geometry with *args*.
 
         Emits ``KernelBegin``, the per-warp trace, then ``KernelEnd``.
+        Cohort-enabled devices execute all warps together (one NumPy pass
+        over a ``(num_warps, 32)`` lane grid) and replay the identical
+        per-warp event streams at retirement.
         """
+        prof = profiling.profiler()
+        if prof is None:
+            return self._launch_impl(kern, grid, block, *args)
+        started = perf_counter()
+        emit_before = prof.get("event_emit")
+        try:
+            return self._launch_impl(kern, grid, block, *args)
+        finally:
+            elapsed = perf_counter() - started
+            emitted = prof.get("event_emit") - emit_before
+            prof.add("kernel_execute", elapsed - emitted)
+
+    def _launch_impl(self, kern: Kernel, grid, block, *args) -> None:
         launch = LaunchConfig.create(grid, block)
         if launch.threads_per_block > self.config.max_threads_per_block:
             raise LaunchError(
@@ -143,15 +178,67 @@ class Device:
         if self.config.shuffle_schedule:
             self._rng.shuffle(schedule)
 
-        for block_id, warp_id in schedule:
-            ctx = WarpContext(launch=launch, block_id=block_id,
-                              warp_id=warp_id, emit=self._emit,
-                              shared_alloc=shared_alloc,
-                              columnar=self.columnar)
-            kern(ctx, *args)
-            if self.columnar:
-                batch = ctx.flush_columnar()
-                if batch is not None:
-                    self._emit(batch)
+        if self.cohort and kern.cohort and launch.total_warps > 1:
+            self._launch_cohort(kern, launch, args, shared_alloc, schedule)
+        else:
+            for block_id, warp_id in schedule:
+                ctx = WarpContext(launch=launch, block_id=block_id,
+                                  warp_id=warp_id, emit=self._emit,
+                                  shared_alloc=shared_alloc,
+                                  columnar=self.columnar)
+                kern(ctx, *args)
+                if self.columnar:
+                    batch = ctx.flush_columnar()
+                    if batch is not None:
+                        self._emit(batch)
 
         self._emit(KernelEndEvent(kernel_name=kern.name))
+
+    def _launch_cohort(self, kern: Kernel, launch: LaunchConfig, args,
+                       shared_alloc: Callable, schedule) -> None:
+        """Execute all warps of *launch* as one cohort (plus sub-cohorts).
+
+        The cohort starts as the whole schedule; when warps observably
+        disagree (a :class:`CohortSplit` from a collapsed scalar) the
+        attempt's memory writes are rolled back and each sub-cohort re-runs
+        from the top.  Completed attempts commit their writes and yield the
+        per-warp event payloads, which are finally emitted in schedule
+        order — byte-identical to the per-warp loop.
+        """
+        num = launch.total_warps
+        block_ids = np.fromiter((b for b, _w in schedule), dtype=np.int64,
+                                count=num)
+        warp_ids = np.fromiter((w for _b, w in schedule), dtype=np.int64,
+                               count=num)
+        pending = [np.arange(num, dtype=np.int64)]
+        payloads: Dict[int, tuple] = {}
+        attempts = 0
+        while pending:
+            rows = pending.pop(0)
+            attempts += 1
+            if attempts > 2 * num + 8:
+                # A split always yields >= 2 strictly smaller groups, so a
+                # deterministic kernel executes at most 2*num - 1 attempts.
+                raise SimtDivergenceError(
+                    f"cohort execution of {kern.name!r} did not converge "
+                    f"after {attempts} attempts")
+            journal = WriteJournal()
+            ctx = CohortContext(launch=launch, rows=rows,
+                                block_ids=block_ids[rows],
+                                warp_ids=warp_ids[rows],
+                                shared_alloc=shared_alloc,
+                                columnar=self.columnar, journal=journal)
+            try:
+                kern(ctx, *args)
+            except CohortSplit as split:
+                journal.rollback()
+                pending = split.groups + pending
+                continue
+            journal.commit()
+            payloads.update(ctx.replay_events())
+        for position in range(num):
+            events, batch = payloads[position]
+            for event in events:
+                self._emit(event)
+            if batch is not None:
+                self._emit(batch)

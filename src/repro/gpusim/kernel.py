@@ -88,25 +88,34 @@ class Kernel:
 
     The body is called once per warp with a
     :class:`~repro.gpusim.context.WarpContext` followed by the launch
-    arguments.
+    arguments — or, on a cohort-enabled device, once per *launch* with a
+    :class:`~repro.gpusim.cohort.CohortContext` covering every warp.
+
+    ``cohort=False`` opts a kernel out of cohort execution (it always runs
+    through the per-warp reference loop) — the escape hatch for kernel
+    bodies with cross-warp memory dependencies inside a single launch,
+    which the cohort engine does not model.
     """
 
     name: str
     body: Callable
+    cohort: bool = True
 
     def __call__(self, ctx, *args):
         return self.body(ctx, *args)
 
 
-def kernel(name: str = "") -> Callable[[Callable], Kernel]:
+def kernel(name: str = "", cohort: bool = True) -> Callable[[Callable], Kernel]:
     """Decorator turning a warp-level function into a :class:`Kernel`.
 
     >>> @kernel()
     ... def saxpy(k, a, x, y, out):
     ...     ...
+
+    Pass ``cohort=False`` to pin the kernel to the per-warp execution loop.
     """
 
     def decorate(fn: Callable) -> Kernel:
-        return Kernel(name=name or fn.__name__, body=fn)
+        return Kernel(name=name or fn.__name__, body=fn, cohort=cohort)
 
     return decorate

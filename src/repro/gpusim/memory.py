@@ -231,6 +231,38 @@ class DeviceBuffer:
                 f"{self.num_elements} elements")
 
 
+class WriteJournal:
+    """Copy-on-first-write snapshots of device buffers.
+
+    The warp-cohort engine executes a whole launch speculatively: when the
+    cohort has to split (warps disagree on a value that must collapse to one
+    Python scalar) the attempt is abandoned and each sub-cohort re-executes
+    from the top.  Every buffer mutated during the attempt is snapshotted
+    here before its first write, so :meth:`rollback` can restore the
+    pre-launch contents exactly.  Allocations are *not* journalled —
+    shared-memory allocation is idempotent across retries by construction.
+    """
+
+    def __init__(self) -> None:
+        self._saved: Dict[int, Tuple[DeviceBuffer, np.ndarray]] = {}
+
+    def capture(self, buf: DeviceBuffer) -> None:
+        """Snapshot *buf* unless this journal already holds it."""
+        key = id(buf)
+        if key not in self._saved:
+            self._saved[key] = (buf, buf.data.copy())
+
+    def rollback(self) -> None:
+        """Restore every captured buffer to its snapshot."""
+        for buf, snapshot in self._saved.values():
+            buf.data[...] = snapshot
+        self._saved.clear()
+
+    def commit(self) -> None:
+        """Drop the snapshots (the speculative writes become permanent)."""
+        self._saved.clear()
+
+
 class DeviceMemory:
     """The device's memory subsystem: an allocator plus live buffers."""
 

@@ -3,6 +3,11 @@
 A warp is 32 lanes executing in lock step.  All per-lane values in the kernel
 DSL are NumPy vectors of length :data:`WARP_SIZE`; the helpers here build and
 validate such vectors.
+
+The warp-cohort engine (:mod:`repro.gpusim.cohort`) generalises lane values
+to a ``(num_warps, WARP_SIZE)`` grid — one row per warp of the launch — so
+:func:`cohort_vector` / :func:`cohort_bool` are the 2-D counterparts of
+:func:`lane_vector` / :func:`lane_bool`.
 """
 
 from __future__ import annotations
@@ -37,6 +42,46 @@ def lane_vector(value: LaneValue, dtype=None) -> np.ndarray:
 def lane_bool(value: LaneValue) -> np.ndarray:
     """Broadcast *value* to a boolean lane vector."""
     return lane_vector(value).astype(bool)
+
+
+def cohort_vector(value: LaneValue, num_warps: int,
+                  dtype=None) -> np.ndarray:
+    """Broadcast *value* to a ``(num_warps, WARP_SIZE)`` lane grid.
+
+    Accepted inputs, mirroring what a warp-level kernel body can produce:
+
+    * scalars — replicated to every lane of every warp;
+    * ``(num_warps, WARP_SIZE)`` grids — passed through;
+    * ``(num_warps, 1)`` columns (per-warp scalars, e.g. a cohort
+      ``reduce_sum`` result) — broadcast across the lanes of each warp;
+    * ``(WARP_SIZE,)`` / ``(1, WARP_SIZE)`` lane vectors (host constants) —
+      broadcast across warps.
+
+    The result may be a read-only broadcast view; callers that mutate must
+    copy, exactly like :class:`numpy.broadcast_to` consumers.
+    """
+    arr = np.asarray(value)
+    shape = (num_warps, WARP_SIZE)
+    if arr.ndim == 0:
+        return np.full(shape, arr, dtype=dtype or arr.dtype)
+    if arr.shape != shape:
+        if arr.shape in ((num_warps, 1), (WARP_SIZE,), (1, WARP_SIZE), (1, 1)):
+            arr = np.broadcast_to(arr, shape)
+        else:
+            raise ValueError(
+                f"cohort lane values must broadcast to {shape}, "
+                f"got {arr.shape}")
+    if dtype is not None and arr.dtype != dtype:
+        arr = arr.astype(dtype)
+    return arr
+
+
+def cohort_bool(value: LaneValue, num_warps: int) -> np.ndarray:
+    """Broadcast *value* to a boolean ``(num_warps, WARP_SIZE)`` grid."""
+    arr = cohort_vector(value, num_warps)
+    if arr.dtype != bool:
+        arr = arr.astype(bool)
+    return arr
 
 
 def full_mask() -> np.ndarray:

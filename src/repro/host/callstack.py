@@ -11,9 +11,9 @@ out the runtime's own frames so only application frames contribute.
 from __future__ import annotations
 
 import hashlib
-import traceback
+import sys
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Tuple
 
 #: Path fragments whose frames belong to the runtime/tracing machinery, not
 #: the application; they are excluded from the identifying stack just as Pin
@@ -70,7 +70,12 @@ def _is_runtime_frame(filename: str) -> bool:
 
 def current_stack_depth() -> int:
     """Depth of the current Python stack (for anchoring, see below)."""
-    return len(traceback.extract_stack()) - 1
+    depth = 0
+    frame = sys._getframe(1)
+    while frame is not None:
+        depth += 1
+        frame = frame.f_back
+    return depth
 
 
 def capture_call_stack(skip_innermost: int = 1, max_depth: int = 32,
@@ -87,12 +92,23 @@ def capture_call_stack(skip_innermost: int = 1, max_depth: int = 32,
     frames — the analysis driver's own location must not perturb kernel
     identities across repeated executions.
     """
-    raw = traceback.extract_stack()[anchor:-(skip_innermost + 1)]
+    # A raw frame walk: identical (filename, lineno, function) triples to
+    # traceback.extract_stack(), without materialising FrameSummary objects
+    # or touching linecache (the launch hot path runs this per launch).
+    raw: List[Tuple[str, int, str]] = []
+    try:
+        frame = sys._getframe(skip_innermost + 1)
+    except ValueError:
+        frame = None
+    while frame is not None:
+        code = frame.f_code
+        raw.append((code.co_filename, frame.f_lineno or 0, code.co_name))
+        frame = frame.f_back
+    raw.reverse()
     frames = tuple(
-        CallSite(filename=f.filename, lineno=f.lineno or 0,
-                 function=f.name)
-        for f in raw
-        if not _is_runtime_frame(f.filename)
+        CallSite(filename=filename, lineno=lineno, function=function)
+        for filename, lineno, function in raw[anchor:]
+        if not _is_runtime_frame(filename)
     )
     if len(frames) > max_depth:
         frames = frames[-max_depth:]

@@ -9,7 +9,7 @@ traces before any differential analysis runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -40,6 +40,10 @@ class HostTracer:
         self._memory = memory
         self.malloc_records: List[MallocRecord] = []
         self.launch_records: List[LaunchRecord] = []
+        # address -> (label, offset) memo for normalize_keys.  Stable for
+        # the tracer's whole session: the bump allocator never frees or
+        # moves an allocation, so a resolved address cannot change meaning.
+        self._key_cache: Dict[int, Tuple[str, int]] = {}
 
     # ------------------------------------------------------------------
     # runtime callbacks
@@ -83,15 +87,26 @@ class HostTracer:
         One ``np.searchsorted`` over the base-sorted allocation table maps
         every address to its ``(allocation label, offset)`` key in a single
         shot — the columnar replacement for calling :meth:`normalize` once
-        per address.  Produces exactly the keys the scalar path would
+        per address.  Keys are memoised across calls: one kernel's warps
+        hit the same tables and buffers, so after the first warp's batch
+        most addresses resolve from the dictionary instead of re-deriving
+        the tuple.  Produces exactly the keys the scalar path would
         (asserted by the edge-case property tests) and raises
         :class:`~repro.gpusim.memory.AllocationError` for any address
         outside every recorded allocation.
         """
-        allocs, indices, offsets = self._memory.resolve_batch(addresses)
-        labels = [alloc.label for alloc in allocs]
-        return [(labels[i], o)
-                for i, o in zip(indices.tolist(), offsets.tolist())]
+        cache = self._key_cache
+        addr_list = addresses.tolist()
+        keys = [cache.get(address) for address in addr_list]
+        if None in keys:
+            missing_idx = [i for i, key in enumerate(keys) if key is None]
+            allocs, indices, offsets = self._memory.resolve_batch(
+                addresses[missing_idx])
+            labels = [alloc.label for alloc in allocs]
+            for pos, i, o in zip(missing_idx, indices.tolist(),
+                                 offsets.tolist()):
+                keys[pos] = cache[addr_list[pos]] = (labels[i], o)
+        return keys
 
     def malloc_trace_bytes(self) -> int:
         """Serialised size of all allocation records (Fig. 5 series)."""

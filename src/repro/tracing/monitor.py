@@ -10,8 +10,10 @@ accumulates.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List, Optional
 
+from repro import profiling
 from repro.adcfg.builder import ADCFGBuilder, BatchNormalizer, Normalizer
 from repro.adcfg.graph import ADCFG
 from repro.gpusim.events import (
@@ -56,6 +58,17 @@ class WarpTraceMonitor:
     # ------------------------------------------------------------------
 
     def on_event(self, event: TraceEvent) -> None:
+        profiler = profiling.profiler()
+        if profiler is not None:
+            started = perf_counter()
+            try:
+                self._dispatch(event)
+            finally:
+                profiler.add("adcfg_fold", perf_counter() - started)
+            return
+        self._dispatch(event)
+
+    def _dispatch(self, event: TraceEvent) -> None:
         if isinstance(event, KernelBeginEvent):
             self._begin(event)
         elif isinstance(event, KernelEndEvent):

@@ -168,17 +168,27 @@ class TraceRecorder:
     both produce byte-identical :class:`ProgramTrace` signatures (asserted
     in the tests, in every combination with buffering, schedule shuffling,
     and ASLR).
+
+    ``cohort=True`` (the default) executes every warp of a launch in one
+    NumPy pass over a ``(num_warps, 32)`` lane grid
+    (:mod:`repro.gpusim.cohort`) and replays the identical per-warp event
+    streams at retirement; ``cohort=False`` keeps the per-warp execution
+    loop as the reference.  Traces are byte-identical either way (asserted
+    across all bundled workloads).
     """
 
     def __init__(self, device_config: Optional[DeviceConfig] = None,
-                 buffered: bool = False, columnar: bool = True) -> None:
+                 buffered: bool = False, columnar: bool = True,
+                 cohort: bool = True) -> None:
         self._device_config = device_config or DeviceConfig()
         self._buffered = buffered
         self._columnar = columnar
+        self._cohort = cohort
 
     def record(self, program: Program, value: object) -> ProgramTrace:
         """Execute ``program(rt, value)`` under full instrumentation."""
-        device = Device(self._device_config, columnar=self._columnar)
+        device = Device(self._device_config, columnar=self._columnar,
+                        cohort=self._cohort)
         tracer = _SessionTracer(device.memory)
         monitor = WarpTraceMonitor(
             normalizer=lambda addr: tracer.normalize(addr).as_key(),

@@ -49,3 +49,20 @@ class TestExecution:
         code = main(["rsa", "--fixed-runs", "8", "--random-runs", "8",
                      "--test", "welch"])
         assert code in (0, 1)
+
+
+class TestCohortFlag:
+    def test_cohort_defaults_on(self):
+        args = build_parser().parse_args(["aes"])
+        assert not args.no_cohort
+
+    def test_no_cohort_verdict_identical(self, capsys):
+        """The per-warp reference loop reaches the same verdict and prints
+        the same report as the default cohort engine."""
+        argv = ["rsa", "--fixed-runs", "8", "--random-runs", "8", "--json"]
+        cohort_code = main(argv)
+        cohort_out = capsys.readouterr().out
+        reference_code = main(argv + ["--no-cohort"])
+        reference_out = capsys.readouterr().out
+        assert cohort_code == reference_code
+        assert cohort_out == reference_out

@@ -46,3 +46,40 @@ class TestSaveReport:
         stdout_payload = json.loads(capsys.readouterr().out)
         saved_payload = json.loads(path.read_text())
         assert stdout_payload == saved_payload
+
+
+class TestProfile:
+    PHASES = ("kernel_execute", "event_emit", "adcfg_fold", "analysis",
+              "evidence_fold")
+
+    def test_profile_written_with_all_phases(self, tmp_path, capsys):
+        path = tmp_path / "profile.json"
+        code = main(["rsa", "--fixed-runs", "8", "--random-runs", "8",
+                     "--profile", str(path)])
+        capsys.readouterr()
+        assert code in (0, 1)
+        payload = json.loads(path.read_text())
+        assert payload["workload"] == "rsa"
+        assert payload["trace_count"] == 18
+        assert payload["total_seconds"] > 0
+        for phase in self.PHASES:
+            assert phase in payload["phases_seconds"]
+            assert payload["phases_seconds"][phase] >= 0
+        assert payload["phase_counts"]["adcfg_fold"] > 0
+
+    def test_profile_composes_with_save_report(self, tmp_path, capsys):
+        profile = tmp_path / "profile.json"
+        report = tmp_path / "report.json"
+        main(["dummy", "--fixed-runs", "4", "--random-runs", "4",
+              "--profile", str(profile), "--save-report", str(report)])
+        capsys.readouterr()
+        assert json.loads(profile.read_text())["workload"] == "dummy"
+        assert json.loads(report.read_text())["program_name"] == "dummy"
+
+    def test_unwritable_profile_path_exits_2(self, tmp_path, capsys):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("")
+        code = main(["dummy", "--fixed-runs", "4", "--random-runs", "4",
+                     "--profile", str(blocker / "p.json")])
+        capsys.readouterr()
+        assert code == 2

@@ -47,19 +47,38 @@ class TestWarmEqualsCold:
     @pytest.mark.parametrize("workload", ["dummy", "aes"])
     @pytest.mark.parametrize("workers", [1, 2])
     @pytest.mark.parametrize("columnar", [True, False])
+    @pytest.mark.parametrize("cohort", [True, False])
     def test_store_reuse_across_recording_configs(self, workload, workers,
-                                                  columnar, tmp_path):
-        """workers / columnar are excluded from fingerprints (their paths
-        are proven bit-identical), so one cold serial run warms every
-        recording configuration."""
+                                                  columnar, cohort,
+                                                  tmp_path):
+        """workers / columnar / cohort are excluded from fingerprints
+        (their paths are proven bit-identical), so one cold serial run
+        warms every recording configuration."""
         store_dir = tmp_path / "shared"
         cold = run_detection(workload, store=TraceStore(store_dir))
         warm = run_detection(workload, store=TraceStore(store_dir),
                              reuse_report=False, workers=workers,
-                             columnar=columnar)
+                             columnar=columnar, cohort=cohort)
         assert warm.stats.cached_traces > 0
         assert warm.stats.cached_runs > 0
         assert warm.report.to_json() == cold.report.to_json()
+
+    def test_no_cohort_warmed_store_serves_cohort_rerun(self, tmp_path):
+        """A store populated under --no-cohort is a straight cache hit for
+        the default cohort engine (and vice versa): ``cohort`` does not
+        participate in any fingerprint scope."""
+        store_dir = tmp_path / "s"
+        cold = run_detection("aes", store=TraceStore(store_dir),
+                             cohort=False)
+        warm = run_detection("aes", store=TraceStore(store_dir),
+                             cohort=True)
+        assert warm.stats.report_cache_hit
+        assert warm.report.to_json() == cold.report.to_json()
+
+        rerun = run_detection("aes", store=TraceStore(store_dir),
+                              reuse_report=False, cohort=True)
+        assert rerun.stats.cached_traces > 0
+        assert rerun.report.to_json() == cold.report.to_json()
 
     def test_store_attached_cold_run_matches_storeless_run(self, tmp_path):
         plain = run_detection("dummy")
