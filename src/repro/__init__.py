@@ -12,32 +12,62 @@ Top-level convenience exports; see the subpackages for the full API:
   nvjpeg, dummy);
 * :mod:`repro.baselines` — DATA-style and pitchfork-style comparators;
 * :mod:`repro.store` — persistent trace store + campaign engine
-  (content-addressed artifacts, resumable runs, regression diffs).
+  (content-addressed artifacts, resumable runs, regression diffs);
+* :mod:`repro.errors` — the unified exception hierarchy rooted at
+  :class:`OwlError`;
+* :mod:`repro.resilience` — fault-tolerant campaigns: worker supervision
+  (:class:`RetryPolicy`), structured degradations
+  (:class:`DegradationEvent`) and deterministic fault injection
+  (:class:`FaultPlan`).
 """
 
 from repro.core import Owl, OwlConfig, OwlResult
 from repro.core.report import Leak, LeakType, LeakageReport
+from repro.errors import (
+    CampaignError,
+    CohortEnvelopeError,
+    ConfigError,
+    OwlError,
+    SerializationError,
+    StoreCorruptionError,
+    StoreError,
+    TraceError,
+    WorkerError,
+)
 from repro.gpusim import Device, DeviceConfig, kernel
 from repro.host import CudaRuntime
+from repro.resilience import DegradationEvent, FaultPlan, RetryPolicy
 from repro.store import RegressionDiff, TraceStore, diff_reports
 from repro.tracing import ProgramTrace, TraceRecorder
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CampaignError",
+    "CohortEnvelopeError",
+    "ConfigError",
     "CudaRuntime",
+    "DegradationEvent",
     "Device",
     "DeviceConfig",
+    "FaultPlan",
     "Leak",
     "LeakType",
     "LeakageReport",
     "Owl",
     "OwlConfig",
+    "OwlError",
     "OwlResult",
     "ProgramTrace",
     "RegressionDiff",
+    "RetryPolicy",
+    "SerializationError",
+    "StoreCorruptionError",
+    "StoreError",
+    "TraceError",
     "TraceRecorder",
     "TraceStore",
+    "WorkerError",
     "__version__",
     "diff_reports",
     "kernel",

@@ -23,13 +23,12 @@ import struct
 from typing import Dict, List, Tuple
 
 from repro.adcfg.graph import ADCFG, Edge, MemoryRecord, Node
+# canonical definition lives in repro.errors (shared hierarchy); this module
+# remains its historical import location
+from repro.errors import SerializationError
 
 _MAGIC = b"ADCF"
 _VERSION = 1
-
-
-class SerializationError(Exception):
-    """Raised on malformed serialised input."""
 
 
 class Writer:

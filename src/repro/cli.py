@@ -36,7 +36,7 @@ from repro import profiling
 from repro.core import Owl, OwlConfig
 
 #: First CLI token that selects the subcommand form instead of the flat one.
-SUBCOMMANDS = ("run", "resume", "diff", "ls", "gc")
+SUBCOMMANDS = ("run", "resume", "diff", "ls", "gc", "verify")
 
 
 def _workloads() -> Dict[str, Tuple[Callable, Callable, Callable]]:
@@ -141,6 +141,25 @@ def _add_detect_options(parser: argparse.ArgumentParser) -> None:
                              "analysis) as JSON to PATH; phases inside "
                              "worker processes are not captured, so use "
                              "--workers 1 for a complete breakdown")
+    parser.add_argument("--inject", metavar="FAULTS", action="append",
+                        default=None,
+                        help="deterministically inject faults to exercise "
+                             "the degradation ladder, e.g. "
+                             "'worker_crash:chunk=1,cohort_violation' "
+                             "(repeatable; see repro.resilience.faults). "
+                             "Reports stay bit-identical to a fault-free "
+                             "run")
+    parser.add_argument("--degradation-log", metavar="PATH", default=None,
+                        help="write every degradation event the run "
+                             "survived (worker retries, cohort→warp, "
+                             "quarantined blobs, ...) as JSON lines to "
+                             "PATH")
+    parser.add_argument("--retry", metavar="KEY=VALUE", action="append",
+                        default=None,
+                        help="override a worker RetryPolicy field, e.g. "
+                             "--retry max_attempts=5 --retry "
+                             "chunk_timeout=30 (see "
+                             "repro.resilience.RetryPolicy)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -208,6 +227,15 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
     gc.add_argument("--store", metavar="DIR", required=True,
                     help="campaign store directory")
 
+    verify = commands.add_parser(
+        "verify", help="integrity-check a store's artifacts")
+    verify.add_argument("--store", metavar="DIR", required=True,
+                        help="campaign store directory")
+    verify.add_argument("--repair", action="store_true",
+                        help="quarantine damaged blobs (moved to "
+                             "quarantine/, manifest entries dropped) so "
+                             "the next campaign run re-records the loss")
+
     return parser
 
 
@@ -226,6 +254,28 @@ def _resolve_workers(parser: argparse.ArgumentParser, value: str):
 
 def _config_from_args(parser: argparse.ArgumentParser,
                       args: argparse.Namespace) -> OwlConfig:
+    fault_plan = None
+    if getattr(args, "inject", None):
+        from repro.resilience import FaultError, FaultPlan
+        try:
+            fault_plan = FaultPlan.parse(args.inject)
+        except FaultError as error:
+            parser.error(f"--inject: {error}")
+    retry = None
+    if getattr(args, "retry", None):
+        from repro.errors import ConfigError
+        from repro.resilience import RetryPolicy
+        from repro.resilience.faults import _parse_scalar
+        fields = {}
+        for item in args.retry:
+            key, sep, raw = item.partition("=")
+            if not sep:
+                parser.error(f"--retry: {item!r} is not key=value")
+            fields[key.strip()] = _parse_scalar(raw.strip())
+        try:
+            retry = RetryPolicy(**fields)
+        except (ConfigError, TypeError) as error:
+            parser.error(f"--retry: {error}")
     return OwlConfig(
         fixed_runs=args.fixed_runs, random_runs=args.random_runs,
         confidence=args.confidence, test=args.test, seed=args.seed,
@@ -233,7 +283,8 @@ def _config_from_args(parser: argparse.ArgumentParser,
         offset_granularity=args.granularity, quantify=args.quantify,
         workers=_resolve_workers(parser, args.workers),
         columnar=not args.no_columnar,
-        cohort=not args.no_cohort)
+        cohort=not args.no_cohort,
+        retry=retry, fault_plan=fault_plan)
 
 
 def _write_report(path: str, report) -> bool:
@@ -310,6 +361,24 @@ def _emit_result(args: argparse.Namespace, workload: str, result) -> int:
     return 1 if result.report.has_leaks else 0
 
 
+def _write_degradation_log(path: str, events) -> bool:
+    """Write degradation events as JSON lines; False when unwritable."""
+    target = Path(path)
+    try:
+        if str(target.parent) not in ("", "."):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event.to_dict(), sort_keys=True))
+                handle.write("\n")
+    except OSError as error:
+        reason = error.strerror or str(error)
+        print(f"owl: cannot write degradation log to {path}: {reason}",
+              file=sys.stderr)
+        return False
+    return True
+
+
 def _run_workload(parser: argparse.ArgumentParser, args: argparse.Namespace,
                   store=None, reuse_report: bool = True) -> int:
     workloads = _workloads()
@@ -317,6 +386,13 @@ def _run_workload(parser: argparse.ArgumentParser, args: argparse.Namespace,
         parser.error(f"unknown workload {args.workload!r}; see --list")
     program, fixed_inputs, random_input = workloads[args.workload]
     config = _config_from_args(parser, args)
+    if store is not None and config.fault_plan is not None:
+        # store-directed faults damage blobs up front; the campaign's
+        # self-healing loads then quarantine and re-record them
+        from repro.resilience.faults import inject_blob_corruption
+        corrupted = inject_blob_corruption(store, config.fault_plan)
+        if corrupted and not args.json:
+            print(f"[inject] corrupted {len(corrupted)} stored blob(s)")
     owl = Owl(program, name=args.workload, config=config)
     profiler = profiling.enable() if args.profile else None
     try:
@@ -329,6 +405,17 @@ def _run_workload(parser: argparse.ArgumentParser, args: argparse.Namespace,
             args.profile,
             _profile_payload(profiler, result.stats, args.workload)):
         return 2
+    if args.degradation_log is not None and not _write_degradation_log(
+            args.degradation_log, result.degradations):
+        return 2
+    if result.degradations and not args.json:
+        kinds: Dict[str, int] = {}
+        for event in result.degradations:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        summary = ", ".join(f"{count}x {kind}"
+                            for kind, count in sorted(kinds.items()))
+        print(f"[resilience] survived {len(result.degradations)} "
+              f"degradation(s): {summary}")
     if store is not None and not args.json:
         stats = result.stats
         if stats.report_cache_hit:
@@ -381,6 +468,12 @@ def _cmd_resume(parser: argparse.ArgumentParser,
             continue
         program, fixed_inputs, random_input = workloads[name]
         config = OwlConfig(**body["config"])
+        if config.fault_plan is not None:
+            # an interrupted *injected* campaign must not re-crash on
+            # resume: the stored artifacts are sound (bit-identity holds
+            # under faults), so finish the remainder fault-free
+            import dataclasses
+            config = dataclasses.replace(config, fault_plan=None)
         owl = Owl(program, name=name, config=config)
         result = owl.detect(inputs=fixed_inputs(),
                             random_input=random_input, store=store)
@@ -471,8 +564,32 @@ def _cmd_gc(parser: argparse.ArgumentParser,
     return 0
 
 
+def _cmd_verify(parser: argparse.ArgumentParser,
+                args: argparse.Namespace) -> int:
+    from repro.store import StoreError, TraceStore
+    try:
+        store = TraceStore(args.store, create=False)
+    except StoreError as error:
+        print(f"owl: {error}", file=sys.stderr)
+        return 2
+    bad = store.verify(repair=args.repair)
+    if not bad:
+        print(f"{args.store}: all {len(store)} entries verified")
+        return 0
+    for key in bad:
+        print(f"corrupt: {key}")
+    if args.repair:
+        print(f"quarantined {len(bad)} damaged entr"
+              f"{'y' if len(bad) == 1 else 'ies'}; the next campaign run "
+              f"re-records the loss")
+        return 0
+    print(f"{len(bad)} corrupt entries (re-run with --repair to "
+          f"quarantine them)")
+    return 1
+
+
 _COMMANDS = {"run": _cmd_run, "resume": _cmd_resume, "diff": _cmd_diff,
-             "ls": _cmd_ls, "gc": _cmd_gc}
+             "ls": _cmd_ls, "gc": _cmd_gc, "verify": _cmd_verify}
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -25,6 +25,7 @@ from typing import Iterable, List, Optional
 from repro.adcfg.graph import ADCFG
 from repro.adcfg.merge import merge_adcfg_into
 from repro.core.alignment import EditOp, myers_diff
+from repro.errors import ConfigError
 from repro.tracing.recorder import ProgramTrace
 
 
@@ -133,7 +134,7 @@ class Evidence:
         not be used afterwards.
         """
         if self.keep_per_run != other.keep_per_run:
-            raise ValueError(
+            raise ConfigError(
                 "cannot merge evidences with different keep_per_run modes")
         script = myers_diff(self.identity_sequence, other.identity_sequence)
         new_slots: List[EvidenceSlot] = []

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
+from repro.errors import ConfigError
 from repro.tracing.recorder import ProgramTrace
 
 
@@ -70,7 +71,7 @@ def filter_traces(inputs: Sequence[object],
     a deterministic pick keeps the pipeline reproducible).
     """
     if len(inputs) != len(traces):
-        raise ValueError(
+        raise ConfigError(
             f"{len(inputs)} inputs but {len(traces)} traces")
     by_signature: Dict[str, InputClass] = {}
     order: List[str] = []

@@ -39,6 +39,7 @@ from repro.core.kstest import (
 from repro.core.quantify import leakage_bits_per_observation
 from repro.core.report import Leak, LeakType, LeakageReport
 from repro.core.transition import transition_matrix
+from repro.errors import ConfigError, TraceError
 
 
 @dataclass(frozen=True)
@@ -74,11 +75,13 @@ class LeakageConfig:
 
     def __post_init__(self) -> None:
         if self.test not in ("ks", "welch"):
-            raise ValueError(f"unknown distribution test {self.test!r}")
+            raise ConfigError(
+                f"unknown distribution test {self.test!r}; valid choices: 'ks', 'welch'")
         if self.offset_granularity < 1:
-            raise ValueError("offset_granularity must be >= 1 byte")
+            raise ConfigError("offset_granularity must be >= 1 byte")
         if self.sampling not in ("pooled", "per_run"):
-            raise ValueError(f"unknown sampling mode {self.sampling!r}")
+            raise ConfigError(
+                f"unknown sampling mode {self.sampling!r}; valid choices: 'pooled', 'per_run'")
 
 
 class _ScalarTester:
@@ -136,7 +139,7 @@ class _BatchReplayer:
         try:
             return next(self._results)
         except StopIteration:
-            raise RuntimeError(
+            raise TraceError(
                 "batched leakage traversal requested more tests than "
                 "planned — the two passes diverged") from None
 
@@ -233,7 +236,7 @@ class LeakageAnalyzer:
         if self.config.sampling == "per_run":
             if (pair.fixed.per_run_graphs is None
                     or pair.random.per_run_graphs is None):
-                raise ValueError(
+                raise ConfigError(
                     "per_run sampling requires evidence built with "
                     "keep_per_run=True")
             return self._per_run_device_tests(pair, tester)

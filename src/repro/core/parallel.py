@@ -22,10 +22,17 @@ one:
   per-run presence vectors in run order and aggregates A-DCFGs with the
   associative :func:`~repro.adcfg.merge.merge_adcfg_into`.
 
-The pool degrades gracefully: ``workers=1``, tiny batches, unpicklable
-programs (e.g. closure-built workloads), or a sandbox that cannot fork all
-fall back to the in-process serial loop, which remains the reference
-implementation.
+Failures are handled per chunk by a
+:class:`~repro.resilience.supervisor.ChunkSupervisor` under the
+configuration's :class:`~repro.resilience.retry.RetryPolicy`: a dead worker
+or an expired chunk deadline re-dispatches only the affected chunks to a
+fresh pool (completed chunks are kept), exhausted chunks degrade to
+in-process execution, and every step is recorded as a
+:class:`~repro.resilience.events.DegradationEvent` on the returned
+:class:`ChunkStats`.  The in-process serial loop remains the reference:
+``workers=1``, tiny batches and unpicklable programs (e.g. closure-built
+workloads) use it directly, and supervised results are folded in chunk
+order so any fault pattern produces bit-identical evidence.
 """
 
 from __future__ import annotations
@@ -33,13 +40,17 @@ from __future__ import annotations
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.evidence import Evidence
+from repro.errors import ConfigError
 from repro.gpusim.device import DeviceConfig
+from repro.resilience import events as degradation_events
+from repro.resilience.events import DegradationEvent, collecting_degradations
+from repro.resilience.faults import FaultPlan, activated
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.supervisor import ChunkSupervisor
 from repro.tracing.recorder import Program, ProgramTrace, TraceRecorder
 
 #: Worker-count specification: a positive int, ``"auto"`` (one worker per
@@ -57,13 +68,14 @@ def resolve_workers(workers: WorkerSpec) -> int:
         try:
             workers = int(workers)
         except ValueError:
-            raise ValueError(
+            raise ConfigError(
                 f"workers must be a positive int or 'auto', got {workers!r}"
             ) from None
     if isinstance(workers, bool) or not isinstance(workers, int):
-        raise ValueError(f"workers must be a positive int or 'auto', got {workers!r}")
+        raise ConfigError(
+            f"workers must be a positive int or 'auto', got {workers!r}")
     if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
+        raise ConfigError(f"workers must be >= 1, got {workers}")
     return workers
 
 
@@ -74,9 +86,9 @@ def chunk_slices(n: int, chunks: int) -> List[slice]:
     remainder, matching ``np.array_split`` semantics.
     """
     if n < 0:
-        raise ValueError("n must be >= 0")
+        raise ConfigError("n must be >= 0")
     if chunks < 1:
-        raise ValueError("chunks must be >= 1")
+        raise ConfigError("chunks must be >= 1")
     chunks = min(chunks, n) or 1
     base, extra = divmod(n, chunks)
     slices = []
@@ -97,13 +109,16 @@ class ChunkStats:
     ``trace_seconds_total`` sums per-run recording cost (CPU-side wall time
     of each ``record`` call — with workers these overlap, so the sum can
     exceed the enclosing phase's wall clock); ``evidence_seconds`` is the
-    time spent folding traces into evidence.
+    time spent folding traces into evidence.  ``degradations`` carries the
+    structured record of every fault this batch survived (worker retries,
+    cohort → warp fallbacks, ...), wherever it occurred.
     """
 
     trace_count: int = 0
     trace_bytes_total: int = 0
     trace_seconds_total: float = 0.0
     evidence_seconds: float = 0.0
+    degradations: List[DegradationEvent] = field(default_factory=list)
 
     def add_trace(self, trace: ProgramTrace, seconds: float) -> None:
         self.trace_count += 1
@@ -115,6 +130,7 @@ class ChunkStats:
         self.trace_bytes_total += other.trace_bytes_total
         self.trace_seconds_total += other.trace_seconds_total
         self.evidence_seconds += other.evidence_seconds
+        self.degradations.extend(other.degradations)
 
 
 def _record_trace_chunk(
@@ -164,25 +180,36 @@ def _record_evidence_chunk(
 
 
 class TraceRecordingPool:
-    """Records batches of runs serially or across a process pool.
+    """Records batches of runs serially or across a supervised process pool.
 
     The pool is created per batch (``ProcessPoolExecutor`` startup is
     negligible next to hundreds of instrumented executions) and the serial
     in-process path is the reference: for any picklable program the pooled
-    result is identical, and unpicklable programs silently use the serial
-    path so callers never have to care.
+    result is identical under any fault pattern, and unpicklable programs
+    silently use the serial path so callers never have to care.
+
+    ``retry`` (a :class:`~repro.resilience.retry.RetryPolicy`) governs how
+    worker faults are survived; ``fault_plan`` deterministically injects
+    them (see :mod:`repro.resilience.faults`); ``seed`` feeds the
+    deterministic backoff jitter.
     """
 
     def __init__(self, program: Program,
                  device_config: Optional[DeviceConfig] = None,
                  workers: WorkerSpec = 1, buffered: bool = False,
-                 columnar: bool = True, cohort: bool = True) -> None:
+                 columnar: bool = True, cohort: bool = True, *,
+                 retry: Optional[RetryPolicy] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 seed: int = 0) -> None:
         self.program = program
         self.device_config = device_config
         self.workers = resolve_workers(workers)
         self.buffered = buffered
         self.columnar = columnar
         self.cohort = cohort
+        self.retry = retry or RetryPolicy()
+        self.fault_plan = fault_plan
+        self.seed = seed
 
     # ------------------------------------------------------------------
     # public API
@@ -191,23 +218,26 @@ class TraceRecordingPool:
     def record_traces(self, values: Sequence[object]
                       ) -> Tuple[List[ProgramTrace], ChunkStats]:
         """Record one trace per value (phase 1: traces are kept)."""
-        chunks = self._run_chunks(_record_trace_chunk, values,
-                                  (self.buffered, self.columnar,
-                                   self.cohort))
+        with collecting_degradations() as log:
+            chunks = self._run_chunks(_record_trace_chunk, values,
+                                      (self.buffered, self.columnar,
+                                       self.cohort))
         traces: List[ProgramTrace] = []
         stats = ChunkStats()
         for chunk_traces, chunk_stats in chunks:
             traces.extend(chunk_traces)
             stats.absorb(chunk_stats)
+        stats.degradations.extend(log.events)
         return traces, stats
 
     def record_evidence(self, values: Sequence[object],
                         keep_per_run: bool = False
                         ) -> Tuple[Evidence, ChunkStats]:
         """Record runs and fold them straight into one evidence (phase 3)."""
-        chunks = self._run_chunks(_record_evidence_chunk, values,
-                                  (keep_per_run, self.buffered,
-                                   self.columnar, self.cohort))
+        with collecting_degradations() as log:
+            chunks = self._run_chunks(_record_evidence_chunk, values,
+                                      (keep_per_run, self.buffered,
+                                       self.columnar, self.cohort))
         evidence: Optional[Evidence] = None
         stats = ChunkStats()
         for chunk_evidence, chunk_stats in chunks:
@@ -218,6 +248,7 @@ class TraceRecordingPool:
                 merge_started = time.perf_counter()
                 evidence.merge(chunk_evidence)
                 stats.evidence_seconds += time.perf_counter() - merge_started
+        stats.degradations.extend(log.events)
         return evidence if evidence is not None else Evidence(
             keep_per_run=keep_per_run), stats
 
@@ -245,21 +276,24 @@ class TraceRecordingPool:
         values = list(values)
         workers = self._effective_workers(len(values))
         if workers <= 1:
-            return [worker_fn(self.program, self.device_config, values,
-                              *extra_args)]
+            # the in-process reference path; device-level fault kinds
+            # (cohort violations, batch-fold errors) still apply so the
+            # degradation ladder is exercised at any worker count
+            with activated(self.fault_plan, chunk_index=0, attempt=0,
+                           in_worker=False):
+                return [worker_fn(self.program, self.device_config, values,
+                                  *extra_args)]
         slices = chunk_slices(len(values), workers)
-        try:
-            with ProcessPoolExecutor(max_workers=len(slices)) as pool:
-                futures = [
-                    pool.submit(worker_fn, self.program, self.device_config,
-                                values[s], *extra_args)
-                    for s in slices
-                ]
-                # collect in submission (= run) order so downstream folds
-                # see runs exactly as the serial loop would
-                return [future.result() for future in futures]
-        except (BrokenProcessPool, OSError, pickle.PicklingError):
-            # sandboxes without fork, or lazily-unpicklable run values:
-            # fall back to the reference serial path
-            return [worker_fn(self.program, self.device_config, values,
-                              *extra_args)]
+        supervisor = ChunkSupervisor(policy=self.retry, seed=self.seed,
+                                     fault_plan=self.fault_plan)
+        outcomes = supervisor.run(
+            worker_fn,
+            [(self.program, self.device_config, values[s], *extra_args)
+             for s in slices])
+        # outcomes arrive in chunk (= run) order whatever the completion
+        # order, so downstream folds see runs exactly as the serial loop
+        return outcomes
+
+
+# re-exported for callers that want to observe degradations directly
+record_degradation = degradation_events.record_degradation

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import time
 import tracemalloc
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Union
 
@@ -41,7 +42,11 @@ from repro.core.kstest import DEFAULT_CONFIDENCE
 from repro.core.leakage import LeakageAnalyzer, LeakageConfig
 from repro.core.parallel import ChunkStats, TraceRecordingPool, resolve_workers
 from repro.core.report import LeakageReport
+from repro.errors import CampaignError, ConfigError
 from repro.gpusim.device import DeviceConfig
+from repro.resilience.events import DegradationEvent, collecting_degradations
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import RetryPolicy
 from repro.tracing.recorder import Program, ProgramTrace, TraceRecorder
 
 #: Produces a fresh random secret input from a seeded generator.
@@ -99,6 +104,63 @@ class OwlConfig:
     #: resumes from the last checkpoint.  Purely an I/O cadence knob —
     #: excluded from store fingerprints, like ``workers``.
     store_checkpoint_every: int = 25
+    #: how worker faults are survived (None = the RetryPolicy defaults);
+    #: accepts a RetryPolicy or its dict form from a campaign manifest.
+    #: Purely operational — excluded from store fingerprints.
+    retry: Optional[RetryPolicy] = None
+    #: deterministic fault injection for resilience testing (see
+    #: repro.resilience.faults); accepts a FaultPlan, a spec string such as
+    #: ``"worker_crash:chunk=1"``, or the manifest dict form.  Excluded
+    #: from store fingerprints — an injected run is bit-identical.
+    fault_plan: Optional[FaultPlan] = None
+    #: runaway-kernel guard for the cohort engine: maximum basic-block
+    #: steps one cohort attempt may record before the launch degrades to
+    #: the per-warp reference engine (None = unbounded)
+    cohort_step_budget: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        """Reject invalid knobs at construction with one-line messages."""
+        if self.test not in ("ks", "welch"):
+            raise ConfigError(
+                f"unknown distribution test {self.test!r}; valid choices: "
+                f"'ks', 'welch'")
+        if self.sampling not in ("pooled", "per_run"):
+            raise ConfigError(
+                f"unknown sampling mode {self.sampling!r}; valid choices: "
+                f"'pooled', 'per_run'")
+        for name in ("fixed_runs", "random_runs", "offset_granularity",
+                     "store_checkpoint_every"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise ConfigError(
+                    f"{name} must be a positive int, got {value!r}")
+        if not 0.0 < self.confidence < 1.0:
+            raise ConfigError(
+                f"confidence must be strictly between 0 and 1, got "
+                f"{self.confidence!r}")
+        if self.sample_size_cap is not None and self.sample_size_cap < 1:
+            raise ConfigError(
+                f"sample_size_cap must be a positive int or None, got "
+                f"{self.sample_size_cap!r}")
+        if (self.cohort_step_budget is not None
+                and self.cohort_step_budget < 1):
+            raise ConfigError(
+                f"cohort_step_budget must be a positive int or None, got "
+                f"{self.cohort_step_budget!r}")
+        resolve_workers(self.workers)  # raises ConfigError on bad specs
+        # campaign manifests round-trip these nested configs through
+        # dataclasses.asdict; coerce the dict (or spec-string) forms back
+        if self.retry is not None and not isinstance(self.retry,
+                                                     RetryPolicy):
+            if not isinstance(self.retry, dict):
+                raise ConfigError(
+                    f"retry must be a RetryPolicy or its dict form, got "
+                    f"{type(self.retry).__name__!r}")
+            object.__setattr__(self, "retry", RetryPolicy(**self.retry))
+        if self.fault_plan is not None:
+            object.__setattr__(self, "fault_plan",
+                               FaultPlan.coerce(self.fault_plan))
 
     def leakage_config(self) -> LeakageConfig:
         return LeakageConfig(confidence=self.confidence,
@@ -144,6 +206,11 @@ class PhaseStats:
     cached_runs: int = 0
     #: the final report itself came straight from the store
     report_cache_hit: bool = False
+    #: structured record of every fault this run survived (worker retries,
+    #: pool → serial, cohort → warp, columnar → object, quarantined blobs);
+    #: empty on a fault-free run — degraded runs stay bit-identical, this
+    #: is the only externally visible difference
+    degradations: List[DegradationEvent] = field(default_factory=list)
 
     @property
     def avg_trace_bytes(self) -> float:
@@ -167,6 +234,7 @@ class PhaseStats:
         self.trace_seconds_total += chunk.trace_seconds_total
         self.evidence_seconds += chunk.evidence_seconds
         self.trace_wall_seconds += wall_seconds
+        self.degradations.extend(chunk.degradations)
 
 
 @dataclass
@@ -184,6 +252,16 @@ class OwlResult:
         """True when phase 2 already proved all inputs trace-identical."""
         return not self.filter_result.shows_potential_leakage
 
+    @property
+    def degradations(self) -> List[DegradationEvent]:
+        """Every fault this run survived (see ``PhaseStats.degradations``)."""
+        return self.stats.degradations
+
+    @property
+    def degraded(self) -> bool:
+        """True when any fallback fired during this run."""
+        return bool(self.stats.degradations)
+
 
 class Owl:
     """Differential side-channel leakage detector for (simulated) CUDA apps."""
@@ -195,6 +273,11 @@ class Owl:
         self.name = name
         self.config = config or OwlConfig()
         self.device_config = device_config or DeviceConfig()
+        if self.config.cohort_step_budget is not None:
+            from dataclasses import replace
+            self.device_config = replace(
+                self.device_config,
+                cohort_step_budget=self.config.cohort_step_budget)
         self.recorder = TraceRecorder(device_config=self.device_config,
                                       columnar=self.config.columnar,
                                       cohort=self.config.cohort)
@@ -202,7 +285,10 @@ class Owl:
                                        device_config=self.device_config,
                                        workers=self.config.workers,
                                        columnar=self.config.columnar,
-                                       cohort=self.config.cohort)
+                                       cohort=self.config.cohort,
+                                       retry=self.config.retry,
+                                       fault_plan=self.config.fault_plan,
+                                       seed=self.config.seed)
         self.analyzer = LeakageAnalyzer(self.config.leakage_config())
 
     # ------------------------------------------------------------------
@@ -300,7 +386,7 @@ class Owl:
         cached = campaign.load_evidence(key)
         if cached is not None:
             if cached.num_runs != len(values):
-                raise RuntimeError(
+                raise CampaignError(
                     f"store evidence {key!r} holds {cached.num_runs} runs "
                     f"but the configuration asks for {len(values)} — "
                     f"fingerprint collision or tampered manifest")
@@ -337,10 +423,13 @@ class Owl:
     # full pipeline
     # ------------------------------------------------------------------
 
-    def detect(self, inputs: Sequence[object],
-               random_input: RandomInputFn,
+    def detect(self, inputs: Sequence[object], *args,
+               random_input: Optional[RandomInputFn] = None,
                store=None, reuse_report: bool = True) -> OwlResult:
         """Run all three phases and return the located leaks.
+
+        Everything past ``inputs`` is keyword-only in the stable API
+        (positional calls still work for one deprecation cycle and warn).
 
         ``store`` (a :class:`~repro.store.store.TraceStore` or a path to
         create/open one) turns the call into a campaign: phase-1 traces
@@ -351,12 +440,42 @@ class Owl:
         one store must use distinct ``name``s: the store cannot see
         through the program callable, so the name *is* the version label.
         """
+        if args:
+            names = ("random_input", "store", "reuse_report")
+            if len(args) > len(names):
+                raise TypeError(
+                    f"detect() takes at most {len(names)} arguments past "
+                    f"'inputs' ({len(args)} given)")
+            warnings.warn(
+                f"passing {', '.join(names[:len(args)])} to Owl.detect() "
+                f"positionally is deprecated; use keyword arguments",
+                DeprecationWarning, stacklevel=2)
+            shifted = dict(zip(names, args))
+            if "random_input" in shifted:
+                if random_input is not None:
+                    raise TypeError(
+                        "detect() got multiple values for 'random_input'")
+                random_input = shifted["random_input"]
+            if "store" in shifted:
+                store = shifted["store"]
+            if "reuse_report" in shifted:
+                reuse_report = shifted["reuse_report"]
+        if random_input is None:
+            raise TypeError("detect() missing required argument: "
+                            "'random_input'")
         campaign = self._campaign(store)
         stats = PhaseStats(workers=resolve_workers(self.config.workers))
         tracking_memory = False
         if self.config.measure_memory and not tracemalloc.is_tracing():
             tracemalloc.start()
             tracking_memory = True
+        # one detection-wide collector: the nested per-batch collectors in
+        # the recording pool propagate their events here on exit, and
+        # store-quarantine events recorded between batches land directly,
+        # so the final assignment below sees each survived fault exactly
+        # once, in order
+        collector = collecting_degradations()
+        degradation_log = collector.__enter__()
         started = time.perf_counter()
         try:
             traces = self.record_traces(inputs, stats=stats,
@@ -422,6 +541,8 @@ class Owl:
                              filter_result=filter_result, report=merged,
                              per_representative=per_rep, stats=stats)
         finally:
+            collector.__exit__(None, None, None)
+            stats.degradations[:] = degradation_log.events
             if tracking_memory:
                 _current, peak = tracemalloc.get_traced_memory()
                 stats.peak_ram_bytes = peak

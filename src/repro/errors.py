@@ -1,0 +1,78 @@
+"""Owl's unified exception hierarchy.
+
+Every error the reproduction raises on purpose descends from
+:class:`OwlError`, so callers can write one ``except repro.OwlError`` around
+a whole campaign.  The hierarchy is *dual-rooted* for one release: each class
+also keeps the builtin type it historically was (``ValueError`` for bad
+arguments, ``RuntimeError`` for broken invariants) as a parent, so existing
+``except ValueError`` / ``except RuntimeError`` clauses keep catching exactly
+what they caught before the migration.
+
+The layout mirrors the subsystems::
+
+    OwlError
+    ├── ConfigError            (ValueError)   bad configuration / arguments
+    ├── TraceError             (RuntimeError) recording & event-stream faults
+    │   └── CohortEnvelopeError               cohort engine left its
+    │                                         race-free envelope
+    ├── WorkerError            (RuntimeError) worker-pool supervision gave up
+    └── StoreError                            persistent store faults
+        ├── StoreCorruptionError              integrity check failed on load
+        ├── SerializationError (ValueError)   canonical codec rejected bytes
+        └── CampaignError      (RuntimeError) campaign state inconsistency
+
+This module must stay import-free of the rest of :mod:`repro` — it is the
+one module every layer (gpusim, tracing, store, core) can depend on without
+creating a cycle.
+"""
+
+from __future__ import annotations
+
+
+class OwlError(Exception):
+    """Base class of every intentional error raised by the Owl pipeline."""
+
+
+class ConfigError(OwlError, ValueError):
+    """A configuration value or argument is invalid.
+
+    Raised eagerly (``OwlConfig.__post_init__``, CLI parsing, launch
+    geometry) with a one-line message that names the valid choices, instead
+    of failing deep inside phase 3.
+    """
+
+
+class TraceError(OwlError, RuntimeError):
+    """Trace recording or the device event stream violated an invariant."""
+
+
+class CohortEnvelopeError(TraceError):
+    """The warp-cohort engine left its race-free equivalence envelope.
+
+    Raised when a cohort launch cannot be proven equivalent to the per-warp
+    reference loop — non-convergent splitting, a tripped runaway-kernel step
+    budget, or an injected envelope violation.  The device catches this and
+    transparently re-executes the launch on the per-warp reference engine
+    (recording a :class:`~repro.resilience.events.DegradationEvent`), so it
+    only escapes to callers when the reference path fails too.
+    """
+
+
+class WorkerError(OwlError, RuntimeError):
+    """Worker-pool supervision exhausted its retry budget for a chunk."""
+
+
+class StoreError(OwlError):
+    """Base error for the persistent artifact store."""
+
+
+class StoreCorruptionError(StoreError):
+    """A stored artifact failed its integrity check on load."""
+
+
+class SerializationError(StoreError, ValueError):
+    """Canonical (de)serialisation rejected malformed or truncated bytes."""
+
+
+class CampaignError(StoreError, RuntimeError):
+    """Campaign state in the store contradicts the requested configuration."""

@@ -44,6 +44,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import CohortEnvelopeError
 from repro.gpusim.context import _BALLOT_WEIGHTS, SimtDivergenceError
 from repro.gpusim.events import (
     BasicBlockEvent,
@@ -150,7 +151,8 @@ class CohortContext:
     def __init__(self, launch: LaunchConfig, rows: np.ndarray,
                  block_ids: np.ndarray, warp_ids: np.ndarray,
                  shared_alloc: Callable, columnar: bool,
-                 journal: WriteJournal) -> None:
+                 journal: WriteJournal,
+                 step_budget: Optional[int] = None) -> None:
         self._launch = launch
         self._rows = np.asarray(rows, dtype=np.int64)
         num = int(self._rows.shape[0])
@@ -163,6 +165,10 @@ class CohortContext:
         self._shared_alloc = shared_alloc
         self._columnar = columnar
         self._journal = journal
+        #: runaway-kernel guard: basic-block entries this attempt may record
+        #: before the launch is declared outside the envelope (None = off)
+        self._step_budget = step_budget
+        self._steps = 0
 
         self.lane = np.broadcast_to(
             np.arange(WARP_SIZE, dtype=np.int64), self._shape).copy()
@@ -321,6 +327,14 @@ class CohortContext:
     # ------------------------------------------------------------------
 
     def block(self, label: str) -> None:
+        if self._step_budget is not None:
+            self._steps += 1
+            if self._steps > self._step_budget:
+                raise CohortEnvelopeError(
+                    f"cohort attempt recorded more than "
+                    f"{self._step_budget} basic-block steps at {label!r} — "
+                    "runaway kernel; re-executing on the per-warp "
+                    "reference engine")
         if self._flat and self._active_full:
             lid = self._intern(label)
             visit = self._flat_counts.get(lid, 0)

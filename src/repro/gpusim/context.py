@@ -37,6 +37,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import TraceError
 from repro.gpusim.events import (
     BasicBlockEvent,
     MemoryAccessEvent,
@@ -56,7 +57,7 @@ _BALLOT_WEIGHTS = np.left_shift(np.uint64(1),
                                 np.arange(WARP_SIZE, dtype=np.uint64))
 
 
-class SimtDivergenceError(Exception):
+class SimtDivergenceError(TraceError):
     """Raised when a warp-uniform value is requested but lanes disagree."""
 
 

@@ -21,8 +21,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro import profiling
+from repro.errors import CohortEnvelopeError
 from repro.gpusim.cohort import CohortContext, CohortSplit
 from repro.gpusim.context import SimtDivergenceError, WarpContext
+from repro.resilience import events as resilience_events
+from repro.resilience import faults as fault_injection
 from repro.gpusim.events import KernelBeginEvent, KernelEndEvent, TraceEvent
 from repro.gpusim.kernel import Kernel, LaunchConfig
 from repro.gpusim.memory import (
@@ -45,6 +48,10 @@ class DeviceConfig:
     aslr: bool = False
     shuffle_schedule: bool = False
     seed: Optional[int] = None
+    #: runaway-kernel guard for the cohort engine: maximum basic-block
+    #: entries one cohort attempt may record before the launch is declared
+    #: outside the envelope and re-executed per-warp (None = unbounded)
+    cohort_step_budget: Optional[int] = None
 
     def describe(self) -> Dict[str, str]:
         """Key/value rows for the platform table."""
@@ -179,20 +186,39 @@ class Device:
             self._rng.shuffle(schedule)
 
         if self.cohort and kern.cohort and launch.total_warps > 1:
-            self._launch_cohort(kern, launch, args, shared_alloc, schedule)
+            try:
+                self._launch_cohort(kern, launch, args, shared_alloc,
+                                    schedule)
+            except (CohortEnvelopeError, SimtDivergenceError) as error:
+                # the cohort engine left its race-free envelope (divergence
+                # it cannot model, a tripped step budget, or an injected
+                # violation): all speculative writes were rolled back and
+                # no events were emitted, so the per-warp reference engine
+                # can re-execute the launch from scratch — the degradation
+                # ladder's cohort → warp rung, byte-identical by contract
+                resilience_events.record_degradation(
+                    resilience_events.COHORT_TO_WARP, "cohort", str(error),
+                    kernel=kern.name, launch=self.launch_count - 1)
+                self._launch_warps(kern, launch, args, shared_alloc,
+                                   schedule)
         else:
-            for block_id, warp_id in schedule:
-                ctx = WarpContext(launch=launch, block_id=block_id,
-                                  warp_id=warp_id, emit=self._emit,
-                                  shared_alloc=shared_alloc,
-                                  columnar=self.columnar)
-                kern(ctx, *args)
-                if self.columnar:
-                    batch = ctx.flush_columnar()
-                    if batch is not None:
-                        self._emit(batch)
+            self._launch_warps(kern, launch, args, shared_alloc, schedule)
 
         self._emit(KernelEndEvent(kernel_name=kern.name))
+
+    def _launch_warps(self, kern: Kernel, launch: LaunchConfig, args,
+                      shared_alloc: Callable, schedule) -> None:
+        """The per-warp reference loop: one context per scheduled warp."""
+        for block_id, warp_id in schedule:
+            ctx = WarpContext(launch=launch, block_id=block_id,
+                              warp_id=warp_id, emit=self._emit,
+                              shared_alloc=shared_alloc,
+                              columnar=self.columnar)
+            kern(ctx, *args)
+            if self.columnar:
+                batch = ctx.flush_columnar()
+                if batch is not None:
+                    self._emit(batch)
 
     def _launch_cohort(self, kern: Kernel, launch: LaunchConfig, args,
                        shared_alloc: Callable, schedule) -> None:
@@ -205,6 +231,12 @@ class Device:
         per-warp event payloads, which are finally emitted in schedule
         order — byte-identical to the per-warp loop.
         """
+        fault = fault_injection.cohort_violation_for(self.launch_count - 1)
+        if fault is not None:
+            raise CohortEnvelopeError(
+                f"injected cohort envelope violation for launch "
+                f"{self.launch_count - 1} of {kern.name!r} "
+                f"({fault.render()})")
         num = launch.total_warps
         block_ids = np.fromiter((b for b, _w in schedule), dtype=np.int64,
                                 count=num)
@@ -212,30 +244,47 @@ class Device:
                                count=num)
         pending = [np.arange(num, dtype=np.int64)]
         payloads: Dict[int, tuple] = {}
+        # Commits are deferred to launch success: every attempt's journal is
+        # retained so an envelope violation raised after some sub-cohorts
+        # already completed can still restore pre-launch memory exactly
+        # (rollback in reverse application order) before the per-warp
+        # fallback re-executes the whole launch.
+        completed: List[WriteJournal] = []
         attempts = 0
-        while pending:
-            rows = pending.pop(0)
-            attempts += 1
-            if attempts > 2 * num + 8:
-                # A split always yields >= 2 strictly smaller groups, so a
-                # deterministic kernel executes at most 2*num - 1 attempts.
-                raise SimtDivergenceError(
-                    f"cohort execution of {kern.name!r} did not converge "
-                    f"after {attempts} attempts")
-            journal = WriteJournal()
-            ctx = CohortContext(launch=launch, rows=rows,
-                                block_ids=block_ids[rows],
-                                warp_ids=warp_ids[rows],
-                                shared_alloc=shared_alloc,
-                                columnar=self.columnar, journal=journal)
-            try:
-                kern(ctx, *args)
-            except CohortSplit as split:
+        try:
+            while pending:
+                rows = pending.pop(0)
+                attempts += 1
+                if attempts > 2 * num + 8:
+                    # A split always yields >= 2 strictly smaller groups, so
+                    # a deterministic kernel executes at most 2*num - 1
+                    # attempts.
+                    raise CohortEnvelopeError(
+                        f"cohort execution of {kern.name!r} did not "
+                        f"converge after {attempts} attempts")
+                journal = WriteJournal()
+                ctx = CohortContext(
+                    launch=launch, rows=rows, block_ids=block_ids[rows],
+                    warp_ids=warp_ids[rows], shared_alloc=shared_alloc,
+                    columnar=self.columnar, journal=journal,
+                    step_budget=self.config.cohort_step_budget)
+                try:
+                    kern(ctx, *args)
+                except CohortSplit as split:
+                    journal.rollback()
+                    pending = split.groups + pending
+                    continue
+                except BaseException:
+                    journal.rollback()
+                    raise
+                completed.append(journal)
+                payloads.update(ctx.replay_events())
+        except BaseException:
+            for journal in reversed(completed):
                 journal.rollback()
-                pending = split.groups + pending
-                continue
+            raise
+        for journal in completed:
             journal.commit()
-            payloads.update(ctx.replay_events())
         for position in range(num):
             events, batch = payloads[position]
             for event in events:

@@ -12,6 +12,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Tuple, Union
 
+from repro.errors import ConfigError
 from repro.gpusim.warp import WARP_SIZE
 
 Dim3 = Tuple[int, int, int]
@@ -24,10 +25,10 @@ def _as_dim3(dim: Union[int, Tuple[int, ...]]) -> Dim3:
     else:
         parts = tuple(int(d) for d in dim)
         if not 1 <= len(parts) <= 3:
-            raise ValueError(f"dim3 takes 1-3 components, got {parts!r}")
+            raise ConfigError(f"dim3 takes 1-3 components, got {parts!r}")
         dims = parts + (1,) * (3 - len(parts))
     if any(d < 1 for d in dims):
-        raise ValueError(f"dim3 components must be >= 1, got {dims!r}")
+        raise ConfigError(f"dim3 components must be >= 1, got {dims!r}")
     return dims  # type: ignore[return-value]
 
 

@@ -16,6 +16,8 @@ from typing import Union
 
 import numpy as np
 
+from repro.errors import ConfigError
+
 #: CUDA warp width, fixed at 32 on every NVIDIA architecture to date.
 WARP_SIZE = 32
 
@@ -32,7 +34,7 @@ def lane_vector(value: LaneValue, dtype=None) -> np.ndarray:
     if arr.ndim == 0:
         arr = np.full(WARP_SIZE, arr, dtype=dtype or arr.dtype)
     elif arr.shape != (WARP_SIZE,):
-        raise ValueError(
+        raise ConfigError(
             f"lane vectors must have shape ({WARP_SIZE},), got {arr.shape}")
     if dtype is not None and arr.dtype != dtype:
         arr = arr.astype(dtype)
@@ -68,7 +70,7 @@ def cohort_vector(value: LaneValue, num_warps: int,
         if arr.shape in ((num_warps, 1), (WARP_SIZE,), (1, WARP_SIZE), (1, 1)):
             arr = np.broadcast_to(arr, shape)
         else:
-            raise ValueError(
+            raise ConfigError(
                 f"cohort lane values must broadcast to {shape}, "
                 f"got {arr.shape}")
     if dtype is not None and arr.dtype != dtype:

@@ -1,0 +1,78 @@
+"""Retry policy for supervised chunk execution.
+
+The policy is pure data (frozen dataclass) so it travels inside
+``OwlConfig``, pickles to workers, and round-trips through the campaign
+manifest.  Backoff jitter is *deterministic*: derived by hashing the
+campaign seed with the chunk index and attempt number, so two runs of the
+same campaign sleep identically — randomness would be one more way for a
+supervised run to diverge from its reference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the chunk supervisor responds to worker faults.
+
+    ``max_attempts`` counts pooled executions of one chunk (the in-process
+    degradation that follows exhaustion is not an attempt).  Backoff before
+    attempt *n* (n >= 1) is ``backoff_base * backoff_factor**(n-1)`` capped
+    at ``backoff_cap``, plus a deterministic jitter of up to ``jitter``
+    fraction of the delay.  ``chunk_timeout`` bounds one pooled attempt's
+    wall clock (None = unbounded).  With ``degrade_to_serial=False`` an
+    exhausted chunk raises :class:`~repro.errors.WorkerError` instead of
+    running in-process — the knob CI uses to simulate a killed campaign.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+    jitter: float = 0.5
+    chunk_timeout: Optional[float] = None
+    degrade_to_serial: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.max_attempts, int) or self.max_attempts < 1:
+            raise ConfigError(
+                f"RetryPolicy.max_attempts must be a positive int, "
+                f"got {self.max_attempts!r}")
+        for name in ("backoff_base", "backoff_factor", "backoff_cap"):
+            value = getattr(self, name)
+            if not value >= 0:
+                raise ConfigError(
+                    f"RetryPolicy.{name} must be >= 0, got {value!r}")
+        if not 0 <= self.jitter <= 1:
+            raise ConfigError(
+                f"RetryPolicy.jitter must be in [0, 1], got {self.jitter!r}")
+        if self.chunk_timeout is not None and not self.chunk_timeout > 0:
+            raise ConfigError(
+                f"RetryPolicy.chunk_timeout must be positive or None, "
+                f"got {self.chunk_timeout!r}")
+
+    def backoff_seconds(self, attempt: int, seed: int,
+                        chunk_index: int) -> float:
+        """Delay before re-dispatching *chunk_index* for *attempt* (>= 1).
+
+        Deterministic in (policy, seed, chunk_index, attempt): the jitter
+        fraction comes from a SHA-256 of those coordinates, never from a
+        clock or a global RNG.
+        """
+        if attempt < 1:
+            return 0.0
+        delay = min(self.backoff_base * self.backoff_factor ** (attempt - 1),
+                    self.backoff_cap)
+        if self.jitter and delay:
+            digest = hashlib.sha256(
+                struct.pack("<qqq", seed, chunk_index, attempt)).digest()
+            fraction = struct.unpack("<Q", digest[:8])[0] / 2 ** 64
+            delay *= 1.0 + self.jitter * fraction
+        return delay

@@ -24,13 +24,11 @@ import zlib
 from pathlib import Path
 from typing import Iterator, Union
 
+# historical home of these classes; canonical definitions live in
+# repro.errors so every layer shares one hierarchy
+from repro.errors import StoreCorruptionError, StoreError
 
-class StoreError(Exception):
-    """Base error for the persistent artifact store."""
-
-
-class StoreCorruptionError(StoreError):
-    """A stored artifact failed its integrity check on load."""
+__all__ = ["BlobStore", "StoreCorruptionError", "StoreError", "sha256_hex"]
 
 
 def sha256_hex(payload: bytes) -> str:

@@ -34,6 +34,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.evidence import Evidence
 from repro.core.report import Leak, LeakageReport
+from repro.errors import StoreError
+from repro.resilience import events as resilience_events
 from repro.store.fingerprint import (
     analysis_fingerprint,
     evidence_fingerprint,
@@ -101,11 +103,34 @@ class Campaign:
         return f"campaign/{self.name}/{self.analysis_fp}/{inputs_fp}"
 
     # ------------------------------------------------------------------
+    # self-healing loads
+    # ------------------------------------------------------------------
+
+    def _healing_load(self, loader, key: str):
+        """Load through *loader*, quarantining damage instead of failing.
+
+        Stored artifacts are a cache: when one fails its integrity check
+        (bit rot, a truncated write, an injected ``blob_corruption``) the
+        right response is to isolate the blob, record the degradation and
+        report a miss — the pipeline then re-records the lost artifact
+        exactly as if it had never been stored.
+        """
+        try:
+            return loader(key)
+        except StoreError as error:
+            dropped = self.store.quarantine(key)
+            resilience_events.record_degradation(
+                resilience_events.STORE_QUARANTINE, "store", str(error),
+                key=key, dropped=len(dropped))
+            return None
+
+    # ------------------------------------------------------------------
     # phase 1: trace cache
     # ------------------------------------------------------------------
 
     def load_trace(self, input_fp: str) -> Optional[ProgramTrace]:
-        return self.store.get_trace(self.trace_key(input_fp))
+        return self._healing_load(self.store.get_trace,
+                                  self.trace_key(input_fp))
 
     def save_trace(self, input_fp: str, trace: ProgramTrace) -> None:
         self.store.put_trace(
@@ -119,7 +144,7 @@ class Campaign:
     # ------------------------------------------------------------------
 
     def load_evidence(self, key: str) -> Optional[Evidence]:
-        return self.store.get_evidence(key)
+        return self._healing_load(self.store.get_evidence, key)
 
     def save_evidence(self, key: str, evidence: Evidence,
                       side: str) -> Evidence:
@@ -140,7 +165,9 @@ class Campaign:
         entry = self.store.get(key)
         if entry is None:
             return None
-        evidence = self.store.get_evidence(key)
+        evidence = self._healing_load(self.store.get_evidence, key)
+        if evidence is None:
+            return None
         runs_done = int(entry.meta.get("runs_done", evidence.num_runs))
         if runs_done != evidence.num_runs:
             # a checkpoint whose body and meta disagree is useless; treat
@@ -161,7 +188,8 @@ class Campaign:
     # ------------------------------------------------------------------
 
     def load_report(self, inputs_fp: str) -> Optional[LeakageReport]:
-        return self.store.get_report(self.report_key(inputs_fp))
+        return self._healing_load(self.store.get_report,
+                                  self.report_key(inputs_fp))
 
     def save_report(self, inputs_fp: str, report: LeakageReport,
                     stats=None) -> None:

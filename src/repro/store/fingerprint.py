@@ -134,7 +134,12 @@ def _device_dict(device_config) -> dict:
     if device_config is None:
         return {}
     if dataclasses.is_dataclass(device_config):
-        return dataclasses.asdict(device_config)
+        fields = dataclasses.asdict(device_config)
+        # resilience knob, not a device model parameter: tripping the
+        # budget re-executes the launch on the bit-identical per-warp
+        # engine, so the artifact bytes cannot depend on it
+        fields.pop("cohort_step_budget", None)
+        return fields
     raise FingerprintError(
         f"cannot fingerprint device config of type "
         f"{type(device_config).__name__!r}")

@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -74,7 +75,18 @@ class Entry:
 class TraceStore:
     """Content-addressed, versioned on-disk store for Owl artifacts."""
 
-    def __init__(self, root: Union[str, Path], create: bool = True) -> None:
+    def __init__(self, root: Union[str, Path], *args,
+                 create: bool = True) -> None:
+        if args:
+            if len(args) > 1:
+                raise TypeError(
+                    f"TraceStore() takes at most 1 argument past 'root' "
+                    f"({len(args)} given)")
+            warnings.warn(
+                "passing create to TraceStore() positionally is "
+                "deprecated; use TraceStore(root, create=...)",
+                DeprecationWarning, stacklevel=2)
+            create = args[0]
         self.root = Path(root)
         manifest_exists = (self.root / "manifest.json").exists()
         if not create and not manifest_exists:
@@ -82,6 +94,7 @@ class TraceStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.blobs = BlobStore(self.root)
         self.manifest_path = self.root / "manifest.json"
+        self.quarantine_dir = self.root / "quarantine"
         self._entries: Dict[str, Entry] = {}
         if manifest_exists:
             self._load_manifest()
@@ -243,14 +256,48 @@ class TraceStore:
         return {"removed": removed, "reclaimed_bytes": reclaimed,
                 "kept": kept}
 
-    def verify(self) -> List[str]:
-        """Integrity-check every entry; returns the keys that failed."""
+    def quarantine(self, key: str) -> List[str]:
+        """Isolate the damaged blob behind *key* and drop every entry it
+        backs.
+
+        Blobs are content-addressed and deduplicated, so one corrupt file
+        can back many logical keys — all of them are removed from the
+        manifest (a later campaign run re-records them as cache misses).
+        The blob file itself is moved to ``quarantine/<digest>`` rather
+        than deleted, preserving the evidence for post-mortems.  Returns
+        the keys that were dropped.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return []
+        digest = entry.blob
+        dropped = sorted(k for k, e in self._entries.items()
+                         if e.blob == digest)
+        for k in dropped:
+            del self._entries[k]
+        blob_path = self.blobs.path_for(digest)
+        if blob_path.exists():
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(blob_path, self.quarantine_dir / digest)
+        self._save_manifest()
+        return dropped
+
+    def verify(self, repair: bool = False) -> List[str]:
+        """Integrity-check every entry; returns the keys that failed.
+
+        With ``repair=True`` each failing entry is quarantined (see
+        :meth:`quarantine`): the store heals to a smaller-but-sound state
+        and the next campaign run transparently re-records what was lost.
+        """
         bad: List[str] = []
         for key in sorted(self._entries):
             try:
                 self.get_bytes(key)
             except StoreError:
                 bad.append(key)
+        if repair:
+            for key in bad:
+                self.quarantine(key)
         return bad
 
     def __repr__(self) -> str:

@@ -16,6 +16,7 @@ from typing import List, Optional
 from repro import profiling
 from repro.adcfg.builder import ADCFGBuilder, BatchNormalizer, Normalizer
 from repro.adcfg.graph import ADCFG
+from repro.errors import TraceError
 from repro.gpusim.events import (
     BasicBlockEvent,
     KernelBeginEvent,
@@ -25,9 +26,11 @@ from repro.gpusim.events import (
     SyncEvent,
     TraceEvent,
 )
+from repro.resilience import events as resilience_events
+from repro.resilience import faults as fault_injection
 
 
-class MonitorError(Exception):
+class MonitorError(TraceError):
     """Raised when the event stream is malformed (e.g. unmatched begin/end)."""
 
 
@@ -78,11 +81,42 @@ class WarpTraceMonitor:
         elif isinstance(event, MemoryAccessEvent):
             self._require_builder().on_memory_access(event)
         elif isinstance(event, MemoryBatchEvent):
-            self._require_builder().on_memory_batch(event)
+            self._fold_batch(event)
         elif isinstance(event, SyncEvent):
             self.sync_events += 1
         else:
             raise MonitorError(f"unknown trace event {event!r}")
+
+    def _fold_batch(self, event: MemoryBatchEvent) -> None:
+        """Fold a columnar batch, downgrading to per-event replay on error.
+
+        The object path (``iter_events`` through ``on_memory_access``) is
+        proven identical to the batched fold, so a failure in the vectorised
+        path — or an injected ``batch_fold_error`` — costs speed, never
+        correctness: the columnar → object rung of the degradation ladder.
+        """
+        builder = self._require_builder()
+        kernel_name = builder.graph.kernel_name
+        fault = fault_injection.batch_fold_fault_for(kernel_name)
+        if fault is None:
+            try:
+                builder.on_memory_batch(event)
+                return
+            except MonitorError:
+                raise
+            except Exception as error:
+                # vectorised folds fail before the graph is touched (dtype,
+                # overflow, normaliser errors all precede mutation), so the
+                # per-event replay below starts from a clean slate
+                reason = str(error)
+        else:
+            reason = (f"injected batch-fold failure for kernel "
+                      f"{kernel_name!r} ({fault.render()})")
+        resilience_events.record_degradation(
+            resilience_events.COLUMNAR_TO_OBJECT, "monitor", reason,
+            kernel=kernel_name, block=event.block_id, warp=event.warp_id)
+        for item in event.iter_events():
+            builder.on_memory_access(item)
 
     def _begin(self, event: KernelBeginEvent) -> None:
         if self._builder is not None:

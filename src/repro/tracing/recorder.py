@@ -25,6 +25,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.adcfg.graph import ADCFG
 from repro.adcfg.serialize import adcfg_size_bytes, serialize_adcfg
+from repro.errors import TraceError
 from repro.gpusim.device import Device, DeviceConfig
 from repro.host.callstack import current_stack_depth
 from repro.host.runtime import CudaRuntime, LaunchRecord, MallocRecord
@@ -36,7 +37,7 @@ from repro.tracing.monitor import WarpTraceMonitor
 Program = Callable[[CudaRuntime, object], object]
 
 
-class RecordingError(Exception):
+class RecordingError(TraceError):
     """Raised when host and device observations cannot be joined."""
 
 

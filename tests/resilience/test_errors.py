@@ -1,0 +1,89 @@
+"""The unified exception hierarchy: one root, backward-compatible parents."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    CampaignError,
+    CohortEnvelopeError,
+    ConfigError,
+    OwlError,
+    SerializationError,
+    StoreCorruptionError,
+    StoreError,
+    TraceError,
+    WorkerError,
+)
+
+
+class TestHierarchy:
+    def test_everything_roots_at_owl_error(self):
+        for cls in (ConfigError, TraceError, CohortEnvelopeError,
+                    WorkerError, StoreError, StoreCorruptionError,
+                    SerializationError, CampaignError):
+            assert issubclass(cls, OwlError)
+
+    def test_one_except_catches_the_whole_surface(self):
+        for cls in (ConfigError, CohortEnvelopeError, WorkerError,
+                    StoreCorruptionError, CampaignError):
+            with pytest.raises(OwlError):
+                raise cls("boom")
+
+    def test_config_errors_remain_value_errors(self):
+        """Existing ``except ValueError`` clauses keep working."""
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(SerializationError, ValueError)
+
+    def test_runtime_rooted_errors_remain_runtime_errors(self):
+        assert issubclass(TraceError, RuntimeError)
+        assert issubclass(WorkerError, RuntimeError)
+        assert issubclass(CampaignError, RuntimeError)
+
+    def test_cohort_envelope_is_a_trace_error(self):
+        assert issubclass(CohortEnvelopeError, TraceError)
+
+    def test_corruption_is_a_store_error(self):
+        assert issubclass(StoreCorruptionError, StoreError)
+
+
+class TestLegacyAliases:
+    def test_historical_import_locations_alias_the_canonical_classes(self):
+        from repro.adcfg.serialize import SerializationError as adcfg_ser
+        from repro.store.blobs import StoreError as blobs_store
+        from repro.store.blobs import StoreCorruptionError as blobs_corrupt
+
+        assert adcfg_ser is SerializationError
+        assert blobs_store is StoreError
+        assert blobs_corrupt is StoreCorruptionError
+
+    def test_simt_divergence_joins_the_hierarchy(self):
+        from repro.gpusim.context import SimtDivergenceError
+
+        assert issubclass(SimtDivergenceError, TraceError)
+
+    def test_monitor_and_recorder_errors_join_the_hierarchy(self):
+        from repro.tracing.monitor import MonitorError
+        from repro.tracing.recorder import RecordingError
+
+        assert issubclass(MonitorError, TraceError)
+        assert issubclass(RecordingError, TraceError)
+
+
+class TestPublicSurface:
+    def test_top_level_exports(self):
+        for name in ("OwlError", "ConfigError", "TraceError", "WorkerError",
+                     "StoreError", "StoreCorruptionError", "CampaignError",
+                     "CohortEnvelopeError", "SerializationError",
+                     "DegradationEvent", "RetryPolicy", "FaultPlan"):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__
+
+    def test_validation_messages_are_one_line(self):
+        from repro.core.pipeline import OwlConfig
+
+        for kwargs in ({"test": "bogus"}, {"sampling": "bogus"},
+                       {"fixed_runs": 0}, {"workers": "several"},
+                       {"confidence": 1.5}, {"offset_granularity": 0}):
+            with pytest.raises(ConfigError) as exc:
+                OwlConfig(**kwargs)
+            assert "\n" not in str(exc.value)

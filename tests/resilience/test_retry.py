@@ -1,0 +1,68 @@
+"""RetryPolicy: validation and deterministic backoff."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.resilience import RetryPolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.degrade_to_serial is True
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"max_attempts": -1},
+        {"backoff_base": -0.1},
+        {"backoff_factor": -1.0},
+        {"jitter": 1.5},
+        {"jitter": -0.1},
+        {"chunk_timeout": 0.0},
+        {"chunk_timeout": -2.0},
+    ])
+    def test_invalid_knobs_raise_config_error(self, kwargs):
+        with pytest.raises(ConfigError):
+            RetryPolicy(**kwargs)
+
+    def test_config_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestBackoff:
+    def test_deterministic_across_calls(self):
+        policy = RetryPolicy()
+        a = policy.backoff_seconds(2, seed=2024, chunk_index=3)
+        b = policy.backoff_seconds(2, seed=2024, chunk_index=3)
+        assert a == b
+
+    def test_jitter_varies_with_coordinates(self):
+        policy = RetryPolicy(backoff_cap=1000.0)
+        delays = {policy.backoff_seconds(2, seed=2024, chunk_index=i)
+                  for i in range(8)}
+        assert len(delays) > 1  # different chunks sleep differently
+
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0,
+                             backoff_cap=0.3, jitter=0.0)
+        assert policy.backoff_seconds(1, 0, 0) == pytest.approx(0.1)
+        assert policy.backoff_seconds(2, 0, 0) == pytest.approx(0.2)
+        assert policy.backoff_seconds(3, 0, 0) == pytest.approx(0.3)
+        assert policy.backoff_seconds(9, 0, 0) == pytest.approx(0.3)
+
+    def test_attempt_zero_sleeps_nothing(self):
+        assert RetryPolicy().backoff_seconds(0, 0, 0) == 0.0
+
+    def test_jitter_bounded_by_fraction(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=1.0,
+                             backoff_cap=1.0, jitter=0.5)
+        for chunk in range(16):
+            delay = policy.backoff_seconds(1, seed=7, chunk_index=chunk)
+            assert 1.0 <= delay <= 1.5
+
+    def test_manifest_round_trip(self):
+        import dataclasses
+        policy = RetryPolicy(max_attempts=5, chunk_timeout=1.5)
+        assert RetryPolicy(**dataclasses.asdict(policy)) == policy

@@ -1,0 +1,153 @@
+"""Store self-healing: verify/repair, quarantine, and transparent
+re-recording of lost artifacts during warm campaign runs."""
+
+import pytest
+
+from repro.cli import _workloads
+from repro.core.pipeline import Owl, OwlConfig
+from repro.errors import StoreCorruptionError
+from repro.resilience import FaultPlan
+from repro.resilience.events import STORE_QUARANTINE
+from repro.resilience.faults import inject_blob_corruption
+from repro.store import TraceStore
+
+TINY = dict(fixed_runs=4, random_runs=4, seed=11, store_checkpoint_every=2)
+
+
+def run_detection(workload, store=None, reuse_report=True, **overrides):
+    program, fixed_inputs, random_input = _workloads()[workload]
+    config = OwlConfig(**{**TINY, **overrides})
+    owl = Owl(program, name=workload, config=config)
+    return owl.detect(inputs=fixed_inputs(), random_input=random_input,
+                      store=store, reuse_report=reuse_report)
+
+
+def corrupt_blob_file(store, key):
+    """Flip one bit in the blob file backing *key* on disk."""
+    entry = store.get(key)
+    path = store.blobs.path_for(entry.blob)
+    data = bytearray(path.read_bytes())
+    data[len(data) // 2] ^= 0x01
+    path.write_bytes(bytes(data))
+
+
+class TestQuarantine:
+    def test_drops_every_key_sharing_the_blob(self, tmp_path):
+        store = TraceStore(tmp_path / "s")
+        store.put_bytes("a", "trace", b"shared payload")
+        store.put_bytes("b", "trace", b"shared payload")  # deduped blob
+        store.put_bytes("c", "trace", b"different payload")
+        dropped = store.quarantine("a")
+        assert dropped == ["a", "b"]
+        assert "a" not in store and "b" not in store
+        assert store.get_bytes("c") == b"different payload"
+
+    def test_moves_the_blob_file_into_quarantine(self, tmp_path):
+        store = TraceStore(tmp_path / "s")
+        entry = store.put_bytes("a", "trace", b"payload")
+        blob_path = store.blobs.path_for(entry.blob)
+        assert blob_path.exists()
+        store.quarantine("a")
+        assert not blob_path.exists()
+        assert (store.quarantine_dir / entry.blob).exists()
+
+    def test_unknown_key_is_a_no_op(self, tmp_path):
+        store = TraceStore(tmp_path / "s")
+        assert store.quarantine("ghost") == []
+
+    def test_drop_is_durable_across_reopen(self, tmp_path):
+        store = TraceStore(tmp_path / "s")
+        store.put_bytes("a", "trace", b"payload")
+        store.quarantine("a")
+        reopened = TraceStore(tmp_path / "s", create=False)
+        assert "a" not in reopened
+
+
+class TestVerifyRepair:
+    def test_verify_reports_corrupt_keys(self, tmp_path):
+        store = TraceStore(tmp_path / "s")
+        store.put_bytes("good", "trace", b"fine")
+        store.put_bytes("bad", "trace", b"will be damaged soon")
+        corrupt_blob_file(store, "bad")
+        assert store.verify() == ["bad"]
+        assert "bad" in store  # report-only: nothing dropped
+
+    def test_verify_repair_quarantines_and_heals(self, tmp_path):
+        store = TraceStore(tmp_path / "s")
+        store.put_bytes("good", "trace", b"fine")
+        store.put_bytes("bad", "trace", b"will be damaged soon")
+        corrupt_blob_file(store, "bad")
+        assert store.verify(repair=True) == ["bad"]
+        assert "bad" not in store
+        assert store.verify() == []  # healed: a clean bill of health
+
+    def test_corrupt_read_raises_without_repair(self, tmp_path):
+        store = TraceStore(tmp_path / "s")
+        store.put_bytes("bad", "trace", b"will be damaged soon")
+        corrupt_blob_file(store, "bad")
+        with pytest.raises(StoreCorruptionError):
+            store.get_bytes("bad")
+
+
+class TestInjectBlobCorruption:
+    def test_targets_entry_by_kind_and_rank(self, tmp_path):
+        store = TraceStore(tmp_path / "s")
+        store.put_bytes("t/one", "trace", b"one" * 10)
+        store.put_bytes("t/two", "trace", b"two" * 10)
+        store.put_bytes("r/rep", "report", b"rep" * 10)
+        plan = FaultPlan.parse("blob_corruption:kind=trace:index=1")
+        assert inject_blob_corruption(store, plan) == ["t/two"]
+        assert store.verify() == ["t/two"]
+
+    def test_cold_store_is_a_no_op(self, tmp_path):
+        store = TraceStore(tmp_path / "s")
+        plan = FaultPlan.parse("blob_corruption")
+        assert inject_blob_corruption(store, plan) == []
+
+    def test_none_plan_is_a_no_op(self, tmp_path):
+        store = TraceStore(tmp_path / "s")
+        assert inject_blob_corruption(store, None) == []
+
+
+class TestCampaignSelfHealing:
+    @pytest.mark.parametrize("kind", ["trace", "evidence"])
+    def test_warm_run_heals_corruption_bit_identically(self, kind, tmp_path):
+        reference = run_detection("dummy", store=TraceStore(tmp_path / "ref"))
+
+        store_dir = tmp_path / "s"
+        run_detection("dummy", store=TraceStore(store_dir))
+        store = TraceStore(store_dir)
+        plan = FaultPlan.parse(f"blob_corruption:kind={kind}")
+        assert inject_blob_corruption(store, plan)
+
+        healed = run_detection("dummy", store=TraceStore(store_dir),
+                               reuse_report=False)
+        assert healed.report.to_json() == reference.report.to_json()
+        assert healed.degraded
+        counts = {}
+        for event in healed.degradations:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        assert counts.get(STORE_QUARANTINE, 0) >= 1
+
+    def test_corrupt_report_entry_falls_back_to_reanalysis(self, tmp_path):
+        reference = run_detection("dummy", store=TraceStore(tmp_path / "ref"))
+
+        store_dir = tmp_path / "s"
+        run_detection("dummy", store=TraceStore(store_dir))
+        store = TraceStore(store_dir)
+        assert inject_blob_corruption(
+            store, FaultPlan.parse("blob_corruption:kind=report"))
+
+        healed = run_detection("dummy", store=TraceStore(store_dir))
+        assert not healed.stats.report_cache_hit
+        assert healed.report.to_json() == reference.report.to_json()
+
+    def test_healed_store_is_clean_afterwards(self, tmp_path):
+        store_dir = tmp_path / "s"
+        run_detection("dummy", store=TraceStore(store_dir))
+        store = TraceStore(store_dir)
+        assert inject_blob_corruption(
+            store, FaultPlan.parse("blob_corruption:kind=trace"))
+        run_detection("dummy", store=TraceStore(store_dir),
+                      reuse_report=False)
+        assert TraceStore(store_dir).verify() == []
