@@ -10,13 +10,17 @@ engine then removes the remaining per-warp cost: the kernel body runs once
 per *launch* over a ``(num_warps, 32)`` lane grid instead of once per warp
 (DESIGN.md §10).
 
-This bench times three ladder rungs on single-trace recording (AES and
+This bench times the ladder rungs on single-trace recording (AES and
 RSA) and on a small end-to-end ``Owl.detect`` (AES):
 
 * per-event objects vs columnar batches (both on the per-warp loop — the
   PR 2 comparison, asserted ≥3× on AES record);
 * the columnar per-warp loop vs the cohort engine (the PR 4 comparison,
   asserted ≥2× on AES record);
+* the pre-cohort columnar pipeline vs replica-cohort batching — every
+  fixed/random repetition fused into one cohort grid, equal inputs
+  recorded once (the PR 6 comparison, asserted ≥5× on AES detect e2e at
+  64+64 runs);
 
 and re-checks bit-identity of the traces while it is at it.
 
@@ -47,6 +51,12 @@ RSA_INPUT = 0x6ACF8231
 
 AES_INPUTS = [bytes(range(16)), bytes(range(1, 17))]
 
+#: fixed/random run count of the replica-batching e2e row; pinned (not
+#: scaled down in smoke mode) because replica batching amortises per-run
+#: work, so the speedup is only meaningful at a realistic repetition count
+#: (the paper records 100 repetitions per side)
+REPLICA_DETECT_RUNS = 64
+
 
 def bench_records(default: int = 6) -> int:
     return int(os.environ.get("OWL_BENCH_RECORDS", default))
@@ -65,13 +75,21 @@ def seconds_per_record(program, value, columnar: bool, cohort: bool,
     return best
 
 
-def detect_seconds(columnar: bool, cohort: bool, runs: int) -> float:
-    config = OwlConfig(fixed_runs=runs, random_runs=runs, columnar=columnar,
-                       cohort=cohort, always_analyze=True)
-    owl = Owl(aes_program, name="libgpucrypto/AES", config=config)
-    started = time.perf_counter()
-    owl.detect(inputs=AES_INPUTS, random_input=random_key)
-    return time.perf_counter() - started
+def detect_seconds(columnar: bool, cohort: bool, runs: int,
+                   replica_batch: bool = False, replica_dedup: bool = False,
+                   reps: int = 1) -> float:
+    """Best-of-*reps* end-to-end ``Owl.detect`` wall clock."""
+    best = float("inf")
+    for _ in range(reps):
+        config = OwlConfig(fixed_runs=runs, random_runs=runs,
+                           columnar=columnar, cohort=cohort,
+                           always_analyze=True, replica_batch=replica_batch,
+                           replica_dedup=replica_dedup)
+        owl = Owl(aes_program, name="libgpucrypto/AES", config=config)
+        started = time.perf_counter()
+        owl.detect(inputs=AES_INPUTS, random_input=random_key)
+        best = min(best, time.perf_counter() - started)
+    return best
 
 
 def profile(records: int, reps: int, detect_runs: int):
@@ -97,13 +115,24 @@ def profile(records: int, reps: int, detect_runs: int):
     measurements["AES detect (cohort e2e)"] = tuple(
         detect_seconds(True, cohort, detect_runs)
         for cohort in (False, True))
+    # replica-cohort batching: the pre-cohort columnar pipeline vs fused
+    # fixed/random replica cohorts with equal-input dedup (AES is a pure
+    # function of its input, the documented dedup soundness envelope).
+    # Repetition counts matter here — replica batching amortises per-run
+    # costs — so this row pins its own run count (identical in smoke and
+    # full mode, so the perf-regression check compares like with like)
+    # and uses best-of-*reps* on both columns to damp machine noise.
+    measurements["AES detect (replica e2e)"] = (
+        detect_seconds(True, False, REPLICA_DETECT_RUNS, reps=reps),
+        detect_seconds(True, True, REPLICA_DETECT_RUNS, replica_batch=True,
+                       replica_dedup=True, reps=reps))
     return measurements
 
 
 def check_equality() -> None:
-    """All three rungs must produce byte-identical traces (belt and braces
-    — the real coverage lives in tests/tracing/test_columnar.py and
-    tests/tracing/test_cohort.py)."""
+    """All the rungs must produce byte-identical traces (belt and braces
+    — the real coverage lives in tests/tracing/test_columnar.py,
+    tests/tracing/test_cohort.py and tests/tracing/test_replica.py)."""
     for program, value in ((aes_program, AES_INPUT),
                            (rsa_program, RSA_INPUT)):
         reference = TraceRecorder(columnar=False, cohort=False).record(
@@ -113,6 +142,15 @@ def check_equality() -> None:
                 program, value)
             assert fast.signature() == reference.signature(), (
                 program, columnar, cohort)
+    # replica-batched recording of repeated runs matches run-at-a-time
+    from repro.tracing.replica import record_grouped
+    values = [AES_INPUT, AES_INPUT, bytes(range(1, 17))]
+    groups, _stats = record_grouped(aes_program, values, dedup=True)
+    replica_sigs = [trace.signature()
+                    for trace, count in groups for _ in range(count)]
+    serial_sigs = [TraceRecorder().record(aes_program, value).signature()
+                   for value in values]
+    assert replica_sigs == serial_sigs
 
 
 def report(measurements, records: int, smoke: bool):
@@ -148,6 +186,9 @@ def run(smoke: bool) -> None:
     assert speedups["AES detect (e2e)"] >= 1.5, speedups
     # the bar that justifies cohort-by-default, over the columnar baseline
     assert speedups["AES record (cohort)"] >= 2.0, speedups
+    # the bar that justifies replica-batching-by-default: fused replica
+    # cohorts + equal-input dedup vs the pre-cohort columnar pipeline
+    assert speedups["AES detect (replica e2e)"] >= 5.0, speedups
 
 
 def test_trace_hotpath(benchmark):

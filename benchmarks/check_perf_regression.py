@@ -1,0 +1,103 @@
+"""Perf-regression gate for the trace hot path.
+
+Re-measures the end-to-end ``Owl.detect`` rows of
+``bench_trace_hotpath.py`` at their full-mode run counts and compares each
+speedup against the committed artefact
+(``benchmarks/results/trace_hotpath.txt``).  A row that loses more than
+``TOLERANCE`` of its committed speedup fails the check — catching changes
+that quietly re-serialise the replica path or fatten the per-run cost,
+while staying robust to the noise of shared CI runners (record-row
+timings in the microsecond range are *not* gated; only the e2e detect
+ratios are).
+
+Usage::
+
+    python benchmarks/check_perf_regression.py            # measure + compare
+    python benchmarks/check_perf_regression.py --reps 3   # damp noise more
+
+Exit status 0 when every gated row holds, 1 on regression, 2 when the
+committed artefact is missing or unparsable (run the full bench first).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Dict
+
+from bench_trace_hotpath import REPLICA_DETECT_RUNS, detect_seconds
+
+ARTIFACT = Path(__file__).parent / "results" / "trace_hotpath.txt"
+
+#: fraction of the committed speedup a row may lose before the gate fails
+TOLERANCE = 0.25
+
+#: the gated rows and how to re-measure them (full-mode parameters)
+GATED_ROWS = {
+    "AES detect (e2e)": lambda reps: (
+        detect_seconds(False, False, 8, reps=reps),
+        detect_seconds(True, False, 8, reps=reps)),
+    "AES detect (cohort e2e)": lambda reps: (
+        detect_seconds(True, False, 8, reps=reps),
+        detect_seconds(True, True, 8, reps=reps)),
+    "AES detect (replica e2e)": lambda reps: (
+        detect_seconds(True, False, REPLICA_DETECT_RUNS, reps=reps),
+        detect_seconds(True, True, REPLICA_DETECT_RUNS,
+                       replica_batch=True, replica_dedup=True, reps=reps)),
+}
+
+_ROW = re.compile(r"^(?P<name>.+?)\s{2,}[\d.]+\s+[\d.]+\s+"
+                  r"(?P<speedup>[\d.]+)x\s*$")
+
+
+def committed_speedups(text: str) -> Dict[str, float]:
+    """Parse {row name: speedup} out of the committed artefact table."""
+    speedups = {}
+    for line in text.splitlines():
+        match = _ROW.match(line)
+        if match:
+            speedups[match.group("name").strip()] = float(
+                match.group("speedup"))
+    return speedups
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=2,
+                        help="best-of-N repetitions per measurement "
+                             "(default: 2)")
+    args = parser.parse_args(argv)
+
+    if not ARTIFACT.exists():
+        print(f"perf-regression: no committed artefact at {ARTIFACT}; "
+              "run the full bench first", file=sys.stderr)
+        return 2
+    committed = committed_speedups(ARTIFACT.read_text())
+    missing = sorted(set(GATED_ROWS) - set(committed))
+    if missing:
+        print(f"perf-regression: artefact lacks gated rows {missing}; "
+              "regenerate it with the full bench", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name, measure in GATED_ROWS.items():
+        baseline_s, fast_s = measure(args.reps)
+        speedup = baseline_s / fast_s
+        floor = committed[name] * (1 - TOLERANCE)
+        verdict = "ok" if speedup >= floor else "REGRESSED"
+        print(f"{name}: committed {committed[name]:.2f}x, "
+              f"measured {speedup:.2f}x (floor {floor:.2f}x) [{verdict}]")
+        if speedup < floor:
+            failures.append(name)
+    if failures:
+        print(f"perf-regression: {len(failures)} row(s) regressed more "
+              f"than {TOLERANCE:.0%}: {failures}", file=sys.stderr)
+        return 1
+    print("perf-regression: all gated rows within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,10 +66,10 @@ class MemoryRecord:
         for key, count in zip(keys, counts):
             existing[key] = get(key, 0) + count
 
-    def merge(self, other: "MemoryRecord") -> None:
-        """Fold *other*'s counts into this record."""
+    def merge(self, other: "MemoryRecord", scale: int = 1) -> None:
+        """Fold *other*'s counts into this record (*scale* repetitions)."""
         for key, count in other.counts.items():
-            self.counts[key] = self.counts.get(key, 0) + count
+            self.counts[key] = self.counts.get(key, 0) + count * scale
 
     @property
     def total_accesses(self) -> int:
@@ -175,12 +175,13 @@ class Edge:
         self.count += count
         self.prev_counts[prev_src] = self.prev_counts.get(prev_src, 0) + count
 
-    def merge(self, other: "Edge") -> None:
+    def merge(self, other: "Edge", scale: int = 1) -> None:
         if (self.src, self.dst) != (other.src, other.dst):
             raise ValueError("cannot merge edges with different endpoints")
-        self.count += other.count
+        self.count += other.count * scale
         for prev, count in other.prev_counts.items():
-            self.prev_counts[prev] = self.prev_counts.get(prev, 0) + count
+            self.prev_counts[prev] = (self.prev_counts.get(prev, 0)
+                                      + count * scale)
 
     def copy(self) -> "Edge":
         return Edge(src=self.src, dst=self.dst, count=self.count,

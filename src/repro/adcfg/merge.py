@@ -21,8 +21,14 @@ class MergeError(Exception):
     """Raised when incompatible A-DCFGs are merged."""
 
 
-def merge_adcfg_into(target: ADCFG, source: ADCFG) -> ADCFG:
-    """Fold *source* into *target* in place and return *target*."""
+def merge_adcfg_into(target: ADCFG, source: ADCFG, scale: int = 1) -> ADCFG:
+    """Fold *source* into *target* in place and return *target*.
+
+    ``scale`` folds *source* in as *scale* identical repetitions in one
+    pass — used by replica batching, where a deduplicated trace stands
+    for several byte-identical runs.  Equivalent to calling this function
+    *scale* times (all merged attributes are additive counts).
+    """
     if target.kernel_identity != source.kernel_identity:
         raise MergeError(
             f"cannot merge {source.kernel_identity!r} into "
@@ -32,16 +38,16 @@ def merge_adcfg_into(target: ADCFG, source: ADCFG) -> ADCFG:
 
     for label, src_node in source.nodes.items():
         dst_node = target.node(label)
-        dst_node.record_entry(src_node.entries)
+        dst_node.record_entry(src_node.entries * scale)
         for visit, instr, record in src_node.iter_instructions():
             # ensure the slot exists, then merge counts wholesale
             dst_node.record_access(visit=visit, instr=instr,
                                    space=record.space,
                                    is_store=record.is_store, keys=())
-            dst_node.visits[visit][instr].merge(record)
+            dst_node.visits[visit][instr].merge(record, scale=scale)
 
     for key, src_edge in source.edges.items():
-        target.edge(*key).merge(src_edge)
+        target.edge(*key).merge(src_edge, scale=scale)
     return target
 
 

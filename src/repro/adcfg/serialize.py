@@ -267,5 +267,35 @@ def _deserialize_adcfg_unchecked(data: bytes) -> ADCFG:
 
 
 def adcfg_size_bytes(graph: ADCFG) -> int:
-    """Serialised size of *graph* (trace-size accounting for Fig. 5)."""
-    return len(serialize_adcfg(graph))
+    """Serialised size of *graph* (trace-size accounting for Fig. 5).
+
+    Computed analytically from the element counts — the format is fixed
+    little-endian with no padding, so the size is fully determined without
+    materialising the payload.  Always equals
+    ``len(serialize_adcfg(graph))`` (asserted by the serialisation tests);
+    the recording pool sizes every trace it touches, which made the
+    build-and-discard serialisation a measurable slice of replica-batched
+    recording.
+    """
+    # header: magic + (version u16, threads u32, warps u32)
+    size = 4 + 10
+    # string table: u32 count, then u16 length + UTF-8 bytes each
+    size += 4
+    for s in _collect_strings(graph):
+        size += 2 + len(s.encode("utf-8"))
+    # identity + name indices
+    size += 8
+    # nodes: u32 count; per node (IQI)=16, per visit u32, per record
+    # (BBI)=6 plus (IqQ)=20 per access-count pair
+    size += 4
+    for node in graph.nodes.values():
+        size += 16
+        for slots in node.visits:
+            size += 4
+            for record in slots:
+                size += 6 + 20 * len(record.counts)
+    # edges: u32 count; per edge (IIQI)=20 plus (IQ)=12 per predecessor
+    size += 4
+    for edge in graph.edges.values():
+        size += 20 + 12 * len(edge.prev_counts)
+    return size

@@ -121,6 +121,17 @@ def _add_detect_options(parser: argparse.ArgumentParser) -> None:
                              "loop instead of the (default) warp-cohort "
                              "engine that runs all warps of a launch in one "
                              "NumPy pass; both produce identical traces")
+    parser.add_argument("--no-replica-batch", action="store_true",
+                        help="record each repetition of a launch "
+                             "separately instead of (the default) fusing "
+                             "fixed-input replicas into one cohort grid; "
+                             "both produce identical reports")
+    parser.add_argument("--replica-dedup", action="store_true",
+                        help="record each group of equal inputs once and "
+                             "reuse the trace for the whole group; only "
+                             "sound for programs that are pure functions "
+                             "of their input (no per-run randomness), so "
+                             "it is opt-in")
     parser.add_argument("--all-representatives", action="store_true",
                         help="analyze every input class, not just the first")
     parser.add_argument("--granularity", type=int, default=1,
@@ -284,6 +295,8 @@ def _config_from_args(parser: argparse.ArgumentParser,
         workers=_resolve_workers(parser, args.workers),
         columnar=not args.no_columnar,
         cohort=not args.no_cohort,
+        replica_batch=not args.no_replica_batch,
+        replica_dedup=args.replica_dedup,
         retry=retry, fault_plan=fault_plan)
 
 
@@ -319,8 +332,20 @@ def _profile_payload(profiler, stats, workload: str) -> dict:
             "adcfg_fold": fold,
             "analysis": stats.test_seconds,
             "evidence_fold": stats.evidence_seconds,
+            # analysis sub-phases: signature filtering, evidence alignment,
+            # histogram folding, and the batched KS resolution
+            "analysis_filter": profiler.get("analysis_filter"),
+            "analysis_align": profiler.get("analysis_align"),
+            "analysis_fold": profiler.get("analysis_fold"),
+            "analysis_ks": profiler.get("analysis_ks"),
         },
         "phase_counts": dict(profiler.counts),
+        "replica_batching": {
+            "dedup_runs": stats.replica_dedup_runs,
+            "fused_groups": stats.replica_fused_groups,
+            "fused_launches": stats.replica_fused_launches,
+            "fallback_launches": stats.replica_fallback_launches,
+        },
         "total_seconds": stats.total_seconds,
         "trace_count": stats.trace_count,
         "workers": stats.workers,

@@ -119,6 +119,47 @@ class Evidence:
         self.slots = new_slots
         self.num_runs += 1
 
+    def add_trace_repeated(self, trace: ProgramTrace, count: int) -> None:
+        """Fold *count* byte-identical repetitions of *trace* in one pass.
+
+        Replica batching deduplicates equal-input runs on a deterministic
+        device into ``(trace, count)`` groups; this applies the group in
+        O(1) alignments instead of *count*.  Exactly equivalent to calling
+        :meth:`add_trace` *count* times: after the first fold the trace's
+        kernel sequence is a subsequence of the identity sequence, so the
+        remaining ``count - 1`` scripts contain only EQUAL and DELETE
+        steps (slot order never changes), and every merged attribute is an
+        additive count that scales linearly.
+        """
+        if count < 1:
+            raise ConfigError(f"repetition count must be >= 1, got {count}")
+        self.add_trace(trace)
+        remaining = count - 1
+        if remaining == 0:
+            return
+        script = myers_diff(self.identity_sequence, trace.kernel_sequence)
+        if any(step.op is EditOp.INSERT for step in script):
+            # cannot happen after the fold above; keep the slow path as a
+            # defensive reference rather than corrupting slot order
+            for _ in range(remaining):
+                self.add_trace(trace)
+            return
+        for step in script:
+            slot = self.slots[step.a_index]
+            if step.op is EditOp.EQUAL:
+                invocation = trace.invocations[step.b_index]
+                slot.per_run_present.extend([True] * remaining)
+                merge_adcfg_into(slot.adcfg, invocation.adcfg,
+                                 scale=remaining)
+                if slot.per_run_graphs is not None:
+                    slot.per_run_graphs.extend(
+                        invocation.adcfg.copy() for _ in range(remaining))
+            else:  # DELETE
+                slot.per_run_present.extend([False] * remaining)
+                if slot.per_run_graphs is not None:
+                    slot.per_run_graphs.extend([None] * remaining)
+        self.num_runs += remaining
+
     def merge(self, other: "Evidence") -> "Evidence":
         """Fold *other* — a later block of runs — into this evidence.
 

@@ -16,14 +16,23 @@ feature whether the two sides follow the same distribution:
   exist on only one side are *reclassified as control flow* per the paper
   (the difference stems from differing visit counts, which the transition
   matrices already capture) and skipped here.
+
+The analysis walks the aligned evidence **once**: the traversal folds every
+feature's histogram pair and hands it to a :class:`_TestSink`, which either
+tests it on the spot (the scalar reference path) or defers it into a single
+:func:`~repro.core.kstest.ks_test_batch` call covering the whole A-DCFG —
+one NumPy pass over every kernel/control-flow/data-flow feature, with the
+leak emission order identical on both paths.
 """
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import profiling
 from repro.adcfg.graph import ADCFG
 from repro.core.evidence import AlignedSlotPair, Evidence, align_evidence
 from repro.core.kstest import (
@@ -39,7 +48,7 @@ from repro.core.kstest import (
 from repro.core.quantify import leakage_bits_per_observation
 from repro.core.report import Leak, LeakType, LeakageReport
 from repro.core.transition import transition_matrix
-from repro.errors import ConfigError, TraceError
+from repro.errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -84,71 +93,96 @@ class LeakageConfig:
                 f"unknown sampling mode {self.sampling!r}; valid choices: 'pooled', 'per_run'")
 
 
-class _ScalarTester:
-    """Reference dispatch: one Python/NumPy test call per feature."""
+#: One submitted feature test: ``("plain", x, y)`` with raw sample lists,
+#: or ``("weighted", hist_x, hist_y, order)`` with weighted histograms.
+_Request = Tuple
+#: Turns a group's test results (None where degenerate) into its leaks.
+_Resolver = Callable[[List[Optional[TestResult]]], List[Leak]]
 
-    def __init__(self, analyzer: "LeakageAnalyzer") -> None:
+
+class _TestSink:
+    """Single-traversal test dispatch for the leakage analysis.
+
+    The traversal emits definite leaks directly and submits *groups* — a
+    list of feature requests plus a resolver turning their results into
+    leaks.  Deferred mode (vectorized KS) accumulates every request across
+    the whole traversal and evaluates them in one
+    :func:`~repro.core.kstest.ks_test_batch` call before running the
+    resolvers in traversal order; inline mode (Welch, or
+    ``vectorized=False``) tests and resolves each group on the spot.  The
+    leak emission order is identical on both paths because groups resolve
+    in submission order either way.
+    """
+
+    def __init__(self, analyzer: "LeakageAnalyzer", defer: bool) -> None:
         self._analyzer = analyzer
+        self._defer = defer
+        self._requests: List[_Request] = []
+        # ordered emissions: a literal leak list, or (start, count, resolve)
+        self._emissions: List = []
+        self._leaks: List[Leak] = []
 
-    def plain(self, x: List[float], y: List[float]) -> Optional[TestResult]:
-        try:
-            return self._analyzer._plain_test(x, y)
-        except DistributionTestError:
-            return None
+    def leak(self, leak: Leak) -> None:
+        """Emit a definite leak (no test needed)."""
+        if self._defer:
+            self._emissions.append([leak])
+        else:
+            self._leaks.append(leak)
 
-    def weighted(self, hist_x: Dict, hist_y: Dict,
-                 order: Optional[Dict] = None) -> Optional[TestResult]:
-        return self._analyzer._categorical_test(hist_x, hist_y, order=order)
-
-
-class _BatchPlanner:
-    """First pass of the vectorized path: records every feature request.
-
-    Plain-sample requests are recast as weighted histograms of their
-    values — the weighted ECDF over a sample's value counts is the sample's
-    ECDF, so the KS statistic and the effective sample sizes are unchanged.
-    Always answers ``None``; the traversal's leaks are discarded, only the
-    request sequence matters.
-    """
-
-    def __init__(self) -> None:
-        self.requests: List[Tuple] = []
-
-    def plain(self, x: List[float], y: List[float]) -> None:
-        self.requests.append((Counter(x), Counter(y)))
-        return None
+    def plain(self, x: List[float], y: List[float],
+              resolve: Callable[[Optional[TestResult]], List[Leak]]) -> None:
+        """Submit one plain-sample test."""
+        self.group([("plain", x, y)], lambda results: resolve(results[0]))
 
     def weighted(self, hist_x: Dict, hist_y: Dict,
+                 resolve: Callable[[Optional[TestResult]], List[Leak]],
                  order: Optional[Dict] = None) -> None:
-        self.requests.append((hist_x, hist_y, order))
-        return None
+        """Submit one weighted-histogram test."""
+        self.group([("weighted", hist_x, hist_y, order)],
+                   lambda results: resolve(results[0]))
 
+    def group(self, requests: List[_Request], resolve: _Resolver) -> None:
+        """Submit a group of tests whose results resolve together."""
+        if self._defer:
+            start = len(self._requests)
+            for request in requests:
+                if request[0] == "plain":
+                    # a weighted ECDF over a sample's value counts is the
+                    # sample's ECDF: statistic and sizes are unchanged
+                    self._requests.append(
+                        (Counter(request[1]), Counter(request[2])))
+                else:
+                    self._requests.append(
+                        (request[1], request[2], request[3]))
+            self._emissions.append((start, len(requests), resolve))
+        else:
+            self._leaks.extend(resolve([self._run(r) for r in requests]))
 
-class _BatchReplayer:
-    """Second pass: hands out the batch results in request order.
+    def _run(self, request: _Request) -> Optional[TestResult]:
+        if request[0] == "plain":
+            try:
+                return self._analyzer._plain_test(request[1], request[2])
+            except DistributionTestError:
+                return None
+        return self._analyzer._categorical_test(request[1], request[2],
+                                                order=request[3])
 
-    Valid because the traversal is deterministic and which features get
-    *requested* never depends on earlier test outcomes (outcomes only
-    select which leaks are reported).
-    """
-
-    def __init__(self, results: Sequence[Optional[TestResult]]) -> None:
-        self._results = iter(results)
-
-    def _next(self) -> Optional[TestResult]:
-        try:
-            return next(self._results)
-        except StopIteration:
-            raise TraceError(
-                "batched leakage traversal requested more tests than "
-                "planned — the two passes diverged") from None
-
-    def plain(self, x: List[float], y: List[float]) -> Optional[TestResult]:
-        return self._next()
-
-    def weighted(self, hist_x: Dict, hist_y: Dict,
-                 order: Optional[Dict] = None) -> Optional[TestResult]:
-        return self._next()
+    def finish(self) -> List[Leak]:
+        """Evaluate deferred requests and return all leaks in order."""
+        if not self._defer:
+            return self._leaks
+        config = self._analyzer.config
+        results = ks_test_batch(self._requests,
+                                confidence=config.confidence,
+                                sample_size_cap=config.sample_size_cap)
+        leaks: List[Leak] = []
+        for emission in self._emissions:
+            if isinstance(emission, list):
+                leaks.extend(emission)
+            else:
+                start, count, resolve = emission
+                leaks.extend(resolve(results[start:start + count]))
+        return leaks
 
 
 class LeakageAnalyzer:
@@ -163,57 +197,55 @@ class LeakageAnalyzer:
 
     def analyze(self, fixed: Evidence, random: Evidence,
                 program_name: str = "program") -> LeakageReport:
+        prof = profiling.profiler()
         report = LeakageReport(program_name=program_name,
                                num_fixed_runs=fixed.num_runs,
                                num_random_runs=random.num_runs,
                                confidence=self.config.confidence)
+        started = time.perf_counter()
         pairs = align_evidence(fixed, random)
-        if self.config.test == "ks" and self.config.vectorized:
-            # pass 1 collects every feature's histogram pair, one NumPy
-            # call evaluates them all, pass 2 replays the traversal with
-            # the precomputed results
-            planner = _BatchPlanner()
-            self._collect_leaks(pairs, planner)
-            results = ks_test_batch(
-                planner.requests, confidence=self.config.confidence,
-                sample_size_cap=self.config.sample_size_cap)
-            tester = _BatchReplayer(results)
-        else:
-            tester = _ScalarTester(self)
-        report.extend(self._collect_leaks(pairs, tester))
-        return report
-
-    def _collect_leaks(self, pairs: List[AlignedSlotPair],
-                       tester) -> List[Leak]:
-        leaks: List[Leak] = []
+        if prof is not None:
+            prof.add("analysis_align", time.perf_counter() - started)
+        defer = self.config.test == "ks" and self.config.vectorized
+        sink = _TestSink(self, defer)
+        started = time.perf_counter()
         for pair in pairs:
-            leaks.extend(self._kernel_test(pair, tester))
+            self._kernel_test(pair, sink)
             if pair.aligned:
-                leaks.extend(self._device_tests(pair, tester))
-        return leaks
+                self._device_tests(pair, sink)
+        if prof is not None:
+            prof.add("analysis_fold", time.perf_counter() - started)
+        started = time.perf_counter()
+        report.extend(sink.finish())
+        if prof is not None:
+            prof.add("analysis_ks", time.perf_counter() - started)
+        return report
 
     # ------------------------------------------------------------------
     # kernel leakage
     # ------------------------------------------------------------------
 
-    def _kernel_test(self, pair: AlignedSlotPair, tester) -> List[Leak]:
+    def _kernel_test(self, pair: AlignedSlotPair, sink: _TestSink) -> None:
         if not pair.aligned:
             slot = pair.fixed if pair.fixed is not None else pair.random
             assert slot is not None
             side = "fixed" if pair.fixed is not None else "random"
-            return [Leak(
+            sink.leak(Leak(
                 leak_type=LeakType.KERNEL, kernel_identity=slot.identity,
                 kernel_name=slot.kernel_name, p_value=0.0, statistic=1.0,
                 bits=1.0 if self.config.quantify else 0.0,
-                detail=f"invocation only under {side} inputs")]
+                detail=f"invocation only under {side} inputs"))
+            return
         fixed_slot, random_slot = pair.fixed, pair.random
         assert fixed_slot is not None and random_slot is not None
         samples_fixed = [1.0 if p else 0.0 for p in fixed_slot.per_run_present]
         samples_random = [1.0 if p else 0.0 for p in random_slot.per_run_present]
         if samples_fixed == samples_random:
-            return []
-        result = tester.plain(samples_fixed, samples_random)
-        if result is not None and result.rejected:
+            return
+
+        def resolve(result: Optional[TestResult]) -> List[Leak]:
+            if result is None or not result.rejected:
+                return []
             return [Leak(
                 leak_type=LeakType.KERNEL,
                 kernel_identity=fixed_slot.identity,
@@ -225,13 +257,14 @@ class LeakageAnalyzer:
                         f"{len(fixed_slot.per_run_present)} fixed vs "
                         f"{random_slot.total_count}/"
                         f"{len(random_slot.per_run_present)} random runs"))]
-        return []
+
+        sink.plain(samples_fixed, samples_random, resolve)
 
     # ------------------------------------------------------------------
     # device leakage
     # ------------------------------------------------------------------
 
-    def _device_tests(self, pair: AlignedSlotPair, tester) -> List[Leak]:
+    def _device_tests(self, pair: AlignedSlotPair, sink: _TestSink) -> None:
         assert pair.fixed is not None and pair.random is not None
         if self.config.sampling == "per_run":
             if (pair.fixed.per_run_graphs is None
@@ -239,25 +272,23 @@ class LeakageAnalyzer:
                 raise ConfigError(
                     "per_run sampling requires evidence built with "
                     "keep_per_run=True")
-            return self._per_run_device_tests(pair, tester)
+            self._per_run_device_tests(pair, sink)
+            return
         fixed_graph = pair.fixed.adcfg
         random_graph = pair.random.adcfg
-        leaks = self._control_flow_tests(pair.identity, fixed_graph,
-                                         random_graph, tester)
-        leaks.extend(self._data_flow_tests(pair.identity, fixed_graph,
-                                           random_graph, tester))
-        return leaks
+        self._control_flow_tests(pair.identity, fixed_graph, random_graph,
+                                 sink)
+        self._data_flow_tests(pair.identity, fixed_graph, random_graph, sink)
 
     def _control_flow_tests(self, identity: str, fixed_graph: ADCFG,
-                            random_graph: ADCFG, tester) -> List[Leak]:
-        leaks: List[Leak] = []
+                            random_graph: ADCFG, sink: _TestSink) -> None:
         labels = sorted(set(fixed_graph.nodes) | set(random_graph.nodes))
         for label in labels:
             in_fixed = label in fixed_graph.nodes
             in_random = label in random_graph.nodes
             if in_fixed != in_random:
                 side = "fixed" if in_fixed else "random"
-                leaks.append(Leak(
+                sink.leak(Leak(
                     leak_type=LeakType.DEVICE_CONTROL_FLOW,
                     kernel_identity=identity,
                     kernel_name=fixed_graph.kernel_name,
@@ -269,64 +300,82 @@ class LeakageAnalyzer:
             hist_random = transition_matrix(random_graph, label).histogram()
             if hist_fixed == hist_random:
                 continue
-            result = tester.weighted(hist_fixed, hist_random)
-            if result is not None and result.rejected:
-                leaks.append(Leak(
+
+            def resolve(result: Optional[TestResult], label=label,
+                        hist_fixed=hist_fixed,
+                        hist_random=hist_random) -> List[Leak]:
+                if result is None or not result.rejected:
+                    return []
+                return [Leak(
                     leak_type=LeakType.DEVICE_CONTROL_FLOW,
                     kernel_identity=identity,
                     kernel_name=fixed_graph.kernel_name,
                     block=label, p_value=result.p_value,
                     statistic=result.statistic,
                     bits=self._bits(hist_fixed, hist_random),
-                    detail="control-flow transition matrix deviates"))
-        return leaks
+                    detail="control-flow transition matrix deviates")]
+
+            sink.weighted(hist_fixed, hist_random, resolve)
 
     def _data_flow_tests(self, identity: str, fixed_graph: ADCFG,
-                         random_graph: ADCFG, tester) -> List[Leak]:
-        leaks: List[Leak] = []
+                         random_graph: ADCFG, sink: _TestSink) -> None:
         common_labels = sorted(set(fixed_graph.nodes) & set(random_graph.nodes))
         for label in common_labels:
             fixed_node = fixed_graph.nodes[label]
             random_node = random_graph.nodes[label]
-            # group results per instruction across visits; report the most
-            # significant failing visit per instruction
-            worst: Dict[int, Tuple[TestResult, int]] = {}
             fixed_slots = {(v, i): r for v, i, r in fixed_node.iter_instructions()}
             random_slots = {(v, i): r
                             for v, i, r in random_node.iter_instructions()}
-            bits_of: Dict[int, float] = {}
+            # slots on one side only are control-flow differences (already
+            # visible to the transition-matrix test): skip them here
+            tests: List[Tuple[Tuple[int, int], Dict, Dict]] = []
             for key in sorted(set(fixed_slots) & set(random_slots)):
-                # slots on one side only are control-flow differences
-                # (already visible to the transition-matrix test): skip.
                 record_fixed = self._coarsen(fixed_slots[key].counts)
                 record_random = self._coarsen(random_slots[key].counts)
                 if record_fixed == record_random:
                     continue
-                result = tester.weighted(record_fixed, record_random)
-                if result is None or not result.rejected:
-                    continue
-                visit, instr = key
-                current = worst.get(instr)
-                if current is None or result.p_value < current[0].p_value:
-                    worst[instr] = (result, visit)
-                    bits_of[instr] = self._bits(record_fixed, record_random)
-            for instr in sorted(worst):
-                result, visit = worst[instr]
-                leaks.append(Leak(
+                tests.append((key, record_fixed, record_random))
+            if not tests:
+                continue
+
+            def resolve(results: List[Optional[TestResult]], label=label,
+                        tests=tests) -> List[Leak]:
+                # group results per instruction across visits; report the
+                # most significant failing visit per instruction
+                worst: Dict[int, Tuple[TestResult, int]] = {}
+                bits_of: Dict[int, float] = {}
+                for (key, record_fixed, record_random), result in zip(tests,
+                                                                      results):
+                    if result is None or not result.rejected:
+                        continue
+                    visit, instr = key
+                    current = worst.get(instr)
+                    if current is None or result.p_value < current[0].p_value:
+                        worst[instr] = (result, visit)
+                        bits_of[instr] = self._bits(record_fixed,
+                                                    record_random)
+                return [Leak(
                     leak_type=LeakType.DEVICE_DATA_FLOW,
                     kernel_identity=identity,
                     kernel_name=fixed_graph.kernel_name,
-                    block=label, instr=instr, p_value=result.p_value,
-                    statistic=result.statistic, bits=bits_of.get(instr, 0.0),
-                    detail=f"address histogram deviates (e.g. visit {visit})"))
-        return leaks
+                    block=label, instr=instr,
+                    p_value=worst[instr][0].p_value,
+                    statistic=worst[instr][0].statistic,
+                    bits=bits_of.get(instr, 0.0),
+                    detail=(f"address histogram deviates "
+                            f"(e.g. visit {worst[instr][1]})"))
+                    for instr in sorted(worst)]
+
+            sink.group([("weighted", record_fixed, record_random, None)
+                        for _key, record_fixed, record_random in tests],
+                       resolve)
 
     # ------------------------------------------------------------------
     # strict per-run sampling mode
     # ------------------------------------------------------------------
 
     def _per_run_device_tests(self, pair: AlignedSlotPair,
-                              tester) -> List[Leak]:
+                              sink: _TestSink) -> None:
         """Device tests where each run contributes one sample per feature.
 
         For every feature coordinate (a transition type for control flow, a
@@ -342,9 +391,8 @@ class LeakageAnalyzer:
         random_graphs = [g for g in pair.random.per_run_graphs or []
                          if g is not None]
         if not fixed_graphs or not random_graphs:
-            return []
+            return
         kernel_name = fixed_graphs[0].kernel_name
-        leaks: List[Leak] = []
 
         fixed_labels = set().union(*(set(g.nodes) for g in fixed_graphs))
         random_labels = set().union(*(set(g.nodes) for g in random_graphs))
@@ -353,20 +401,17 @@ class LeakageAnalyzer:
             in_random = label in random_labels
             if in_fixed != in_random:
                 side = "fixed" if in_fixed else "random"
-                leaks.append(Leak(
+                sink.leak(Leak(
                     leak_type=LeakType.DEVICE_CONTROL_FLOW,
                     kernel_identity=identity, kernel_name=kernel_name,
                     block=label, p_value=0.0, statistic=1.0,
                     bits=1.0 if self.config.quantify else 0.0,
                     detail=f"basic block executed only under {side} inputs"))
                 continue
-            leaks.extend(self._per_run_cf_test(identity, kernel_name, label,
-                                               fixed_graphs, random_graphs,
-                                               tester))
-            leaks.extend(self._per_run_df_test(identity, kernel_name, label,
-                                               fixed_graphs, random_graphs,
-                                               tester))
-        return leaks
+            self._per_run_cf_test(identity, kernel_name, label,
+                                  fixed_graphs, random_graphs, sink)
+            self._per_run_df_test(identity, kernel_name, label,
+                                  fixed_graphs, random_graphs, sink)
 
     @staticmethod
     def _per_run_cf_samples(graphs, label):
@@ -379,36 +424,47 @@ class LeakageAnalyzer:
         return histograms
 
     def _per_run_cf_test(self, identity, kernel_name, label,
-                         fixed_graphs, random_graphs, tester) -> List[Leak]:
+                         fixed_graphs, random_graphs,
+                         sink: _TestSink) -> None:
         fixed_hists = self._per_run_cf_samples(fixed_graphs, label)
         random_hists = self._per_run_cf_samples(random_graphs, label)
         keys = set()
         for hist in fixed_hists + random_hists:
             keys.update(hist)
-        worst: Optional[TestResult] = None
+        tests: List[Tuple[List[float], List[float]]] = []
         for key in sorted(keys):
             x = [float(hist.get(key, 0)) for hist in fixed_hists]
             y = [float(hist.get(key, 0)) for hist in random_hists]
             if x == y:
                 continue
-            result = tester.plain(x, y)
-            if result is None:
-                continue
-            if result.rejected and (worst is None
-                                    or result.p_value < worst.p_value):
-                worst = result
-        if worst is None:
-            return []
-        return [Leak(
-            leak_type=LeakType.DEVICE_CONTROL_FLOW,
-            kernel_identity=identity, kernel_name=kernel_name, block=label,
-            p_value=worst.p_value, statistic=worst.statistic,
-            bits=self._bits(
-                _pool(fixed_hists), _pool(random_hists)),
-            detail="per-run transition counts deviate")]
+            tests.append((x, y))
+        if not tests:
+            return
+
+        def resolve(results: List[Optional[TestResult]]) -> List[Leak]:
+            worst: Optional[TestResult] = None
+            for result in results:
+                if result is None:
+                    continue
+                if result.rejected and (worst is None
+                                        or result.p_value < worst.p_value):
+                    worst = result
+            if worst is None:
+                return []
+            return [Leak(
+                leak_type=LeakType.DEVICE_CONTROL_FLOW,
+                kernel_identity=identity, kernel_name=kernel_name,
+                block=label,
+                p_value=worst.p_value, statistic=worst.statistic,
+                bits=self._bits(
+                    _pool(fixed_hists), _pool(random_hists)),
+                detail="per-run transition counts deviate")]
+
+        sink.group([("plain", x, y) for x, y in tests], resolve)
 
     def _per_run_df_test(self, identity, kernel_name, label,
-                         fixed_graphs, random_graphs, tester) -> List[Leak]:
+                         fixed_graphs, random_graphs,
+                         sink: _TestSink) -> None:
         def slot_maps(graphs):
             per_run = []
             for graph in graphs:
@@ -424,13 +480,12 @@ class LeakageAnalyzer:
         random_runs = slot_maps(random_graphs)
         common_slots = (set().union(*(set(r) for r in fixed_runs))
                         & set().union(*(set(r) for r in random_runs)))
-        worst: Dict[int, Tuple[TestResult, int]] = {}
-        bits_of: Dict[int, float] = {}
+        tests_per_slot: List[Tuple[Tuple[int, int], List[Tuple]]] = []
         for slot_key in sorted(common_slots):
             addresses = set()
             for run in fixed_runs + random_runs:
                 addresses.update(run.get(slot_key, {}))
-            slot_worst: Optional[TestResult] = None
+            slot_tests = []
             for address in sorted(addresses):
                 x = [float(run.get(slot_key, {}).get(address, 0))
                      for run in fixed_runs]
@@ -438,28 +493,47 @@ class LeakageAnalyzer:
                      for run in random_runs]
                 if x == y:
                     continue
-                result = tester.plain(x, y)
-                if result is None:
+                slot_tests.append((x, y))
+            if slot_tests:
+                tests_per_slot.append((slot_key, slot_tests))
+        if not tests_per_slot:
+            return
+
+        def resolve(results: List[Optional[TestResult]]) -> List[Leak]:
+            worst: Dict[int, Tuple[TestResult, int]] = {}
+            bits_of: Dict[int, float] = {}
+            position = 0
+            for slot_key, slot_tests in tests_per_slot:
+                slot_worst: Optional[TestResult] = None
+                for _ in slot_tests:
+                    result = results[position]
+                    position += 1
+                    if result is None:
+                        continue
+                    if result.rejected and (
+                            slot_worst is None
+                            or result.p_value < slot_worst.p_value):
+                        slot_worst = result
+                if slot_worst is None:
                     continue
-                if result.rejected and (slot_worst is None
-                                        or result.p_value < slot_worst.p_value):
-                    slot_worst = result
-            if slot_worst is None:
-                continue
-            visit, instr = slot_key
-            current = worst.get(instr)
-            if current is None or slot_worst.p_value < current[0].p_value:
-                worst[instr] = (slot_worst, visit)
-                bits_of[instr] = self._bits(
-                    _pool([run.get(slot_key, {}) for run in fixed_runs]),
-                    _pool([run.get(slot_key, {}) for run in random_runs]))
-        return [Leak(
-            leak_type=LeakType.DEVICE_DATA_FLOW, kernel_identity=identity,
-            kernel_name=kernel_name, block=label, instr=instr,
-            p_value=result.p_value, statistic=result.statistic,
-            bits=bits_of.get(instr, 0.0),
-            detail=f"per-run address counts deviate (e.g. visit {visit})")
-            for instr, (result, visit) in sorted(worst.items())]
+                visit, instr = slot_key
+                current = worst.get(instr)
+                if current is None or slot_worst.p_value < current[0].p_value:
+                    worst[instr] = (slot_worst, visit)
+                    bits_of[instr] = self._bits(
+                        _pool([run.get(slot_key, {}) for run in fixed_runs]),
+                        _pool([run.get(slot_key, {}) for run in random_runs]))
+            return [Leak(
+                leak_type=LeakType.DEVICE_DATA_FLOW, kernel_identity=identity,
+                kernel_name=kernel_name, block=label, instr=instr,
+                p_value=result.p_value, statistic=result.statistic,
+                bits=bits_of.get(instr, 0.0),
+                detail=f"per-run address counts deviate (e.g. visit {visit})")
+                for instr, (result, visit) in sorted(worst.items())]
+
+        sink.group([("plain", x, y)
+                    for _slot_key, slot_tests in tests_per_slot
+                    for x, y in slot_tests], resolve)
 
     # ------------------------------------------------------------------
     # attacker model and quantification helpers

@@ -118,31 +118,101 @@ class ChunkStats:
     trace_bytes_total: int = 0
     trace_seconds_total: float = 0.0
     evidence_seconds: float = 0.0
+    #: replica-batching counters (see repro.tracing.replica.ReplicaStats)
+    replica_dedup_runs: int = 0
+    replica_fused_groups: int = 0
+    replica_fused_launches: int = 0
+    replica_fallback_launches: int = 0
     degradations: List[DegradationEvent] = field(default_factory=list)
 
-    def add_trace(self, trace: ProgramTrace, seconds: float) -> None:
-        self.trace_count += 1
-        self.trace_bytes_total += trace.trace_size_bytes()
-        self.trace_seconds_total += seconds
+    def add_trace(self, trace: ProgramTrace, seconds: float,
+                  count: int = 1) -> None:
+        self.trace_count += count
+        self.trace_bytes_total += trace.trace_size_bytes() * count
+        self.trace_seconds_total += seconds * count
+
+    def add_replica_stats(self, replica_stats) -> None:
+        self.replica_dedup_runs += replica_stats.dedup_runs
+        self.replica_fused_groups += replica_stats.fused_groups
+        self.replica_fused_launches += replica_stats.fused_launches
+        self.replica_fallback_launches += replica_stats.fallback_launches
 
     def absorb(self, other: "ChunkStats") -> None:
         self.trace_count += other.trace_count
         self.trace_bytes_total += other.trace_bytes_total
         self.trace_seconds_total += other.trace_seconds_total
         self.evidence_seconds += other.evidence_seconds
+        self.replica_dedup_runs += other.replica_dedup_runs
+        self.replica_fused_groups += other.replica_fused_groups
+        self.replica_fused_launches += other.replica_fused_launches
+        self.replica_fallback_launches += other.replica_fallback_launches
         self.degradations.extend(other.degradations)
+
+
+def _replica_batches(values: Sequence[object],
+                     replica_batch) -> Optional[List[Sequence[object]]]:
+    """Partition *values* into replica batches (None = serial reference).
+
+    ``True`` batches the whole chunk; an int ``n >= 2`` caps batches at
+    *n* runs; ``False`` / ``None`` / ``n <= 1`` keep the per-run loop.
+    """
+    if len(values) <= 1:
+        return None
+    if replica_batch is True:
+        size = len(values)
+    elif isinstance(replica_batch, bool) or replica_batch is None:
+        return None
+    elif isinstance(replica_batch, int) and replica_batch >= 2:
+        size = replica_batch
+    else:
+        return None
+    return [values[start:start + size]
+            for start in range(0, len(values), size)]
+
+
+def _record_grouped_batches(
+        program: Program, device_config: Optional[DeviceConfig],
+        batches: List[Sequence[object]], columnar: bool, cohort: bool,
+        dedup: bool,
+        stats: ChunkStats) -> List[Tuple[ProgramTrace, int, float]]:
+    """Record replica batches; yields ``(trace, count, per_run_seconds)``."""
+    from repro.tracing.replica import record_grouped
+
+    out: List[Tuple[ProgramTrace, int, float]] = []
+    for batch in batches:
+        started = time.perf_counter()
+        groups, replica_stats = record_grouped(
+            program, batch, device_config=device_config,
+            columnar=columnar, cohort=cohort, dedup=dedup)
+        elapsed = time.perf_counter() - started
+        stats.add_replica_stats(replica_stats)
+        total_runs = sum(count for _trace, count in groups)
+        per_run = elapsed / total_runs if total_runs else 0.0
+        out.extend((trace, count, per_run) for trace, count in groups)
+    return out
 
 
 def _record_trace_chunk(
         program: Program, device_config: Optional[DeviceConfig],
         values: Sequence[object], buffered: bool, columnar: bool,
-        cohort: bool,
+        cohort: bool, replica_batch=False, replica_dedup: bool = False,
 ) -> Tuple[List[ProgramTrace], ChunkStats]:
     """Worker body for phase 1: record and return the raw traces."""
-    recorder = TraceRecorder(device_config=device_config, buffered=buffered,
-                             columnar=columnar, cohort=cohort)
     stats = ChunkStats()
     traces: List[ProgramTrace] = []
+    batches = None if buffered else _replica_batches(values, replica_batch)
+    if batches is not None:
+        for trace, count, per_run in _record_grouped_batches(
+                program, device_config, batches, columnar, cohort,
+                replica_dedup, stats):
+            stats.add_trace(trace, per_run, count=count)
+            # pre-compute the digest so the phase-2 grouping in the parent
+            # reuses it instead of re-serialising every A-DCFG
+            trace.signature()
+            traces.extend([trace] * count)
+        return traces, stats
+    recorder = TraceRecorder(device_config=device_config, buffered=buffered,
+                             columnar=columnar, cohort=cohort)
     for value in values:
         started = time.perf_counter()
         trace = recorder.record(program, value)
@@ -157,7 +227,8 @@ def _record_trace_chunk(
 def _record_evidence_chunk(
         program: Program, device_config: Optional[DeviceConfig],
         values: Sequence[object], keep_per_run: bool, buffered: bool,
-        columnar: bool, cohort: bool,
+        columnar: bool, cohort: bool, replica_batch=False,
+        replica_dedup: bool = False,
 ) -> Tuple[Evidence, ChunkStats]:
     """Worker body for phase 3: fold the chunk's runs into partial evidence.
 
@@ -165,10 +236,20 @@ def _record_evidence_chunk(
     trace plus the growing partial evidence — the streaming fold that keeps
     the Table IV memory column flat at high run counts.
     """
-    recorder = TraceRecorder(device_config=device_config, buffered=buffered,
-                             columnar=columnar, cohort=cohort)
     stats = ChunkStats()
     evidence = Evidence(keep_per_run=keep_per_run)
+    batches = None if buffered else _replica_batches(values, replica_batch)
+    if batches is not None:
+        for trace, count, per_run in _record_grouped_batches(
+                program, device_config, batches, columnar, cohort,
+                replica_dedup, stats):
+            stats.add_trace(trace, per_run, count=count)
+            folded = time.perf_counter()
+            evidence.add_trace_repeated(trace, count)
+            stats.evidence_seconds += time.perf_counter() - folded
+        return evidence, stats
+    recorder = TraceRecorder(device_config=device_config, buffered=buffered,
+                             columnar=columnar, cohort=cohort)
     for value in values:
         started = time.perf_counter()
         trace = recorder.record(program, value)
@@ -198,6 +279,7 @@ class TraceRecordingPool:
                  device_config: Optional[DeviceConfig] = None,
                  workers: WorkerSpec = 1, buffered: bool = False,
                  columnar: bool = True, cohort: bool = True, *,
+                 replica_batch=False, replica_dedup: bool = False,
                  retry: Optional[RetryPolicy] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  seed: int = 0) -> None:
@@ -207,6 +289,8 @@ class TraceRecordingPool:
         self.buffered = buffered
         self.columnar = columnar
         self.cohort = cohort
+        self.replica_batch = replica_batch
+        self.replica_dedup = replica_dedup
         self.retry = retry or RetryPolicy()
         self.fault_plan = fault_plan
         self.seed = seed
@@ -221,7 +305,8 @@ class TraceRecordingPool:
         with collecting_degradations() as log:
             chunks = self._run_chunks(_record_trace_chunk, values,
                                       (self.buffered, self.columnar,
-                                       self.cohort))
+                                       self.cohort, self.replica_batch,
+                                       self.replica_dedup))
         traces: List[ProgramTrace] = []
         stats = ChunkStats()
         for chunk_traces, chunk_stats in chunks:
@@ -237,7 +322,9 @@ class TraceRecordingPool:
         with collecting_degradations() as log:
             chunks = self._run_chunks(_record_evidence_chunk, values,
                                       (keep_per_run, self.buffered,
-                                       self.columnar, self.cohort))
+                                       self.columnar, self.cohort,
+                                       self.replica_batch,
+                                       self.replica_dedup))
         evidence: Optional[Evidence] = None
         stats = ChunkStats()
         for chunk_evidence, chunk_stats in chunks:

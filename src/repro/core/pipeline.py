@@ -36,6 +36,7 @@ from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import profiling
 from repro.core.evidence import Evidence
 from repro.core.filtering import FilterResult, filter_traces
 from repro.core.kstest import DEFAULT_CONFIDENCE
@@ -99,6 +100,24 @@ class OwlConfig:
     #: ``cohort=False`` keeps the per-warp execution loop as the
     #: reference.  Excluded from store fingerprints, like ``columnar``.
     cohort: bool = True
+    #: replica-cohort batching for the phase-3 repetition loops: runs with
+    #: equal inputs on a deterministic device are deduplicated into
+    #: ``(trace, count)`` groups, and the remaining distinct runs execute
+    #: their kernel launches as extra rows of the warp-cohort lane grid —
+    #: one NumPy pass per group of compatible launches.  ``True`` batches
+    #: a whole side's runs together, an int ``n >= 2`` caps the batch
+    #: size, and ``False`` keeps the per-run recording loop as the
+    #: reference.  Reports are byte-identical either way; excluded from
+    #: store fingerprints, like ``cohort``.
+    replica_batch: Union[bool, int] = True
+    #: additionally collapse consecutive equal-input runs into a single
+    #: recording (O(1) work for the whole fixed side).  Only sound when
+    #: the program is a pure function of ``(rt, value)``: a program that
+    #: draws its own per-run randomness (input-independent nondeterminism,
+    #: which the kernel-leakage test is designed to cancel) yields
+    #: distinct traces for equal inputs, so this stays opt-in.  Excluded
+    #: from store fingerprints.
+    replica_dedup: bool = False
     #: with a store attached, persist a phase-3 evidence checkpoint after
     #: every this-many recorded runs per side; an interrupted campaign
     #: resumes from the last checkpoint.  Purely an I/O cadence knob —
@@ -143,6 +162,15 @@ class OwlConfig:
             raise ConfigError(
                 f"sample_size_cap must be a positive int or None, got "
                 f"{self.sample_size_cap!r}")
+        if not isinstance(self.replica_batch, (bool, int)) or (
+                not isinstance(self.replica_batch, bool)
+                and self.replica_batch < 1):
+            raise ConfigError(
+                f"replica_batch must be a bool or a positive int, got "
+                f"{self.replica_batch!r}")
+        if not isinstance(self.replica_dedup, bool):
+            raise ConfigError(
+                f"replica_dedup must be a bool, got {self.replica_dedup!r}")
         if (self.cohort_step_budget is not None
                 and self.cohort_step_budget < 1):
             raise ConfigError(
@@ -206,6 +234,14 @@ class PhaseStats:
     cached_runs: int = 0
     #: the final report itself came straight from the store
     report_cache_hit: bool = False
+    #: replica-batching counters (all 0 with ``replica_batch=False``):
+    #: runs served by deduplicating equal inputs, fused cohort groups
+    #: executed, launches retired from fused groups, and launches that
+    #: fell back to the per-run engine
+    replica_dedup_runs: int = 0
+    replica_fused_groups: int = 0
+    replica_fused_launches: int = 0
+    replica_fallback_launches: int = 0
     #: structured record of every fault this run survived (worker retries,
     #: pool → serial, cohort → warp, columnar → object, quarantined blobs);
     #: empty on a fault-free run — degraded runs stay bit-identical, this
@@ -234,6 +270,10 @@ class PhaseStats:
         self.trace_seconds_total += chunk.trace_seconds_total
         self.evidence_seconds += chunk.evidence_seconds
         self.trace_wall_seconds += wall_seconds
+        self.replica_dedup_runs += chunk.replica_dedup_runs
+        self.replica_fused_groups += chunk.replica_fused_groups
+        self.replica_fused_launches += chunk.replica_fused_launches
+        self.replica_fallback_launches += chunk.replica_fallback_launches
         self.degradations.extend(chunk.degradations)
 
 
@@ -286,6 +326,8 @@ class Owl:
                                        workers=self.config.workers,
                                        columnar=self.config.columnar,
                                        cohort=self.config.cohort,
+                                       replica_batch=self.config.replica_batch,
+                                       replica_dedup=self.config.replica_dedup,
                                        retry=self.config.retry,
                                        fault_plan=self.config.fault_plan,
                                        seed=self.config.seed)
@@ -480,7 +522,12 @@ class Owl:
         try:
             traces = self.record_traces(inputs, stats=stats,
                                         campaign=campaign)
+            filter_started = time.perf_counter()
             filter_result = self.filter_inputs(inputs, traces)
+            prof = profiling.profiler()
+            if prof is not None:
+                prof.add("analysis_filter",
+                         time.perf_counter() - filter_started)
 
             inputs_fp = None
             if campaign is not None:

@@ -110,6 +110,48 @@ class CohortSharedView:
         return buf
 
 
+class ReplicaBuffer:
+    """Fused view of R same-shaped device buffers, one per replica slot.
+
+    Replica-cohort batching executes R repetitions of a launch as extra
+    rows of the lane grid; each repetition owns its own device buffers.
+    This buffer concatenates the members' flat contents into one backing
+    array so a row in replica slot *s* addresses element ``i`` at flat
+    offset ``s * logical_elements + i`` — replicas stay fully isolated
+    while sharing a single NumPy pass.  ``data`` mirrors
+    :class:`DeviceBuffer` closely enough for the
+    :class:`~repro.gpusim.memory.WriteJournal` (snapshot / rollback of
+    ``.data``); addresses are recorded against each member's own base so
+    the replayed event streams are byte-identical to serial runs.
+    """
+
+    def __init__(self, buffers: List[DeviceBuffer]) -> None:
+        if not buffers:
+            raise ValueError("ReplicaBuffer needs at least one member")
+        first = buffers[0]
+        self.buffers = buffers
+        self.num_slots = len(buffers)
+        self.logical_elements = int(first.data.size)
+        self.itemsize = first.itemsize
+        self.space = first.space
+        self.label = first.label
+        self.bases = np.fromiter((b.base for b in buffers), dtype=np.int64,
+                                 count=len(buffers))
+        self.data = np.concatenate([b.data.reshape(-1) for b in buffers])
+
+    def check_bounds(self, indices) -> None:
+        # bounds are in the *logical* element space, identical across
+        # members: delegate so the error message names a real allocation
+        self.buffers[0].check_bounds(indices)
+
+    def writeback(self) -> None:
+        """Copy each slot's region back into its member buffer."""
+        n = self.logical_elements
+        for slot, buf in enumerate(self.buffers):
+            flat = buf.data.reshape(-1)
+            flat[...] = self.data[slot * n:(slot + 1) * n]
+
+
 class CohortBranchHandle:
     """Cohort counterpart of :class:`repro.gpusim.context.BranchHandle`."""
 
@@ -152,7 +194,8 @@ class CohortContext:
                  block_ids: np.ndarray, warp_ids: np.ndarray,
                  shared_alloc: Callable, columnar: bool,
                  journal: WriteJournal,
-                 step_budget: Optional[int] = None) -> None:
+                 step_budget: Optional[int] = None,
+                 replica_slots: Optional[np.ndarray] = None) -> None:
         self._launch = launch
         self._rows = np.asarray(rows, dtype=np.int64)
         num = int(self._rows.shape[0])
@@ -165,6 +208,10 @@ class CohortContext:
         self._shared_alloc = shared_alloc
         self._columnar = columnar
         self._journal = journal
+        #: replica slot of each row (replica-cohort batching); ``None``
+        #: for an ordinary single-execution cohort
+        self._replica_slots = (None if replica_slots is None else
+                               np.asarray(replica_slots, dtype=np.int64))
         #: runaway-kernel guard: basic-block entries this attempt may record
         #: before the launch is declared outside the envelope (None = off)
         self._step_budget = step_budget
@@ -179,9 +226,9 @@ class CohortContext:
         self._all_rows = np.arange(num, dtype=np.int64)
 
         #: per-buffer hot-path state: id(buf) -> (flat view, base, itemsize,
-        #: num_elements, space value, buf).  A buffer's backing array is
-        #: only ever mutated in place (journal rollback included), so the
-        #: flat view stays valid for the whole attempt.
+        #: num_elements, space value, buf, replica offsets).  A buffer's
+        #: backing array is only ever mutated in place (journal rollback
+        #: included), so the flat view stays valid for the whole attempt.
         self._buf_state: Dict[int, tuple] = {}
         #: interned basic-block labels (cohort-wide id space)
         self._label_index: Dict[str, int] = {}
@@ -305,12 +352,22 @@ class CohortContext:
             for lid, count in self._flat_counts.items()}
         self._flat = False
 
-    def _buf_view(self, buf: DeviceBuffer) -> tuple:
+    def _buf_view(self, buf) -> tuple:
         state = self._buf_state.get(id(buf))
         if state is None:
-            data = buf.data
-            state = (data.reshape(-1), buf.base, buf.itemsize, data.size,
-                     buf.space.value, buf)
+            if isinstance(buf, ReplicaBuffer):
+                # each row indexes its own slot's region of the fused
+                # backing array; addresses use the member's real base
+                nelem = buf.logical_elements
+                slots = self._replica_slots
+                offs = (slots * nelem).reshape(self._num, 1)
+                base = buf.bases[slots].reshape(self._num, 1)
+                state = (buf.data.reshape(-1), base, buf.itemsize, nelem,
+                         buf.space.value, buf, offs)
+            else:
+                data = buf.data
+                state = (data.reshape(-1), buf.base, buf.itemsize,
+                         data.size, buf.space.value, buf, None)
             self._buf_state[id(buf)] = state
         return state
 
@@ -567,9 +624,17 @@ class CohortContext:
         """
         part = self._part_rows()
         row_buffers: List[Optional[DeviceBuffer]] = [None] * self._num
-        for r in part:
-            row_buffers[r] = self._shared_alloc(
-                int(self._block_ids[r]), name, shape, dtype)
+        if self._replica_slots is None:
+            for r in part:
+                row_buffers[r] = self._shared_alloc(
+                    int(self._block_ids[r]), name, shape, dtype)
+        else:
+            # replica batching: each slot allocates from its own device so
+            # per-device allocation sequences match the serial runs
+            for r in part:
+                row_buffers[r] = self._shared_alloc(
+                    int(self._replica_slots[r]), int(self._block_ids[r]),
+                    name, shape, dtype)
         return CohortSharedView(name=name, row_buffers=row_buffers)
 
     def load(self, buf, index,
@@ -577,23 +642,29 @@ class CohortContext:
         if isinstance(buf, CohortSharedView):
             return self._shared_load(buf, index, space)
         idx = self._grid(index, np.int64)
-        flat, base, itemsize, nelem, buf_space, _ = self._buf_view(buf)
+        flat, base, itemsize, nelem, buf_space, _, offs = self._buf_view(buf)
         space_value = buf_space if space is None else space.value
         if self._active_full:
             if idx.min() < 0 or idx.max() >= nelem:
                 buf.check_bounds(idx)
             addresses = base + idx * itemsize
             self._record_mem_full(space_value, False, addresses)
-            return flat[idx]
+            return flat[idx] if offs is None else flat[idx + offs]
         active = self._active
         if not active.any():
             return np.zeros(self._shape, dtype=flat.dtype)
         if self._flat:
             self._materialize()
         part = np.flatnonzero(active.any(axis=1))
-        sel = idx[active]
-        buf.check_bounds(sel)
-        addresses = [base + idx[r][active[r]] * itemsize for r in part]
+        if offs is None:
+            sel = idx[active]
+            buf.check_bounds(sel)
+            addresses = [base + idx[r][active[r]] * itemsize for r in part]
+        else:
+            buf.check_bounds(idx[active])
+            sel = (idx + offs)[active]
+            addresses = [int(base[r, 0]) + idx[r][active[r]] * itemsize
+                         for r in part]
         self._record_mem(part, space_value, False, addresses)
         out = np.zeros(self._shape, dtype=flat.dtype)
         out[active] = flat[sel]
@@ -606,7 +677,7 @@ class CohortContext:
             return
         idx = self._grid(index, np.int64)
         vals = self._grid(values)
-        flat, base, itemsize, nelem, buf_space, _ = self._buf_view(buf)
+        flat, base, itemsize, nelem, buf_space, _, offs = self._buf_view(buf)
         space_value = buf_space if space is None else space.value
         if self._active_full:
             if idx.min() < 0 or idx.max() >= nelem:
@@ -616,8 +687,13 @@ class CohortContext:
             self._journal.capture(buf)
             # Row-major fancy assignment: rows ascend in schedule order and
             # lanes ascend within a row, so the last (highest) writer wins —
-            # the per-warp loop's commit order exactly.
-            flat[idx] = vals.astype(flat.dtype)
+            # the per-warp loop's commit order exactly.  Replica rows write
+            # disjoint slot regions, so slot-major row order preserves each
+            # replica's own commit order.
+            if offs is None:
+                flat[idx] = vals.astype(flat.dtype)
+            else:
+                flat[idx + offs] = vals.astype(flat.dtype)
             return
         active = self._active
         if not active.any():
@@ -625,9 +701,15 @@ class CohortContext:
         if self._flat:
             self._materialize()
         part = np.flatnonzero(active.any(axis=1))
-        sel = idx[active]
-        buf.check_bounds(sel)
-        addresses = [base + idx[r][active[r]] * itemsize for r in part]
+        if offs is None:
+            sel = idx[active]
+            buf.check_bounds(sel)
+            addresses = [base + idx[r][active[r]] * itemsize for r in part]
+        else:
+            buf.check_bounds(idx[active])
+            sel = (idx + offs)[active]
+            addresses = [int(base[r, 0]) + idx[r][active[r]] * itemsize
+                         for r in part]
         self._record_mem(part, space_value, True, addresses)
         self._journal.capture(buf)
         flat[sel] = vals[active].astype(flat.dtype)
@@ -638,7 +720,7 @@ class CohortContext:
             return
         idx = self._grid(index, np.int64)
         vals = self._grid(values)
-        flat, base, itemsize, nelem, buf_space, _ = self._buf_view(buf)
+        flat, base, itemsize, nelem, buf_space, _, offs = self._buf_view(buf)
         if self._active_full:
             if idx.min() < 0 or idx.max() >= nelem:
                 buf.check_bounds(idx)
@@ -648,8 +730,12 @@ class CohortContext:
             # np.add.at applies contributions unbuffered in C (row-major)
             # order: schedule order across warps, lane order within — the
             # same accumulation order as the per-warp loop, which keeps
-            # float atomics bit-exact.
-            np.add.at(flat, idx, vals.astype(flat.dtype))
+            # float atomics bit-exact.  Replica slot regions are disjoint,
+            # so per-slot accumulation order is preserved as well.
+            if offs is None:
+                np.add.at(flat, idx, vals.astype(flat.dtype))
+            else:
+                np.add.at(flat, idx + offs, vals.astype(flat.dtype))
             return
         active = self._active
         if not active.any():
@@ -657,9 +743,15 @@ class CohortContext:
         if self._flat:
             self._materialize()
         part = np.flatnonzero(active.any(axis=1))
-        sel = idx[active]
-        buf.check_bounds(sel)
-        addresses = [base + idx[r][active[r]] * itemsize for r in part]
+        if offs is None:
+            sel = idx[active]
+            buf.check_bounds(sel)
+            addresses = [base + idx[r][active[r]] * itemsize for r in part]
+        else:
+            buf.check_bounds(idx[active])
+            sel = (idx + offs)[active]
+            addresses = [int(base[r, 0]) + idx[r][active[r]] * itemsize
+                         for r in part]
         self._record_mem(part, buf_space, True, addresses)
         self._journal.capture(buf)
         np.add.at(flat, sel, vals[active].astype(flat.dtype))
@@ -804,6 +896,10 @@ class CohortContext:
             col_labels: List[List[str]] = [[] for _ in range(num)]
             col_rows: List[List[tuple]] = [[] for _ in range(num)]
             col_addresses: List[List[np.ndarray]] = [[] for _ in range(num)]
+            # while only uniform memory records have been replayed, every
+            # row's label table is identical, so uniform records can share
+            # one interning step and one row tuple across all rows
+            shared_tables = num > 0
 
         def add_mem(r: int, label: str, visit: int, instr: int,
                     space_value: int, is_store: bool,
@@ -837,9 +933,21 @@ class CohortContext:
             elif tag == _MEM_U:
                 _, lid, visit, instr, space_value, is_store, addrs = record
                 label = labels[lid]
-                for r in range(num):
-                    add_mem(r, label, visit, instr, space_value, is_store,
-                            addrs[r])
+                if columnar and shared_tables:
+                    lidx = col_label_index[0].get(label)
+                    if lidx is None:
+                        lidx = len(col_labels[0])
+                        for r in range(num):
+                            col_label_index[r][label] = lidx
+                            col_labels[r].append(label)
+                    row = (lidx, visit, instr, space_value, is_store)
+                    for r in range(num):
+                        col_rows[r].append(row)
+                        col_addresses[r].append(addrs[r])
+                else:
+                    for r in range(num):
+                        add_mem(r, label, visit, instr, space_value,
+                                is_store, addrs[r])
             elif tag == _BB:
                 _, part, lid, visits, counts = record
                 label = labels[lid]
@@ -853,6 +961,10 @@ class CohortContext:
             elif tag == _MEM:
                 (_, part, lids, visits, instrs, space_value, is_store,
                  addrs) = record
+                if columnar:
+                    # member rows intern labels the others do not see; the
+                    # per-row tables may diverge from here on
+                    shared_tables = False
                 for i in range(part.shape[0]):
                     r = int(part[i])
                     add_mem(r, labels[int(lids[i])], int(visits[i]),

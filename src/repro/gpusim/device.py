@@ -142,19 +142,38 @@ class Device:
         over a ``(num_warps, 32)`` lane grid) and replay the identical
         per-warp event streams at retirement.
         """
+        return self.launch_scheduled(kern, grid, block, args)
+
+    def launch_scheduled(self, kern: Kernel, grid, block, args,
+                         schedule=None, shared_store=None) -> None:
+        """:meth:`launch` with an optionally pre-drawn warp *schedule* and
+        an existing shared-allocation *store*.
+
+        The replica-cohort engine (:mod:`repro.tracing.replica`) draws the
+        schedule before parking a launch so the device RNG stream matches
+        the serial recorder, and re-uses a fused attempt's shared
+        allocations when it falls back to per-member execution — both must
+        bypass the schedule/store setup without losing the profiling
+        accounting, hence this entry point.
+        """
         prof = profiling.profiler()
         if prof is None:
-            return self._launch_impl(kern, grid, block, *args)
+            return self._launch_impl(kern, grid, block, args,
+                                     schedule=schedule,
+                                     shared_store=shared_store)
         started = perf_counter()
         emit_before = prof.get("event_emit")
         try:
-            return self._launch_impl(kern, grid, block, *args)
+            return self._launch_impl(kern, grid, block, args,
+                                     schedule=schedule,
+                                     shared_store=shared_store)
         finally:
             elapsed = perf_counter() - started
             emitted = prof.get("event_emit") - emit_before
             prof.add("kernel_execute", elapsed - emitted)
 
-    def _launch_impl(self, kern: Kernel, grid, block, *args) -> None:
+    def _launch_impl(self, kern: Kernel, grid, block, args,
+                     schedule=None, shared_store=None) -> None:
         launch = LaunchConfig.create(grid, block)
         if launch.threads_per_block > self.config.max_threads_per_block:
             raise LaunchError(
@@ -165,7 +184,8 @@ class Device:
             kernel_name=kern.name, grid=launch.grid, block=launch.block,
             total_threads=launch.total_threads, num_warps=launch.total_warps))
 
-        shared_store: Dict[Tuple[int, str], DeviceBuffer] = {}
+        if shared_store is None:
+            shared_store = {}
 
         def shared_alloc(block_id: int, name: str, shape, dtype) -> DeviceBuffer:
             key = (block_id, name)
@@ -179,11 +199,12 @@ class Device:
                     label=f"{kern.name}.shared.{name}")
             return shared_store[key]
 
-        schedule = [(b, w)
-                    for b in range(launch.num_blocks)
-                    for w in range(launch.warps_per_block)]
-        if self.config.shuffle_schedule:
-            self._rng.shuffle(schedule)
+        if schedule is None:
+            schedule = [(b, w)
+                        for b in range(launch.num_blocks)
+                        for w in range(launch.warps_per_block)]
+            if self.config.shuffle_schedule:
+                self._rng.shuffle(schedule)
 
         if self.cohort and kern.cohort and launch.total_warps > 1:
             try:

@@ -44,6 +44,13 @@ class HostTracer:
         # the tracer's whole session: the bump allocator never frees or
         # moves an allocation, so a resolved address cannot change meaning.
         self._key_cache: Dict[int, Tuple[str, int]] = {}
+        # interned allocation labels and packed-key memo for
+        # normalize_key_ids (same session-stability argument)
+        self._label_ids: Dict[str, int] = {}
+        self._labels_by_id: List[str] = []
+        self._label_id_arr = np.empty(0, dtype=np.int64)
+        self._label_table_len = 0
+        self._packed_keys: Dict[int, Tuple[str, int]] = {}
 
     # ------------------------------------------------------------------
     # runtime callbacks
@@ -107,6 +114,53 @@ class HostTracer:
                                  offsets.tolist()):
                 keys[pos] = cache[addr_list[pos]] = (labels[i], o)
         return keys
+
+    #: offsets are packed into the low bits of a normalised-key id; any
+    #: allocation bigger than 2**40 bytes falls back to the tuple path
+    _OFFSET_BITS = 40
+
+    def normalize_key_ids(self, addresses: np.ndarray
+                          ) -> Optional[Tuple[np.ndarray, List[Tuple[str, int]]]]:
+        """Map an address array to interned normalised-key ids.
+
+        Returns ``(key_ids, keys)`` where ``keys[key_ids[i]]`` is
+        ``addresses[i]``'s normalised key, or None when the packed-id
+        representation cannot hold the offsets (absurdly large
+        allocations).  Unlike :meth:`normalize_keys` this never walks the
+        addresses in Python: resolution is one ``searchsorted``, aliases
+        collapse through one ``np.unique`` over packed
+        ``(label id, offset)`` integers, and only the distinct keys of the
+        call are materialised as tuples (memoised across calls).  Ids are
+        call-local; aliased raw addresses — the same shared-memory offset
+        in two blocks — share an id exactly as they share a key.
+        """
+        allocs, indices, offsets = self._memory.resolve_batch(addresses)
+        if len(allocs) != self._label_table_len:
+            ids = []
+            for alloc in allocs:
+                lid = self._label_ids.get(alloc.label)
+                if lid is None:
+                    lid = self._label_ids[alloc.label] = len(self._labels_by_id)
+                    self._labels_by_id.append(alloc.label)
+                ids.append(lid)
+            self._label_id_arr = np.asarray(ids, dtype=np.int64)
+            self._label_table_len = len(allocs)
+        if offsets.size and int(offsets.max()) >= (1 << self._OFFSET_BITS):
+            return None
+        packed = ((self._label_id_arr[indices] << self._OFFSET_BITS)
+                  | offsets)
+        uniq, inv = np.unique(packed, return_inverse=True)
+        cache = self._packed_keys
+        labels = self._labels_by_id
+        mask = (1 << self._OFFSET_BITS) - 1
+        keys = []
+        for value in uniq.tolist():
+            key = cache.get(value)
+            if key is None:
+                key = cache[value] = (labels[value >> self._OFFSET_BITS],
+                                      value & mask)
+            keys.append(key)
+        return inv, keys
 
     def malloc_trace_bytes(self) -> int:
         """Serialised size of all allocation records (Fig. 5 series)."""

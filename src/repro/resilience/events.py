@@ -29,6 +29,7 @@ POOL_RETRY = "pool_retry"
 POOL_TO_SERIAL = "pool_to_serial"
 CHUNK_TIMEOUT = "chunk_timeout"
 COHORT_TO_WARP = "cohort_to_warp"
+REPLICA_TO_RUN = "replica_to_run"
 COLUMNAR_TO_OBJECT = "columnar_to_object"
 STORE_QUARANTINE = "store_quarantine"
 

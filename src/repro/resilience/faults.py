@@ -29,6 +29,11 @@ Supported fault kinds:
                           :class:`~repro.errors.CohortEnvelopeError` for the
                           matching launch; param ``launch`` (per-execution
                           launch ordinal, default: every launch)
+``replica_violation``     the replica-cohort engine treats the matching
+                          launch as outside its fusion envelope and falls
+                          back to per-replica execution; param ``launch``
+                          (per-execution launch ordinal, default: every
+                          launch)
 ``batch_fold_error``      folding a columnar memory batch raises, forcing
                           the columnar → object downgrade; param ``kernel``
                           (name substring, default: every batch)
@@ -51,7 +56,7 @@ from repro.errors import ConfigError
 
 #: Recognised fault kinds (parse-time validation).
 FAULT_KINDS = ("worker_crash", "chunk_timeout", "blob_corruption",
-               "cohort_violation", "batch_fold_error")
+               "cohort_violation", "replica_violation", "batch_fold_error")
 
 #: Exit status used by injected worker crashes (distinguishable in logs).
 CRASH_EXIT_STATUS = 17
@@ -236,6 +241,17 @@ def cohort_violation_for(launch_index: int) -> Optional[FaultSpec]:
     if ctx is None:
         return None
     for spec in ctx.plan.of_kind("cohort_violation"):
+        if spec.matches("launch", launch_index):
+            return spec
+    return None
+
+
+def replica_violation_for(launch_index: int) -> Optional[FaultSpec]:
+    """The replica-fusion fault matching this launch ordinal, if any."""
+    ctx = _current()
+    if ctx is None:
+        return None
+    for spec in ctx.plan.of_kind("replica_violation"):
         if spec.matches("launch", launch_index):
             return spec
     return None

@@ -14,7 +14,12 @@ from time import perf_counter
 from typing import List, Optional
 
 from repro import profiling
-from repro.adcfg.builder import ADCFGBuilder, BatchNormalizer, Normalizer
+from repro.adcfg.builder import (
+    ADCFGBuilder,
+    BatchNormalizer,
+    KeyIdNormalizer,
+    Normalizer,
+)
 from repro.adcfg.graph import ADCFG
 from repro.errors import TraceError
 from repro.gpusim.events import (
@@ -44,9 +49,11 @@ class WarpTraceMonitor:
     """
 
     def __init__(self, normalizer: Optional[Normalizer] = None,
-                 batch_normalizer: Optional[BatchNormalizer] = None) -> None:
+                 batch_normalizer: Optional[BatchNormalizer] = None,
+                 key_id_normalizer: Optional[KeyIdNormalizer] = None) -> None:
         self._normalizer = normalizer
         self._batch_normalizer = batch_normalizer
+        self._key_id_normalizer = key_id_normalizer
         self._pending_identity: Optional[str] = None
         self._builder: Optional[ADCFGBuilder] = None
         self.completed: List[ADCFG] = []
@@ -88,35 +95,47 @@ class WarpTraceMonitor:
             raise MonitorError(f"unknown trace event {event!r}")
 
     def _fold_batch(self, event: MemoryBatchEvent) -> None:
-        """Fold a columnar batch, downgrading to per-event replay on error.
+        """Accept a columnar batch, downgrading to per-event replay on fault.
 
-        The object path (``iter_events`` through ``on_memory_access``) is
-        proven identical to the batched fold, so a failure in the vectorised
-        path — or an injected ``batch_fold_error`` — costs speed, never
-        correctness: the columnar → object rung of the degradation ladder.
+        Healthy batches are buffered on the builder and folded kernel-wide
+        at :meth:`_end`.  An injected ``batch_fold_error`` degrades this
+        batch immediately: the object path (``iter_events`` through
+        ``on_memory_access``) is proven identical to the batched fold, so
+        the fault costs speed, never correctness — the columnar → object
+        rung of the degradation ladder.
         """
         builder = self._require_builder()
         kernel_name = builder.graph.kernel_name
         fault = fault_injection.batch_fold_fault_for(kernel_name)
         if fault is None:
-            try:
-                builder.on_memory_batch(event)
-                return
-            except MonitorError:
-                raise
-            except Exception as error:
-                # vectorised folds fail before the graph is touched (dtype,
-                # overflow, normaliser errors all precede mutation), so the
-                # per-event replay below starts from a clean slate
-                reason = str(error)
-        else:
-            reason = (f"injected batch-fold failure for kernel "
-                      f"{kernel_name!r} ({fault.render()})")
+            builder.on_memory_batch(event)
+            return
+        reason = (f"injected batch-fold failure for kernel "
+                  f"{kernel_name!r} ({fault.render()})")
         resilience_events.record_degradation(
             resilience_events.COLUMNAR_TO_OBJECT, "monitor", reason,
             kernel=kernel_name, block=event.block_id, warp=event.warp_id)
         for item in event.iter_events():
             builder.on_memory_access(item)
+
+    def _flush_batches(self, builder: ADCFGBuilder) -> None:
+        """Run the kernel-wide fold, downgrading to per-event replay on error.
+
+        The vectorised fold fails before the graph is touched (packing,
+        sorting and normaliser errors all precede mutation), so the replay
+        below starts from a clean slate and produces the identical graph.
+        """
+        try:
+            builder.fold_pending_batches()
+        except MonitorError:
+            raise
+        except Exception as error:
+            resilience_events.record_degradation(
+                resilience_events.COLUMNAR_TO_OBJECT, "monitor", str(error),
+                kernel=builder.graph.kernel_name)
+            for batch in builder.take_pending_batches():
+                for item in batch.iter_events():
+                    builder.on_memory_access(item)
 
     def _begin(self, event: KernelBeginEvent) -> None:
         if self._builder is not None:
@@ -129,7 +148,8 @@ class WarpTraceMonitor:
             kernel_identity=identity, kernel_name=event.kernel_name,
             total_threads=event.total_threads, num_warps=event.num_warps,
             normalizer=self._normalizer,
-            batch_normalizer=self._batch_normalizer)
+            batch_normalizer=self._batch_normalizer,
+            key_id_normalizer=self._key_id_normalizer)
 
     def _end(self, event: KernelEndEvent) -> None:
         builder = self._require_builder()
@@ -137,6 +157,7 @@ class WarpTraceMonitor:
             raise MonitorError(
                 f"kernel end for {event.kernel_name!r} does not match the "
                 f"active launch {builder.graph.kernel_name!r}")
+        self._flush_batches(builder)
         self.completed.append(builder.finish())
         self._builder = None
 

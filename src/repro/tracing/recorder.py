@@ -67,6 +67,7 @@ class ProgramTrace:
         self.malloc_records = malloc_records
         self.launch_records = launch_records
         self._signature: Optional[str] = None
+        self._size_bytes: Optional[int] = None
 
     @property
     def kernel_sequence(self) -> Tuple[str, ...]:
@@ -87,8 +88,17 @@ class ProgramTrace:
         return sum(r.size_bytes() for r in self.launch_records)
 
     def trace_size_bytes(self) -> int:
-        """Total serialised trace footprint."""
-        return self.adcfg_bytes() + self.malloc_bytes() + self.launch_bytes()
+        """Total serialised trace footprint.
+
+        Memoised like :meth:`signature` (a trace is immutable once
+        recorded): sizing serialises every A-DCFG, and the recording
+        pool's accounting asks per run while replica batching shares one
+        trace object across its deduplicated runs.
+        """
+        if self._size_bytes is None:
+            self._size_bytes = (self.adcfg_bytes() + self.malloc_bytes()
+                                + self.launch_bytes())
+        return self._size_bytes
 
     # ------------------------------------------------------------------
     # equality / signatures (duplicates-removing phase)
@@ -193,7 +203,8 @@ class TraceRecorder:
         tracer = _SessionTracer(device.memory)
         monitor = WarpTraceMonitor(
             normalizer=lambda addr: tracer.normalize(addr).as_key(),
-            batch_normalizer=tracer.normalize_keys)
+            batch_normalizer=tracer.normalize_keys,
+            key_id_normalizer=tracer.normalize_key_ids)
 
         if self._buffered:
             channel = Channel()

@@ -7,7 +7,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.alignment import (
+    NUMPY_THRESHOLD,
     EditOp,
+    _forward_numpy,
+    _forward_scalar,
     align_pairs,
     edit_distance,
     myers_diff,
@@ -138,6 +141,59 @@ def test_property_self_diff_is_all_equal(a):
 @settings(max_examples=100, deadline=None)
 def test_property_distance_symmetric(a, b):
     assert edit_distance(a, b) == edit_distance(b, a)
+
+
+class TestVectorizedForwardPass:
+    """The NumPy forward sweep (n + m >= NUMPY_THRESHOLD) must be an
+    exact drop-in for the scalar loop, and identical inputs must take
+    the O(N) fast path regardless of length."""
+
+    def test_long_identical_sequences_short_circuit(self):
+        a = list(range(NUMPY_THRESHOLD * 2))
+        script = myers_diff(a, list(a))
+        assert [s.op for s in script] == [EditOp.EQUAL] * len(a)
+        assert align_pairs(a, list(a)) == [(i, i) for i in range(len(a))]
+
+    def test_long_inputs_replay_and_are_optimal(self):
+        a = [i % 7 for i in range(90)]
+        b = [i % 5 for i in range(75)]
+        assert len(a) + len(b) >= NUMPY_THRESHOLD
+        script = myers_diff(a, b)
+        assert apply_script(a, b, script) == b
+        assert sum(1 for s in script if s.op is not EditOp.EQUAL) \
+            == _dp_distance(a, b)
+
+    def test_forward_passes_agree_exactly(self):
+        a = [i % 6 for i in range(70)]
+        b = [(i * 3) % 6 for i in range(55)]
+        n, m = len(a), len(b)
+        d_scalar, snap_scalar = _forward_scalar(a, b, n, m, n + m)
+        d_numpy, snap_numpy = _forward_numpy(a, b, n, m, n + m)
+        assert d_numpy == d_scalar
+        # identical snapshots mean the trace-back sees identical state
+        assert [list(map(int, s)) for s in snap_numpy] == snap_scalar
+
+    @given(a=st.lists(st.integers(0, 4), min_size=30, max_size=50),
+           b=st.lists(st.integers(0, 4), min_size=34, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_property_numpy_path_replays_and_is_optimal(self, a, b):
+        assert len(a) + len(b) >= NUMPY_THRESHOLD
+        script = myers_diff(a, b)
+        assert apply_script(a, b, script) == b
+        assert sum(1 for s in script if s.op is not EditOp.EQUAL) \
+            == _dp_distance(a, b)
+
+    @given(a=st.lists(st.integers(0, 3), min_size=0, max_size=24),
+           b=st.lists(st.integers(0, 3), min_size=0, max_size=24))
+    @settings(max_examples=60, deadline=None)
+    def test_property_forward_passes_agree(self, a, b):
+        n, m = len(a), len(b)
+        if n == 0 and m == 0:
+            return
+        d_scalar, snap_scalar = _forward_scalar(a, b, n, m, n + m)
+        d_numpy, snap_numpy = _forward_numpy(a, b, n, m, n + m)
+        assert d_numpy == d_scalar
+        assert [list(map(int, s)) for s in snap_numpy] == snap_scalar
 
 
 @given(a=st.text(alphabet="abc", max_size=20),

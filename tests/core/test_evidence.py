@@ -109,3 +109,59 @@ class TestEvidenceAlignment:
         random = Evidence.from_traces([record(12)])
         for pair in align_evidence(fixed, random):
             assert pair.identity == pair.fixed.identity
+
+
+def assert_equivalent(a, b):
+    assert a.num_runs == b.num_runs
+    assert a.identity_sequence == b.identity_sequence
+    for slot_a, slot_b in zip(a.slots, b.slots):
+        assert slot_a.per_run_present == slot_b.per_run_present
+        assert slot_a.adcfg == slot_b.adcfg
+        assert slot_a.per_run_graphs == slot_b.per_run_graphs
+
+
+class TestAddTraceRepeated:
+    """The O(1)-alignment repeated fold must equal count x add_trace —
+    the contract replica deduplication relies on."""
+
+    @pytest.mark.parametrize("keep_per_run", [False, True])
+    def test_equals_serial_folds(self, record, keep_per_run):
+        trace = record(1)
+        batched = Evidence(keep_per_run=keep_per_run)
+        batched.add_trace_repeated(trace, 4)
+        serial = Evidence(keep_per_run=keep_per_run)
+        for _ in range(4):
+            serial.add_trace(trace)
+        assert_equivalent(batched, serial)
+
+    def test_count_one_is_plain_add(self, record):
+        trace = record(1)
+        batched = Evidence()
+        batched.add_trace_repeated(trace, 1)
+        serial = Evidence.from_traces([trace])
+        assert_equivalent(batched, serial)
+
+    def test_after_divergent_prior_runs(self, record):
+        """Repetitions folded on top of a wider identity sequence hit the
+        DELETE branch (absent slots) and must still match serial."""
+        wide, narrow = record(12), record(1)
+        batched = Evidence(keep_per_run=True)
+        batched.add_trace(wide)
+        batched.add_trace_repeated(narrow, 3)
+        serial = Evidence(keep_per_run=True)
+        for trace in [wide, narrow, narrow, narrow]:
+            serial.add_trace(trace)
+        assert_equivalent(batched, serial)
+
+    def test_repetitions_then_divergent_run(self, record):
+        batched = Evidence()
+        batched.add_trace_repeated(record(1), 3)
+        batched.add_trace(record(12))
+        serial = Evidence.from_traces(
+            [record(1), record(1), record(1), record(12)])
+        assert_equivalent(batched, serial)
+
+    def test_invalid_count_rejected(self, record):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError, match="count"):
+            Evidence().add_trace_repeated(record(1), 0)
