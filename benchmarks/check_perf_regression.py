@@ -1,14 +1,16 @@
-"""Perf-regression gate for the trace hot path.
+"""Perf-regression gate for the trace hot path and the detection service.
 
 Re-measures the end-to-end ``Owl.detect`` rows of
-``bench_trace_hotpath.py`` at their full-mode run counts and compares each
-speedup against the committed artefact
-(``benchmarks/results/trace_hotpath.txt``).  A row that loses more than
-``TOLERANCE`` of its committed speedup fails the check — catching changes
-that quietly re-serialise the replica path or fatten the per-run cost,
-while staying robust to the noise of shared CI runners (record-row
-timings in the microsecond range are *not* gated; only the e2e detect
-ratios are).
+``bench_trace_hotpath.py`` and the multi-tenant amortisation row of
+``bench_service_throughput.py`` at their full-mode parameters and
+compares each speedup against the committed artefacts
+(``benchmarks/results/trace_hotpath.txt`` and
+``benchmarks/results/service_throughput.txt``).  A row that loses more
+than ``TOLERANCE`` of its committed speedup fails the check — catching
+changes that quietly re-serialise the replica path, fatten the per-run
+cost, or bloat the service scheduler's per-unit overhead — while staying
+robust to the noise of shared CI runners (record-row timings in the
+microsecond range are *not* gated; only the e2e ratios are).
 
 Usage::
 
@@ -27,25 +29,30 @@ import sys
 from pathlib import Path
 from typing import Dict
 
+from bench_service_throughput import service_speedup
 from bench_trace_hotpath import REPLICA_DETECT_RUNS, detect_seconds
 
-ARTIFACT = Path(__file__).parent / "results" / "trace_hotpath.txt"
+RESULTS = Path(__file__).parent / "results"
+HOTPATH_ARTIFACT = RESULTS / "trace_hotpath.txt"
+SERVICE_ARTIFACT = RESULTS / "service_throughput.txt"
 
 #: fraction of the committed speedup a row may lose before the gate fails
 TOLERANCE = 0.25
 
-#: the gated rows and how to re-measure them (full-mode parameters)
+#: gated row → (committed artefact, re-measurement at full-mode params)
 GATED_ROWS = {
-    "AES detect (e2e)": lambda reps: (
+    "AES detect (e2e)": (HOTPATH_ARTIFACT, lambda reps: (
         detect_seconds(False, False, 8, reps=reps),
-        detect_seconds(True, False, 8, reps=reps)),
-    "AES detect (cohort e2e)": lambda reps: (
+        detect_seconds(True, False, 8, reps=reps))),
+    "AES detect (cohort e2e)": (HOTPATH_ARTIFACT, lambda reps: (
         detect_seconds(True, False, 8, reps=reps),
-        detect_seconds(True, True, 8, reps=reps)),
-    "AES detect (replica e2e)": lambda reps: (
+        detect_seconds(True, True, 8, reps=reps))),
+    "AES detect (replica e2e)": (HOTPATH_ARTIFACT, lambda reps: (
         detect_seconds(True, False, REPLICA_DETECT_RUNS, reps=reps),
         detect_seconds(True, True, REPLICA_DETECT_RUNS,
-                       replica_batch=True, replica_dedup=True, reps=reps)),
+                       replica_batch=True, replica_dedup=True, reps=reps))),
+    "service multi-tenant (e2e)": (SERVICE_ARTIFACT, lambda reps: (
+        service_speedup(workers=0, reps=reps))),
 }
 
 _ROW = re.compile(r"^(?P<name>.+?)\s{2,}[\d.]+\s+[\d.]+\s+"
@@ -70,19 +77,21 @@ def main(argv=None) -> int:
                              "(default: 2)")
     args = parser.parse_args(argv)
 
-    if not ARTIFACT.exists():
-        print(f"perf-regression: no committed artefact at {ARTIFACT}; "
-              "run the full bench first", file=sys.stderr)
-        return 2
-    committed = committed_speedups(ARTIFACT.read_text())
+    committed = {}
+    for artifact in {artifact for artifact, _measure in GATED_ROWS.values()}:
+        if not artifact.exists():
+            print(f"perf-regression: no committed artefact at {artifact}; "
+                  "run the full bench first", file=sys.stderr)
+            return 2
+        committed.update(committed_speedups(artifact.read_text()))
     missing = sorted(set(GATED_ROWS) - set(committed))
     if missing:
-        print(f"perf-regression: artefact lacks gated rows {missing}; "
-              "regenerate it with the full bench", file=sys.stderr)
+        print(f"perf-regression: artefacts lack gated rows {missing}; "
+              "regenerate them with the full benches", file=sys.stderr)
         return 2
 
     failures = []
-    for name, measure in GATED_ROWS.items():
+    for name, (_artifact, measure) in GATED_ROWS.items():
         baseline_s, fast_s = measure(args.reps)
         speedup = baseline_s / fast_s
         floor = committed[name] * (1 - TOLERANCE)

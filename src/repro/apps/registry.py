@@ -1,0 +1,88 @@
+"""The bundled-workload registry: one name → (program, inputs, random).
+
+Both front ends resolve workloads here: the ``owl`` CLI (to run one
+detection in-process) and the detection service (whose durable work units
+reference programs *by name*, because unit specs are JSON and must be
+re-materialisable in any worker process).  Everything a unit needs to
+reproduce a run bit-identically — the program callable, the deterministic
+fixed-input factory, the seeded random-input function — comes from this
+table, so a unit spec is just ``(workload name, config dict, indices)``.
+
+Imports are deferred into :func:`workloads` so importing this module (or
+the CLI) stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+#: name -> (program, fixed-inputs factory, random-input fn)
+WorkloadEntry = Tuple[Callable, Callable, Callable]
+
+
+def workloads() -> Dict[str, WorkloadEntry]:
+    """name → (program, fixed-inputs factory, random-input fn)."""
+    from repro.apps import dummy
+    from repro.apps.libgpucrypto import (
+        aes_program, aes_program_ct, random_exponent, random_key,
+        rsa_program, rsa_program_ct)
+    from repro.apps.minitorch import (
+        OP_NAMES, make_op_program, make_random_input, serialize_program,
+        tensor_repr_program)
+    from repro.apps.minitorch.ops import fixed_op_input
+    from repro.apps.minitorch.serialize import serialize_random_input
+    from repro.apps.minitorch.tensor import repr_random_input
+    from repro.apps.nvjpeg import (
+        decode_program, encode_program, random_image, synthetic_image)
+
+    table: Dict[str, WorkloadEntry] = {
+        "aes": (aes_program,
+                lambda: [bytes(range(16)), bytes(range(1, 17))],
+                random_key),
+        "aes-ct": (aes_program_ct,
+                   lambda: [bytes(range(16)), bytes(range(1, 17))],
+                   random_key),
+        "rsa": (rsa_program,
+                lambda: [0x6ACF8231, 0x7FD4C9A7],
+                random_exponent),
+        "rsa-ct": (rsa_program_ct,
+                   lambda: [0x6ACF8231, 0x7FD4C9A7],
+                   random_exponent),
+        "serialize": (serialize_program,
+                      lambda: [np.zeros(64), np.linspace(-2, 2, 64)],
+                      serialize_random_input),
+        "tensor-repr": (tensor_repr_program,
+                        lambda: [np.linspace(-2, 2, 64),
+                                 np.linspace(-2, 2, 64) * 10_000],
+                        repr_random_input),
+        "nvjpeg-encode": (encode_program,
+                          lambda: [synthetic_image(16, 16, seed=1),
+                                   synthetic_image(16, 16, seed=2)],
+                          lambda rng: random_image(rng, 16, 16)),
+        "nvjpeg-decode": (decode_program,
+                          lambda: [synthetic_image(16, 16, seed=1),
+                                   synthetic_image(16, 16, seed=2)],
+                          lambda rng: random_image(rng, 16, 16)),
+        "dummy": (dummy.dummy_program,
+                  lambda: [dummy.fixed_input(), dummy.fixed_input(value=9)],
+                  dummy.random_input),
+    }
+    for name in OP_NAMES:
+        table[f"torch-{name}"] = (
+            make_op_program(name),
+            (lambda n: lambda: [fixed_op_input(n),
+                                make_random_input(n)(
+                                    np.random.default_rng(7))])(name),
+            make_random_input(name))
+    return table
+
+
+def resolve(name: str) -> WorkloadEntry:
+    """Look up one workload, with a one-line error naming valid choices."""
+    table = workloads()
+    if name not in table:
+        known = ", ".join(sorted(table))
+        raise KeyError(f"unknown workload {name!r}; valid choices: {known}")
+    return table[name]

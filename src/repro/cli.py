@@ -16,6 +16,13 @@ options::
     owl ls --store ./owl-store               # inspect stored artifacts
     owl gc --store ./owl-store               # drop unreferenced blobs
 
+as well as the multi-tenant detection service::
+
+    owl serve --store ./owl-store --workers 4    # scheduler + worker fleet
+    owl submit aes --socket ./owl-store/service/owl.sock --wait
+    owl status --socket ./owl-store/service/owl.sock
+    owl results c0001 --socket ./owl-store/service/owl.sock
+
 ``owl run WORKLOAD`` without ``--store`` behaves exactly like the flat
 form, and the flat form keeps working unchanged — existing scripts never
 see the subcommands.
@@ -36,64 +43,18 @@ from repro import profiling
 from repro.core import Owl, OwlConfig
 
 #: First CLI token that selects the subcommand form instead of the flat one.
-SUBCOMMANDS = ("run", "resume", "diff", "ls", "gc", "verify")
+SUBCOMMANDS = ("run", "resume", "diff", "ls", "gc", "verify",
+               "serve", "submit", "status", "results")
 
 
 def _workloads() -> Dict[str, Tuple[Callable, Callable, Callable]]:
-    """name → (program, fixed-inputs factory, random-input fn)."""
-    from repro.apps import dummy
-    from repro.apps.libgpucrypto import (
-        aes_program, aes_program_ct, random_exponent, random_key,
-        rsa_program, rsa_program_ct)
-    from repro.apps.minitorch import (
-        OP_NAMES, make_op_program, make_random_input, serialize_program,
-        tensor_repr_program)
-    from repro.apps.minitorch.ops import fixed_op_input
-    from repro.apps.minitorch.serialize import serialize_random_input
-    from repro.apps.minitorch.tensor import repr_random_input
-    from repro.apps.nvjpeg import (
-        decode_program, encode_program, random_image, synthetic_image)
+    """name → (program, fixed-inputs factory, random-input fn).
 
-    table: Dict[str, Tuple[Callable, Callable, Callable]] = {
-        "aes": (aes_program,
-                lambda: [bytes(range(16)), bytes(range(1, 17))],
-                random_key),
-        "aes-ct": (aes_program_ct,
-                   lambda: [bytes(range(16)), bytes(range(1, 17))],
-                   random_key),
-        "rsa": (rsa_program,
-                lambda: [0x6ACF8231, 0x7FD4C9A7],
-                random_exponent),
-        "rsa-ct": (rsa_program_ct,
-                   lambda: [0x6ACF8231, 0x7FD4C9A7],
-                   random_exponent),
-        "serialize": (serialize_program,
-                      lambda: [np.zeros(64), np.linspace(-2, 2, 64)],
-                      serialize_random_input),
-        "tensor-repr": (tensor_repr_program,
-                        lambda: [np.linspace(-2, 2, 64),
-                                 np.linspace(-2, 2, 64) * 10_000],
-                        repr_random_input),
-        "nvjpeg-encode": (encode_program,
-                          lambda: [synthetic_image(16, 16, seed=1),
-                                   synthetic_image(16, 16, seed=2)],
-                          lambda rng: random_image(rng, 16, 16)),
-        "nvjpeg-decode": (decode_program,
-                          lambda: [synthetic_image(16, 16, seed=1),
-                                   synthetic_image(16, 16, seed=2)],
-                          lambda rng: random_image(rng, 16, 16)),
-        "dummy": (dummy.dummy_program,
-                  lambda: [dummy.fixed_input(), dummy.fixed_input(value=9)],
-                  dummy.random_input),
-    }
-    for name in OP_NAMES:
-        table[f"torch-{name}"] = (
-            make_op_program(name),
-            (lambda n: lambda: [fixed_op_input(n),
-                                make_random_input(n)(
-                                    np.random.default_rng(7))])(name),
-            make_random_input(name))
-    return table
+    Canonical table lives in :mod:`repro.apps.registry` (shared with the
+    detection service); this alias keeps the CLI's historical import site.
+    """
+    from repro.apps.registry import workloads
+    return workloads()
 
 
 def _add_detect_options(parser: argparse.ArgumentParser) -> None:
@@ -237,6 +198,9 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
         "gc", help="drop blobs no manifest entry references")
     gc.add_argument("--store", metavar="DIR", required=True,
                     help="campaign store directory")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="only report what would be collected "
+                         "(blob digests and sizes); delete nothing")
 
     verify = commands.add_parser(
         "verify", help="integrity-check a store's artifacts")
@@ -247,7 +211,94 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
                              "quarantine/, manifest entries dropped) so "
                              "the next campaign run re-records the loss")
 
+    serve = commands.add_parser(
+        "serve", help="run the multi-tenant detection service")
+    serve.add_argument("--store", metavar="DIR", required=True,
+                       help="shared campaign store the fleet writes to")
+    serve.add_argument("--queue", metavar="DIR", default=None,
+                       help="job queue directory "
+                            "(default: <store>/service)")
+    _add_service_connection(serve, for_serve=True)
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes to spawn (0 executes every "
+                            "unit in the scheduler process; reports are "
+                            "bit-identical at any count)")
+    serve.add_argument("--unit-runs", type=int, default=25,
+                       help="phase-3 runs per evidence work unit")
+    serve.add_argument("--lease-seconds", type=float, default=30.0,
+                       help="silence window after which a worker's leased "
+                            "units are re-queued")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="fleet dispatches per unit before it degrades "
+                            "to in-scheduler execution")
+    serve.add_argument("--restart-budget", type=int, default=8,
+                       help="worker restarts before the fleet stops "
+                            "replacing dead processes")
+    serve.add_argument("--no-coalesce", action="store_true",
+                       help="schedule duplicate submissions separately "
+                            "instead of attaching them to the in-flight "
+                            "identical campaign")
+    serve.add_argument("--die-after", type=int, default=None,
+                       metavar="N",
+                       help="fault injection: each initially spawned "
+                            "worker exits right after claiming its Nth "
+                            "unit (replacements run fault-free)")
+    serve.add_argument("--recover", action="store_true",
+                       help="resume campaigns persisted in the queue by a "
+                            "previous scheduler (completed units are not "
+                            "re-run)")
+
+    submit = commands.add_parser(
+        "submit", help="submit a workload to a running service")
+    submit.add_argument("workload", help="workload name (see 'owl run "
+                                         "--list')")
+    _add_service_connection(submit)
+    submit.add_argument("--fixed-runs", type=int, default=40)
+    submit.add_argument("--random-runs", type=int, default=40)
+    submit.add_argument("--confidence", type=float, default=0.95)
+    submit.add_argument("--test", choices=("ks", "welch"), default="ks")
+    submit.add_argument("--seed", type=int, default=2024)
+    submit.add_argument("--granularity", type=int, default=1,
+                        metavar="BYTES")
+    submit.add_argument("--quantify", action="store_true")
+    submit.add_argument("--all-representatives", action="store_true")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the campaign completes and print "
+                             "its report (exit 1 if it found leaks)")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="--wait deadline in seconds")
+    submit.add_argument("--json", action="store_true",
+                        help="emit the report (with --wait) or the "
+                             "campaign id as JSON")
+
+    status = commands.add_parser(
+        "status", help="show a running service's campaigns and fleet")
+    status.add_argument("campaign", nargs="?", default=None,
+                        help="only this campaign id")
+    _add_service_connection(status)
+    status.add_argument("--json", action="store_true")
+
+    results = commands.add_parser(
+        "results", help="fetch a completed campaign's report")
+    results.add_argument("campaign", help="campaign id from 'owl submit'")
+    _add_service_connection(results)
+    results.add_argument("--json", action="store_true",
+                         help="emit the raw report JSON")
+
     return parser
+
+
+def _add_service_connection(parser: argparse.ArgumentParser,
+                            for_serve: bool = False) -> None:
+    """``--socket`` / ``--host`` / ``--port``, shared by the service verbs."""
+    parser.add_argument("--socket", metavar="PATH", default=None,
+                        help="unix socket "
+                             + ("to listen on (default: <queue>/owl.sock)"
+                                if for_serve else "of the service"))
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="TCP host (with --port)")
+    parser.add_argument("--port", type=int, default=None,
+                        help="TCP port instead of a unix socket")
 
 
 def _resolve_workers(parser: argparse.ArgumentParser, value: str):
@@ -575,6 +626,18 @@ def _cmd_ls(parser: argparse.ArgumentParser,
     return 0
 
 
+def _render_layout(layout: Dict) -> str:
+    version = layout.get("version")
+    flat = layout.get("flat_blobs", 0)
+    sharded = layout.get("sharded_blobs", 0)
+    if version == "1+2":
+        return (f"layout v1+v2 (mixed: {flat} flat blobs pending lazy "
+                f"migration, {sharded} sharded)")
+    if version == 1:
+        return f"layout v1 (flat, {flat} blobs; migrates lazily on access)"
+    return f"layout v2 (digest-prefix sharded, {sharded} blobs)"
+
+
 def _cmd_gc(parser: argparse.ArgumentParser,
             args: argparse.Namespace) -> int:
     from repro.store import StoreError, TraceStore
@@ -583,7 +646,15 @@ def _cmd_gc(parser: argparse.ArgumentParser,
     except StoreError as error:
         print(f"owl: {error}", file=sys.stderr)
         return 2
-    result = store.gc()
+    result = store.gc(dry_run=args.dry_run)
+    print(_render_layout(result["layout"]))
+    if args.dry_run:
+        for digest, size in result["candidates"]:
+            print(f"would remove {size:>10}  {digest}")
+        print(f"dry run: would remove {len(result['candidates'])} "
+              f"unreferenced blobs ({result['reclaimed_bytes']} bytes), "
+              f"keep {result['kept']}")
+        return 0
     print(f"removed {result['removed']} unreferenced blobs "
           f"({result['reclaimed_bytes']} bytes), kept {result['kept']}")
     return 0
@@ -597,6 +668,7 @@ def _cmd_verify(parser: argparse.ArgumentParser,
     except StoreError as error:
         print(f"owl: {error}", file=sys.stderr)
         return 2
+    print(_render_layout(store.blobs.layout()))
     bad = store.verify(repair=args.repair)
     if not bad:
         print(f"{args.store}: all {len(store)} entries verified")
@@ -613,8 +685,187 @@ def _cmd_verify(parser: argparse.ArgumentParser,
     return 1
 
 
+# ----------------------------------------------------------------------
+# detection service verbs
+# ----------------------------------------------------------------------
+
+def _service_address(parser: argparse.ArgumentParser,
+                     args: argparse.Namespace,
+                     queue_dir: Optional[Path] = None):
+    from repro.service.server import parse_address
+    socket_path = args.socket
+    if socket_path is None and args.port is None:
+        if queue_dir is None:
+            parser.error("pass --socket PATH or --port PORT to reach the "
+                         "service")
+        socket_path = str(queue_dir / "owl.sock")
+    return parse_address(socket_path=socket_path, host=args.host,
+                         port=args.port)
+
+
+def _cmd_serve(parser: argparse.ArgumentParser,
+               args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.service import CampaignScheduler, ServiceConfig, WorkerFleet
+    from repro.service.server import serve_forever
+
+    queue_dir = Path(args.queue if args.queue is not None
+                     else Path(args.store) / "service")
+    try:
+        service_config = ServiceConfig(
+            workers=args.workers, unit_runs=args.unit_runs,
+            lease_seconds=args.lease_seconds,
+            max_attempts=args.max_attempts,
+            restart_budget=args.restart_budget,
+            coalesce=not args.no_coalesce, die_after=args.die_after)
+    except ConfigError as error:
+        parser.error(str(error))
+    address = _service_address(parser, args, queue_dir=queue_dir)
+    fleet = None
+    if service_config.workers > 0:
+        fleet = WorkerFleet(queue_dir, args.store,
+                            workers=service_config.workers,
+                            poll_seconds=service_config.poll_seconds,
+                            die_after=service_config.die_after,
+                            restart_budget=service_config.restart_budget)
+    scheduler = CampaignScheduler(args.store, queue_dir,
+                                  config=service_config, fleet=fleet)
+    scheduler.queue.clear_stop()
+    if args.recover:
+        recovered = scheduler.recover()
+        if recovered:
+            print(f"recovered {len(recovered)} campaign(s): "
+                  + ", ".join(recovered))
+    if fleet is not None:
+        fleet.start()
+    kind, target = address
+    where = target if kind == "unix" else "{}:{}".format(*target)
+    print(f"owl service: store={args.store} queue={queue_dir} "
+          f"workers={service_config.workers} listening on {where}",
+          flush=True)
+    try:
+        serve_forever(scheduler, address,
+                      tick_seconds=service_config.poll_seconds)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if fleet is not None:
+            scheduler.queue.request_stop()
+            fleet.stop()
+    return 0
+
+
+def _cmd_submit(parser: argparse.ArgumentParser,
+                args: argparse.Namespace) -> int:
+    from repro.core.report import LeakageReport
+    from repro.errors import CampaignError
+    from repro.service import client
+
+    address = _service_address(parser, args)
+    overrides = dict(
+        fixed_runs=args.fixed_runs, random_runs=args.random_runs,
+        confidence=args.confidence, test=args.test, seed=args.seed,
+        offset_granularity=args.granularity, quantify=args.quantify,
+        analyze_all_representatives=args.all_representatives)
+    try:
+        cid = client.submit(address, args.workload, overrides)
+        if not args.wait:
+            print(json.dumps({"campaign": cid}) if args.json
+                  else f"submitted {args.workload} as campaign {cid}")
+            return 0
+        row = client.wait_for(address, cid, timeout=args.timeout)
+        if row["stage"] == "failed":
+            print(f"owl: campaign {cid} failed: {row.get('error')}",
+                  file=sys.stderr)
+            return 2
+        payload = client.results(address, cid)
+    except (OSError, CampaignError) as error:
+        print(f"owl: {error}", file=sys.stderr)
+        return 2
+    report_json = payload.get("report_json")
+    if report_json is None:
+        print(f"owl: campaign {cid} completed but its report is missing",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(report_json)
+    else:
+        print(LeakageReport.from_json(report_json).render())
+    return 1 if payload.get("has_leaks") else 0
+
+
+def _cmd_status(parser: argparse.ArgumentParser,
+                args: argparse.Namespace) -> int:
+    from repro.errors import CampaignError
+    from repro.service import client
+
+    address = _service_address(parser, args)
+    try:
+        status = client.status(address, args.campaign)
+    except (OSError, CampaignError) as error:
+        print(f"owl: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    rows = ({args.campaign: status} if args.campaign is not None
+            else status.get("campaigns", {}))
+    for cid in sorted(rows):
+        row = rows[cid]
+        extra = ""
+        if row.get("coalesced_into"):
+            extra = f" (coalesced into {row['coalesced_into']})"
+        if row.get("error"):
+            extra += f" error: {row['error']}"
+        print(f"{cid}  {row['workload']:<14} {row['stage']:<10} "
+              f"pending={row['pending_units']} "
+              f"degradations={row['degradations']}{extra}")
+    if args.campaign is None:
+        fleet = status.get("fleet") or {}
+        if fleet:
+            print(f"fleet: {len(fleet.get('live_workers', []))} live "
+                  f"workers, {fleet.get('spawned', 0)} spawned, "
+                  f"{fleet.get('restarts', 0)} restarts")
+        print(f"{len(rows)} campaign(s)")
+    return 0
+
+
+def _cmd_results(parser: argparse.ArgumentParser,
+                 args: argparse.Namespace) -> int:
+    from repro.core.report import LeakageReport
+    from repro.errors import CampaignError
+    from repro.service import client
+
+    address = _service_address(parser, args)
+    try:
+        payload = client.results(address, args.campaign)
+    except (OSError, CampaignError) as error:
+        print(f"owl: {error}", file=sys.stderr)
+        return 2
+    if payload["stage"] == "failed":
+        print(f"owl: campaign {args.campaign} failed: "
+              f"{payload.get('error')}", file=sys.stderr)
+        return 2
+    if payload["stage"] != "complete":
+        print(f"campaign {args.campaign} is still in stage "
+              f"{payload['stage']!r}")
+        return 3
+    report_json = payload.get("report_json")
+    if report_json is None:
+        print(f"owl: campaign {args.campaign} completed but its report "
+              f"is missing from the store", file=sys.stderr)
+        return 2
+    if args.json:
+        print(report_json)
+    else:
+        print(LeakageReport.from_json(report_json).render())
+    return 1 if payload.get("has_leaks") else 0
+
+
 _COMMANDS = {"run": _cmd_run, "resume": _cmd_resume, "diff": _cmd_diff,
-             "ls": _cmd_ls, "gc": _cmd_gc, "verify": _cmd_verify}
+             "ls": _cmd_ls, "gc": _cmd_gc, "verify": _cmd_verify,
+             "serve": _cmd_serve, "submit": _cmd_submit,
+             "status": _cmd_status, "results": _cmd_results}
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -365,9 +365,12 @@ class Owl:
             wall = time.perf_counter() - started
             if stats is not None:
                 stats.absorb_chunk(chunk, wall)
-            for index, trace in zip(missing, recorded):
-                campaign.save_trace(fps[index], trace)
-                traces[index] = trace
+            # one batched manifest append for the whole phase, not one
+            # full-manifest rewrite per recorded trace
+            with campaign.store.batch():
+                for index, trace in zip(missing, recorded):
+                    campaign.save_trace(fps[index], trace)
+                    traces[index] = trace
         if stats is not None:
             stats.cached_traces += len(inputs) - len(missing)
         return traces  # type: ignore[return-value]
@@ -550,8 +553,9 @@ class Owl:
                     and not self.config.always_analyze):
                 stats.total_seconds = time.perf_counter() - started
                 if campaign is not None:
-                    campaign.save_report(inputs_fp, empty, stats=stats)
-                    campaign.mark_complete(inputs_fp)
+                    with campaign.store.batch():
+                        campaign.save_report(inputs_fp, empty, stats=stats)
+                        campaign.mark_complete(inputs_fp)
                 return OwlResult(program_name=self.name,
                                  filter_result=filter_result, report=empty,
                                  stats=stats)
@@ -582,8 +586,9 @@ class Owl:
                 merged.num_random_runs = self.config.random_runs
             stats.total_seconds = time.perf_counter() - started
             if campaign is not None:
-                campaign.save_report(inputs_fp, merged, stats=stats)
-                campaign.mark_complete(inputs_fp)
+                with campaign.store.batch():
+                    campaign.save_report(inputs_fp, merged, stats=stats)
+                    campaign.mark_complete(inputs_fp)
             return OwlResult(program_name=self.name,
                              filter_result=filter_result, report=merged,
                              per_representative=per_rep, stats=stats)

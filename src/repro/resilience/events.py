@@ -32,6 +32,13 @@ COHORT_TO_WARP = "cohort_to_warp"
 REPLICA_TO_RUN = "replica_to_run"
 COLUMNAR_TO_OBJECT = "columnar_to_object"
 STORE_QUARANTINE = "store_quarantine"
+#: fleet-level rungs (the detection service's lifted ladder): a worker
+#: process died or went silent past its lease, its leased units were
+#: re-queued, and a unit that exhausted its fleet attempts ran in the
+#: scheduler process instead
+WORKER_LOST = "worker_lost"
+UNIT_REQUEUED = "unit_requeued"
+FLEET_TO_LOCAL = "fleet_to_local"
 
 
 @dataclass

@@ -1,0 +1,111 @@
+"""Synchronous client for the detection service's JSON-lines protocol.
+
+What ``owl submit`` / ``owl status`` / ``owl results`` (and the tests,
+and the throughput benchmark) speak.  One request = one connection; the
+service multiplexes many of these concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Dict, Optional
+
+from repro.errors import CampaignError
+from repro.service.server import Address
+
+
+def request(address: Address, payload: Dict,
+            timeout: float = 30.0) -> Dict:
+    """Send one request line, return the decoded response."""
+    kind, target = address
+    if kind == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(str(target))
+    else:
+        host, port = target  # type: ignore[misc]
+        sock = socket.create_connection((host, port), timeout=timeout)
+    try:
+        sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+        chunks = []
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+            if data.endswith(b"\n"):
+                break
+        raw = b"".join(chunks)
+        if not raw:
+            raise CampaignError("service closed the connection mid-request")
+        return json.loads(raw.decode("utf-8"))
+    finally:
+        sock.close()
+
+
+def _checked(address: Address, payload: Dict, timeout: float) -> Dict:
+    response = request(address, payload, timeout=timeout)
+    if not response.get("ok"):
+        raise CampaignError(
+            f"service error for op {payload.get('op')!r}: "
+            f"{response.get('error', 'unknown error')}")
+    return response
+
+
+def ping(address: Address, timeout: float = 5.0) -> bool:
+    try:
+        return bool(request(address, {"op": "ping"},
+                            timeout=timeout).get("ok"))
+    except (OSError, CampaignError):
+        return False
+
+
+def wait_until_up(address: Address, timeout: float = 30.0,
+                  poll: float = 0.1) -> None:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if ping(address):
+            return
+        time.sleep(poll)
+    raise CampaignError(f"service at {address!r} did not come up within "
+                        f"{timeout:.0f}s")
+
+
+def submit(address: Address, workload: str,
+           config: Optional[Dict] = None, timeout: float = 30.0) -> str:
+    response = _checked(address, {"op": "submit", "workload": workload,
+                                  "config": config or {}}, timeout)
+    return str(response["campaign"])
+
+
+def status(address: Address, campaign: Optional[str] = None,
+           timeout: float = 30.0) -> Dict:
+    return _checked(address, {"op": "status", "campaign": campaign},
+                    timeout)["status"]
+
+
+def results(address: Address, campaign: str,
+            timeout: float = 30.0) -> Dict:
+    return _checked(address, {"op": "results", "campaign": campaign},
+                    timeout)["results"]
+
+
+def shutdown(address: Address, timeout: float = 30.0) -> None:
+    _checked(address, {"op": "shutdown"}, timeout)
+
+
+def wait_for(address: Address, campaign: str, timeout: float = 300.0,
+             poll: float = 0.1) -> Dict:
+    """Poll until the campaign is terminal; returns its status row."""
+    deadline = time.time() + timeout
+    while True:
+        row = status(address, campaign)
+        if row["stage"] in ("complete", "failed"):
+            return row
+        if time.time() > deadline:
+            raise CampaignError(
+                f"campaign {campaign} still in stage {row['stage']!r} "
+                f"after {timeout:.0f}s")
+        time.sleep(poll)

@@ -1,0 +1,73 @@
+"""Operational configuration of the detection service.
+
+Everything here is fleet plumbing — worker counts, lease lengths, retry
+budgets, unit sizing.  None of it may influence report bytes: the
+scheduler decomposes campaigns into work units whose results fold through
+:meth:`~repro.core.evidence.Evidence.merge` bit-identically at any
+setting, so :class:`ServiceConfig` is to the fleet what ``workers`` /
+``retry`` are to one ``Owl.detect`` call — excluded from every store
+fingerprint by construction (it never reaches one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Fleet-level knobs for ``owl serve`` and the campaign scheduler."""
+
+    #: worker processes to spawn; 0 executes every unit in the scheduler
+    #: process (useful for tests and one-core hosts — same results)
+    workers: int = 2
+    #: phase-3 runs per evidence work unit (the fleet's chunk size; any
+    #: value produces bit-identical evidence, smaller units spread wider)
+    unit_runs: int = 25
+    #: seconds a worker may hold a claimed unit without heartbeat before
+    #: the scheduler revokes the lease and re-queues the unit
+    lease_seconds: float = 30.0
+    #: scheduler/worker poll cadence
+    poll_seconds: float = 0.05
+    #: fleet dispatch attempts per unit before it degrades to running
+    #: inside the scheduler process (the ladder's terminal rung)
+    max_attempts: int = 3
+    #: worker-process restarts the fleet will pay before letting pending
+    #: units fall through to in-scheduler execution
+    restart_budget: int = 8
+    #: coalesce submissions that resolve to the same (workload, analysis
+    #: fingerprint, inputs) into one execution — the multi-tenant
+    #: amortization that shares warm-store hits across clients
+    coalesce: bool = True
+    #: fault injection: each *initially spawned* worker exits, leaving its
+    #: claim behind, right before executing its Nth claimed unit
+    #: (replacement workers spawn without the fault, so the campaign
+    #: completes).  Mirrors ``FaultPlan``'s worker_crash at fleet level.
+    die_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.workers, int) or isinstance(
+                self.workers, bool) or self.workers < 0:
+            raise ConfigError(
+                f"workers must be an int >= 0, got {self.workers!r}")
+        for name in ("unit_runs", "max_attempts"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise ConfigError(
+                    f"{name} must be a positive int, got {value!r}")
+        if self.restart_budget < 0:
+            raise ConfigError(
+                f"restart_budget must be >= 0, got {self.restart_budget!r}")
+        for name in ("lease_seconds", "poll_seconds"):
+            value = getattr(self, name)
+            if not value > 0:
+                raise ConfigError(
+                    f"{name} must be positive, got {value!r}")
+        if self.die_after is not None and self.die_after < 1:
+            raise ConfigError(
+                f"die_after must be a positive int or None, got "
+                f"{self.die_after!r}")

@@ -1,0 +1,467 @@
+"""The campaign scheduler: submissions → work units → fleet → reports.
+
+One :class:`CampaignScheduler` owns a :class:`~repro.service.queue.JobQueue`
+and drives every submitted campaign through the stage machine
+
+    tracing → planning → [evidence → folding] → reporting → complete
+
+enqueuing the next stage's durable units the moment the previous stage's
+results are all on disk.  The actual work happens wherever a unit is
+claimed — fleet worker processes, or the scheduler process itself when
+``workers == 0`` (same units, same results).
+
+Fault handling is :class:`~repro.resilience.supervisor.ChunkSupervisor`'s
+ladder lifted to fleet level, with the same split of responsibilities:
+
+* a worker that *died or went silent* (process exit, expired lease) is an
+  infrastructure fault — its leased units are re-queued deterministically
+  (``WORKER_LOST`` → ``UNIT_REQUEUED``), and a unit that exhausts
+  ``max_attempts`` fleet dispatches executes in the scheduler process
+  instead (``FLEET_TO_LOCAL``, the terminal rung);
+* a worker that *returned an error result* hit real program/unit code
+  failure — that propagates and fails the campaign, exactly as
+  worker-code exceptions propagate out of the chunk supervisor.
+
+Multi-tenant amortisation: with ``coalesce=True`` (default), submissions
+that resolve to the same (workload, analysis fingerprint, inputs) attach
+to the in-flight execution instead of scheduling a duplicate; every
+tenant still gets their own campaign id, status and results.  Distinct
+campaigns additionally share phase-1 traces and the random evidence side
+through the store's content-addressed reuse, so a fleet serving many
+tenants does strictly less work than the tenants running alone.
+
+Bit-identity: the terminal report unit is a plain ``Owl.detect`` against
+the store the earlier units warmed, so "service report ≡ direct report"
+reduces to the store layer's proven warm ≡ cold contract — at any worker
+count, any ``unit_runs`` partition, and across injected worker deaths.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.core.pipeline import OwlConfig
+from repro.errors import CampaignError
+from repro.gpusim.device import DeviceConfig
+from repro.resilience.events import (
+    FLEET_TO_LOCAL, UNIT_REQUEUED, WORKER_LOST, DegradationEvent)
+from repro.service.config import ServiceConfig
+from repro.service.execute import execute_unit
+from repro.service.fleet import WorkerFleet
+from repro.service.queue import JobQueue
+from repro.service.units import (
+    evidence_units, fold_unit, plan_unit, report_unit, trace_units)
+from repro.store.fingerprint import (
+    analysis_fingerprint, fingerprint_inputs, fingerprint_value)
+from repro.store.store import TraceStore
+
+#: Campaign stages, in order.
+STAGE_TRACING = "tracing"
+STAGE_PLANNING = "planning"
+STAGE_EVIDENCE = "evidence"
+STAGE_FOLDING = "folding"
+STAGE_REPORTING = "reporting"
+STAGE_COMPLETE = "complete"
+STAGE_FAILED = "failed"
+
+_LOCAL = "scheduler"
+
+
+def _num_chunks(total_runs: int, unit_runs: int) -> int:
+    return (total_runs + unit_runs - 1) // unit_runs
+
+
+def campaign_identity(workload: str, config: OwlConfig) -> str:
+    """The coalescing key: what makes two submissions the same detection.
+
+    Built from the same fingerprints the store keys reports under —
+    operational knobs (workers, columnar, cohort, …) never enter it.
+    """
+    from repro.apps.registry import resolve
+    _program, fixed_inputs, _random = resolve(workload)
+    device_config = DeviceConfig()
+    if config.cohort_step_budget is not None:
+        device_config = replace(
+            device_config, cohort_step_budget=config.cohort_step_budget)
+    analysis_fp = analysis_fingerprint(config, device_config)
+    inputs_fp = fingerprint_inputs(
+        [fingerprint_value(value) for value in fixed_inputs()])
+    return f"{workload}/{analysis_fp}/{inputs_fp}"
+
+
+@dataclass
+class CampaignState:
+    """Scheduler-side view of one submitted campaign."""
+
+    cid: str
+    workload: str
+    config_dict: Dict
+    identity: str
+    stage: str = STAGE_TRACING
+    pending: List[str] = field(default_factory=list)
+    plan: Optional[Dict] = None
+    report: Optional[Dict] = None
+    error: Optional[str] = None
+    coalesced_into: Optional[str] = None
+    degradations: List[DegradationEvent] = field(default_factory=list)
+    submitted_at: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.stage in (STAGE_COMPLETE, STAGE_FAILED)
+
+    def spec(self) -> Dict:
+        return {"workload": self.workload, "config": self.config_dict}
+
+
+class CampaignScheduler:
+    """Decompose campaigns into durable units and see them through."""
+
+    def __init__(self, store_root, queue_root,
+                 config: Optional[ServiceConfig] = None,
+                 fleet: Optional[WorkerFleet] = None) -> None:
+        self.store_root = str(store_root)
+        self.config = config or ServiceConfig()
+        self.queue = JobQueue(queue_root)
+        self.fleet = fleet
+        self.campaigns: Dict[str, CampaignState] = {}
+        self._by_identity: Dict[str, str] = {}
+        self._seq = 0
+        self.events: List[DegradationEvent] = []
+        TraceStore(self.store_root)  # create/validate the shared store
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def submit(self, workload: str,
+               config_overrides: Optional[Dict] = None) -> str:
+        """Register a campaign; returns its id immediately."""
+        import dataclasses
+
+        config = OwlConfig(**(config_overrides or {}))
+        identity = campaign_identity(workload, config)
+        self._seq += 1
+        cid = f"c{self._seq:04d}"
+        state = CampaignState(cid=cid, workload=workload,
+                              config_dict=dataclasses.asdict(config),
+                              identity=identity, submitted_at=time.time())
+        primary_cid = self._by_identity.get(identity)
+        primary = (self.campaigns.get(primary_cid)
+                   if primary_cid is not None else None)
+        if (self.config.coalesce and primary is not None
+                and primary.stage != STAGE_FAILED):
+            state.coalesced_into = primary.cid
+            state.stage = primary.stage
+            self.campaigns[cid] = state
+            self.queue.save_campaign(cid, dict(
+                state.spec(), coalesced_into=primary.cid))
+            self.queue.journal("coalesced", campaign=cid, into=primary.cid)
+            return cid
+        self.campaigns[cid] = state
+        self._by_identity[identity] = cid
+        self.queue.save_campaign(cid, state.spec())
+        self.queue.journal("submitted", campaign=cid, workload=workload)
+        self._start(state)
+        return cid
+
+    def _start(self, state: CampaignState) -> None:
+        from repro.apps.registry import resolve
+        _program, fixed_inputs, _random = resolve(state.workload)
+        num_inputs = len(fixed_inputs())
+        state.stage = STAGE_TRACING
+        self._enqueue(state, trace_units(state.cid, state.spec(), num_inputs))
+
+    def _enqueue(self, state: CampaignState, units) -> None:
+        state.pending = [unit.uid for unit in units]
+        for unit in units:
+            if self.queue.enqueue(unit):
+                self.queue.journal("enqueued", unit=unit.uid,
+                                   kind=unit.kind, campaign=state.cid)
+
+    # ------------------------------------------------------------------
+    # the drive loop
+    # ------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """One scheduling round: reap faults, run/harvest units, advance."""
+        self._reap_fleet()
+        self._reap_leases()
+        if self.fleet is None or self.config.workers == 0:
+            self._run_local_pending()
+        for state in list(self.campaigns.values()):
+            if not state.done and state.coalesced_into is None:
+                self._harvest(state)
+        self._mirror_coalesced()
+
+    def wait(self, cids=None, timeout: Optional[float] = None) -> bool:
+        """Tick until the given campaigns (default: all) are terminal."""
+        deadline = None if timeout is None else time.time() + timeout
+        targets = list(self.campaigns) if cids is None else list(cids)
+        while True:
+            self.tick()
+            if all(self.campaigns[cid].done for cid in targets
+                   if cid in self.campaigns):
+                return True
+            if deadline is not None and time.time() > deadline:
+                return False
+            time.sleep(self.config.poll_seconds)
+
+    # -- fault reaping --------------------------------------------------
+
+    def _reap_fleet(self) -> None:
+        if self.fleet is None:
+            return
+        for worker_id in self.fleet.poll():
+            held = self.queue.claims_by_worker(worker_id)
+            event = DegradationEvent(
+                kind=WORKER_LOST, subsystem="fleet",
+                reason=f"worker {worker_id} exited",
+                context={"worker": worker_id, "held_units": len(held)})
+            self.events.append(event)
+            self.queue.journal("worker_lost", worker=worker_id,
+                               held=list(held))
+            for uid in held:
+                self._requeue(uid, reason=f"worker {worker_id} died")
+
+    def _reap_leases(self) -> None:
+        for uid in self.queue.expired_claims(self.config.lease_seconds):
+            info = self.queue.claim_info(uid)
+            worker = info.get("worker", "?") if info else "?"
+            self.events.append(DegradationEvent(
+                kind=WORKER_LOST, subsystem="fleet",
+                reason=f"lease on {uid} expired (worker {worker} silent)",
+                context={"worker": worker, "unit": uid}))
+            self.queue.journal("lease_expired", unit=uid, worker=worker)
+            self._requeue(uid, reason=f"lease expired (worker {worker})")
+
+    def _requeue(self, uid: str, reason: str) -> None:
+        unit = self.queue.requeue(uid)
+        if unit is None:
+            return
+        state = self.campaigns.get(unit.campaign)
+        event = DegradationEvent(
+            kind=UNIT_REQUEUED, subsystem="fleet", reason=reason,
+            context={"unit": uid, "attempt": unit.attempts})
+        if state is not None:
+            state.degradations.append(event)
+        self.queue.journal("requeued", unit=uid, attempt=unit.attempts)
+        if unit.attempts >= self.config.max_attempts:
+            # terminal rung: run it here, now — the fleet forfeited it
+            degrade = DegradationEvent(
+                kind=FLEET_TO_LOCAL, subsystem="fleet",
+                reason=f"unit {uid} exhausted {unit.attempts} fleet "
+                       f"attempts", context={"unit": uid})
+            if state is not None:
+                state.degradations.append(degrade)
+            self.events.append(degrade)
+            self.queue.journal("fleet_to_local", unit=uid)
+            self._execute_local(uid)
+
+    # -- execution ------------------------------------------------------
+
+    def _execute_local(self, uid: str) -> None:
+        if self.queue.result(uid) is not None:
+            return
+        if not self.queue.claim(uid, _LOCAL):
+            return  # someone else holds it; their result (or death) wins
+        unit = self.queue.load_unit(uid)
+        if unit is None:
+            self.queue.release(uid)
+            return
+        try:
+            payload = execute_unit(unit, self.store_root)
+        except Exception as error:  # noqa: BLE001 — recorded as unit failure
+            self.queue.fail(uid, f"{type(error).__name__}: {error}", _LOCAL)
+        else:
+            self.queue.complete(uid, payload, _LOCAL)
+
+    def _run_local_pending(self) -> None:
+        """No fleet: the scheduler is the worker (identical results)."""
+        for state in list(self.campaigns.values()):
+            if state.done or state.coalesced_into is not None:
+                continue
+            for uid in list(state.pending):
+                if self.queue.result(uid) is None:
+                    self._execute_local(uid)
+
+    # -- harvesting + stage advance ------------------------------------
+
+    def _harvest(self, state: CampaignState) -> None:
+        remaining = []
+        payloads = {}
+        for uid in state.pending:
+            result = self.queue.result(uid)
+            if result is None:
+                remaining.append(uid)
+                continue
+            if result.get("status") != "done":
+                state.stage = STAGE_FAILED
+                state.error = (f"unit {uid} failed: "
+                               f"{result.get('error', 'unknown error')}")
+                state.pending = []
+                self.queue.journal("failed", campaign=state.cid,
+                                   unit=uid, error=state.error)
+                return
+            payload = result.get("payload", {})
+            payloads[uid] = payload
+            for data in payload.get("degradations", []):
+                state.degradations.append(DegradationEvent.from_dict(data))
+        if remaining:
+            state.pending = remaining
+            return
+        self._advance(state, payloads)
+
+    def _advance(self, state: CampaignState, payloads: Dict) -> None:
+        spec = state.spec()
+        config = OwlConfig(**state.config_dict)
+        if state.stage == STAGE_TRACING:
+            from repro.apps.registry import resolve
+            _program, fixed_inputs, _random = resolve(state.workload)
+            state.stage = STAGE_PLANNING
+            self._enqueue(state, [plan_unit(state.cid, spec,
+                                            len(fixed_inputs()))])
+            return
+        if state.stage == STAGE_PLANNING:
+            plan = payloads[f"{state.cid}.plan"]
+            state.plan = plan
+            if plan["early_exit"]:
+                state.stage = STAGE_REPORTING
+                self._enqueue(state, [report_unit(state.cid, spec,
+                                                  plan["num_classes"])])
+                return
+            units = []
+            for rep_index in plan["rep_indices"]:
+                units.extend(evidence_units(
+                    state.cid, spec, "fixed", rep_index, config.fixed_runs,
+                    self.config.unit_runs))
+            units.extend(evidence_units(
+                state.cid, spec, "random", -1, config.random_runs,
+                self.config.unit_runs))
+            state.stage = STAGE_EVIDENCE
+            self._enqueue(state, units)
+            return
+        if state.stage == STAGE_EVIDENCE:
+            plan = state.plan or {}
+            units = []
+            for rep_index in plan.get("rep_indices", []):
+                chunks = _num_chunks(config.fixed_runs, self.config.unit_runs)
+                units.append(fold_unit(state.cid, spec, "fixed", rep_index,
+                                       chunks))
+            chunks = _num_chunks(config.random_runs, self.config.unit_runs)
+            units.append(fold_unit(state.cid, spec, "random", -1, chunks))
+            state.stage = STAGE_FOLDING
+            self._enqueue(state, units)
+            return
+        if state.stage == STAGE_FOLDING:
+            state.stage = STAGE_REPORTING
+            self._enqueue(state, [report_unit(state.cid, spec, 0)])
+            return
+        if state.stage == STAGE_REPORTING:
+            state.report = payloads[f"{state.cid}.report"]
+            state.stage = STAGE_COMPLETE
+            state.pending = []
+            self.queue.journal("complete", campaign=state.cid,
+                               report_key=state.report.get("report_key"),
+                               has_leaks=state.report.get("has_leaks"))
+            return
+        raise CampaignError(
+            f"campaign {state.cid} advanced from unexpected stage "
+            f"{state.stage!r}")
+
+    def _mirror_coalesced(self) -> None:
+        for state in self.campaigns.values():
+            if state.coalesced_into is None:
+                continue
+            primary = self.campaigns.get(state.coalesced_into)
+            if primary is None:
+                continue
+            state.stage = primary.stage
+            state.plan = primary.plan
+            state.report = primary.report
+            state.error = primary.error
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def status(self, cid: Optional[str] = None) -> Dict:
+        if cid is not None:
+            state = self.campaigns.get(cid)
+            if state is None:
+                raise KeyError(f"unknown campaign {cid!r}")
+            return self._status_row(state)
+        rows = {c: self._status_row(s) for c, s in self.campaigns.items()}
+        fleet = {}
+        if self.fleet is not None:
+            fleet = {"live_workers": self.fleet.live_workers(),
+                     "spawned": self.fleet.spawned,
+                     "restarts": self.fleet.restarts}
+        return {"campaigns": rows, "fleet": fleet,
+                "events": [event.to_dict() for event in self.events]}
+
+    def _status_row(self, state: CampaignState) -> Dict:
+        return {"cid": state.cid, "workload": state.workload,
+                "stage": state.stage, "pending_units": len(state.pending),
+                "coalesced_into": state.coalesced_into,
+                "degradations": len(state.degradations),
+                "error": state.error, "report": state.report}
+
+    def results(self, cid: str) -> Dict:
+        """The completed campaign's report JSON (resolves coalescing)."""
+        state = self.campaigns.get(cid)
+        if state is None:
+            raise KeyError(f"unknown campaign {cid!r}")
+        if state.coalesced_into is not None:
+            primary = self.campaigns.get(state.coalesced_into)
+            state = primary if primary is not None else state
+        if state.stage == STAGE_FAILED:
+            return {"cid": cid, "stage": STAGE_FAILED, "error": state.error}
+        if state.stage != STAGE_COMPLETE or state.report is None:
+            return {"cid": cid, "stage": state.stage}
+        store = TraceStore(self.store_root)
+        report = store.get_report(state.report["report_key"])
+        return {"cid": cid, "stage": STAGE_COMPLETE,
+                "report_key": state.report["report_key"],
+                "has_leaks": state.report.get("has_leaks"),
+                "report_json": None if report is None else report.to_json()}
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+
+    def recover(self) -> List[str]:
+        """Rebuild scheduler state from queue disk after a restart.
+
+        Re-walks each persisted campaign from the first stage; enqueue is
+        a no-op for units whose results survived, so completed stages
+        fast-forward on the next ticks instead of re-running.
+        """
+        import dataclasses
+
+        recovered = []
+        specs = self.queue.load_campaigns()
+        for cid in sorted(specs):
+            if cid in self.campaigns:
+                continue
+            spec = specs[cid]
+            config = OwlConfig(**spec["config"])
+            state = CampaignState(
+                cid=cid, workload=spec["workload"],
+                config_dict=dataclasses.asdict(config),
+                identity=campaign_identity(spec["workload"], config),
+                submitted_at=time.time())
+            self.campaigns[cid] = state
+            seq = int(cid[1:]) if cid[1:].isdigit() else 0
+            self._seq = max(self._seq, seq)
+            coalesced_into = spec.get("coalesced_into")
+            if coalesced_into is not None:
+                state.coalesced_into = coalesced_into
+            else:
+                self._by_identity[state.identity] = cid
+                self._start(state)
+            self.queue.journal("recovered", campaign=cid)
+            recovered.append(cid)
+        return recovered

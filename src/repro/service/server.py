@@ -1,0 +1,141 @@
+"""``owl serve``'s front door: JSON-lines over a socket, many clients.
+
+One asyncio event loop multiplexes every connected client (unix-domain
+socket by default, TCP with ``--port``) against one
+:class:`~repro.service.scheduler.CampaignScheduler`.  The protocol is a
+JSON object per line, ``{"op": ...}`` in, one JSON object out:
+
+* ``ping``                         → ``{"ok": true, "pong": ...}``
+* ``submit {workload, config}``    → ``{"ok": true, "campaign": cid}``
+* ``status {campaign?}``           → the scheduler's status dict
+* ``results {campaign}``           → report JSON for a completed campaign
+* ``shutdown``                     → stop fleet + server
+
+Scheduling runs on a background task that calls ``scheduler.tick()``
+between awaits, so submissions return immediately and clients poll
+``status`` — the CLI's ``owl submit --wait`` does exactly that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+from repro.service.scheduler import CampaignScheduler
+
+#: (kind, target): ("unix", path) or ("tcp", (host, port)).
+Address = Tuple[str, object]
+
+
+def parse_address(socket_path: Optional[str] = None,
+                  host: Optional[str] = None,
+                  port: Optional[int] = None) -> Address:
+    if port is not None:
+        return ("tcp", (host or "127.0.0.1", int(port)))
+    if socket_path is None:
+        raise ValueError("need either a unix socket path or a TCP port")
+    return ("unix", str(socket_path))
+
+
+class ServiceServer:
+    """Asyncio front end over one scheduler."""
+
+    def __init__(self, scheduler: CampaignScheduler, address: Address,
+                 tick_seconds: float = 0.05) -> None:
+        self.scheduler = scheduler
+        self.address = address
+        self.tick_seconds = tick_seconds
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopping = asyncio.Event()
+
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        kind, target = self.address
+        if kind == "unix":
+            self._server = await asyncio.start_unix_server(
+                self._handle, path=str(target))
+        else:
+            host, port = target  # type: ignore[misc]
+            self._server = await asyncio.start_server(
+                self._handle, host=host, port=port)
+
+    async def run(self) -> None:
+        """Serve until a client asks for shutdown."""
+        if self._server is None:
+            await self.start()
+        ticker = asyncio.ensure_future(self._tick_loop())
+        try:
+            await self._stopping.wait()
+        finally:
+            ticker.cancel()
+            self._server.close()
+            await self._server.wait_closed()
+            if self.scheduler.fleet is not None:
+                self.scheduler.queue.request_stop()
+                self.scheduler.fleet.stop()
+
+    async def _tick_loop(self) -> None:
+        while not self._stopping.is_set():
+            self.scheduler.tick()
+            await asyncio.sleep(self.tick_seconds)
+
+    # ------------------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = self._dispatch(line)
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+                if response.get("_shutdown"):
+                    self._stopping.set()
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _dispatch(self, line: bytes) -> dict:
+        try:
+            request = json.loads(line.decode("utf-8"))
+            op = request.get("op")
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            if op == "submit":
+                cid = self.scheduler.submit(
+                    request["workload"], request.get("config") or {})
+                return {"ok": True, "campaign": cid}
+            if op == "status":
+                return {"ok": True,
+                        "status": self.scheduler.status(
+                            request.get("campaign"))}
+            if op == "results":
+                return {"ok": True,
+                        "results": self.scheduler.results(
+                            request["campaign"])}
+            if op == "shutdown":
+                return {"ok": True, "stopping": True, "_shutdown": True}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except Exception as error:  # noqa: BLE001 — protocol boundary
+            return {"ok": False,
+                    "error": f"{type(error).__name__}: {error}"}
+
+
+def serve_forever(scheduler: CampaignScheduler, address: Address,
+                  tick_seconds: float = 0.05) -> None:
+    """Blocking entry point for ``owl serve``."""
+    server = ServiceServer(scheduler, address, tick_seconds=tick_seconds)
+
+    async def _main() -> None:
+        await server.start()
+        await server.run()
+
+    asyncio.run(_main())

@@ -1,0 +1,96 @@
+"""The fleet worker: claim → execute → report, forever.
+
+Runnable as ``python -m repro.service.worker --queue DIR --store DIR
+--worker-id NAME``; the :class:`~repro.service.fleet.WorkerFleet` spawns
+these as subprocesses, but the loop is an ordinary function so tests can
+drive it in-process too.
+
+Protocol per unit: win the ``O_EXCL`` claim, heartbeat it, execute the
+unit against the shared store, write the result tmp+rename, release the
+claim.  Worker-code exceptions become ``error`` results (the scheduler
+treats those as real bugs and fails the campaign, mirroring
+:class:`~repro.resilience.supervisor.ChunkSupervisor`); a worker *death*
+leaves the claim behind, which the scheduler notices — dead process or
+silent lease — and re-queues.
+
+``--die-after N`` is the fleet-level fault injection: exit hard right
+after winning the Nth claim, before executing it.  That is the worst
+crash point (the lease is held, no result exists), exactly what the
+re-queue path must survive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+from typing import Optional
+
+from repro.service.execute import execute_unit
+from repro.service.queue import JobQueue
+
+
+def worker_loop(queue_root, store_root, worker_id: str,
+                poll_seconds: float = 0.05,
+                die_after: Optional[int] = None,
+                max_loops: Optional[int] = None) -> int:
+    """Run the claim/execute loop until the queue's STOP sentinel appears.
+
+    Returns the number of units executed.  ``max_loops`` bounds idle
+    polling for in-process tests.
+    """
+    queue = JobQueue(queue_root)
+    executed = 0
+    claimed = 0
+    loops = 0
+    while not queue.stop_requested():
+        progressed = False
+        for uid in queue.pending_units():
+            if queue.stop_requested():
+                break
+            if not queue.claim(uid, worker_id):
+                continue
+            claimed += 1
+            if die_after is not None and claimed >= die_after:
+                # injected death: hard exit with the lease still held
+                os._exit(3)
+            unit = queue.load_unit(uid)
+            if unit is None:  # re-queue race: spec rewritten under us
+                queue.release(uid)
+                continue
+            queue.heartbeat(uid)
+            try:
+                payload = execute_unit(unit, store_root)
+            except BaseException as error:  # noqa: BLE001 — ships to scheduler
+                queue.fail(uid, f"{type(error).__name__}: {error}", worker_id)
+            else:
+                queue.complete(uid, payload, worker_id)
+            executed += 1
+            progressed = True
+        if not progressed:
+            loops += 1
+            if max_loops is not None and loops >= max_loops:
+                break
+            time.sleep(poll_seconds)
+    return executed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.service.worker",
+        description="detection-service fleet worker process")
+    parser.add_argument("--queue", required=True, help="job queue directory")
+    parser.add_argument("--store", required=True,
+                        help="shared trace store directory")
+    parser.add_argument("--worker-id", required=True)
+    parser.add_argument("--poll", type=float, default=0.05)
+    parser.add_argument("--die-after", type=int, default=None,
+                        help="fault injection: exit after the Nth claim")
+    args = parser.parse_args(argv)
+    worker_loop(args.queue, args.store, args.worker_id,
+                poll_seconds=args.poll, die_after=args.die_after)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -150,12 +150,13 @@ class Campaign:
                       side: str) -> Evidence:
         """Persist a completed side and return its canonical form."""
         payload = serialize_evidence(evidence)
-        self.store.put_bytes(
-            key, "evidence", payload,
-            meta={"workload": self.name, "config": self.evidence_fp,
-                  "side": side, "seed": self.config.seed,
-                  "runs": evidence.num_runs})
-        self.store.delete(self.checkpoint_key(key))
+        with self.store.batch():
+            self.store.put_bytes(
+                key, "evidence", payload,
+                meta={"workload": self.name, "config": self.evidence_fp,
+                      "side": side, "seed": self.config.seed,
+                      "runs": evidence.num_runs})
+            self.store.delete(self.checkpoint_key(key))
         return deserialize_evidence(payload)
 
     def load_checkpoint(self, evidence_key: str

@@ -1,0 +1,78 @@
+"""Advisory file locking for stores shared by a worker fleet.
+
+Every cross-process critical section in the store — appending to the
+manifest journal, compacting the journal into ``manifest.json``, loading
+the manifest while a writer may be compacting — takes an advisory
+``flock`` on one lock file at the store root.  Locks are advisory on
+purpose: readers that predate this module keep working, and a crashed
+holder releases its lock with its file descriptor, so there is no stale
+lock-file recovery protocol to get wrong.
+
+On platforms without :mod:`fcntl` the lock degrades to a no-op; the store
+then offers the same single-writer guarantees it always had (each write
+is still atomic via tmp+rename), just not multi-writer merge safety.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+try:  # POSIX only; the store stays usable (single-writer) without it
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+__all__ = ["FileLock", "locks_available"]
+
+
+def locks_available() -> bool:
+    """True when real advisory locks back :class:`FileLock`."""
+    return fcntl is not None
+
+
+class FileLock:
+    """A reentrant advisory lock on one file, usable as a context manager.
+
+    ``FileLock(path)`` is exclusive; ``FileLock(path, shared=True)`` takes
+    the shared (reader) mode.  Acquisition blocks until granted.  The lock
+    file itself carries no state — it exists only to be locked.
+    """
+
+    def __init__(self, path: Union[str, Path], shared: bool = False) -> None:
+        self.path = Path(path)
+        self.shared = shared
+        self._fd = None
+        self._depth = 0
+
+    def acquire(self) -> None:
+        if self._depth > 0:
+            self._depth += 1
+            return
+        if fcntl is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            flags = fcntl.LOCK_SH if self.shared else fcntl.LOCK_EX
+            fcntl.flock(self._fd, flags)
+        self._depth = 1
+
+    def release(self) -> None:
+        if self._depth == 0:
+            raise RuntimeError(f"lock {self.path} is not held")
+        self._depth -= 1
+        if self._depth == 0 and self._fd is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_UN)
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    @property
+    def held(self) -> bool:
+        return self._depth > 0

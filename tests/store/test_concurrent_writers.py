@@ -1,0 +1,118 @@
+"""Two processes, one store: the fleet-safety contract.
+
+The journaled manifest path means concurrent writers *append* deltas under
+an advisory lock instead of clobbering each other's manifest snapshots.
+These tests drive real subprocesses against one store directory and assert
+the three properties the detection service relies on: no lost manifest
+entries, no duplicate blob objects, and byte-identical campaign reports.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.store.store import TraceStore
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+def _run(code: str, *args: str) -> "subprocess.Popen":
+    return subprocess.Popen(
+        [sys.executable, "-c", code, *args],
+        env={"PYTHONPATH": SRC_DIR, "PATH": "/usr/bin:/bin"},
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+
+
+WRITER = """
+import sys
+from repro.store.store import TraceStore
+root, tag, count = sys.argv[1], sys.argv[2], int(sys.argv[3])
+store = TraceStore(root)
+for index in range(count):
+    store.put_bytes(f"trace/{tag}/{index}", "trace",
+                    f"{tag}-{index}".encode())
+print("done")
+"""
+
+SHARED_PAYLOAD_WRITER = """
+import sys
+from repro.store.store import TraceStore
+root, tag, count = sys.argv[1], sys.argv[2], int(sys.argv[3])
+store = TraceStore(root)
+for index in range(count):
+    store.put_bytes(f"trace/{tag}/{index}", "trace",
+                    f"shared-{index}".encode())  # same bytes across procs
+print("done")
+"""
+
+CAMPAIGN_RUNNER = """
+import sys
+from repro.apps.registry import resolve
+from repro.core.pipeline import Owl, OwlConfig
+root, out = sys.argv[1], sys.argv[2]
+program, fixed_inputs, random_input = resolve("dummy")
+config = OwlConfig(fixed_runs=5, random_runs=5, seed=7,
+                   store_checkpoint_every=2)
+owl = Owl(program, name="dummy", config=config)
+result = owl.detect(fixed_inputs(), random_input=random_input, store=root)
+open(out, "w").write(result.report.to_json())
+"""
+
+
+class TestConcurrentWriters:
+    def test_no_lost_manifest_entries(self, tmp_path):
+        store_dir = tmp_path / "store"
+        TraceStore(store_dir)  # create up front so both open the same store
+        count = 40
+        procs = [_run(WRITER, str(store_dir), tag, str(count))
+                 for tag in ("alpha", "beta")]
+        for proc in procs:
+            out, _ = proc.communicate(timeout=120)
+            assert proc.returncode == 0, out.decode()
+        store = TraceStore(store_dir, create=False)
+        for tag in ("alpha", "beta"):
+            for index in range(count):
+                assert store.get_bytes(f"trace/{tag}/{index}") == \
+                    f"{tag}-{index}".encode(), f"lost {tag}/{index}"
+        assert len(store) == 2 * count
+
+    def test_no_duplicate_blob_objects(self, tmp_path):
+        store_dir = tmp_path / "store"
+        TraceStore(store_dir)
+        count = 25
+        procs = [_run(SHARED_PAYLOAD_WRITER, str(store_dir), tag, str(count))
+                 for tag in ("alpha", "beta")]
+        for proc in procs:
+            out, _ = proc.communicate(timeout=120)
+            assert proc.returncode == 0, out.decode()
+        store = TraceStore(store_dir, create=False)
+        # both writers stored identical payload sequences: content
+        # addressing must collapse them to exactly `count` objects
+        digests = list(store.blobs.iter_digests())
+        assert len(digests) == len(set(digests)) == count
+        assert len(store) == 2 * count
+
+    def test_concurrent_campaigns_byte_identical_reports(self, tmp_path):
+        store_dir = tmp_path / "store"
+        TraceStore(store_dir)
+        outs = [tmp_path / "a.json", tmp_path / "b.json"]
+        procs = [_run(CAMPAIGN_RUNNER, str(store_dir), str(out))
+                 for out in outs]
+        for proc in procs:
+            out, _ = proc.communicate(timeout=300)
+            assert proc.returncode == 0, out.decode()
+        report_a = outs[0].read_text()
+        report_b = outs[1].read_text()
+        assert report_a == report_b
+
+        # and both match a fresh single-process run on a cold store
+        from repro.apps.registry import resolve
+        from repro.core.pipeline import Owl, OwlConfig
+        program, fixed_inputs, random_input = resolve("dummy")
+        owl = Owl(program, name="dummy",
+                  config=OwlConfig(fixed_runs=5, random_runs=5, seed=7,
+                                   store_checkpoint_every=2))
+        direct = owl.detect(fixed_inputs(), random_input=random_input,
+                            store=tmp_path / "solo")
+        assert direct.report.to_json() == report_a

@@ -1,0 +1,123 @@
+"""Legacy flat blob layout: transparent reads, lazy migration, tooling."""
+
+import zlib
+
+from repro.cli import main
+from repro.store.blobs import LAYOUT_VERSION, BlobStore, sha256_hex
+from repro.store.store import TraceStore
+
+
+def _flatten(store: TraceStore) -> int:
+    """Rewrite every sharded blob into the legacy flat layout (v1)."""
+    moved = 0
+    for digest in list(store.blobs.iter_digests()):
+        sharded = store.blobs.path_for(digest)
+        if sharded.exists():
+            sharded.replace(store.blobs.flat_path_for(digest))
+            if not any(sharded.parent.iterdir()):
+                sharded.parent.rmdir()
+            moved += 1
+    return moved
+
+
+def _legacy_store(tmp_path, count=4):
+    store = TraceStore(tmp_path)
+    for index in range(count):
+        store.put_bytes(f"trace/t/{index}", "trace", f"body-{index}".encode())
+    assert _flatten(store) == count
+    return store
+
+
+class TestFlatLayoutReads:
+    def test_flat_blobs_are_readable(self, tmp_path):
+        store = _legacy_store(tmp_path)
+        assert store.get_bytes("trace/t/2") == b"body-2"
+
+    def test_layout_reports_v1_then_mixed_then_v2(self, tmp_path):
+        store = _legacy_store(tmp_path, count=3)
+        assert store.blobs.layout() == {
+            "version": 1, "sharded_blobs": 0, "flat_blobs": 3}
+        store.get_bytes("trace/t/0")  # touch one: lazy migration
+        layout = store.blobs.layout()
+        assert layout["version"] == "1+2"
+        assert layout == {"version": "1+2", "sharded_blobs": 1,
+                          "flat_blobs": 2}
+        store.blobs.migrate_flat()
+        assert store.blobs.layout() == {
+            "version": LAYOUT_VERSION, "sharded_blobs": 3, "flat_blobs": 0}
+
+    def test_read_migrates_blob_to_sharded_path(self, tmp_path):
+        store = _legacy_store(tmp_path, count=1)
+        digest = next(store.blobs.iter_digests())
+        assert store.blobs.flat_path_for(digest).exists()
+        store.get_bytes("trace/t/0")
+        assert store.blobs.path_for(digest).exists()
+        assert not store.blobs.flat_path_for(digest).exists()
+        # and the migrated copy round-trips
+        assert store.get_bytes("trace/t/0") == b"body-0"
+
+    def test_put_of_existing_flat_payload_migrates_not_duplicates(
+            self, tmp_path):
+        store = _legacy_store(tmp_path, count=1)
+        digest = store.put_bytes("trace/t/again", "trace", b"body-0").blob
+        assert store.blobs.path_for(digest).exists()
+        assert not store.blobs.flat_path_for(digest).exists()
+
+    def test_migrate_flat_bulk(self, tmp_path):
+        store = _legacy_store(tmp_path, count=5)
+        assert store.blobs.migrate_flat() == 5
+        assert store.blobs.layout()["flat_blobs"] == 0
+        for index in range(5):
+            assert store.get_bytes(f"trace/t/{index}") == \
+                f"body-{index}".encode()
+
+
+class TestToolingWalksBothLayouts:
+    def test_verify_checks_flat_blobs(self, tmp_path, capsys):
+        _legacy_store(tmp_path, count=2)
+        assert main(["verify", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "layout v1" in out
+        assert "all 2 entries verified" in out
+
+    def test_verify_detects_flat_corruption(self, tmp_path, capsys):
+        store = _legacy_store(tmp_path, count=1)
+        digest = next(store.blobs.iter_flat_digests())
+        store.blobs.flat_path_for(digest).write_bytes(
+            zlib.compress(b"tampered"))
+        assert main(["verify", "--store", str(tmp_path)]) == 1
+        assert "corrupt" in capsys.readouterr().out
+
+    def test_gc_collects_unreferenced_flat_blobs(self, tmp_path, capsys):
+        store = _legacy_store(tmp_path, count=3)
+        store.delete("trace/t/1")
+        assert main(["gc", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 unreferenced blobs" in out
+        assert store.blobs.layout()["flat_blobs"] == 2
+
+    def test_gc_dry_run_lists_candidates_without_deleting(self, tmp_path,
+                                                          capsys):
+        store = _legacy_store(tmp_path, count=3)
+        doomed = store.get("trace/t/1").blob
+        store.delete("trace/t/1")
+        assert main(["gc", "--store", str(tmp_path), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "dry run: would remove 1" in out
+        assert doomed in out  # the candidate digest is printed with size
+        assert store.blobs.has(doomed)  # nothing actually deleted
+
+    def test_mixed_layout_rendered_in_gc_output(self, tmp_path, capsys):
+        store = _legacy_store(tmp_path, count=2)
+        store.get_bytes("trace/t/0")  # migrate one
+        assert main(["gc", "--store", str(tmp_path)]) == 0
+        assert "layout v1+v2 (mixed" in capsys.readouterr().out
+
+
+class TestShardedWriteLayout:
+    def test_new_blobs_land_sharded(self, tmp_path):
+        blobs = BlobStore(tmp_path)
+        digest = blobs.put(b"fresh payload")
+        assert digest == sha256_hex(b"fresh payload")
+        assert blobs.path_for(digest).exists()
+        assert (tmp_path / "objects" / digest[:2] / digest[2:]).exists()
