@@ -1,0 +1,206 @@
+"""KS-vs-MI cross-validation across the Table-III workloads (extension).
+
+Two claims ride on the second detector modality (``analyzer="mi"``):
+
+* **coverage** — on every Table-III workload, the MI detector flags every
+  leak the KS detector flags (the ``ks_only`` disagreement list is empty;
+  ``mi_only`` findings are allowed and reported, not failed);
+* **exploitability calibration** — the MI scores are not just detection
+  re-labelled: coarsening the observation granularity degrades the mean
+  MI bits at the AES T-table leaks *and* the key bits the cache-line
+  elimination attack (``repro.attacks.aes_recovery``) actually recovers,
+  in the same order (Spearman rank correlation ≥ 0.9).
+
+Artefacts: ``results/mi_crossval.txt`` (per-workload agreement table),
+``results/mi_crossval_disagreements.json`` (structured disagreement rows
+for CI upload), ``results/mi_keyrecovery.txt`` (the correlation sweep).
+
+Run modes match the other benches: ``pytest bench_mi_crossval.py
+--benchmark-only -s`` for the full sweep, ``python bench_mi_crossval.py
+--smoke`` for a quick CI pass (crypto + representative torch workloads
+only).  ``OWL_BENCH_RUNS`` scales the run counts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+
+import numpy as np
+
+from _bench_utils import RESULTS_DIR, bench_runs, emit_table
+from repro.apps.registry import workloads
+from repro.attacks.aes_recovery import (
+    ENTRIES_PER_LINE,
+    POSITIONS_PER_TABLE,
+    collect_observations,
+)
+from repro.core import Owl, OwlConfig
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")  # FIPS-197 key
+
+#: observation granularities for the calibration sweep: cache line,
+#: quarter table, half table, whole table (T tables are 2048 bytes)
+GRANULARITIES = (64, 256, 1024, 2048)
+
+#: quick-mode workload subset: both crypto pairs plus the torch ops with
+#: planted kernel/data-flow leaks and one clean op
+SMOKE_WORKLOADS = ("aes", "aes-ct", "rsa", "rsa-ct", "serialize",
+                   "tensor-repr", "torch-relu")
+
+
+def detect_both(workload, runs):
+    program, fixed_inputs, random_input = workloads()[workload]
+    config = OwlConfig(fixed_runs=runs, random_runs=runs, analyzer="both",
+                       always_analyze=True)
+    owl = Owl(program, name=workload, config=config)
+    return owl.detect(inputs=fixed_inputs(), random_input=random_input)
+
+
+# ----------------------------------------------------------------------
+# coverage: the cross-validation sweep
+# ----------------------------------------------------------------------
+
+def crossval_sweep(names, runs):
+    """{workload: cross_validation section} for analyzer="both" runs."""
+    sections = {}
+    for name in names:
+        report = detect_both(name, runs).report
+        sections[name] = report.cross_validation or {
+            "agreements": 0, "ks_only": [], "mi_only": []}
+    return sections
+
+
+def report_crossval(sections, runs):
+    rows = []
+    disagreements = {}
+    for name, section in sections.items():
+        rows.append((name, section["agreements"],
+                     len(section["ks_only"]), len(section["mi_only"])))
+        if section["ks_only"] or section["mi_only"]:
+            disagreements[name] = {"ks_only": section["ks_only"],
+                                   "mi_only": section["mi_only"]}
+    emit_table("mi_crossval",
+               f"KS-vs-MI cross-validation ({runs}+{runs} runs)",
+               ["Workload", "Agreements", "KS-only", "MI-only"], rows)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "mi_crossval_disagreements.json").write_text(
+        json.dumps(disagreements, indent=2, sort_keys=True) + "\n")
+
+
+def assert_mi_covers_ks(sections):
+    uncovered = {name: section["ks_only"]
+                 for name, section in sections.items()
+                 if section["ks_only"]}
+    assert not uncovered, (
+        f"MI detector missed KS-flagged leaks: {uncovered}")
+
+
+# ----------------------------------------------------------------------
+# calibration: MI bits vs recovered key bits across granularities
+# ----------------------------------------------------------------------
+
+def recovered_key_bits(observations, granularity):
+    """Mean key bits per byte the elimination attack extracts when the
+    attacker's observations are coarsened to *granularity* bytes."""
+    survivors = [set(range(256)) for _ in range(16)]
+    for table_index, positions in POSITIONS_PER_TABLE.items():
+        for observation in observations:
+            lines = {offset // granularity * granularity
+                     for offset in observation.table_lines[table_index]}
+            for position in positions:
+                pt_byte = observation.plaintext[position]
+                survivors[position] = {
+                    candidate for candidate in survivors[position]
+                    if ((pt_byte ^ candidate) * ENTRIES_PER_LINE)
+                    // granularity * granularity in lines}
+    return float(np.mean([math.log2(256 / len(s)) if s else 8.0
+                          for s in survivors]))
+
+
+def mean_mi_bits(granularity, runs):
+    """Mean ``mi_bits`` over the AES leaks at this analysis granularity
+    (0.0 when nothing is flagged — the whole-table observer sees no
+    leak, and the attack recovers nothing)."""
+    program, fixed_inputs, random_input = workloads()["aes"]
+    config = OwlConfig(fixed_runs=runs, random_runs=runs, analyzer="mi",
+                       offset_granularity=granularity, always_analyze=True)
+    owl = Owl(program, name="aes", config=config)
+    report = owl.detect(inputs=fixed_inputs(),
+                        random_input=random_input).report
+    scores = [leak.mi_bits for leak in report.leaks]
+    return float(np.mean(scores)) if scores else 0.0
+
+
+def spearman(xs, ys):
+    """Spearman rank correlation with average ranks for ties."""
+
+    def ranks(values):
+        order = np.argsort(values, kind="stable")
+        ranked = np.empty(len(values))
+        sorted_values = np.asarray(values)[order]
+        position = 0
+        while position < len(values):
+            tied = position
+            while tied + 1 < len(values) and \
+                    sorted_values[tied + 1] == sorted_values[position]:
+                tied += 1
+            ranked[order[position:tied + 1]] = (position + tied) / 2.0
+            position = tied + 1
+        return ranked
+
+    rx, ry = ranks(xs), ranks(ys)
+    rx -= rx.mean()
+    ry -= ry.mean()
+    denominator = math.sqrt(float((rx ** 2).sum() * (ry ** 2).sum()))
+    return float((rx * ry).sum()) / denominator if denominator else 0.0
+
+
+def calibration_sweep(runs, traces=40):
+    observations = collect_observations(KEY, traces,
+                                        np.random.default_rng(3))
+    mi_scores, key_bits = [], []
+    for granularity in GRANULARITIES:
+        mi_scores.append(mean_mi_bits(granularity, runs))
+        key_bits.append(recovered_key_bits(observations, granularity))
+    return mi_scores, key_bits
+
+
+def report_calibration(mi_scores, key_bits, correlation, runs):
+    rows = [(granularity, f"{mi:.4f}", f"{bits:.2f}")
+            for granularity, mi, bits in zip(GRANULARITIES, mi_scores,
+                                             key_bits)]
+    rows.append(("Spearman", f"{correlation:.3f}", ""))
+    emit_table("mi_keyrecovery",
+               f"MI bits vs recovered AES key bits per observation "
+               f"granularity ({runs}+{runs} runs)",
+               ["Granularity B", "Mean MI bits", "Key bits/byte"], rows)
+
+
+# ----------------------------------------------------------------------
+# drivers
+# ----------------------------------------------------------------------
+
+def run(smoke: bool) -> None:
+    runs = bench_runs(8 if smoke else 30)
+    names = SMOKE_WORKLOADS if smoke else sorted(workloads())
+    sections = crossval_sweep(names, runs)
+    report_crossval(sections, runs)
+    assert_mi_covers_ks(sections)
+
+    mi_scores, key_bits = calibration_sweep(runs)
+    correlation = spearman(mi_scores, key_bits)
+    report_calibration(mi_scores, key_bits, correlation, runs)
+    # line-granular analysis must flag the T-table leaks at all
+    assert mi_scores[0] > 0.0, mi_scores
+    # and the scores must rank the attack surface like the attack does
+    assert correlation >= 0.9, (mi_scores, key_bits, correlation)
+
+
+def test_mi_crossval(benchmark):
+    benchmark.pedantic(run, args=(False,), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    sys.exit(run(smoke="--smoke" in sys.argv[1:]))

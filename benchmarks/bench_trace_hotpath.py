@@ -77,14 +77,14 @@ def seconds_per_record(program, value, columnar: bool, cohort: bool,
 
 def detect_seconds(columnar: bool, cohort: bool, runs: int,
                    replica_batch: bool = False, replica_dedup: bool = False,
-                   reps: int = 1) -> float:
+                   analyzer: str = "ks", reps: int = 1) -> float:
     """Best-of-*reps* end-to-end ``Owl.detect`` wall clock."""
     best = float("inf")
     for _ in range(reps):
         config = OwlConfig(fixed_runs=runs, random_runs=runs,
                            columnar=columnar, cohort=cohort,
                            always_analyze=True, replica_batch=replica_batch,
-                           replica_dedup=replica_dedup)
+                           replica_dedup=replica_dedup, analyzer=analyzer)
         owl = Owl(aes_program, name="libgpucrypto/AES", config=config)
         started = time.perf_counter()
         owl.detect(inputs=AES_INPUTS, random_input=random_key)
@@ -126,6 +126,14 @@ def profile(records: int, reps: int, detect_runs: int):
         detect_seconds(True, False, REPLICA_DETECT_RUNS, reps=reps),
         detect_seconds(True, True, REPLICA_DETECT_RUNS, replica_batch=True,
                        replica_dedup=True, reps=reps))
+    # the dual-detector budget: analyzer="both" replays ONE recorded fold
+    # under both batched tests, so the whole second detector costs only
+    # the extra MI resolution — the e2e "speedup" is a ratio slightly
+    # under 1.0, gated from below (PR 8; the acceptance bar is both
+    # ≤ 1.3x the ks analysis wall-clock)
+    measurements["AES detect (both e2e)"] = (
+        detect_seconds(True, True, detect_runs, analyzer="ks", reps=reps),
+        detect_seconds(True, True, detect_runs, analyzer="both", reps=reps))
     return measurements
 
 
@@ -189,6 +197,9 @@ def run(smoke: bool) -> None:
     # the bar that justifies replica-batching-by-default: fused replica
     # cohorts + equal-input dedup vs the pre-cohort columnar pipeline
     assert speedups["AES detect (replica e2e)"] >= 5.0, speedups
+    # the dual-detector budget: running both detectors must stay within
+    # 1.3x of a ks-only detect end to end (ratio floor 1/1.3)
+    assert speedups["AES detect (both e2e)"] >= 1.0 / 1.3, speedups
 
 
 def test_trace_hotpath(benchmark):

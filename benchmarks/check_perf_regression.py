@@ -51,6 +51,11 @@ GATED_ROWS = {
         detect_seconds(True, False, REPLICA_DETECT_RUNS, reps=reps),
         detect_seconds(True, True, REPLICA_DETECT_RUNS,
                        replica_batch=True, replica_dedup=True, reps=reps))),
+    # ratio row (committed ≈ 0.9x): catches the dual-detector path losing
+    # its shared-fold amortisation and drifting toward 2x a ks-only run
+    "AES detect (both e2e)": (HOTPATH_ARTIFACT, lambda reps: (
+        detect_seconds(True, True, 8, analyzer="ks", reps=reps),
+        detect_seconds(True, True, 8, analyzer="both", reps=reps))),
     "service multi-tenant (e2e)": (SERVICE_ARTIFACT, lambda reps: (
         service_speedup(workers=0, reps=reps))),
 }

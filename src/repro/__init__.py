@@ -4,6 +4,8 @@ for CUDA Applications* (DSN 2024).
 Top-level convenience exports; see the subpackages for the full API:
 
 * :mod:`repro.core` — the Owl pipeline (alignment, KS tests, leakage tests);
+* :mod:`repro.analysis` — detector modalities beyond the default KS test:
+  the mutual-information analyzer and KS-vs-MI cross-validation;
 * :mod:`repro.gpusim` — the SIMT GPU simulator substrate;
 * :mod:`repro.host` — the CUDA host runtime and Pin-like tracer;
 * :mod:`repro.tracing` — the NVBit-like device tracing layer;
@@ -21,7 +23,12 @@ Top-level convenience exports; see the subpackages for the full API:
   (:class:`FaultPlan`).
 """
 
+# repro.core must initialise before repro.analysis: the pipeline module
+# imports the analysis package itself, so starting from the analysis side
+# would re-enter a partially initialised repro.core.
 from repro.core import Owl, OwlConfig, OwlResult
+from repro.analysis import cross_validate, ks_view, mi_view
+from repro.analysis.mi import MIAnalyzer, MIResult, mi_test
 from repro.core.report import Leak, LeakType, LeakageReport
 from repro.errors import (
     CampaignError,
@@ -54,6 +61,8 @@ __all__ = [
     "Leak",
     "LeakType",
     "LeakageReport",
+    "MIAnalyzer",
+    "MIResult",
     "Owl",
     "OwlConfig",
     "OwlError",
@@ -69,6 +78,10 @@ __all__ = [
     "TraceStore",
     "WorkerError",
     "__version__",
+    "cross_validate",
     "diff_reports",
     "kernel",
+    "ks_view",
+    "mi_test",
+    "mi_view",
 ]

@@ -1,0 +1,23 @@
+"""Pluggable leakage detectors beyond the paper's KS test.
+
+The KS detector (:class:`repro.core.leakage.LeakageAnalyzer`) answers
+*whether* a feature's fixed/random distributions differ; the detectors
+here add other decision rules over the same aligned evidence.  Currently:
+
+* :mod:`repro.analysis.mi` — mutual-information analysis à la MicroWalk,
+  quantifying *how much* leaks in bits per code location;
+* :mod:`repro.analysis.crossval` — KS-vs-MI cross-validation for
+  ``OwlConfig(analyzer="both")``.
+"""
+
+from repro.analysis.crossval import cross_validate, ks_view, mi_view
+from repro.analysis.multi import analysis_modes, make_analyzer, run_analyzers
+
+__all__ = [
+    "analysis_modes",
+    "cross_validate",
+    "ks_view",
+    "make_analyzer",
+    "mi_view",
+    "run_analyzers",
+]

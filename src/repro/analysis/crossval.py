@@ -1,0 +1,103 @@
+"""KS-vs-MI cross-validation for ``OwlConfig(analyzer="both")``.
+
+The two detectors answer related but distinct questions (distribution
+inequality vs information content), so their findings are joined on code
+location: agreements annotate the KS leak with the MI detector's
+``mi_bits``, KS-only and MI-only findings are kept as structured
+disagreement rows — disagreements are findings, not errors.  The composed
+report embeds both single-analyzer reports verbatim, so
+:func:`ks_view` / :func:`mi_view` can reconstruct them exactly (the
+both-identity tests compare ``ks_view(both_run)`` byte-for-byte against a
+plain ``analyzer="ks"`` run).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.core.report import Leak, LeakType, LeakageReport
+from repro.errors import ConfigError
+
+#: Join key for cross-detector comparison: leak type + code location.
+_Key = Tuple[LeakType, str, str, int]
+
+
+def _key(leak: Leak) -> _Key:
+    return (leak.leak_type,) + leak.location
+
+
+def _row(leak: Leak) -> Dict:
+    """A structured disagreement row (JSON-ready)."""
+    return {
+        "leak_type": leak.leak_type.value,
+        "kernel_name": leak.kernel_name,
+        "block": leak.block,
+        "instr": leak.instr,
+        "p_value": leak.p_value,
+        "mi_bits": leak.mi_bits,
+    }
+
+
+def cross_validate(ks_report: LeakageReport,
+                   mi_report: LeakageReport) -> LeakageReport:
+    """Compose the two detectors' reports into one ``analyzer="both"``.
+
+    The leak list starts from the KS report's order (agreements annotated
+    with ``mi_bits``), followed by MI-only findings; the
+    ``cross_validation`` section carries the agreement counter, the
+    disagreement rows, and both embedded sub-reports.
+    """
+    mi_index: Dict[_Key, Leak] = {_key(leak): leak
+                                  for leak in mi_report.leaks}
+    ks_keys = {_key(leak) for leak in ks_report.leaks}
+    leaks: List[Leak] = []
+    agreements = 0
+    ks_only: List[Dict] = []
+    mi_only: List[Dict] = []
+    for leak in ks_report.leaks:
+        mi_leak = mi_index.get(_key(leak))
+        if mi_leak is not None:
+            agreements += 1
+            leaks.append(dataclasses.replace(leak,
+                                             mi_bits=mi_leak.mi_bits))
+        else:
+            ks_only.append(_row(leak))
+            leaks.append(leak)
+    for leak in mi_report.leaks:
+        if _key(leak) not in ks_keys:
+            mi_only.append(_row(leak))
+            leaks.append(leak)
+    composed = LeakageReport(
+        program_name=ks_report.program_name,
+        num_fixed_runs=ks_report.num_fixed_runs,
+        num_random_runs=ks_report.num_random_runs,
+        confidence=ks_report.confidence,
+        analyzer="both",
+        cross_validation={
+            "agreements": agreements,
+            "ks_only": ks_only,
+            "mi_only": mi_only,
+            "ks_report": ks_report.to_dict(),
+            "mi_report": mi_report.to_dict(),
+        })
+    composed.leaks = leaks
+    return composed
+
+
+def _embedded_view(report: LeakageReport, which: str) -> LeakageReport:
+    if report.analyzer != "both" or report.cross_validation is None:
+        raise ConfigError(
+            f"report for {report.program_name!r} has analyzer "
+            f"{report.analyzer!r}, not 'both'; no embedded {which}")
+    return LeakageReport.from_dict(report.cross_validation[which])
+
+
+def ks_view(report: LeakageReport) -> LeakageReport:
+    """The embedded KS sub-report of an ``analyzer="both"`` report."""
+    return _embedded_view(report, "ks_report")
+
+
+def mi_view(report: LeakageReport) -> LeakageReport:
+    """The embedded MI sub-report of an ``analyzer="both"`` report."""
+    return _embedded_view(report, "mi_report")

@@ -1,0 +1,25 @@
+"""Mutual-information leakage analysis (``OwlConfig(analyzer="mi")``)."""
+
+from repro.analysis.mi.analyzer import MIAnalyzer
+from repro.analysis.mi.batch import mi_test_batch
+from repro.analysis.mi.estimator import (
+    CORRECTIONS,
+    MIEstimationError,
+    MIResult,
+    chi2_sf,
+    entropy_bits,
+    mi_test,
+    mutual_information,
+)
+
+__all__ = [
+    "CORRECTIONS",
+    "MIAnalyzer",
+    "MIEstimationError",
+    "MIResult",
+    "chi2_sf",
+    "entropy_bits",
+    "mi_test",
+    "mi_test_batch",
+    "mutual_information",
+]

@@ -1,0 +1,87 @@
+"""The mutual-information detector over aligned evidence.
+
+:class:`MIAnalyzer` subclasses the KS detector and overrides only the
+detector hooks: the per-feature statistical test becomes
+:func:`~repro.analysis.mi.estimator.mi_test` (G-test significance, bias-
+corrected bits), the batched pass becomes
+:func:`~repro.analysis.mi.batch.mi_test_batch`, and flagged leaks carry
+``mi_bits``.  The evidence traversal — Myers alignment, the single fold
+over kernel/control-flow/data-flow features, emission order — is
+inherited unchanged, which is what lets ``analyzer="both"`` replay one
+recorded fold under both detectors.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional
+
+from repro.analysis.mi.batch import mi_test_batch
+from repro.analysis.mi.estimator import mi_test
+from repro.core.kstest import DistributionTestError, TestResult
+from repro.core.leakage import LeakageAnalyzer
+
+
+class MIAnalyzer(LeakageAnalyzer):
+    """Mutual-information leakage analysis (``OwlConfig(analyzer="mi")``).
+
+    A definite finding (a feature present on one side only) is a perfect
+    binary distinguisher of the input class, so it reports the full
+    ``mi_bits=1.0`` — consistent with the 1-bit ceiling of ``I(S; V)``
+    for a binary side variable.
+    """
+
+    mode = "mi"
+    batch_phase = "analysis_mi"
+
+    def _defer(self) -> bool:
+        # MI ignores the `test` knob (it replaces the distribution test
+        # outright), so only `vectorized` decides batching
+        return self.config.vectorized
+
+    # ------------------------------------------------------------------
+    # detector hooks
+    # ------------------------------------------------------------------
+
+    def _definite_fields(self) -> Dict[str, float]:
+        fields = super()._definite_fields()
+        fields["mi_bits"] = 1.0
+        return fields
+
+    def _flagged_fields(self, result: TestResult, hist_fixed: Dict,
+                        hist_random: Dict) -> Dict[str, float]:
+        fields = super()._flagged_fields(result, hist_fixed, hist_random)
+        fields["mi_bits"] = getattr(result, "mi_bits", 0.0)
+        return fields
+
+    def _batch_test(self, requests: List) -> list:
+        return mi_test_batch(requests,
+                             confidence=self.config.confidence,
+                             correction=self.config.mi_bias_correction,
+                             min_bits=self.config.mi_min_bits,
+                             sample_size_cap=self.config.sample_size_cap)
+
+    # ------------------------------------------------------------------
+    # scalar test dispatch (inline mode, vectorized=False)
+    # ------------------------------------------------------------------
+
+    def _plain_test(self, x: List[float], y: List[float]) -> TestResult:
+        # a weighted MI table over a sample's value counts is the sample's
+        # contingency table, mirroring the KS plain-to-weighted reduction
+        return mi_test(Counter(x), Counter(y),
+                       confidence=self.config.confidence,
+                       correction=self.config.mi_bias_correction,
+                       min_bits=self.config.mi_min_bits,
+                       sample_size_cap=self.config.sample_size_cap)
+
+    def _categorical_test(self, hist_x: Dict, hist_y: Dict,
+                          order: Optional[Dict] = None
+                          ) -> Optional[TestResult]:
+        try:
+            return mi_test(hist_x, hist_y,
+                           confidence=self.config.confidence, order=order,
+                           correction=self.config.mi_bias_correction,
+                           min_bits=self.config.mi_min_bits,
+                           sample_size_cap=self.config.sample_size_cap)
+        except DistributionTestError:
+            return None

@@ -1,0 +1,86 @@
+"""Multi-detector orchestration for ``OwlConfig(analyzer=...)``.
+
+``analyzer="both"`` must not double the analysis cost: the evidence is
+aligned once, the feature fold runs once, and the recorded deferred sink
+is replayed under each detector's batched test
+(:meth:`~repro.core.leakage._TestSink.finish` with an explicit analyzer).
+Replaying guarantees the KS component of a ``both`` run is *identical* —
+same requests, same ``ks_test_batch`` call, same emission order — to a
+plain ``analyzer="ks"`` run over the same evidence, which the test suite
+asserts byte-for-byte.  When a detector cannot defer (``vectorized=False``
+or the Welch ablation), each detector traverses the pairs itself instead.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence, Tuple
+
+from repro import profiling
+from repro.analysis.mi.analyzer import MIAnalyzer
+from repro.core.evidence import Evidence, align_evidence
+from repro.core.leakage import LeakageAnalyzer, LeakageConfig, _TestSink
+from repro.core.report import LeakageReport
+from repro.errors import ConfigError
+
+#: Detector registry: analyzer mode -> LeakageAnalyzer subclass.
+ANALYZERS = {
+    "ks": LeakageAnalyzer,
+    "mi": MIAnalyzer,
+}
+
+
+def analysis_modes(analyzer: str) -> Tuple[str, ...]:
+    """The detector modes an ``OwlConfig.analyzer`` value expands to."""
+    if analyzer == "both":
+        return ("ks", "mi")
+    return (analyzer,)
+
+
+def make_analyzer(mode: str, config: LeakageConfig) -> LeakageAnalyzer:
+    """Construct one detector; ``mode`` is "ks" or "mi" (not "both")."""
+    try:
+        analyzer_class = ANALYZERS[mode]
+    except KeyError:
+        raise ConfigError(
+            f"unknown analyzer {mode!r}; valid choices: 'ks', 'mi', 'both'")
+    return analyzer_class(config)
+
+
+def run_analyzers(analyzers: Sequence[LeakageAnalyzer], fixed: Evidence,
+                  random: Evidence,
+                  program_name: str = "program") -> List[LeakageReport]:
+    """Run several detectors over ONE aligned evidence pass.
+
+    Returns one report per analyzer, in order.  All analyzers must share
+    one :class:`~repro.core.leakage.LeakageConfig` (the pipeline builds
+    them that way), so the fold — which depends only on the config — is
+    detector-independent and can be recorded once.
+    """
+    prof = profiling.profiler()
+    started = time.perf_counter()
+    pairs = align_evidence(fixed, random)
+    if prof is not None:
+        prof.add("analysis_align", time.perf_counter() - started)
+    metadata = dict(program_name=program_name,
+                    num_fixed_runs=fixed.num_runs,
+                    num_random_runs=random.num_runs)
+    if len(analyzers) > 1 and all(a._defer() for a in analyzers):
+        lead = analyzers[0]
+        sink = _TestSink(lead, defer=True)
+        started = time.perf_counter()
+        lead._fold_pairs(pairs, sink)
+        if prof is not None:
+            prof.add("analysis_fold", time.perf_counter() - started)
+        reports = []
+        for analyzer in analyzers:
+            report = analyzer.new_report(**metadata)
+            started = time.perf_counter()
+            report.extend(sink.finish(analyzer))
+            if prof is not None:
+                prof.add(analyzer.batch_phase,
+                         time.perf_counter() - started)
+            reports.append(report)
+        return reports
+    return [analyzer.analyze_pairs(pairs, **metadata)
+            for analyzer in analyzers]

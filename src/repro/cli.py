@@ -67,6 +67,22 @@ def _add_detect_options(parser: argparse.ArgumentParser) -> None:
                         help="KS confidence level (paper: 0.95)")
     parser.add_argument("--test", choices=("ks", "welch"), default="ks",
                         help="distribution test to apply")
+    parser.add_argument("--analyzer", choices=("ks", "mi", "both"),
+                        default="ks",
+                        help="leakage detector: the differential KS test, "
+                             "MicroWalk-style mutual information (bits "
+                             "leaked per location), or both over one "
+                             "shared evidence pass with a KS-vs-MI "
+                             "cross-validation section")
+    parser.add_argument("--mi-bias",
+                        choices=("none", "miller_madow", "jackknife",
+                                 "shrinkage"),
+                        default="miller_madow",
+                        help="entropy bias correction for the MI detector")
+    parser.add_argument("--mi-min-bits", type=float, default=0.0,
+                        metavar="BITS",
+                        help="minimum bias-corrected MI (bits) the MI "
+                             "detector requires before flagging a feature")
     parser.add_argument("--seed", type=int, default=2024,
                         help="seed for the random-input generator")
     parser.add_argument("--workers", default="1", metavar="N|auto",
@@ -257,6 +273,14 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
     submit.add_argument("--random-runs", type=int, default=40)
     submit.add_argument("--confidence", type=float, default=0.95)
     submit.add_argument("--test", choices=("ks", "welch"), default="ks")
+    submit.add_argument("--analyzer", choices=("ks", "mi", "both"),
+                        default="ks")
+    submit.add_argument("--mi-bias",
+                        choices=("none", "miller_madow", "jackknife",
+                                 "shrinkage"),
+                        default="miller_madow")
+    submit.add_argument("--mi-min-bits", type=float, default=0.0,
+                        metavar="BITS")
     submit.add_argument("--seed", type=int, default=2024)
     submit.add_argument("--granularity", type=int, default=1,
                         metavar="BYTES")
@@ -341,6 +365,8 @@ def _config_from_args(parser: argparse.ArgumentParser,
     return OwlConfig(
         fixed_runs=args.fixed_runs, random_runs=args.random_runs,
         confidence=args.confidence, test=args.test, seed=args.seed,
+        analyzer=args.analyzer, mi_bias_correction=args.mi_bias,
+        mi_min_bits=args.mi_min_bits,
         analyze_all_representatives=args.all_representatives,
         offset_granularity=args.granularity, quantify=args.quantify,
         workers=_resolve_workers(parser, args.workers),
@@ -389,6 +415,7 @@ def _profile_payload(profiler, stats, workload: str) -> dict:
             "analysis_align": profiler.get("analysis_align"),
             "analysis_fold": profiler.get("analysis_fold"),
             "analysis_ks": profiler.get("analysis_ks"),
+            "analysis_mi": profiler.get("analysis_mi"),
         },
         "phase_counts": dict(profiler.counts),
         "replica_batching": {
@@ -588,6 +615,7 @@ def _cmd_diff(parser: argparse.ArgumentParser,
               args: argparse.Namespace) -> int:
     import json as json_module
 
+    from repro.errors import ConfigError
     from repro.store import StoreError, TraceStore, diff_reports
     store = None
     if args.store is not None:
@@ -598,7 +626,11 @@ def _cmd_diff(parser: argparse.ArgumentParser,
             return 2
     baseline = _load_report_for_diff(parser, args.baseline, store)
     candidate = _load_report_for_diff(parser, args.candidate, store)
-    diff = diff_reports(baseline, candidate)
+    try:
+        diff = diff_reports(baseline, candidate)
+    except ConfigError as error:
+        print(f"owl: {error}", file=sys.stderr)
+        return 2
     if args.json:
         print(json_module.dumps(diff.to_dict(), indent=2))
     else:
@@ -765,6 +797,8 @@ def _cmd_submit(parser: argparse.ArgumentParser,
     overrides = dict(
         fixed_runs=args.fixed_runs, random_runs=args.random_runs,
         confidence=args.confidence, test=args.test, seed=args.seed,
+        analyzer=args.analyzer, mi_bias_correction=args.mi_bias,
+        mi_min_bits=args.mi_min_bits,
         offset_granularity=args.granularity, quantify=args.quantify,
         analyze_all_representatives=args.all_representatives)
     try:

@@ -20,9 +20,17 @@ feature whether the two sides follow the same distribution:
 The analysis walks the aligned evidence **once**: the traversal folds every
 feature's histogram pair and hands it to a :class:`_TestSink`, which either
 tests it on the spot (the scalar reference path) or defers it into a single
-:func:`~repro.core.kstest.ks_test_batch` call covering the whole A-DCFG —
-one NumPy pass over every kernel/control-flow/data-flow feature, with the
-leak emission order identical on both paths.
+batched test call covering the whole A-DCFG — one NumPy pass over every
+kernel/control-flow/data-flow feature, with the leak emission order
+identical on both paths.
+
+The statistical test itself is pluggable: :class:`LeakageAnalyzer` is the
+KS detector, and subclasses (the mutual-information detector in
+:mod:`repro.analysis.mi`) swap the per-feature test and the leak's
+statistical fields via the detector hooks while reusing the traversal
+unchanged.  A deferred sink is *replayable* — ``finish(analyzer)`` can run
+several detectors over one recorded fold, which is how
+``OwlConfig(analyzer="both")`` shares a single evidence pass.
 """
 
 from __future__ import annotations
@@ -81,6 +89,13 @@ class LeakageConfig:
     #: (:func:`~repro.core.kstest.ks_test_batch`); False forces the scalar
     #: per-feature reference path.  Only affects ``test="ks"``.
     vectorized: bool = True
+    #: entropy bias correction for the MI detector
+    #: (:mod:`repro.analysis.mi`): "miller_madow" (default), "jackknife",
+    #: "shrinkage", or "none" (raw plug-in estimate)
+    mi_bias_correction: str = "miller_madow"
+    #: minimum bias-corrected MI (bits) for the MI detector to flag a
+    #: feature on top of G-test significance; 0 disables the floor
+    mi_min_bits: float = 0.0
 
     def __post_init__(self) -> None:
         if self.test not in ("ks", "welch"):
@@ -91,13 +106,23 @@ class LeakageConfig:
         if self.sampling not in ("pooled", "per_run"):
             raise ConfigError(
                 f"unknown sampling mode {self.sampling!r}; valid choices: 'pooled', 'per_run'")
+        if self.mi_bias_correction not in ("none", "miller_madow",
+                                           "jackknife", "shrinkage"):
+            raise ConfigError(
+                f"unknown MI bias correction {self.mi_bias_correction!r}; "
+                "valid choices: 'none', 'miller_madow', 'jackknife', "
+                "'shrinkage'")
+        if self.mi_min_bits < 0:
+            raise ConfigError("mi_min_bits must be >= 0")
 
 
 #: One submitted feature test: ``("plain", x, y)`` with raw sample lists,
 #: or ``("weighted", hist_x, hist_y, order)`` with weighted histograms.
 _Request = Tuple
-#: Turns a group's test results (None where degenerate) into its leaks.
-_Resolver = Callable[[List[Optional[TestResult]]], List[Leak]]
+#: Turns a group's test results (None where degenerate) into its leaks,
+#: filling statistical fields via the given analyzer's hooks.
+_Resolver = Callable[["LeakageAnalyzer", List[Optional[TestResult]]],
+                     List[Leak]]
 
 
 class _TestSink:
@@ -105,41 +130,56 @@ class _TestSink:
 
     The traversal emits definite leaks directly and submits *groups* — a
     list of feature requests plus a resolver turning their results into
-    leaks.  Deferred mode (vectorized KS) accumulates every request across
-    the whole traversal and evaluates them in one
-    :func:`~repro.core.kstest.ks_test_batch` call before running the
-    resolvers in traversal order; inline mode (Welch, or
-    ``vectorized=False``) tests and resolves each group on the spot.  The
-    leak emission order is identical on both paths because groups resolve
-    in submission order either way.
+    leaks.  Deferred mode (vectorized) accumulates every request across
+    the whole traversal and evaluates them in one batched test call
+    (:meth:`LeakageAnalyzer._batch_test`) before running the resolvers in
+    traversal order; inline mode (Welch, or ``vectorized=False``) tests
+    and resolves each group on the spot.  The leak emission order is
+    identical on both paths because groups resolve in submission order
+    either way.
+
+    A deferred sink records analyzer-*independent* emissions (the
+    statistical fields come from the analyzer hooks at finish time), so
+    ``finish(analyzer)`` may be called once per detector to replay the
+    same fold under several tests.
     """
 
     def __init__(self, analyzer: "LeakageAnalyzer", defer: bool) -> None:
         self._analyzer = analyzer
         self._defer = defer
         self._requests: List[_Request] = []
-        # ordered emissions: a literal leak list, or (start, count, resolve)
-        self._emissions: List = []
+        # ordered emissions: ("definite", leak_fields) for test-free leaks,
+        # or ("group", start, count, resolve) for a submitted test group
+        self._emissions: List[Tuple] = []
         self._leaks: List[Leak] = []
 
-    def leak(self, leak: Leak) -> None:
-        """Emit a definite leak (no test needed)."""
+    def definite(self, **fields) -> None:
+        """Emit a definite leak (no test needed).
+
+        ``fields`` carry the location (leak type, kernel, block, instr) and
+        detail; the statistical fields are filled per analyzer via
+        :meth:`LeakageAnalyzer._definite_fields`.
+        """
         if self._defer:
-            self._emissions.append([leak])
+            self._emissions.append(("definite", fields))
         else:
-            self._leaks.append(leak)
+            self._leaks.append(
+                Leak(**fields, **self._analyzer._definite_fields()))
 
     def plain(self, x: List[float], y: List[float],
-              resolve: Callable[[Optional[TestResult]], List[Leak]]) -> None:
+              resolve: Callable[["LeakageAnalyzer", Optional[TestResult]],
+                                List[Leak]]) -> None:
         """Submit one plain-sample test."""
-        self.group([("plain", x, y)], lambda results: resolve(results[0]))
+        self.group([("plain", x, y)],
+                   lambda analyzer, results: resolve(analyzer, results[0]))
 
     def weighted(self, hist_x: Dict, hist_y: Dict,
-                 resolve: Callable[[Optional[TestResult]], List[Leak]],
+                 resolve: Callable[["LeakageAnalyzer", Optional[TestResult]],
+                                   List[Leak]],
                  order: Optional[Dict] = None) -> None:
         """Submit one weighted-histogram test."""
         self.group([("weighted", hist_x, hist_y, order)],
-                   lambda results: resolve(results[0]))
+                   lambda analyzer, results: resolve(analyzer, results[0]))
 
     def group(self, requests: List[_Request], resolve: _Resolver) -> None:
         """Submit a group of tests whose results resolve together."""
@@ -154,9 +194,10 @@ class _TestSink:
                 else:
                     self._requests.append(
                         (request[1], request[2], request[3]))
-            self._emissions.append((start, len(requests), resolve))
+            self._emissions.append(("group", start, len(requests), resolve))
         else:
-            self._leaks.extend(resolve([self._run(r) for r in requests]))
+            self._leaks.extend(
+                resolve(self._analyzer, [self._run(r) for r in requests]))
 
     def _run(self, request: _Request) -> Optional[TestResult]:
         if request[0] == "plain":
@@ -167,26 +208,49 @@ class _TestSink:
         return self._analyzer._categorical_test(request[1], request[2],
                                                 order=request[3])
 
-    def finish(self) -> List[Leak]:
-        """Evaluate deferred requests and return all leaks in order."""
+    def finish(self, analyzer: Optional["LeakageAnalyzer"] = None
+               ) -> List[Leak]:
+        """Evaluate the recorded requests and return all leaks in order.
+
+        Deferred sinks are replayable: each call runs *analyzer*'s batched
+        test over the whole request list and resolves the emissions with
+        its field hooks, so several detectors can share one traversal
+        (inline sinks are single-analyzer; passing a different one there
+        is a programming error).
+        """
+        if analyzer is None:
+            analyzer = self._analyzer
         if not self._defer:
+            assert analyzer is self._analyzer, \
+                "inline sinks already tested under their own analyzer"
             return self._leaks
-        config = self._analyzer.config
-        results = ks_test_batch(self._requests,
-                                confidence=config.confidence,
-                                sample_size_cap=config.sample_size_cap)
+        results = analyzer._batch_test(self._requests)
         leaks: List[Leak] = []
         for emission in self._emissions:
-            if isinstance(emission, list):
-                leaks.extend(emission)
+            if emission[0] == "definite":
+                leaks.append(Leak(**emission[1],
+                                  **analyzer._definite_fields()))
             else:
-                start, count, resolve = emission
-                leaks.extend(resolve(results[start:start + count]))
+                _kind, start, count, resolve = emission
+                leaks.extend(resolve(analyzer, results[start:start + count]))
         return leaks
 
 
 class LeakageAnalyzer:
-    """Runs the three leakage tests over a fixed/random evidence pair."""
+    """Runs the three leakage tests over a fixed/random evidence pair.
+
+    This class is the KS detector; the traversal is detector-agnostic and
+    subclasses swap the statistical test by overriding the hooks ``mode``,
+    ``batch_phase``, :meth:`_defer`, :meth:`_plain_test`,
+    :meth:`_categorical_test`, :meth:`_batch_test`,
+    :meth:`_definite_fields` and :meth:`_flagged_fields` — see
+    :class:`repro.analysis.mi.MIAnalyzer`.
+    """
+
+    #: analyzer name recorded in report metadata
+    mode = "ks"
+    #: profiling sub-phase charged for the batched test pass
+    batch_phase = "analysis_ks"
 
     def __init__(self, config: Optional[LeakageConfig] = None) -> None:
         self.config = config or LeakageConfig()
@@ -198,28 +262,57 @@ class LeakageAnalyzer:
     def analyze(self, fixed: Evidence, random: Evidence,
                 program_name: str = "program") -> LeakageReport:
         prof = profiling.profiler()
-        report = LeakageReport(program_name=program_name,
-                               num_fixed_runs=fixed.num_runs,
-                               num_random_runs=random.num_runs,
-                               confidence=self.config.confidence)
         started = time.perf_counter()
         pairs = align_evidence(fixed, random)
         if prof is not None:
             prof.add("analysis_align", time.perf_counter() - started)
-        defer = self.config.test == "ks" and self.config.vectorized
-        sink = _TestSink(self, defer)
+        return self.analyze_pairs(pairs, program_name=program_name,
+                                  num_fixed_runs=fixed.num_runs,
+                                  num_random_runs=random.num_runs)
+
+    def analyze_pairs(self, pairs: List[AlignedSlotPair], *,
+                      program_name: str = "program",
+                      num_fixed_runs: int = 0,
+                      num_random_runs: int = 0) -> LeakageReport:
+        """Run the tests over pre-aligned slot pairs.
+
+        Split out from :meth:`analyze` so ``analyzer="both"`` can align
+        once and hand the same pairs to each detector.
+        """
+        prof = profiling.profiler()
+        report = self.new_report(program_name, num_fixed_runs,
+                                 num_random_runs)
+        sink = _TestSink(self, self._defer())
         started = time.perf_counter()
-        for pair in pairs:
-            self._kernel_test(pair, sink)
-            if pair.aligned:
-                self._device_tests(pair, sink)
+        self._fold_pairs(pairs, sink)
         if prof is not None:
             prof.add("analysis_fold", time.perf_counter() - started)
         started = time.perf_counter()
         report.extend(sink.finish())
         if prof is not None:
-            prof.add("analysis_ks", time.perf_counter() - started)
+            prof.add(self.batch_phase, time.perf_counter() - started)
         return report
+
+    def new_report(self, program_name: str, num_fixed_runs: int,
+                   num_random_runs: int) -> LeakageReport:
+        """An empty report carrying this detector's metadata."""
+        return LeakageReport(program_name=program_name,
+                             num_fixed_runs=num_fixed_runs,
+                             num_random_runs=num_random_runs,
+                             confidence=self.config.confidence,
+                             analyzer=self.mode)
+
+    def _fold_pairs(self, pairs: List[AlignedSlotPair],
+                    sink: _TestSink) -> None:
+        """The single evidence traversal feeding every feature to *sink*."""
+        for pair in pairs:
+            self._kernel_test(pair, sink)
+            if pair.aligned:
+                self._device_tests(pair, sink)
+
+    def _defer(self) -> bool:
+        """Whether this detector's tests batch into one vectorized pass."""
+        return self.config.test == "ks" and self.config.vectorized
 
     # ------------------------------------------------------------------
     # kernel leakage
@@ -230,11 +323,10 @@ class LeakageAnalyzer:
             slot = pair.fixed if pair.fixed is not None else pair.random
             assert slot is not None
             side = "fixed" if pair.fixed is not None else "random"
-            sink.leak(Leak(
+            sink.definite(
                 leak_type=LeakType.KERNEL, kernel_identity=slot.identity,
-                kernel_name=slot.kernel_name, p_value=0.0, statistic=1.0,
-                bits=1.0 if self.config.quantify else 0.0,
-                detail=f"invocation only under {side} inputs"))
+                kernel_name=slot.kernel_name,
+                detail=f"invocation only under {side} inputs")
             return
         fixed_slot, random_slot = pair.fixed, pair.random
         assert fixed_slot is not None and random_slot is not None
@@ -243,20 +335,21 @@ class LeakageAnalyzer:
         if samples_fixed == samples_random:
             return
 
-        def resolve(result: Optional[TestResult]) -> List[Leak]:
+        def resolve(analyzer: "LeakageAnalyzer",
+                    result: Optional[TestResult]) -> List[Leak]:
             if result is None or not result.rejected:
                 return []
             return [Leak(
                 leak_type=LeakType.KERNEL,
                 kernel_identity=fixed_slot.identity,
                 kernel_name=fixed_slot.kernel_name,
-                p_value=result.p_value, statistic=result.statistic,
-                bits=self._bits(fixed_slot.presence_histogram(),
-                                random_slot.presence_histogram()),
                 detail=(f"invocation in {fixed_slot.total_count}/"
                         f"{len(fixed_slot.per_run_present)} fixed vs "
                         f"{random_slot.total_count}/"
-                        f"{len(random_slot.per_run_present)} random runs"))]
+                        f"{len(random_slot.per_run_present)} random runs"),
+                **analyzer._flagged_fields(
+                    result, fixed_slot.presence_histogram(),
+                    random_slot.presence_histogram()))]
 
         sink.plain(samples_fixed, samples_random, resolve)
 
@@ -288,20 +381,20 @@ class LeakageAnalyzer:
             in_random = label in random_graph.nodes
             if in_fixed != in_random:
                 side = "fixed" if in_fixed else "random"
-                sink.leak(Leak(
+                sink.definite(
                     leak_type=LeakType.DEVICE_CONTROL_FLOW,
                     kernel_identity=identity,
                     kernel_name=fixed_graph.kernel_name,
-                    block=label, p_value=0.0, statistic=1.0,
-                    bits=1.0 if self.config.quantify else 0.0,
-                    detail=f"basic block executed only under {side} inputs"))
+                    block=label,
+                    detail=f"basic block executed only under {side} inputs")
                 continue
             hist_fixed = transition_matrix(fixed_graph, label).histogram()
             hist_random = transition_matrix(random_graph, label).histogram()
             if hist_fixed == hist_random:
                 continue
 
-            def resolve(result: Optional[TestResult], label=label,
+            def resolve(analyzer: "LeakageAnalyzer",
+                        result: Optional[TestResult], label=label,
                         hist_fixed=hist_fixed,
                         hist_random=hist_random) -> List[Leak]:
                 if result is None or not result.rejected:
@@ -310,10 +403,10 @@ class LeakageAnalyzer:
                     leak_type=LeakType.DEVICE_CONTROL_FLOW,
                     kernel_identity=identity,
                     kernel_name=fixed_graph.kernel_name,
-                    block=label, p_value=result.p_value,
-                    statistic=result.statistic,
-                    bits=self._bits(hist_fixed, hist_random),
-                    detail="control-flow transition matrix deviates")]
+                    block=label,
+                    detail="control-flow transition matrix deviates",
+                    **analyzer._flagged_fields(result, hist_fixed,
+                                               hist_random))]
 
             sink.weighted(hist_fixed, hist_random, resolve)
 
@@ -338,12 +431,13 @@ class LeakageAnalyzer:
             if not tests:
                 continue
 
-            def resolve(results: List[Optional[TestResult]], label=label,
+            def resolve(analyzer: "LeakageAnalyzer",
+                        results: List[Optional[TestResult]], label=label,
                         tests=tests) -> List[Leak]:
                 # group results per instruction across visits; report the
                 # most significant failing visit per instruction
                 worst: Dict[int, Tuple[TestResult, int]] = {}
-                bits_of: Dict[int, float] = {}
+                fields_of: Dict[int, Dict[str, float]] = {}
                 for (key, record_fixed, record_random), result in zip(tests,
                                                                       results):
                     if result is None or not result.rejected:
@@ -352,18 +446,16 @@ class LeakageAnalyzer:
                     current = worst.get(instr)
                     if current is None or result.p_value < current[0].p_value:
                         worst[instr] = (result, visit)
-                        bits_of[instr] = self._bits(record_fixed,
-                                                    record_random)
+                        fields_of[instr] = analyzer._flagged_fields(
+                            result, record_fixed, record_random)
                 return [Leak(
                     leak_type=LeakType.DEVICE_DATA_FLOW,
                     kernel_identity=identity,
                     kernel_name=fixed_graph.kernel_name,
                     block=label, instr=instr,
-                    p_value=worst[instr][0].p_value,
-                    statistic=worst[instr][0].statistic,
-                    bits=bits_of.get(instr, 0.0),
                     detail=(f"address histogram deviates "
-                            f"(e.g. visit {worst[instr][1]})"))
+                            f"(e.g. visit {worst[instr][1]})"),
+                    **fields_of[instr])
                     for instr in sorted(worst)]
 
             sink.group([("weighted", record_fixed, record_random, None)
@@ -401,12 +493,11 @@ class LeakageAnalyzer:
             in_random = label in random_labels
             if in_fixed != in_random:
                 side = "fixed" if in_fixed else "random"
-                sink.leak(Leak(
+                sink.definite(
                     leak_type=LeakType.DEVICE_CONTROL_FLOW,
                     kernel_identity=identity, kernel_name=kernel_name,
-                    block=label, p_value=0.0, statistic=1.0,
-                    bits=1.0 if self.config.quantify else 0.0,
-                    detail=f"basic block executed only under {side} inputs"))
+                    block=label,
+                    detail=f"basic block executed only under {side} inputs")
                 continue
             self._per_run_cf_test(identity, kernel_name, label,
                                   fixed_graphs, random_graphs, sink)
@@ -441,7 +532,8 @@ class LeakageAnalyzer:
         if not tests:
             return
 
-        def resolve(results: List[Optional[TestResult]]) -> List[Leak]:
+        def resolve(analyzer: "LeakageAnalyzer",
+                    results: List[Optional[TestResult]]) -> List[Leak]:
             worst: Optional[TestResult] = None
             for result in results:
                 if result is None:
@@ -455,10 +547,9 @@ class LeakageAnalyzer:
                 leak_type=LeakType.DEVICE_CONTROL_FLOW,
                 kernel_identity=identity, kernel_name=kernel_name,
                 block=label,
-                p_value=worst.p_value, statistic=worst.statistic,
-                bits=self._bits(
-                    _pool(fixed_hists), _pool(random_hists)),
-                detail="per-run transition counts deviate")]
+                detail="per-run transition counts deviate",
+                **analyzer._flagged_fields(worst, _pool(fixed_hists),
+                                           _pool(random_hists)))]
 
         sink.group([("plain", x, y) for x, y in tests], resolve)
 
@@ -499,9 +590,10 @@ class LeakageAnalyzer:
         if not tests_per_slot:
             return
 
-        def resolve(results: List[Optional[TestResult]]) -> List[Leak]:
+        def resolve(analyzer: "LeakageAnalyzer",
+                    results: List[Optional[TestResult]]) -> List[Leak]:
             worst: Dict[int, Tuple[TestResult, int]] = {}
-            bits_of: Dict[int, float] = {}
+            fields_of: Dict[int, Dict[str, float]] = {}
             position = 0
             for slot_key, slot_tests in tests_per_slot:
                 slot_worst: Optional[TestResult] = None
@@ -520,15 +612,15 @@ class LeakageAnalyzer:
                 current = worst.get(instr)
                 if current is None or slot_worst.p_value < current[0].p_value:
                     worst[instr] = (slot_worst, visit)
-                    bits_of[instr] = self._bits(
+                    fields_of[instr] = analyzer._flagged_fields(
+                        slot_worst,
                         _pool([run.get(slot_key, {}) for run in fixed_runs]),
                         _pool([run.get(slot_key, {}) for run in random_runs]))
             return [Leak(
                 leak_type=LeakType.DEVICE_DATA_FLOW, kernel_identity=identity,
                 kernel_name=kernel_name, block=label, instr=instr,
-                p_value=result.p_value, statistic=result.statistic,
-                bits=bits_of.get(instr, 0.0),
-                detail=f"per-run address counts deviate (e.g. visit {visit})")
+                detail=f"per-run address counts deviate (e.g. visit {visit})",
+                **fields_of[instr])
                 for instr, (result, visit) in sorted(worst.items())]
 
         sink.group([("plain", x, y)
@@ -555,6 +647,26 @@ class LeakageAnalyzer:
         if not self.config.quantify:
             return 0.0
         return leakage_bits_per_observation(hist_fixed, hist_random)
+
+    # ------------------------------------------------------------------
+    # detector hooks (overridden by repro.analysis.mi.MIAnalyzer)
+    # ------------------------------------------------------------------
+
+    def _definite_fields(self) -> Dict[str, float]:
+        """Statistical leak fields for a definite (no-test) finding."""
+        return {"p_value": 0.0, "statistic": 1.0,
+                "bits": 1.0 if self.config.quantify else 0.0}
+
+    def _flagged_fields(self, result: TestResult, hist_fixed: Dict,
+                        hist_random: Dict) -> Dict[str, float]:
+        """Statistical leak fields for a feature flagged by *result*."""
+        return {"p_value": result.p_value, "statistic": result.statistic,
+                "bits": self._bits(hist_fixed, hist_random)}
+
+    def _batch_test(self, requests: List[_Request]) -> list:
+        """One vectorized pass over all deferred requests."""
+        return ks_test_batch(requests, confidence=self.config.confidence,
+                             sample_size_cap=self.config.sample_size_cap)
 
     # ------------------------------------------------------------------
     # test dispatch

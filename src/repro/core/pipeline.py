@@ -37,10 +37,12 @@ from typing import Callable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro import profiling
+from repro.analysis import analysis_modes, cross_validate, make_analyzer, \
+    run_analyzers
 from repro.core.evidence import Evidence
 from repro.core.filtering import FilterResult, filter_traces
 from repro.core.kstest import DEFAULT_CONFIDENCE
-from repro.core.leakage import LeakageAnalyzer, LeakageConfig
+from repro.core.leakage import LeakageConfig
 from repro.core.parallel import ChunkStats, TraceRecordingPool, resolve_workers
 from repro.core.report import LeakageReport
 from repro.errors import CampaignError, ConfigError
@@ -63,6 +65,17 @@ class OwlConfig:
     confidence: float = DEFAULT_CONFIDENCE
     sample_size_cap: Optional[int] = None
     test: str = "ks"
+    #: which leakage detector decides findings: "ks" (the paper's
+    #: differential KS test), "mi" (MicroWalk-style mutual information,
+    #: see repro.analysis.mi), or "both" (one shared evidence pass feeding
+    #: both detectors plus a KS-vs-MI cross-validation section)
+    analyzer: str = "ks"
+    #: entropy bias correction for the MI detector: "miller_madow"
+    #: (default), "jackknife", "shrinkage", or "none"
+    mi_bias_correction: str = "miller_madow"
+    #: minimum bias-corrected MI (bits) the MI detector requires on top of
+    #: G-test significance before flagging a feature; 0 disables the floor
+    mi_min_bits: float = 0.0
     #: attacker spatial resolution in bytes (1 = noise-free byte-level
     #: attacker per the paper's threat model; 64 models a cache-line probe)
     offset_granularity: int = 1
@@ -147,6 +160,21 @@ class OwlConfig:
             raise ConfigError(
                 f"unknown sampling mode {self.sampling!r}; valid choices: "
                 f"'pooled', 'per_run'")
+        if self.analyzer not in ("ks", "mi", "both"):
+            raise ConfigError(
+                f"unknown analyzer {self.analyzer!r}; valid choices: "
+                f"'ks', 'mi', 'both'")
+        if self.mi_bias_correction not in ("none", "miller_madow",
+                                           "jackknife", "shrinkage"):
+            raise ConfigError(
+                f"unknown MI bias correction {self.mi_bias_correction!r}; "
+                f"valid choices: 'none', 'miller_madow', 'jackknife', "
+                f"'shrinkage'")
+        if not isinstance(self.mi_min_bits, (int, float)) \
+                or isinstance(self.mi_min_bits, bool) or self.mi_min_bits < 0:
+            raise ConfigError(
+                f"mi_min_bits must be a non-negative number, got "
+                f"{self.mi_min_bits!r}")
         for name in ("fixed_runs", "random_runs", "offset_granularity",
                      "store_checkpoint_every"):
             value = getattr(self, name)
@@ -197,7 +225,9 @@ class OwlConfig:
                              offset_granularity=self.offset_granularity,
                              quantify=self.quantify,
                              sampling=self.sampling,
-                             vectorized=self.vectorized)
+                             vectorized=self.vectorized,
+                             mi_bias_correction=self.mi_bias_correction,
+                             mi_min_bits=self.mi_min_bits)
 
 
 @dataclass
@@ -331,7 +361,12 @@ class Owl:
                                        retry=self.config.retry,
                                        fault_plan=self.config.fault_plan,
                                        seed=self.config.seed)
-        self.analyzer = LeakageAnalyzer(self.config.leakage_config())
+        # one detector per mode ("both" expands to ks + mi), all sharing
+        # one LeakageConfig so the evidence fold is detector-independent
+        self.analyzers = tuple(
+            make_analyzer(mode, self.config.leakage_config())
+            for mode in analysis_modes(self.config.analyzer))
+        self.analyzer = self.analyzers[0]
 
     # ------------------------------------------------------------------
     # phases
@@ -548,7 +583,8 @@ class Owl:
                                          report=cached, stats=stats)
 
             empty = LeakageReport(program_name=self.name,
-                                  confidence=self.config.confidence)
+                                  confidence=self.config.confidence,
+                                  analyzer=self.config.analyzer)
             if (not filter_result.shows_potential_leakage
                     and not self.config.always_analyze):
                 stats.total_seconds = time.perf_counter() - started
@@ -565,25 +601,39 @@ class Owl:
                 representatives = representatives[:1]
 
             per_rep: List[LeakageReport] = []
+            per_mode: List[List[LeakageReport]] = [[] for _ in self.analyzers]
             for rep in representatives:
                 fixed_evidence, random_evidence = self.collect_evidence(
                     rep, random_input, stats=stats, campaign=campaign)
                 test_started = time.perf_counter()
-                report = self.analyzer.analyze(fixed_evidence, random_evidence,
-                                               program_name=self.name)
+                reports = run_analyzers(self.analyzers, fixed_evidence,
+                                        random_evidence,
+                                        program_name=self.name)
                 stats.test_seconds += time.perf_counter() - test_started
-                per_rep.append(report)
+                for mode_reports, report in zip(per_mode, reports):
+                    mode_reports.append(report)
+                per_rep.append(reports[0] if len(reports) == 1
+                               else cross_validate(*reports))
 
-            merged = LeakageReport(program_name=self.name,
-                                   num_fixed_runs=self.config.fixed_runs,
-                                   num_random_runs=self.config.random_runs,
-                                   confidence=self.config.confidence)
-            for report in per_rep:
-                merged.extend(report.leaks)
-            if self.config.dedup_by_location:
-                merged = merged.dedup_by_location()
-                merged.num_fixed_runs = self.config.fixed_runs
-                merged.num_random_runs = self.config.random_runs
+            # merge (and dedup) per detector mode, exactly as a
+            # single-analyzer run would — the KS component of a "both" run
+            # stays byte-identical to an analyzer="ks" run by construction
+            merged_by_mode: List[LeakageReport] = []
+            for detector, mode_reports in zip(self.analyzers, per_mode):
+                merged = LeakageReport(program_name=self.name,
+                                       num_fixed_runs=self.config.fixed_runs,
+                                       num_random_runs=self.config.random_runs,
+                                       confidence=self.config.confidence,
+                                       analyzer=detector.mode)
+                for report in mode_reports:
+                    merged.extend(report.leaks)
+                if self.config.dedup_by_location:
+                    merged = merged.dedup_by_location()
+                    merged.num_fixed_runs = self.config.fixed_runs
+                    merged.num_random_runs = self.config.random_runs
+                merged_by_mode.append(merged)
+            merged = (merged_by_mode[0] if len(merged_by_mode) == 1
+                      else cross_validate(*merged_by_mode))
             stats.total_seconds = time.perf_counter() - started
             if campaign is not None:
                 with campaign.store.batch():

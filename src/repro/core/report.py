@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 class LeakType(enum.Enum):
@@ -39,6 +39,10 @@ class Leak:
     #: mutual information between the fixed/random feature histograms);
     #: populated when the analyzer runs with ``quantify=True``
     bits: float = 0.0
+    #: bias-corrected mutual information between input class and the
+    #: feature, in bits; populated by the MI analyzer
+    #: (:mod:`repro.analysis.mi`), 0.0 for KS-only findings
+    mi_bits: float = 0.0
     detail: str = ""
 
     @property
@@ -56,6 +60,8 @@ class Leak:
         parts.append(f"D={self.statistic:.4g}")
         if self.bits > 0:
             parts.append(f"~{self.bits:.3f} bits/obs")
+        if self.mi_bits > 0:
+            parts.append(f"MI={self.mi_bits:.3f} bits")
         if self.detail:
             parts.append(f"({self.detail})")
         return " ".join(parts)
@@ -70,6 +76,12 @@ class LeakageReport:
     num_fixed_runs: int = 0
     num_random_runs: int = 0
     confidence: float = 0.95
+    #: which detector produced the report: "ks", "mi", or "both"
+    analyzer: str = "ks"
+    #: KS-vs-MI cross-validation section (``analyzer="both"`` only):
+    #: agreement counters, ks_only/mi_only location rows, and the two
+    #: embedded single-analyzer reports
+    cross_validation: Optional[Dict] = None
 
     def add(self, leak: Leak) -> None:
         self.leaks.append(leak)
@@ -124,7 +136,9 @@ class LeakageReport:
         deduped = LeakageReport(program_name=self.program_name,
                                 num_fixed_runs=self.num_fixed_runs,
                                 num_random_runs=self.num_random_runs,
-                                confidence=self.confidence)
+                                confidence=self.confidence,
+                                analyzer=self.analyzer,
+                                cross_validation=self.cross_validation)
         deduped.leaks = [best[key] for key in order]
         return deduped
 
@@ -134,11 +148,12 @@ class LeakageReport:
 
     def to_dict(self) -> Dict:
         """A JSON-ready representation of the report."""
-        return {
+        data = {
             "program_name": self.program_name,
             "num_fixed_runs": self.num_fixed_runs,
             "num_random_runs": self.num_random_runs,
             "confidence": self.confidence,
+            "analyzer": self.analyzer,
             "leaks": [{
                 "leak_type": leak.leak_type.value,
                 "kernel_identity": leak.kernel_identity,
@@ -148,9 +163,13 @@ class LeakageReport:
                 "p_value": leak.p_value,
                 "statistic": leak.statistic,
                 "bits": leak.bits,
+                "mi_bits": leak.mi_bits,
                 "detail": leak.detail,
             } for leak in self.leaks],
         }
+        if self.cross_validation is not None:
+            data["cross_validation"] = self.cross_validation
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "LeakageReport":
@@ -158,7 +177,9 @@ class LeakageReport:
         report = cls(program_name=data["program_name"],
                      num_fixed_runs=data["num_fixed_runs"],
                      num_random_runs=data["num_random_runs"],
-                     confidence=data["confidence"])
+                     confidence=data["confidence"],
+                     analyzer=data.get("analyzer", "ks"),
+                     cross_validation=data.get("cross_validation"))
         for entry in data["leaks"]:
             report.add(Leak(
                 leak_type=LeakType(entry["leak_type"]),
@@ -166,7 +187,8 @@ class LeakageReport:
                 kernel_name=entry["kernel_name"],
                 block=entry["block"], instr=entry["instr"],
                 p_value=entry["p_value"], statistic=entry["statistic"],
-                bits=entry.get("bits", 0.0), detail=entry["detail"]))
+                bits=entry.get("bits", 0.0),
+                mi_bits=entry.get("mi_bits", 0.0), detail=entry["detail"]))
         return report
 
     def to_json(self, indent: int = 2) -> str:
@@ -181,11 +203,17 @@ class LeakageReport:
             f"Leakage report for {self.program_name}",
             f"  fixed runs: {self.num_fixed_runs}, "
             f"random runs: {self.num_random_runs}, "
-            f"confidence: {self.confidence}",
+            f"confidence: {self.confidence}, analyzer: {self.analyzer}",
             f"  kernel leaks: {len(self.kernel_leaks)}",
             f"  device control-flow leaks: {len(self.control_flow_leaks)}",
             f"  device data-flow leaks: {len(self.data_flow_leaks)}",
         ]
+        if self.cross_validation is not None:
+            cv = self.cross_validation
+            lines.append(
+                f"  cross-validation: {cv.get('agreements', 0)} agreements, "
+                f"{len(cv.get('ks_only', []))} KS-only, "
+                f"{len(cv.get('mi_only', []))} MI-only")
         for leak in self.leaks:
             lines.append("  " + leak.render())
         return "\n".join(lines)

@@ -34,7 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.evidence import Evidence
 from repro.core.report import Leak, LeakageReport
-from repro.errors import StoreError
+from repro.errors import ConfigError, StoreError
 from repro.resilience import events as resilience_events
 from repro.store.fingerprint import (
     analysis_fingerprint,
@@ -321,7 +321,20 @@ class RegressionDiff:
 
 def diff_reports(baseline: LeakageReport,
                  candidate: LeakageReport) -> RegressionDiff:
-    """Classify each leak location as introduced / fixed / persisting."""
+    """Classify each leak location as introduced / fixed / persisting.
+
+    Both reports must come from the same analyzer: diffing a KS baseline
+    against an MI candidate would classify every MI-only finding as
+    "introduced" (and vice versa), which is a detector difference, not a
+    code regression — use ``analyzer="both"``'s cross-validation section
+    to compare detectors.
+    """
+    if baseline.analyzer != candidate.analyzer:
+        raise ConfigError(
+            f"cannot diff reports from different analyzers: baseline "
+            f"{baseline.program_name!r} used {baseline.analyzer!r}, "
+            f"candidate {candidate.program_name!r} used "
+            f"{candidate.analyzer!r}")
     before = _location_index(baseline)
     after = _location_index(candidate)
     diff = RegressionDiff(baseline_name=baseline.program_name,

@@ -125,10 +125,13 @@ _TRACE_FIELDS: Tuple[str, ...] = ()
 _EVIDENCE_FIELDS = ("fixed_runs", "random_runs", "seed", "sampling")
 
 #: OwlConfig fields that change the *analysis verdicts* on top of the
-#: evidence-level ones.
+#: evidence-level ones.  The detector choice lives here and NOT in the
+#: evidence scope: ks/mi/both campaigns share recorded traces and
+#: evidence but cache their reports independently.
 _ANALYSIS_FIELDS = ("confidence", "sample_size_cap", "test",
                     "offset_granularity", "quantify", "always_analyze",
-                    "analyze_all_representatives", "dedup_by_location")
+                    "analyze_all_representatives", "dedup_by_location",
+                    "analyzer", "mi_bias_correction", "mi_min_bits")
 
 
 def _device_dict(device_config) -> dict:

@@ -1,0 +1,165 @@
+"""Cross-validation composition, report views, and analyzer plumbing."""
+
+import pytest
+
+from repro.analysis import cross_validate, ks_view, mi_view
+from repro.core.pipeline import OwlConfig
+from repro.core.report import Leak, LeakType, LeakageReport
+from repro.errors import ConfigError
+from repro.store import diff_reports
+
+
+def _report(analyzer, leaks, name="prog"):
+    report = LeakageReport(program_name=name, num_fixed_runs=4,
+                           num_random_runs=4, confidence=0.95,
+                           analyzer=analyzer)
+    report.extend(leaks)
+    return report
+
+
+def _leak(instr, p_value=0.001, mi_bits=0.0,
+          leak_type=LeakType.DEVICE_DATA_FLOW):
+    return Leak(leak_type=leak_type, kernel_identity="kern@1",
+                kernel_name="kern", block="body", instr=instr,
+                p_value=p_value, statistic=0.5, mi_bits=mi_bits,
+                detail="planted")
+
+
+class TestCrossValidate:
+    def test_agreement_annotates_ks_leak_with_mi_bits(self):
+        ks = _report("ks", [_leak(1), _leak(2)])
+        mi = _report("mi", [_leak(1, mi_bits=0.7), _leak(2, mi_bits=0.4)])
+        composed = cross_validate(ks, mi)
+        assert composed.analyzer == "both"
+        section = composed.cross_validation
+        assert section["agreements"] == 2
+        assert section["ks_only"] == [] and section["mi_only"] == []
+        assert [leak.mi_bits for leak in composed.leaks] == [0.7, 0.4]
+
+    def test_disagreements_become_structured_rows(self):
+        ks = _report("ks", [_leak(1), _leak(2)])
+        mi = _report("mi", [_leak(2, mi_bits=0.6), _leak(3, mi_bits=0.9)])
+        composed = cross_validate(ks, mi)
+        section = composed.cross_validation
+        assert section["agreements"] == 1
+        assert [row["instr"] for row in section["ks_only"]] == [1]
+        assert [row["instr"] for row in section["mi_only"]] == [3]
+        # leak order: KS order first, then MI-only findings
+        assert [leak.instr for leak in composed.leaks] == [1, 2, 3]
+
+    def test_join_is_per_location_and_type(self):
+        ks = _report("ks", [_leak(1, leak_type=LeakType.DEVICE_DATA_FLOW)])
+        mi = _report("mi", [_leak(1, mi_bits=0.5,
+                                  leak_type=LeakType.DEVICE_CONTROL_FLOW)])
+        section = cross_validate(ks, mi).cross_validation
+        assert section["agreements"] == 0
+        assert len(section["ks_only"]) == 1
+        assert len(section["mi_only"]) == 1
+
+    def test_composed_report_round_trips_through_json(self):
+        ks = _report("ks", [_leak(1)])
+        mi = _report("mi", [_leak(1, mi_bits=0.7)])
+        composed = cross_validate(ks, mi)
+        loaded = LeakageReport.from_json(composed.to_json())
+        assert loaded.to_json() == composed.to_json()
+        assert loaded.analyzer == "both"
+        assert loaded.cross_validation["agreements"] == 1
+
+    def test_render_includes_cross_validation_line(self):
+        ks = _report("ks", [_leak(1), _leak(2)])
+        mi = _report("mi", [_leak(1, mi_bits=0.7), _leak(3, mi_bits=0.2)])
+        rendered = cross_validate(ks, mi).render()
+        assert "cross-validation: 1 agreements, 1 KS-only, 1 MI-only" \
+            in rendered
+
+
+class TestViews:
+    def test_views_reconstruct_embedded_reports_exactly(self):
+        ks = _report("ks", [_leak(1)])
+        mi = _report("mi", [_leak(1, mi_bits=0.7)])
+        composed = cross_validate(ks, mi)
+        assert ks_view(composed).to_json() == ks.to_json()
+        assert mi_view(composed).to_json() == mi.to_json()
+
+    def test_views_refuse_single_analyzer_reports(self):
+        single = _report("ks", [_leak(1)])
+        with pytest.raises(ConfigError, match="not 'both'"):
+            ks_view(single)
+        with pytest.raises(ConfigError, match="not 'both'"):
+            mi_view(single)
+
+
+class TestDiffGuard:
+    def test_diff_refuses_mixed_analyzers(self):
+        baseline = _report("ks", [_leak(1)], name="v1")
+        candidate = _report("mi", [_leak(1, mi_bits=0.7)], name="v2")
+        with pytest.raises(ConfigError) as excinfo:
+            diff_reports(baseline, candidate)
+        message = str(excinfo.value)
+        assert "different analyzers" in message
+        assert "'ks'" in message and "'mi'" in message
+
+    def test_diff_accepts_matching_analyzers(self):
+        baseline = _report("mi", [_leak(1, mi_bits=0.7)], name="v1")
+        candidate = _report("mi", [_leak(1, mi_bits=0.7)], name="v2")
+        assert not diff_reports(baseline, candidate).is_regression
+
+
+class TestConfigValidation:
+    def test_unknown_analyzer_lists_valid_choices(self):
+        with pytest.raises(ConfigError) as excinfo:
+            OwlConfig(analyzer="kolmogorov")
+        message = str(excinfo.value)
+        assert "'kolmogorov'" in message
+        assert "'ks', 'mi', 'both'" in message
+
+    def test_unknown_bias_correction_lists_valid_choices(self):
+        with pytest.raises(ConfigError) as excinfo:
+            OwlConfig(mi_bias_correction="bootstrap")
+        message = str(excinfo.value)
+        assert "'bootstrap'" in message
+        for choice in ("'none'", "'miller_madow'", "'jackknife'",
+                       "'shrinkage'"):
+            assert choice in message
+
+    def test_negative_min_bits_rejected(self):
+        with pytest.raises(ConfigError):
+            OwlConfig(mi_min_bits=-0.5)
+
+    def test_valid_choices_accepted(self):
+        for analyzer in ("ks", "mi", "both"):
+            assert OwlConfig(analyzer=analyzer).analyzer == analyzer
+
+
+class TestCliRoundTrip:
+    def test_run_flags_reach_config(self):
+        from repro.cli import _config_from_args, build_subcommand_parser
+        parser = build_subcommand_parser()
+        args = parser.parse_args(
+            ["run", "dummy", "--analyzer", "both", "--mi-bias",
+             "shrinkage", "--mi-min-bits", "0.1"])
+        config = _config_from_args(parser, args)
+        assert config.analyzer == "both"
+        assert config.mi_bias_correction == "shrinkage"
+        assert config.mi_min_bits == 0.1
+
+    def test_submit_flags_reach_override_config(self):
+        parser = __import__("repro.cli", fromlist=["x"]) \
+            .build_subcommand_parser()
+        args = parser.parse_args(["submit", "dummy", "--analyzer", "mi",
+                                  "--mi-bias", "jackknife"])
+        # the service rebuilds OwlConfig(**overrides); mirror that here
+        config = OwlConfig(analyzer=args.analyzer,
+                           mi_bias_correction=args.mi_bias,
+                           mi_min_bits=args.mi_min_bits)
+        assert config.analyzer == "mi"
+        assert config.mi_bias_correction == "jackknife"
+
+    def test_defaults_stay_ks(self):
+        from repro.cli import _config_from_args, build_subcommand_parser
+        parser = build_subcommand_parser()
+        args = parser.parse_args(["run", "dummy"])
+        config = _config_from_args(parser, args)
+        assert config.analyzer == "ks"
+        assert config.mi_bias_correction == "miller_madow"
+        assert config.mi_min_bits == 0.0
