@@ -1,0 +1,129 @@
+"""Adaptive early stopping across the Table-III workloads (extension).
+
+Two claims ride on the group-sequential replica scheduler
+(``OwlConfig(adaptive=True)``, DESIGN.md §15):
+
+* **equivalence** — on every Table-III workload, the adaptive run flags
+  exactly the same leak set (locations *and* kinds, under both
+  detectors) as the classic full-budget run at the paper's 100+100
+  replica protocol;
+* **speedup** — stopping at the earliest decisive look pays: the median
+  end-to-end speedup over the workload suite is ≥ 2x, with the
+  per-workload replicas saved reported alongside (a workload whose
+  evidence stays near-threshold legitimately runs its whole budget —
+  the scheduler's forced fallback — and lands near 1x).
+
+Artefact: ``results/adaptive.txt`` — per-workload wall clocks, speedup,
+rounds executed, replicas recorded/saved, and the stopping outcome.
+
+Run modes match the other benches: ``pytest bench_adaptive.py
+--benchmark-only -s`` for the full 21-workload sweep at 100+100 runs,
+``python bench_adaptive.py --smoke`` for a quick CI pass (decisive +
+clean representative workloads at a reduced budget).  ``OWL_BENCH_RUNS``
+scales the run counts.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+
+from _bench_utils import bench_runs, emit_table
+from repro.apps.registry import workloads
+from repro.core import Owl, OwlConfig
+
+#: quick-mode subset: a decisively leaky workload (stops at the second
+#: look) and a decisively clean one (its empty evidence is futile
+#: immediately)
+SMOKE_WORKLOADS = ("aes", "dummy")
+
+
+def detect(workload: str, runs: int, adaptive: bool):
+    """One e2e detection; returns (wall seconds, OwlResult)."""
+    program, fixed_inputs, random_input = workloads()[workload]
+    config = OwlConfig(fixed_runs=runs, random_runs=runs, analyzer="both",
+                       always_analyze=True, adaptive=adaptive)
+    owl = Owl(program, name=workload, config=config)
+    started = time.perf_counter()
+    result = owl.detect(inputs=fixed_inputs(), random_input=random_input)
+    return time.perf_counter() - started, result
+
+
+def leak_set(report):
+    """The identity the equivalence claim compares: what leaked, where."""
+    return {(leak.leak_type.value, leak.kernel_name, leak.block, leak.instr)
+            for leak in report.leaks}
+
+
+def sweep(names, runs):
+    """Per-workload (classic seconds, adaptive seconds, result pair)."""
+    measurements = {}
+    for name in names:
+        classic_s, classic = detect(name, runs, adaptive=False)
+        adaptive_s, adaptive = detect(name, runs, adaptive=True)
+        measurements[name] = (classic_s, adaptive_s, classic, adaptive)
+    return measurements
+
+
+def report(measurements, runs):
+    rows = []
+    speedups = []
+    for name, (classic_s, adaptive_s, _classic, result) in sorted(
+            measurements.items()):
+        summary = result.adaptive
+        speedup = classic_s / adaptive_s
+        speedups.append(speedup)
+        recorded = (f"{summary.fixed_recorded}+{summary.random_recorded}"
+                    if summary is not None else f"{runs}+{runs}")
+        saved = summary.replicas_saved if summary is not None else 0
+        looks = summary.rounds_executed if summary is not None else 0
+        outcome = summary.outcome if summary is not None else "filtered"
+        rows.append((name, f"{classic_s:.3f}", f"{adaptive_s:.3f}",
+                     f"{speedup:.2f}x", looks, recorded, saved, outcome))
+    median = statistics.median(speedups)
+    rows.append(("median", "", "", f"{median:.2f}x", "", "", "", ""))
+    emit_table(
+        "adaptive",
+        f"Adaptive early stopping vs full budget ({runs}+{runs} runs, "
+        "analyzer=both)",
+        ["Workload", "Full s", "Adaptive s", "Speedup", "Looks",
+         "Recorded", "Saved", "Outcome"],
+        rows)
+    return median
+
+
+def assert_equivalence(measurements):
+    """The adaptive run must flag the identical leak set everywhere."""
+    mismatched = {}
+    for name, (_cs, _as, classic, adaptive) in measurements.items():
+        full, early = leak_set(classic.report), leak_set(adaptive.report)
+        if full != early:
+            mismatched[name] = {"missed": sorted(full - early),
+                                "extra": sorted(early - full)}
+    assert not mismatched, (
+        f"adaptive leak sets diverge from full budget: {mismatched}")
+
+
+def run(smoke: bool) -> None:
+    # smoke still needs ≥3 looks (16 → 32 → budget) for an early stop to
+    # be possible at all; below ~33 runs the schedule degenerates to
+    # [16, budget] and the final look is the only decisive one
+    runs = bench_runs(64 if smoke else 100)
+    names = SMOKE_WORKLOADS if smoke else sorted(workloads())
+    measurements = sweep(names, runs)
+    median = report(measurements, runs)
+    assert_equivalence(measurements)
+    # smoke keeps the equivalence bar but not the speedup bar: shared CI
+    # runners are too noisy to gate merges on a wall-clock ratio
+    if smoke:
+        return
+    assert median >= 2.0, median
+
+
+def test_adaptive(benchmark):
+    benchmark.pedantic(run, args=(False,), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    sys.exit(run(smoke="--smoke" in sys.argv[1:]))

@@ -30,7 +30,8 @@ from pathlib import Path
 from typing import Dict
 
 from bench_service_throughput import service_speedup
-from bench_trace_hotpath import REPLICA_DETECT_RUNS, detect_seconds
+from bench_trace_hotpath import (
+    ADAPTIVE_DETECT_RUNS, REPLICA_DETECT_RUNS, detect_seconds)
 
 RESULTS = Path(__file__).parent / "results"
 HOTPATH_ARTIFACT = RESULTS / "trace_hotpath.txt"
@@ -51,11 +52,19 @@ GATED_ROWS = {
         detect_seconds(True, False, REPLICA_DETECT_RUNS, reps=reps),
         detect_seconds(True, True, REPLICA_DETECT_RUNS,
                        replica_batch=True, replica_dedup=True, reps=reps))),
-    # ratio row (committed ≈ 0.9x): catches the dual-detector path losing
-    # its shared-fold amortisation and drifting toward 2x a ks-only run
+    # catches the dual-detector path losing its shared-fold amortisation
+    # and drifting toward the cost of two separate campaigns
     "AES detect (both e2e)": (HOTPATH_ARTIFACT, lambda reps: (
-        detect_seconds(True, True, 8, analyzer="ks", reps=reps),
+        detect_seconds(True, True, 8, analyzer="ks", reps=reps)
+        + detect_seconds(True, True, 8, analyzer="mi", reps=reps),
         detect_seconds(True, True, 8, analyzer="both", reps=reps))),
+    # catches the adaptive scheduler losing its early stop (or its
+    # interim looks growing expensive enough to eat the saved replicas)
+    "AES detect (adaptive e2e)": (HOTPATH_ARTIFACT, lambda reps: (
+        detect_seconds(True, True, ADAPTIVE_DETECT_RUNS, replica_batch=True,
+                       reps=reps),
+        detect_seconds(True, True, ADAPTIVE_DETECT_RUNS, replica_batch=True,
+                       adaptive=True, reps=reps))),
     "service multi-tenant (e2e)": (SERVICE_ARTIFACT, lambda reps: (
         service_speedup(workers=0, reps=reps))),
 }
@@ -94,6 +103,16 @@ def main(argv=None) -> int:
         print(f"perf-regression: artefacts lack gated rows {missing}; "
               "regenerate them with the full benches", file=sys.stderr)
         return 2
+    # every committed fast-path row must actually be a speedup: a ratio
+    # below 1.0 means a default-on fast path ships slower than its
+    # baseline, which is a bug in the artefact, not runner noise
+    slow = sorted(name for name, speedup in committed.items()
+                  if speedup < 1.0)
+    if slow:
+        print(f"perf-regression: committed artefact rows below 1.0x "
+              f"{slow}; a fast path must not ship slower than its "
+              "baseline", file=sys.stderr)
+        return 1
 
     failures = []
     for name, (_artifact, measure) in GATED_ROWS.items():

@@ -57,6 +57,10 @@ def run_analyzers(analyzers: Sequence[LeakageAnalyzer], fixed: Evidence,
     them that way), so the fold — which depends only on the config — is
     detector-independent and can be recorded once.
     """
+    if len(analyzers) > 1 and all(a._defer() for a in analyzers):
+        reports, _results = deferred_analysis(analyzers, fixed, random,
+                                              program_name)
+        return reports
     prof = profiling.profiler()
     started = time.perf_counter()
     pairs = align_evidence(fixed, random)
@@ -65,22 +69,58 @@ def run_analyzers(analyzers: Sequence[LeakageAnalyzer], fixed: Evidence,
     metadata = dict(program_name=program_name,
                     num_fixed_runs=fixed.num_runs,
                     num_random_runs=random.num_runs)
-    if len(analyzers) > 1 and all(a._defer() for a in analyzers):
-        lead = analyzers[0]
-        sink = _TestSink(lead, defer=True)
-        started = time.perf_counter()
-        lead._fold_pairs(pairs, sink)
-        if prof is not None:
-            prof.add("analysis_fold", time.perf_counter() - started)
-        reports = []
-        for analyzer in analyzers:
-            report = analyzer.new_report(**metadata)
-            started = time.perf_counter()
-            report.extend(sink.finish(analyzer))
-            if prof is not None:
-                prof.add(analyzer.batch_phase,
-                         time.perf_counter() - started)
-            reports.append(report)
-        return reports
     return [analyzer.analyze_pairs(pairs, **metadata)
             for analyzer in analyzers]
+
+
+def deferred_analysis(
+        analyzers: Sequence[LeakageAnalyzer], fixed: Evidence,
+        random: Evidence, program_name: str = "program"
+) -> Tuple[List[LeakageReport], List[List]]:
+    """One aligned/folded pass, plus every analyzer's raw batch results.
+
+    Same single-traversal machinery as the deferred branch of
+    :func:`run_analyzers`, but the batched test runs exactly once per
+    analyzer and its full result list — every submitted per-location
+    test, not just the flagged subset the report keeps — is returned
+    alongside the reports.  The adaptive scheduler's group-sequential
+    decisions consume those raw p-values (``raw_results[i][j]`` is
+    analyzer *i*'s :class:`~repro.core.kstest.TestResult` — or ``None``
+    for a degenerate feature — for submitted test *j*).
+
+    Every analyzer must be able to defer (``_defer()`` true); the
+    pipeline guarantees that by rejecting ``adaptive=True`` configs
+    whose analyzers cannot.
+    """
+    for analyzer in analyzers:
+        if not analyzer._defer():
+            raise ConfigError(
+                f"analyzer {analyzer.mode!r} cannot defer its tests "
+                f"(vectorized=False or a non-ks test ablation); the "
+                f"shared-fold deferred pass requires batched testing")
+    prof = profiling.profiler()
+    started = time.perf_counter()
+    pairs = align_evidence(fixed, random)
+    if prof is not None:
+        prof.add("analysis_align", time.perf_counter() - started)
+    metadata = dict(program_name=program_name,
+                    num_fixed_runs=fixed.num_runs,
+                    num_random_runs=random.num_runs)
+    lead = analyzers[0]
+    sink = _TestSink(lead, defer=True)
+    started = time.perf_counter()
+    lead._fold_pairs(pairs, sink)
+    if prof is not None:
+        prof.add("analysis_fold", time.perf_counter() - started)
+    reports = []
+    raw_results = []
+    for analyzer in analyzers:
+        report = analyzer.new_report(**metadata)
+        started = time.perf_counter()
+        results = analyzer._batch_test(sink._requests)
+        report.extend(sink.finish(analyzer, results=results))
+        if prof is not None:
+            prof.add(analyzer.batch_phase, time.perf_counter() - started)
+        reports.append(report)
+        raw_results.append(results)
+    return reports, raw_results

@@ -83,6 +83,26 @@ def _add_detect_options(parser: argparse.ArgumentParser) -> None:
                         metavar="BITS",
                         help="minimum bias-corrected MI (bits) the MI "
                              "detector requires before flagging a feature")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="group-sequential replica scheduling: record "
+                             "replicas in growing rounds, test after each "
+                             "under an O'Brien-Fleming-style alpha-spending "
+                             "rule, and stop early once every location is "
+                             "confidently flagged or clean (the run budgets "
+                             "become caps; the flagged leak set matches the "
+                             "full-budget run)")
+    parser.add_argument("--adaptive-rounds", metavar="N|B1,B2,...",
+                        default=None,
+                        help="adaptive look schedule: an int (number of "
+                             "geometrically spaced looks) or explicit "
+                             "comma-separated replica boundaries, e.g. "
+                             "'16,32,64' (default: double from 16 to the "
+                             "budget)")
+    parser.add_argument("--adaptive-alpha-spend", type=float, default=0.5,
+                        metavar="RHO",
+                        help="alpha-spending exponent: interim looks test "
+                             "at z(1-a/2)/t**RHO; larger RHO spends less "
+                             "alpha early (default: 0.5)")
     parser.add_argument("--seed", type=int, default=2024,
                         help="seed for the random-input generator")
     parser.add_argument("--workers", default="1", metavar="N|auto",
@@ -281,6 +301,11 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
                         default="miller_madow")
     submit.add_argument("--mi-min-bits", type=float, default=0.0,
                         metavar="BITS")
+    submit.add_argument("--adaptive", action="store_true")
+    submit.add_argument("--adaptive-rounds", metavar="N|B1,B2,...",
+                        default=None)
+    submit.add_argument("--adaptive-alpha-spend", type=float, default=0.5,
+                        metavar="RHO")
     submit.add_argument("--seed", type=int, default=2024)
     submit.add_argument("--granularity", type=int, default=1,
                         metavar="BYTES")
@@ -338,6 +363,20 @@ def _resolve_workers(parser: argparse.ArgumentParser, value: str):
     return workers
 
 
+def _parse_adaptive_rounds(parser: argparse.ArgumentParser, value):
+    """``--adaptive-rounds``: an int or comma-separated boundaries."""
+    if value is None:
+        return None
+    text = str(value).strip()
+    try:
+        if "," in text:
+            return tuple(int(part) for part in text.split(",") if part.strip())
+        return int(text)
+    except ValueError:
+        parser.error(f"--adaptive-rounds takes an int or comma-separated "
+                     f"replica boundaries, got {value!r}")
+
+
 def _config_from_args(parser: argparse.ArgumentParser,
                       args: argparse.Namespace) -> OwlConfig:
     fault_plan = None
@@ -363,6 +402,10 @@ def _config_from_args(parser: argparse.ArgumentParser,
         except (ConfigError, TypeError) as error:
             parser.error(f"--retry: {error}")
     return OwlConfig(
+        adaptive=getattr(args, "adaptive", False),
+        adaptive_rounds=_parse_adaptive_rounds(
+            parser, getattr(args, "adaptive_rounds", None)),
+        adaptive_alpha_spend=getattr(args, "adaptive_alpha_spend", 0.5),
         fixed_runs=args.fixed_runs, random_runs=args.random_runs,
         confidence=args.confidence, test=args.test, seed=args.seed,
         analyzer=args.analyzer, mi_bias_correction=args.mi_bias,
@@ -394,12 +437,13 @@ def _write_report(path: str, report) -> bool:
     return True
 
 
-def _profile_payload(profiler, stats, workload: str) -> dict:
+def _profile_payload(profiler, result, workload: str) -> dict:
     """Assemble the ``--profile`` JSON: hook-timed device phases plus the
     analysis phases the pipeline already accounts in PhaseStats."""
+    stats = result.stats
     emit = profiler.get("event_emit")
     fold = profiler.get("adcfg_fold")
-    return {
+    payload = {
         "workload": workload,
         "phases_seconds": {
             "kernel_execute": profiler.get("kernel_execute"),
@@ -428,6 +472,9 @@ def _profile_payload(profiler, stats, workload: str) -> dict:
         "trace_count": stats.trace_count,
         "workers": stats.workers,
     }
+    if result.adaptive is not None:
+        payload["adaptive"] = result.adaptive.to_dict()
+    return payload
 
 
 def _write_profile(path: str, payload: dict) -> bool:
@@ -506,7 +553,7 @@ def _run_workload(parser: argparse.ArgumentParser, args: argparse.Namespace,
             profiling.disable()
     if profiler is not None and not _write_profile(
             args.profile,
-            _profile_payload(profiler, result.stats, args.workload)):
+            _profile_payload(profiler, result, args.workload)):
         return 2
     if args.degradation_log is not None and not _write_degradation_log(
             args.degradation_log, result.degradations):
@@ -519,6 +566,13 @@ def _run_workload(parser: argparse.ArgumentParser, args: argparse.Namespace,
                             for kind, count in sorted(kinds.items()))
         print(f"[resilience] survived {len(result.degradations)} "
               f"degradation(s): {summary}")
+    if result.adaptive is not None and not args.json:
+        summary = result.adaptive
+        print(f"[adaptive] {summary.outcome} after "
+              f"{summary.rounds_executed} round(s): recorded "
+              f"{summary.fixed_recorded}/{summary.fixed_budget} fixed + "
+              f"{summary.random_recorded}/{summary.random_budget} random "
+              f"replicas ({summary.replicas_saved} saved)")
     if store is not None and not args.json:
         stats = result.stats
         if stats.report_cache_hit:
@@ -799,6 +853,9 @@ def _cmd_submit(parser: argparse.ArgumentParser,
         confidence=args.confidence, test=args.test, seed=args.seed,
         analyzer=args.analyzer, mi_bias_correction=args.mi_bias,
         mi_min_bits=args.mi_min_bits,
+        adaptive=args.adaptive,
+        adaptive_rounds=_parse_adaptive_rounds(parser, args.adaptive_rounds),
+        adaptive_alpha_spend=args.adaptive_alpha_spend,
         offset_granularity=args.granularity, quantify=args.quantify,
         analyze_all_representatives=args.all_representatives)
     try:

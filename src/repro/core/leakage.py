@@ -208,7 +208,8 @@ class _TestSink:
         return self._analyzer._categorical_test(request[1], request[2],
                                                 order=request[3])
 
-    def finish(self, analyzer: Optional["LeakageAnalyzer"] = None
+    def finish(self, analyzer: Optional["LeakageAnalyzer"] = None,
+               results: Optional[List[Optional[TestResult]]] = None
                ) -> List[Leak]:
         """Evaluate the recorded requests and return all leaks in order.
 
@@ -216,15 +217,24 @@ class _TestSink:
         test over the whole request list and resolves the emissions with
         its field hooks, so several detectors can share one traversal
         (inline sinks are single-analyzer; passing a different one there
-        is a programming error).
+        is a programming error).  Callers that already ran the batched
+        test — the adaptive scheduler needs the raw per-location results
+        for its stopping decision — pass them via *results* so the batch
+        isn't computed twice.
         """
         if analyzer is None:
             analyzer = self._analyzer
         if not self._defer:
             assert analyzer is self._analyzer, \
                 "inline sinks already tested under their own analyzer"
+            assert results is None, "inline sinks carry no batch results"
             return self._leaks
-        results = analyzer._batch_test(self._requests)
+        if results is None:
+            results = analyzer._batch_test(self._requests)
+        elif len(results) != len(self._requests):
+            raise ValueError(
+                f"batch results for {len(results)} requests passed to a "
+                f"sink holding {len(self._requests)}")
         leaks: List[Leak] = []
         for emission in self._emissions:
             if emission[0] == "definite":

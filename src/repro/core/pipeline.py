@@ -39,6 +39,8 @@ import numpy as np
 from repro import profiling
 from repro.analysis import analysis_modes, cross_validate, make_analyzer, \
     run_analyzers
+from repro.core import adaptive as sequential
+from repro.core.adaptive import AdaptiveSummary
 from repro.core.evidence import Evidence
 from repro.core.filtering import FilterResult, filter_traces
 from repro.core.kstest import DEFAULT_CONFIDENCE
@@ -149,6 +151,24 @@ class OwlConfig:
     #: steps one cohort attempt may record before the launch degrades to
     #: the per-warp reference engine (None = unbounded)
     cohort_step_budget: Optional[int] = None
+    #: group-sequential adaptive replica scheduling (repro.core.adaptive):
+    #: record replicas in growing rounds and stop a campaign early once
+    #: every per-location test is confidently flagged or confidently
+    #: clean under an O'Brien–Fleming-style alpha-spending rule.
+    #: Near-threshold locations force the full budget, so the flagged
+    #: leak set matches the full-budget run's; the replica counts (and
+    #: hence report byte content) legitimately differ.  Requires the
+    #: batched deferred tests (``vectorized=True`` and ``test="ks"``).
+    #: Fingerprints as analysis scope: adaptive and classic campaigns
+    #: share traces and evidence but cache reports separately.
+    adaptive: bool = False
+    #: look schedule: None (16 → 32 → 64 → … → budget), an int count of
+    #: geometric looks, or an explicit sequence of replica boundaries on
+    #: the larger evidence side (the budget is always the final look)
+    adaptive_rounds: Union[int, Sequence[int], None] = None
+    #: alpha-spending exponent rho in ``z / t**rho``: 0.5 is the classic
+    #: O'Brien–Fleming boundary; larger spends even less alpha early
+    adaptive_alpha_spend: float = 0.5
 
     def __post_init__(self) -> None:
         """Reject invalid knobs at construction with one-line messages."""
@@ -204,6 +224,23 @@ class OwlConfig:
             raise ConfigError(
                 f"cohort_step_budget must be a positive int or None, got "
                 f"{self.cohort_step_budget!r}")
+        if not isinstance(self.adaptive, bool):
+            raise ConfigError(
+                f"adaptive must be a bool, got {self.adaptive!r}")
+        object.__setattr__(
+            self, "adaptive_rounds",
+            sequential.validate_adaptive_rounds(self.adaptive_rounds))
+        if not isinstance(self.adaptive_alpha_spend, (int, float)) \
+                or isinstance(self.adaptive_alpha_spend, bool) \
+                or not 0.0 < self.adaptive_alpha_spend <= 4.0:
+            raise ConfigError(
+                f"adaptive_alpha_spend must be a number in (0, 4], got "
+                f"{self.adaptive_alpha_spend!r}")
+        if self.adaptive and (not self.vectorized or self.test != "ks"):
+            raise ConfigError(
+                "adaptive early stopping needs the per-location p-values "
+                "of the batched deferred tests; it requires "
+                "vectorized=True and test='ks'")
         resolve_workers(self.workers)  # raises ConfigError on bad specs
         # campaign manifests round-trip these nested configs through
         # dataclasses.asdict; coerce the dict (or spec-string) forms back
@@ -316,6 +353,10 @@ class OwlResult:
     report: LeakageReport
     per_representative: List[LeakageReport] = field(default_factory=list)
     stats: PhaseStats = field(default_factory=PhaseStats)
+    #: the adaptive scheduler's stopping story — per-side budgets vs
+    #: replicas actually recorded, and every interim look's decision
+    #: (None on classic runs and on runs that never reached phase 3)
+    adaptive: Optional[AdaptiveSummary] = None
 
     @property
     def leak_free_by_filtering(self) -> bool:
@@ -331,6 +372,28 @@ class OwlResult:
     def degraded(self) -> bool:
         """True when any fallback fired during this run."""
         return bool(self.stats.degradations)
+
+
+@dataclass
+class _EvidenceSide:
+    """Mutable per-side state of the adaptive round loop.
+
+    One per representative's fixed side plus one for the shared random
+    side; ``done`` is the replica prefix already folded into
+    ``evidence`` and ``boundaries[r]`` where the side must stand for
+    round ``r``'s look.
+    """
+
+    side: str
+    key: Optional[str]
+    values: List[object]
+    boundaries: Sequence[int]
+    evidence: Optional[Evidence] = None
+    done: int = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.values)
 
 
 class Owl:
@@ -500,6 +563,177 @@ class Owl:
         return campaign.save_evidence(key, evidence, side)
 
     # ------------------------------------------------------------------
+    # phase 3, adaptive (group-sequential early stopping)
+    # ------------------------------------------------------------------
+
+    def _adaptive_phase3(self, representatives: Sequence[object],
+                         random_input: RandomInputFn,
+                         stats: Optional[PhaseStats], campaign):
+        """Phase 3 under the group-sequential replica scheduler.
+
+        All representatives' fixed sides and the shared random side
+        advance in lockstep to each round boundary of the schedule
+        (:func:`repro.core.adaptive.round_schedule`); after each round
+        every representative is analysed over its evidence *prefix* and
+        the campaign stops once every submitted test is decided for
+        every representative and every detector — one joint loop, so the
+        shared random evidence is never left at inconsistent depths.
+
+        Returns ``(rep_reports, summary)`` with ``rep_reports[i]`` the
+        per-analyzer reports of representative ``i`` at the stopping
+        round.  With a campaign attached, early-stopped sides persist as
+        round-boundary *checkpoints* (the PR 3 resume path) — never as
+        completed evidence, whose key promises the full budget — and a
+        resumed run fast-forwards over boundaries the evidence already
+        passed, recomputing the one live decision bit-identically.
+        """
+        config = self.config
+        schedule = sequential.round_schedule(
+            config.fixed_runs, config.random_runs, config.adaptive_rounds)
+        summary = AdaptiveSummary(fixed_budget=config.fixed_runs,
+                                  random_budget=config.random_runs)
+        keep_per_run = config.sampling == "per_run"
+        alpha = 1.0 - config.confidence
+
+        if campaign is not None \
+                and self._adaptive_cached_sides(representatives, campaign):
+            # the store already holds a completed side (recorded by a
+            # classic run, or this campaign's own final round): it
+            # carries strictly more information than any interim look,
+            # so degrade to the classic full-budget path and keep the
+            # store's evidence reuse
+            rep_reports = []
+            for rep in representatives:
+                fixed_evidence, random_evidence = self.collect_evidence(
+                    rep, random_input, stats=stats, campaign=campaign)
+                test_started = time.perf_counter()
+                rep_reports.append(run_analyzers(
+                    self.analyzers, fixed_evidence, random_evidence,
+                    program_name=self.name))
+                if stats is not None:
+                    stats.test_seconds += time.perf_counter() - test_started
+            summary.outcome = sequential.OUTCOME_CACHED
+            summary.fixed_recorded = config.fixed_runs
+            summary.random_recorded = config.random_runs
+            return rep_reports, summary
+
+        rng = np.random.default_rng(config.seed)
+        random_values = [random_input(rng)
+                         for _ in range(config.random_runs)]
+        sides: List[_EvidenceSide] = []
+        for rep in representatives:
+            key = None
+            if campaign is not None:
+                key = campaign.evidence_key(
+                    "fixed", campaign.input_fingerprint(rep))
+            sides.append(_EvidenceSide(
+                side="fixed", key=key,
+                values=[rep] * config.fixed_runs,
+                boundaries=schedule.fixed))
+        random_side = _EvidenceSide(
+            side="random",
+            key=(campaign.evidence_key("random")
+                 if campaign is not None else None),
+            values=random_values, boundaries=schedule.random)
+        sides.append(random_side)
+        if campaign is not None:
+            for side in sides:
+                checkpoint = campaign.load_checkpoint(side.key)
+                if checkpoint is not None:
+                    evidence, done = checkpoint
+                    if done <= side.total:
+                        side.evidence, side.done = evidence, done
+                        if stats is not None:
+                            stats.cached_runs += done
+
+        rep_reports = []
+        for round_index in range(schedule.num_rounds):
+            final = round_index == schedule.num_rounds - 1
+            if any(side.done > side.boundaries[round_index]
+                   for side in sides):
+                # evidence past this boundary proves a prior run already
+                # decided "continue" here; skip straight to the live round
+                continue
+            for side in sides:
+                self._adaptive_record_side(
+                    side, side.boundaries[round_index], keep_per_run,
+                    stats, campaign, final)
+            test_started = time.perf_counter()
+            rep_reports, decision = sequential.evaluate_round(
+                self.analyzers, [side.evidence for side in sides[:-1]],
+                random_side.evidence, program_name=self.name, alpha=alpha,
+                rho=config.adaptive_alpha_spend, schedule=schedule,
+                round_index=round_index)
+            decision.analysis_seconds = time.perf_counter() - test_started
+            if stats is not None:
+                stats.test_seconds += decision.analysis_seconds
+            summary.rounds.append(decision)
+            if decision.stop:
+                break
+        summary.fixed_recorded = sides[0].done
+        summary.random_recorded = random_side.done
+        summary.outcome = (
+            sequential.OUTCOME_BUDGET
+            if (summary.fixed_recorded == config.fixed_runs
+                and summary.random_recorded == config.random_runs)
+            else sequential.OUTCOME_EARLY_STOP)
+        return rep_reports, summary
+
+    def _adaptive_cached_sides(self, representatives, campaign) -> bool:
+        """True when the store holds any *completed* evidence side."""
+        keys = [campaign.evidence_key(
+            "fixed", campaign.input_fingerprint(rep))
+            for rep in representatives]
+        keys.append(campaign.evidence_key("random"))
+        return any(campaign.store.get(key) is not None for key in keys)
+
+    def _adaptive_record_side(self, side: "_EvidenceSide", target: int,
+                              keep_per_run: bool,
+                              stats: Optional[PhaseStats], campaign,
+                              final: bool) -> None:
+        """Advance one evidence side to a round boundary, resumably.
+
+        Records in ``store_checkpoint_every`` batches with a checkpoint
+        after each (crash anywhere resumes mid-round), and leaves
+        ``side.evidence`` in the store's canonical round-tripped form at
+        the boundary — the exact bytes a resumed run loads back — so
+        cold and resumed looks analyse identical evidence.  Only the
+        final round may complete a side (``save_evidence``); an early
+        stop leaves the side checkpointed at its stopping boundary.
+        """
+        chunk_size = max(1, self.config.store_checkpoint_every)
+        advanced = False
+        while side.done < target:
+            batch = list(side.values[side.done:
+                                     min(side.done + chunk_size, target)])
+            started = time.perf_counter()
+            partial, chunk = self.pool.record_evidence(
+                batch, keep_per_run=keep_per_run)
+            if stats is not None:
+                stats.absorb_chunk(chunk, time.perf_counter() - started)
+            side.evidence = (partial if side.evidence is None
+                             else side.evidence.merge(partial))
+            side.done += len(batch)
+            advanced = True
+            if campaign is not None \
+                    and not (final and side.done == side.total):
+                campaign.save_checkpoint(side.key, side.evidence,
+                                         side.done, side.total, side.side)
+        if side.evidence is None:
+            side.evidence = Evidence(keep_per_run=keep_per_run)
+            advanced = True
+        if campaign is None:
+            return
+        if final and side.done == side.total:
+            side.evidence = campaign.save_evidence(side.key, side.evidence,
+                                                   side.side)
+        elif advanced:
+            from repro.store.serialize import (deserialize_evidence,
+                                               serialize_evidence)
+            side.evidence = deserialize_evidence(
+                serialize_evidence(side.evidence))
+
+    # ------------------------------------------------------------------
     # full pipeline
     # ------------------------------------------------------------------
 
@@ -602,35 +836,53 @@ class Owl:
 
             per_rep: List[LeakageReport] = []
             per_mode: List[List[LeakageReport]] = [[] for _ in self.analyzers]
-            for rep in representatives:
-                fixed_evidence, random_evidence = self.collect_evidence(
-                    rep, random_input, stats=stats, campaign=campaign)
-                test_started = time.perf_counter()
-                reports = run_analyzers(self.analyzers, fixed_evidence,
-                                        random_evidence,
-                                        program_name=self.name)
-                stats.test_seconds += time.perf_counter() - test_started
-                for mode_reports, report in zip(per_mode, reports):
-                    mode_reports.append(report)
-                per_rep.append(reports[0] if len(reports) == 1
-                               else cross_validate(*reports))
+            adaptive_summary: Optional[AdaptiveSummary] = None
+            if self.config.adaptive:
+                rep_reports, adaptive_summary = self._adaptive_phase3(
+                    representatives, random_input, stats, campaign)
+                for reports in rep_reports:
+                    for mode_reports, report in zip(per_mode, reports):
+                        mode_reports.append(report)
+                    per_rep.append(reports[0] if len(reports) == 1
+                                   else cross_validate(*reports))
+            else:
+                for rep in representatives:
+                    fixed_evidence, random_evidence = self.collect_evidence(
+                        rep, random_input, stats=stats, campaign=campaign)
+                    test_started = time.perf_counter()
+                    reports = run_analyzers(self.analyzers, fixed_evidence,
+                                            random_evidence,
+                                            program_name=self.name)
+                    stats.test_seconds += time.perf_counter() - test_started
+                    for mode_reports, report in zip(per_mode, reports):
+                        mode_reports.append(report)
+                    per_rep.append(reports[0] if len(reports) == 1
+                                   else cross_validate(*reports))
 
             # merge (and dedup) per detector mode, exactly as a
             # single-analyzer run would — the KS component of a "both" run
-            # stays byte-identical to an analyzer="ks" run by construction
+            # stays byte-identical to an analyzer="ks" run by construction.
+            # An adaptive run's counts are the replicas it actually
+            # analysed, so an early-stopped report says what it tested.
+            num_fixed_runs = (adaptive_summary.fixed_recorded
+                              if adaptive_summary is not None
+                              else self.config.fixed_runs)
+            num_random_runs = (adaptive_summary.random_recorded
+                               if adaptive_summary is not None
+                               else self.config.random_runs)
             merged_by_mode: List[LeakageReport] = []
             for detector, mode_reports in zip(self.analyzers, per_mode):
                 merged = LeakageReport(program_name=self.name,
-                                       num_fixed_runs=self.config.fixed_runs,
-                                       num_random_runs=self.config.random_runs,
+                                       num_fixed_runs=num_fixed_runs,
+                                       num_random_runs=num_random_runs,
                                        confidence=self.config.confidence,
                                        analyzer=detector.mode)
                 for report in mode_reports:
                     merged.extend(report.leaks)
                 if self.config.dedup_by_location:
                     merged = merged.dedup_by_location()
-                    merged.num_fixed_runs = self.config.fixed_runs
-                    merged.num_random_runs = self.config.random_runs
+                    merged.num_fixed_runs = num_fixed_runs
+                    merged.num_random_runs = num_random_runs
                 merged_by_mode.append(merged)
             merged = (merged_by_mode[0] if len(merged_by_mode) == 1
                       else cross_validate(*merged_by_mode))
@@ -641,7 +893,8 @@ class Owl:
                     campaign.mark_complete(inputs_fp)
             return OwlResult(program_name=self.name,
                              filter_result=filter_result, report=merged,
-                             per_representative=per_rep, stats=stats)
+                             per_representative=per_rep, stats=stats,
+                             adaptive=adaptive_summary)
         finally:
             collector.__exit__(None, None, None)
             stats.degradations[:] = degradation_log.events

@@ -30,12 +30,15 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.apps.registry import resolve
+from repro.core import adaptive as sequential
 from repro.core.evidence import Evidence
 from repro.core.pipeline import Owl, OwlConfig, PhaseStats
 from repro.errors import CampaignError
 from repro.resilience.events import collecting_degradations
 from repro.service.units import (
-    KIND_EVIDENCE, KIND_FOLD, KIND_PLAN, KIND_REPORT, KIND_TRACE, WorkUnit)
+    KIND_DECIDE, KIND_EVIDENCE, KIND_FOLD, KIND_PLAN, KIND_REPORT,
+    KIND_TRACE, WorkUnit)
+from repro.store.serialize import deserialize_evidence, serialize_evidence
 from repro.store.campaign import Campaign
 from repro.store.store import TraceStore
 
@@ -93,6 +96,8 @@ def _dispatch(unit: WorkUnit, store: TraceStore) -> Dict:
         return _run_plan(unit, store)
     if unit.kind == KIND_EVIDENCE:
         return _run_evidence(unit, store)
+    if unit.kind == KIND_DECIDE:
+        return _run_decide(unit, store)
     if unit.kind == KIND_FOLD:
         return _run_fold(unit, store)
     if unit.kind == KIND_REPORT:
@@ -150,6 +155,76 @@ def _run_evidence(unit: WorkUnit, store: TraceStore) -> Dict:
               "seed": owl.config.seed})
     return {"runs": len(values),
             "trace_seconds": chunk_stats.trace_seconds_total}
+
+
+def _run_decide(unit: WorkUnit, store: TraceStore) -> Dict:
+    """One adaptive look: merge, checkpoint, analyse, stop-or-continue.
+
+    Merges every side's chunks (rounds 0..r, in ordinal order) to the
+    round boundary, persists the result through the campaign checkpoint
+    path — the same canonical form the in-process adaptive loop leaves
+    behind — then replays :func:`repro.core.adaptive.evaluate_round`.
+    The decision is a pure function of the evidence prefix, so a
+    re-queued decide unit (after a worker death) recomputes it
+    bit-identically; on the final round the sides complete through
+    ``save_evidence`` and the chunks are collected, replacing the
+    classic fold stage.
+    """
+    owl, campaign, inputs, _random = materialize(unit.spec, store)
+    config = owl.config
+    schedule = sequential.round_schedule(
+        config.fixed_runs, config.random_runs, config.adaptive_rounds)
+    round_index = int(unit.params["round"])
+    final = round_index == schedule.num_rounds - 1
+    rep_indices = [int(index) for index in unit.params["rep_indices"]]
+    side_plan = [("fixed", rep_index, schedule.fixed[round_index],
+                  config.fixed_runs, int(unit.params["fixed_chunks"]))
+                 for rep_index in rep_indices]
+    side_plan.append(("random", -1, schedule.random[round_index],
+                      config.random_runs, int(unit.params["random_chunks"])))
+    evidences = {}
+    all_chunk_keys = []
+    for side, rep_index, boundary, total_runs, num_chunks in side_plan:
+        rep_fp = _rep_fp(campaign, inputs, side, rep_index)
+        evidence_key = campaign.evidence_key(side, rep_fp)
+        keys = [chunk_key(unit.campaign, side, rep_fp, chunk)
+                for chunk in range(num_chunks)]
+        all_chunk_keys.extend(keys)
+        if store.get(evidence_key) is not None:
+            # the final round already completed (crash between its
+            # save_evidence and this result landing): nothing to decide,
+            # the report unit degrades to the warm full-budget path
+            return {"stop": True, "final": True, "round": round_index,
+                    "cached_side": True}
+        merged: Optional[Evidence] = None
+        for key in keys:
+            chunk_evidence = store.get_evidence(key)
+            merged = (chunk_evidence if merged is None
+                      else merged.merge(chunk_evidence))
+        if merged is None:
+            merged = Evidence(keep_per_run=config.sampling == "per_run")
+        if final:
+            merged = campaign.save_evidence(evidence_key, merged, side)
+        else:
+            campaign.save_checkpoint(evidence_key, merged, boundary,
+                                     total_runs, side)
+            merged = deserialize_evidence(serialize_evidence(merged))
+        evidences[(side, rep_index)] = merged
+    _reports, decision = sequential.evaluate_round(
+        owl.analyzers,
+        [evidences[("fixed", rep_index)] for rep_index in rep_indices],
+        evidences[("random", -1)], program_name=owl.name,
+        alpha=1.0 - config.confidence, rho=config.adaptive_alpha_spend,
+        schedule=schedule, round_index=round_index)
+    if decision.stop:
+        with store.batch():
+            for key in all_chunk_keys:
+                store.delete(key)
+    return {"stop": decision.stop, "final": final, "round": round_index,
+            "tested": decision.tested, "flagged": decision.flagged,
+            "clean": decision.clean, "undecided": decision.undecided,
+            "fixed_boundary": decision.fixed_boundary,
+            "random_boundary": decision.random_boundary}
 
 
 def _run_fold(unit: WorkUnit, store: TraceStore) -> Dict:

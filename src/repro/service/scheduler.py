@@ -5,8 +5,17 @@ and drives every submitted campaign through the stage machine
 
     tracing → planning → [evidence → folding] → reporting → complete
 
-enqueuing the next stage's durable units the moment the previous stage's
-results are all on disk.  The actual work happens wherever a unit is
+— or, for ``OwlConfig(adaptive=True)`` campaigns, through the
+group-sequential loop
+
+    tracing → planning → [evidence → deciding]* → reporting → complete
+
+where each ``evidence`` stage records one round's replica slice
+(``unit_runs`` partitioning always respects the round boundaries) and
+the ``deciding`` stage's unit folds the prefix, checkpoints it, and
+either stops the campaign or schedules the next round — enqueuing the
+next stage's durable units the moment the previous stage's results are
+all on disk.  The actual work happens wherever a unit is
 claimed — fleet worker processes, or the scheduler process itself when
 ``workers == 0`` (same units, same results).
 
@@ -52,7 +61,8 @@ from repro.service.execute import execute_unit
 from repro.service.fleet import WorkerFleet
 from repro.service.queue import JobQueue
 from repro.service.units import (
-    evidence_units, fold_unit, plan_unit, report_unit, trace_units)
+    decide_unit, evidence_units, fold_unit, plan_unit, report_unit,
+    round_chunk_offsets, round_evidence_units, trace_units)
 from repro.store.fingerprint import (
     analysis_fingerprint, fingerprint_inputs, fingerprint_value)
 from repro.store.store import TraceStore
@@ -61,6 +71,7 @@ from repro.store.store import TraceStore
 STAGE_TRACING = "tracing"
 STAGE_PLANNING = "planning"
 STAGE_EVIDENCE = "evidence"
+STAGE_DECIDING = "deciding"
 STAGE_FOLDING = "folding"
 STAGE_REPORTING = "reporting"
 STAGE_COMPLETE = "complete"
@@ -107,6 +118,9 @@ class CampaignState:
     coalesced_into: Optional[str] = None
     degradations: List[DegradationEvent] = field(default_factory=list)
     submitted_at: float = 0.0
+    #: current adaptive round (meaningful only while an adaptive
+    #: campaign loops through evidence → deciding)
+    adaptive_round: int = 0
 
     @property
     def done(self) -> bool:
@@ -332,6 +346,12 @@ class CampaignScheduler:
                 self._enqueue(state, [report_unit(state.cid, spec,
                                                   plan["num_classes"])])
                 return
+            if config.adaptive:
+                state.adaptive_round = 0
+                state.stage = STAGE_EVIDENCE
+                self._enqueue(state,
+                              self._adaptive_round_units(state, config, 0))
+                return
             units = []
             for rep_index in plan["rep_indices"]:
                 units.extend(evidence_units(
@@ -345,6 +365,20 @@ class CampaignScheduler:
             return
         if state.stage == STAGE_EVIDENCE:
             plan = state.plan or {}
+            if config.adaptive:
+                schedule = self._adaptive_schedule(config)
+                round_index = state.adaptive_round
+                state.stage = STAGE_DECIDING
+                self._enqueue(state, [decide_unit(
+                    state.cid, spec, round_index,
+                    plan.get("rep_indices", []),
+                    round_chunk_offsets(schedule.fixed,
+                                        self.config.unit_runs)[
+                                            round_index + 1],
+                    round_chunk_offsets(schedule.random,
+                                        self.config.unit_runs)[
+                                            round_index + 1])])
+                return
             units = []
             for rep_index in plan.get("rep_indices", []):
                 chunks = _num_chunks(config.fixed_runs, self.config.unit_runs)
@@ -354,6 +388,22 @@ class CampaignScheduler:
             units.append(fold_unit(state.cid, spec, "random", -1, chunks))
             state.stage = STAGE_FOLDING
             self._enqueue(state, units)
+            return
+        if state.stage == STAGE_DECIDING:
+            verdict = payloads[
+                f"{state.cid}.decide.{state.adaptive_round:02d}"]
+            self.queue.journal(
+                "decided", campaign=state.cid,
+                round=state.adaptive_round, stop=verdict.get("stop"),
+                undecided=verdict.get("undecided"))
+            if verdict.get("stop"):
+                state.stage = STAGE_REPORTING
+                self._enqueue(state, [report_unit(state.cid, spec, 0)])
+                return
+            state.adaptive_round += 1
+            state.stage = STAGE_EVIDENCE
+            self._enqueue(state, self._adaptive_round_units(
+                state, config, state.adaptive_round))
             return
         if state.stage == STAGE_FOLDING:
             state.stage = STAGE_REPORTING
@@ -370,6 +420,42 @@ class CampaignScheduler:
         raise CampaignError(
             f"campaign {state.cid} advanced from unexpected stage "
             f"{state.stage!r}")
+
+    def _adaptive_schedule(self, config: OwlConfig):
+        from repro.core.adaptive import round_schedule
+        return round_schedule(config.fixed_runs, config.random_runs,
+                              config.adaptive_rounds)
+
+    def _adaptive_round_units(self, state: CampaignState, config: OwlConfig,
+                              round_index: int) -> List:
+        """Evidence units for one adaptive round's replica slice.
+
+        Chunk ordinals continue across rounds (``round_chunk_offsets``),
+        so the decide unit can merge every chunk recorded so far in one
+        deterministic order; a round whose slice is empty on one side
+        (boundaries can coincide for tiny budgets) simply contributes no
+        units for that side.
+        """
+        plan = state.plan or {}
+        spec = state.spec()
+        schedule = self._adaptive_schedule(config)
+        fixed_offsets = round_chunk_offsets(schedule.fixed,
+                                            self.config.unit_runs)
+        random_offsets = round_chunk_offsets(schedule.random,
+                                             self.config.unit_runs)
+        fixed_start = schedule.fixed[round_index - 1] if round_index else 0
+        random_start = schedule.random[round_index - 1] if round_index else 0
+        units = []
+        for rep_index in plan.get("rep_indices", []):
+            units.extend(round_evidence_units(
+                state.cid, spec, "fixed", rep_index, fixed_start,
+                schedule.fixed[round_index], self.config.unit_runs,
+                fixed_offsets[round_index]))
+        units.extend(round_evidence_units(
+            state.cid, spec, "random", -1, random_start,
+            schedule.random[round_index], self.config.unit_runs,
+            random_offsets[round_index]))
+        return units
 
     def _mirror_coalesced(self) -> None:
         for state in self.campaigns.values():

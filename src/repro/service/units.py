@@ -26,11 +26,15 @@ from typing import Dict, List
 KIND_TRACE = "trace"
 KIND_PLAN = "plan"
 KIND_EVIDENCE = "evidence"
+KIND_DECIDE = "decide"
 KIND_FOLD = "fold"
 KIND_REPORT = "report"
 
 #: Stage machine: which kinds a campaign schedules, in which order.
-STAGES = (KIND_TRACE, KIND_PLAN, KIND_EVIDENCE, KIND_FOLD, KIND_REPORT)
+#: (``decide`` only appears in adaptive campaigns, ``fold`` only in
+#: classic ones — the scheduler picks the path per config.)
+STAGES = (KIND_TRACE, KIND_PLAN, KIND_EVIDENCE, KIND_DECIDE, KIND_FOLD,
+          KIND_REPORT)
 
 
 @dataclass
@@ -102,6 +106,60 @@ def evidence_units(cid: str, spec: Dict, side: str, rep_index: int,
                     "start": start, "stop": stop}))
         chunk += 1
     return units
+
+
+def round_chunk_offsets(boundaries, unit_runs: int) -> List[int]:
+    """Cumulative chunk ordinals at each adaptive round boundary.
+
+    ``offsets[r]`` is the first chunk ordinal of round ``r``'s slice and
+    ``offsets[r + 1]`` the total number of chunks once round ``r`` has
+    recorded — the adaptive analogue of ``_num_chunks`` for the classic
+    single-slice partition.  Round slices are partitioned by
+    ``unit_runs`` *within* each round, so the partition always respects
+    round boundaries: no unit ever spans an interim look.
+    """
+    offsets = [0]
+    previous = 0
+    for boundary in boundaries:
+        runs = boundary - previous
+        offsets.append(offsets[-1] + (runs + unit_runs - 1) // unit_runs)
+        previous = boundary
+    return offsets
+
+
+def round_evidence_units(cid: str, spec: Dict, side: str, rep_index: int,
+                         start: int, stop: int, unit_runs: int,
+                         first_chunk: int) -> List[WorkUnit]:
+    """Evidence units for one adaptive round's slice ``[start, stop)``.
+
+    Chunk ordinals continue sequentially across rounds (via
+    *first_chunk* from :func:`round_chunk_offsets`), so the decide unit
+    merges every round recorded so far in one deterministic order.
+    """
+    units = []
+    chunk = first_chunk
+    for chunk_start in range(start, stop, unit_runs):
+        chunk_stop = min(chunk_start + unit_runs, stop)
+        units.append(WorkUnit(
+            uid=f"{cid}.evidence.{side}.{rep_index}.{chunk:04d}",
+            kind=KIND_EVIDENCE, campaign=cid, spec=spec,
+            params={"side": side, "rep_index": rep_index, "chunk": chunk,
+                    "start": chunk_start, "stop": chunk_stop}))
+        chunk += 1
+    return units
+
+
+def decide_unit(cid: str, spec: Dict, round_index: int,
+                rep_indices: List[int], fixed_chunks: int,
+                random_chunks: int) -> WorkUnit:
+    """One adaptive look: merge every side's chunks to the round
+    boundary, checkpoint, analyse, and decide stop-vs-continue."""
+    return WorkUnit(uid=f"{cid}.decide.{round_index:02d}",
+                    kind=KIND_DECIDE, campaign=cid, spec=spec,
+                    params={"round": round_index,
+                            "rep_indices": list(rep_indices),
+                            "fixed_chunks": fixed_chunks,
+                            "random_chunks": random_chunks})
 
 
 def fold_unit(cid: str, spec: Dict, side: str, rep_index: int,

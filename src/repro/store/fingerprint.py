@@ -128,10 +128,15 @@ _EVIDENCE_FIELDS = ("fixed_runs", "random_runs", "seed", "sampling")
 #: evidence-level ones.  The detector choice lives here and NOT in the
 #: evidence scope: ks/mi/both campaigns share recorded traces and
 #: evidence but cache their reports independently.
+#: The adaptive scheduler's knobs are analysis scope: an adaptive
+#: campaign shares traces and (checkpointed) evidence with the classic
+#: full-budget campaign but caches its report separately, because an
+#: early-stopped report legitimately carries different replica counts.
 _ANALYSIS_FIELDS = ("confidence", "sample_size_cap", "test",
                     "offset_granularity", "quantify", "always_analyze",
                     "analyze_all_representatives", "dedup_by_location",
-                    "analyzer", "mi_bias_correction", "mi_min_bits")
+                    "analyzer", "mi_bias_correction", "mi_min_bits",
+                    "adaptive", "adaptive_rounds", "adaptive_alpha_spend")
 
 
 def _device_dict(device_config) -> dict:
