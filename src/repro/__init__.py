@@ -31,11 +31,15 @@ from repro.analysis import cross_validate, ks_view, mi_view
 from repro.analysis.mi import MIAnalyzer, MIResult, mi_test
 from repro.core.report import Leak, LeakType, LeakageReport
 from repro.errors import (
+    AuthError,
     CampaignError,
     CohortEnvelopeError,
     ConfigError,
     OwlError,
+    QuotaError,
     SerializationError,
+    ServiceConnectionError,
+    ServiceError,
     StoreCorruptionError,
     StoreError,
     TraceError,
@@ -50,6 +54,7 @@ from repro.tracing import ProgramTrace, TraceRecorder
 __version__ = "1.0.0"
 
 __all__ = [
+    "AuthError",
     "CampaignError",
     "CohortEnvelopeError",
     "ConfigError",
@@ -69,8 +74,11 @@ __all__ = [
     "OwlResult",
     "ProgramTrace",
     "RegressionDiff",
+    "QuotaError",
     "RetryPolicy",
     "SerializationError",
+    "ServiceConnectionError",
+    "ServiceError",
     "StoreCorruptionError",
     "StoreError",
     "TraceError",

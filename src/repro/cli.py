@@ -16,12 +16,21 @@ options::
     owl ls --store ./owl-store               # inspect stored artifacts
     owl gc --store ./owl-store               # drop unreferenced blobs
 
-as well as the multi-tenant detection service::
+as well as the multi-tenant detection service (every service verb takes
+one ``--connect URL`` — ``unix:///path``, ``tcp://host:port``, or
+``http://host:port`` for the HTTP/JSON front end)::
 
     owl serve --store ./owl-store --workers 4    # scheduler + worker fleet
-    owl submit aes --socket ./owl-store/service/owl.sock --wait
-    owl status --socket ./owl-store/service/owl.sock
-    owl results c0001 --socket ./owl-store/service/owl.sock
+    owl serve --store ./owl-store --connect http://0.0.0.0:8750 \
+        --token secret=alice --quota alice=max_inflight:4
+    owl submit aes --connect unix://./owl-store/service/owl.sock --wait
+    owl status --connect http://127.0.0.1:8750
+    owl results c0001 --connect http://127.0.0.1:8750 --watch
+    owl worker --queue /mnt/shared/service --store /mnt/shared/store
+
+Exit codes are uniform across the service verbs: 0 success, 1 campaign
+failure (or leaks found, or results not ready), 2 configuration/usage
+errors, 3 the service is unreachable or rejected the credentials/quota.
 
 ``owl run WORKLOAD`` without ``--store`` behaves exactly like the flat
 form, and the flat form keeps working unchanged — existing scripts never
@@ -44,7 +53,13 @@ from repro.core import Owl, OwlConfig
 
 #: First CLI token that selects the subcommand form instead of the flat one.
 SUBCOMMANDS = ("run", "resume", "diff", "ls", "gc", "verify",
-               "serve", "submit", "status", "results")
+               "serve", "submit", "status", "results", "worker")
+
+#: Uniform service-verb exit codes (see the module docstring).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_CONFIG = 2
+EXIT_UNAVAILABLE = 3
 
 
 def _workloads() -> Dict[str, Tuple[Callable, Callable, Callable]]:
@@ -283,6 +298,27 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
                        help="resume campaigns persisted in the queue by a "
                             "previous scheduler (completed units are not "
                             "re-run)")
+    serve.add_argument("--token", metavar="TOKEN=TENANT", action="append",
+                       default=None,
+                       help="accept this bearer token as this tenant "
+                            "(repeatable); with any --token the service "
+                            "rejects unauthenticated requests")
+    serve.add_argument("--quota", metavar="TENANT=SPEC", action="append",
+                       default=None,
+                       help="admission quota for one tenant, e.g. "
+                            "'alice=max_inflight:4,max_campaigns:2,"
+                            "weight:2' (repeatable)")
+    serve.add_argument("--default-quota", metavar="SPEC", default=None,
+                       help="quota for tenants without an explicit "
+                            "--quota entry")
+    serve.add_argument("--admission-window", type=int, default=None,
+                       metavar="N",
+                       help="fleet-wide cap on queued units; backlogged "
+                            "tenants interleave by weighted fair stride")
+    serve.add_argument("--external-workers", action="store_true",
+                       help="workers attach from other hosts (owl worker "
+                            "against the shared queue/store); the "
+                            "scheduler process executes nothing itself")
 
     submit = commands.add_parser(
         "submit", help="submit a workload to a running service")
@@ -333,21 +369,57 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
     _add_service_connection(results)
     results.add_argument("--json", action="store_true",
                          help="emit the raw report JSON")
+    results.add_argument("--watch", action="store_true",
+                         help="hold a stream open: print each stage "
+                              "transition as it happens, then the final "
+                              "report (reconnects automatically if the "
+                              "stream drops)")
+
+    worker = commands.add_parser(
+        "worker", help="join a service fleet from this host")
+    worker.add_argument("--queue", metavar="DIR", required=True,
+                        help="the service's job queue directory (shared "
+                             "filesystem for multi-host fleets)")
+    worker.add_argument("--store", metavar="DIR", required=True,
+                        help="the service's shared campaign store")
+    worker.add_argument("--worker-id", default=None,
+                        help="unique worker name "
+                             "(default: <hostname>-<pid>)")
+    worker.add_argument("--poll", type=float, default=0.05,
+                        help="idle poll cadence in seconds")
+    worker.add_argument("--lease-seconds", type=float, default=30.0,
+                        help="the serving scheduler's lease window; held "
+                             "claims heartbeat at a quarter of this")
+    worker.add_argument("--die-after", type=int, default=None, metavar="N",
+                        help="fault injection: exit after the Nth claim")
 
     return parser
 
 
 def _add_service_connection(parser: argparse.ArgumentParser,
                             for_serve: bool = False) -> None:
-    """``--socket`` / ``--host`` / ``--port``, shared by the service verbs."""
+    """``--connect URL`` (plus deprecated aliases), shared by the verbs."""
+    parser.add_argument("--connect", metavar="URL", default=None,
+                        help="service endpoint as a URL: unix:///path, "
+                             "tcp://host:port, or http://host:port "
+                             + ("(default: unix socket at "
+                                "<queue>/owl.sock)" if for_serve
+                                else "(must match what owl serve "
+                                     "listens on)"))
     parser.add_argument("--socket", metavar="PATH", default=None,
-                        help="unix socket "
-                             + ("to listen on (default: <queue>/owl.sock)"
-                                if for_serve else "of the service"))
+                        help="deprecated: use --connect unix://PATH")
     parser.add_argument("--host", default="127.0.0.1",
-                        help="TCP host (with --port)")
+                        help="deprecated: use --connect tcp://HOST:PORT")
     parser.add_argument("--port", type=int, default=None,
-                        help="TCP port instead of a unix socket")
+                        help="deprecated: use --connect tcp://HOST:PORT")
+    if not for_serve:
+        parser.add_argument("--token", default=None,
+                            help="bearer token for an authenticated "
+                                 "service")
+        parser.add_argument("--tenant", default=None,
+                            help="tenant name to bill on an *open* "
+                                 "service (authenticated services derive "
+                                 "it from the token)")
 
 
 def _resolve_workers(parser: argparse.ArgumentParser, value: str):
@@ -778,15 +850,85 @@ def _cmd_verify(parser: argparse.ArgumentParser,
 def _service_address(parser: argparse.ArgumentParser,
                      args: argparse.Namespace,
                      queue_dir: Optional[Path] = None):
-    from repro.service.server import parse_address
-    socket_path = args.socket
-    if socket_path is None and args.port is None:
-        if queue_dir is None:
-            parser.error("pass --socket PATH or --port PORT to reach the "
-                         "service")
-        socket_path = str(queue_dir / "owl.sock")
-    return parse_address(socket_path=socket_path, host=args.host,
-                         port=args.port)
+    from repro.errors import ConfigError
+    from repro.service.address import parse_address, parse_connect
+    if args.connect is not None:
+        if args.socket is not None or args.port is not None:
+            parser.error("--connect replaces --socket/--host/--port; "
+                         "pass only one form")
+        try:
+            return parse_connect(args.connect)
+        except ConfigError as error:
+            parser.error(str(error))
+    if args.socket is not None:
+        print(f"owl: --socket is deprecated; use "
+              f"--connect unix://{args.socket}", file=sys.stderr)
+        return parse_address(socket_path=args.socket)
+    if args.port is not None:
+        print(f"owl: --host/--port are deprecated; use "
+              f"--connect tcp://{args.host}:{args.port}", file=sys.stderr)
+        return parse_address(host=args.host, port=args.port)
+    if queue_dir is None:
+        parser.error("pass --connect URL to reach the service")
+    return parse_address(socket_path=str(queue_dir / "owl.sock"))
+
+
+def _service_client(parser: argparse.ArgumentParser,
+                    args: argparse.Namespace):
+    from repro.service.client import ServiceClient
+    address = _service_address(parser, args)
+    return ServiceClient(address, token=getattr(args, "token", None),
+                         tenant=getattr(args, "tenant", None))
+
+
+def _service_error_exit(error: BaseException) -> int:
+    """Map a service-layer exception to the uniform exit codes."""
+    from repro.errors import (
+        AuthError, ConfigError, QuotaError, ServiceConnectionError)
+    print(f"owl: {error}", file=sys.stderr)
+    if isinstance(error, (AuthError, QuotaError, ServiceConnectionError)):
+        return EXIT_UNAVAILABLE
+    if isinstance(error, ConfigError):
+        return EXIT_CONFIG
+    if isinstance(error, OSError):
+        return EXIT_UNAVAILABLE
+    return EXIT_CONFIG
+
+
+def _parse_serve_tokens(parser: argparse.ArgumentParser,
+                        items) -> Optional[Dict[str, str]]:
+    if not items:
+        return None
+    tokens: Dict[str, str] = {}
+    for item in items:
+        token, sep, tenant = str(item).partition("=")
+        if not sep or not token or not tenant:
+            parser.error(f"--token takes TOKEN=TENANT, got {item!r}")
+        tokens[token] = tenant
+    return tokens
+
+
+def _parse_serve_quotas(parser: argparse.ArgumentParser, args):
+    from repro.errors import ConfigError
+    from repro.service import TenantQuota
+    quotas = None
+    if args.quota:
+        quotas = {}
+        for item in args.quota:
+            tenant, sep, spec = str(item).partition("=")
+            if not sep or not tenant:
+                parser.error(f"--quota takes TENANT=SPEC, got {item!r}")
+            try:
+                quotas[tenant] = TenantQuota.parse(spec)
+            except ConfigError as error:
+                parser.error(f"--quota {tenant}: {error}")
+    default_quota = None
+    if args.default_quota is not None:
+        try:
+            default_quota = TenantQuota.parse(args.default_quota)
+        except ConfigError as error:
+            parser.error(f"--default-quota: {error}")
+    return quotas, default_quota
 
 
 def _cmd_serve(parser: argparse.ArgumentParser,
@@ -797,21 +939,27 @@ def _cmd_serve(parser: argparse.ArgumentParser,
 
     queue_dir = Path(args.queue if args.queue is not None
                      else Path(args.store) / "service")
+    tokens = _parse_serve_tokens(parser, args.token)
+    quotas, default_quota = _parse_serve_quotas(parser, args)
     try:
         service_config = ServiceConfig(
             workers=args.workers, unit_runs=args.unit_runs,
             lease_seconds=args.lease_seconds,
             max_attempts=args.max_attempts,
             restart_budget=args.restart_budget,
-            coalesce=not args.no_coalesce, die_after=args.die_after)
+            coalesce=not args.no_coalesce, die_after=args.die_after,
+            quotas=quotas, default_quota=default_quota,
+            admission_window=args.admission_window,
+            external_workers=args.external_workers)
     except ConfigError as error:
         parser.error(str(error))
     address = _service_address(parser, args, queue_dir=queue_dir)
     fleet = None
-    if service_config.workers > 0:
+    if service_config.workers > 0 and not service_config.external_workers:
         fleet = WorkerFleet(queue_dir, args.store,
                             workers=service_config.workers,
                             poll_seconds=service_config.poll_seconds,
+                            lease_seconds=service_config.lease_seconds,
                             die_after=service_config.die_after,
                             restart_budget=service_config.restart_budget)
     scheduler = CampaignScheduler(args.store, queue_dir,
@@ -824,30 +972,72 @@ def _cmd_serve(parser: argparse.ArgumentParser,
                   + ", ".join(recovered))
     if fleet is not None:
         fleet.start()
-    kind, target = address
-    where = target if kind == "unix" else "{}:{}".format(*target)
+    from repro.service.address import format_address
+    workers_note = ("external" if service_config.external_workers
+                    else str(service_config.workers))
+    auth_note = " auth=token" if tokens else ""
     print(f"owl service: store={args.store} queue={queue_dir} "
-          f"workers={service_config.workers} listening on {where}",
-          flush=True)
+          f"workers={workers_note}{auth_note} listening on "
+          f"{format_address(address)}", flush=True)
     try:
         serve_forever(scheduler, address,
-                      tick_seconds=service_config.poll_seconds)
+                      tick_seconds=service_config.poll_seconds,
+                      tokens=tokens)
     except KeyboardInterrupt:
         pass
     finally:
-        if fleet is not None:
+        if fleet is not None or service_config.external_workers:
             scheduler.queue.request_stop()
+        if fleet is not None:
             fleet.stop()
     return 0
 
 
+def _cmd_worker(parser: argparse.ArgumentParser,
+                args: argparse.Namespace) -> int:
+    from repro.service.worker import default_worker_id, worker_loop
+    worker_id = args.worker_id or default_worker_id()
+    print(f"owl worker {worker_id}: queue={args.queue} "
+          f"store={args.store}", flush=True)
+    try:
+        executed = worker_loop(args.queue, args.store, worker_id,
+                               poll_seconds=args.poll,
+                               lease_seconds=args.lease_seconds,
+                               die_after=args.die_after)
+    except KeyboardInterrupt:
+        return 0
+    print(f"owl worker {worker_id}: executed {executed} unit(s), "
+          f"stop requested")
+    return 0
+
+
+def _emit_campaign_results(args: argparse.Namespace, results) -> int:
+    """Print a terminal campaign's report; returns the exit code."""
+    from repro.core.report import LeakageReport
+    if results.stage == "failed":
+        print(f"owl: campaign {results.campaign} failed: {results.error}",
+              file=sys.stderr)
+        return EXIT_FAILURE
+    if results.stage != "complete":
+        print(f"campaign {results.campaign} is still in stage "
+              f"{results.stage!r}")
+        return EXIT_FAILURE
+    if results.report_json is None:
+        print(f"owl: campaign {results.campaign} completed but its "
+              f"report is missing from the store", file=sys.stderr)
+        return EXIT_CONFIG
+    if args.json:
+        print(results.report_json)
+    else:
+        print(LeakageReport.from_json(results.report_json).render())
+    return EXIT_FAILURE if results.has_leaks else EXIT_OK
+
+
 def _cmd_submit(parser: argparse.ArgumentParser,
                 args: argparse.Namespace) -> int:
-    from repro.core.report import LeakageReport
     from repro.errors import CampaignError
-    from repro.service import client
 
-    address = _service_address(parser, args)
+    client = _service_client(parser, args)
     overrides = dict(
         fixed_runs=args.fixed_runs, random_runs=args.random_runs,
         confidence=args.confidence, test=args.test, seed=args.seed,
@@ -859,104 +1049,134 @@ def _cmd_submit(parser: argparse.ArgumentParser,
         offset_granularity=args.granularity, quantify=args.quantify,
         analyze_all_representatives=args.all_representatives)
     try:
-        cid = client.submit(address, args.workload, overrides)
+        receipt = client.submit(args.workload, config=overrides)
         if not args.wait:
-            print(json.dumps({"campaign": cid}) if args.json
-                  else f"submitted {args.workload} as campaign {cid}")
-            return 0
-        row = client.wait_for(address, cid, timeout=args.timeout)
-        if row["stage"] == "failed":
-            print(f"owl: campaign {cid} failed: {row.get('error')}",
-                  file=sys.stderr)
-            return 2
-        payload = client.results(address, cid)
+            print(json.dumps({"campaign": receipt.campaign,
+                              "tenant": receipt.tenant})
+                  if args.json
+                  else f"submitted {args.workload} as campaign "
+                       f"{receipt.campaign} (tenant {receipt.tenant})")
+            return EXIT_OK
+        client.wait_for(receipt.campaign, timeout=args.timeout)
+        results = client.results(receipt.campaign)
     except (OSError, CampaignError) as error:
-        print(f"owl: {error}", file=sys.stderr)
-        return 2
-    report_json = payload.get("report_json")
-    if report_json is None:
-        print(f"owl: campaign {cid} completed but its report is missing",
-              file=sys.stderr)
-        return 2
-    if args.json:
-        print(report_json)
-    else:
-        print(LeakageReport.from_json(report_json).render())
-    return 1 if payload.get("has_leaks") else 0
+        return _service_error_exit(error)
+    return _emit_campaign_results(args, results)
 
 
 def _cmd_status(parser: argparse.ArgumentParser,
                 args: argparse.Namespace) -> int:
-    from repro.errors import CampaignError
-    from repro.service import client
+    import dataclasses
 
-    address = _service_address(parser, args)
+    from repro.errors import CampaignError
+
+    client = _service_client(parser, args)
     try:
-        status = client.status(address, args.campaign)
+        if args.campaign is not None:
+            row = client.status(args.campaign)
+            rows = {row.campaign: row}
+            overview = None
+        else:
+            overview = client.overview()
+            rows = overview.campaigns
     except (OSError, CampaignError) as error:
-        print(f"owl: {error}", file=sys.stderr)
-        return 2
+        return _service_error_exit(error)
     if args.json:
-        print(json.dumps(status, indent=2, sort_keys=True))
-        return 0
-    rows = ({args.campaign: status} if args.campaign is not None
-            else status.get("campaigns", {}))
+        payload = {cid: dataclasses.asdict(row)
+                   for cid, row in rows.items()}
+        if overview is not None:
+            payload = {"campaigns": payload,
+                       "fleet": (dataclasses.asdict(overview.fleet)
+                                 if overview.fleet is not None else {}),
+                       "tenants": {name: dataclasses.asdict(tenant)
+                                   for name, tenant
+                                   in overview.tenants.items()}}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return EXIT_OK
     for cid in sorted(rows):
         row = rows[cid]
         extra = ""
-        if row.get("coalesced_into"):
-            extra = f" (coalesced into {row['coalesced_into']})"
-        if row.get("error"):
-            extra += f" error: {row['error']}"
-        print(f"{cid}  {row['workload']:<14} {row['stage']:<10} "
-              f"pending={row['pending_units']} "
-              f"degradations={row['degradations']}{extra}")
-    if args.campaign is None:
-        fleet = status.get("fleet") or {}
-        if fleet:
-            print(f"fleet: {len(fleet.get('live_workers', []))} live "
-                  f"workers, {fleet.get('spawned', 0)} spawned, "
-                  f"{fleet.get('restarts', 0)} restarts")
+        if row.coalesced_into:
+            extra = f" (coalesced into {row.coalesced_into})"
+        if row.error:
+            extra += f" error: {row.error}"
+        print(f"{cid}  {row.workload:<14} {row.stage:<10} "
+              f"tenant={row.tenant} pending={row.pending_units} "
+              f"backlog={row.backlog_units} "
+              f"degradations={row.degradations}{extra}")
+    if overview is not None:
+        if overview.fleet is not None:
+            fleet = overview.fleet
+            print(f"fleet: {len(fleet.live_workers)} live workers, "
+                  f"{fleet.spawned} spawned, {fleet.restarts} restarts")
+        for name in sorted(overview.tenants):
+            tenant = overview.tenants[name]
+            print(f"tenant {name}: {tenant.active_campaigns} active, "
+                  f"{tenant.inflight_units} in flight, "
+                  f"{tenant.backlog_units} backlogged "
+                  f"(weight {tenant.weight:g})")
         print(f"{len(rows)} campaign(s)")
-    return 0
+    return EXIT_OK
+
+
+def _watch_campaign(args: argparse.Namespace, client) -> int:
+    """``owl results --watch``: stream transitions, then the report.
+
+    A dropped stream (service restart, network blip) reconnects and
+    re-synchronises off the first event of the new stream; only
+    *repeated* failures give up with the connection exit code.
+    """
+    import time as time_module
+
+    from repro.errors import ServiceConnectionError
+    attempts_left = 5
+    while True:
+        try:
+            for event in client.watch(args.campaign):
+                if event.terminal:
+                    if not args.json:
+                        print(f"{event.campaign}  {event.event}")
+                    if event.results is None:
+                        print(f"owl: terminal event for {event.campaign} "
+                              f"carried no results", file=sys.stderr)
+                        return EXIT_CONFIG
+                    return _emit_campaign_results(args, event.results)
+                if not args.json:
+                    print(f"{event.campaign}  {event.stage:<10} "
+                          f"pending={event.pending_units} "
+                          f"backlog={event.backlog_units}", flush=True)
+            # stream ended with no terminal event: treat as a drop
+            raise ServiceConnectionError(
+                f"watch stream for campaign {args.campaign} ended early")
+        except ServiceConnectionError as error:
+            attempts_left -= 1
+            if attempts_left <= 0:
+                return _service_error_exit(error)
+            if not args.json:
+                print(f"owl: watch stream dropped ({error}); "
+                      f"reconnecting", file=sys.stderr)
+            time_module.sleep(0.2)
 
 
 def _cmd_results(parser: argparse.ArgumentParser,
                  args: argparse.Namespace) -> int:
-    from repro.core.report import LeakageReport
     from repro.errors import CampaignError
-    from repro.service import client
 
-    address = _service_address(parser, args)
+    client = _service_client(parser, args)
     try:
-        payload = client.results(address, args.campaign)
+        if args.watch:
+            return _watch_campaign(args, client)
+        results = client.results(args.campaign)
     except (OSError, CampaignError) as error:
-        print(f"owl: {error}", file=sys.stderr)
-        return 2
-    if payload["stage"] == "failed":
-        print(f"owl: campaign {args.campaign} failed: "
-              f"{payload.get('error')}", file=sys.stderr)
-        return 2
-    if payload["stage"] != "complete":
-        print(f"campaign {args.campaign} is still in stage "
-              f"{payload['stage']!r}")
-        return 3
-    report_json = payload.get("report_json")
-    if report_json is None:
-        print(f"owl: campaign {args.campaign} completed but its report "
-              f"is missing from the store", file=sys.stderr)
-        return 2
-    if args.json:
-        print(report_json)
-    else:
-        print(LeakageReport.from_json(report_json).render())
-    return 1 if payload.get("has_leaks") else 0
+        return _service_error_exit(error)
+    return _emit_campaign_results(args, results)
 
 
 _COMMANDS = {"run": _cmd_run, "resume": _cmd_resume, "diff": _cmd_diff,
              "ls": _cmd_ls, "gc": _cmd_gc, "verify": _cmd_verify,
              "serve": _cmd_serve, "submit": _cmd_submit,
-             "status": _cmd_status, "results": _cmd_results}
+             "status": _cmd_status, "results": _cmd_results,
+             "worker": _cmd_worker}
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -20,6 +20,11 @@ The layout mirrors the subsystems::
         ├── StoreCorruptionError              integrity check failed on load
         ├── SerializationError (ValueError)   canonical codec rejected bytes
         └── CampaignError      (RuntimeError) campaign state inconsistency
+            └── ServiceError                  detection-service faults
+                ├── AuthError                 rejected credentials
+                ├── QuotaError                tenant quota exhausted
+                └── ServiceConnectionError (ConnectionError)
+                                              service unreachable / hung up
 
 This module must stay import-free of the rest of :mod:`repro` — it is the
 one module every layer (gpusim, tracing, store, core) can depend on without
@@ -76,3 +81,24 @@ class SerializationError(StoreError, ValueError):
 
 class CampaignError(StoreError, RuntimeError):
     """Campaign state in the store contradicts the requested configuration."""
+
+
+class ServiceError(CampaignError):
+    """The detection service rejected or could not complete a request.
+
+    Subclasses :class:`CampaignError` so pre-redesign ``except
+    CampaignError`` clauses around service clients keep catching every
+    transport-level failure they historically caught.
+    """
+
+
+class AuthError(ServiceError):
+    """The service rejected the request's credentials (HTTP 401)."""
+
+
+class QuotaError(ServiceError):
+    """The tenant's quota is exhausted; retry after work drains (HTTP 429)."""
+
+
+class ServiceConnectionError(ServiceError, ConnectionError):
+    """The service is unreachable, or hung up mid-request (exit code 3)."""

@@ -14,21 +14,36 @@ deaths, because the terminal unit *is* an ``Owl.detect`` against the
 store the fleet warmed.
 """
 
-from repro.service.config import ServiceConfig
+from repro.service.address import parse_connect
+from repro.service.api import ServiceAPI
+from repro.service.client import ServiceClient
+from repro.service.config import ServiceConfig, TenantQuota
 from repro.service.execute import execute_unit
 from repro.service.fleet import WorkerFleet
 from repro.service.queue import JobQueue
 from repro.service.scheduler import CampaignScheduler, campaign_identity
+from repro.service.types import (
+    CampaignResults, CampaignStatus, ServiceOverview, SubmitReceipt,
+    WatchEvent)
 from repro.service.units import WorkUnit
 from repro.service.worker import worker_loop
 
 __all__ = [
+    "CampaignResults",
     "CampaignScheduler",
+    "CampaignStatus",
     "JobQueue",
+    "ServiceAPI",
+    "ServiceClient",
     "ServiceConfig",
+    "ServiceOverview",
+    "SubmitReceipt",
+    "TenantQuota",
+    "WatchEvent",
     "WorkUnit",
     "WorkerFleet",
     "campaign_identity",
     "execute_unit",
+    "parse_connect",
     "worker_loop",
 ]

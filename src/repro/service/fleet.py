@@ -48,12 +48,14 @@ class WorkerFleet:
 
     def __init__(self, queue_root, store_root, workers: int,
                  poll_seconds: float = 0.05,
+                 lease_seconds: float = 30.0,
                  die_after: Optional[int] = None,
                  restart_budget: int = 8) -> None:
         self.queue_root = Path(queue_root)
         self.store_root = Path(store_root)
         self.workers = workers
         self.poll_seconds = poll_seconds
+        self.lease_seconds = lease_seconds
         self.die_after = die_after
         self.restart_budget = restart_budget
         self.logs_dir = self.queue_root / "logs"
@@ -65,13 +67,18 @@ class WorkerFleet:
     # ------------------------------------------------------------------
 
     def _spawn_one(self, inject_fault: bool) -> str:
-        worker_id = f"w{self.spawned}"
+        # hostname prefix keeps ids unique when remote workers share the
+        # queue directory with this fleet (multi-host deployments)
+        import socket as socket_module
+        host = socket_module.gethostname().split(".")[0] or "host"
+        worker_id = f"{host}-w{self.spawned}"
         self.spawned += 1
         command = [sys.executable, "-m", "repro.service.worker",
                    "--queue", str(self.queue_root),
                    "--store", str(self.store_root),
                    "--worker-id", worker_id,
-                   "--poll", str(self.poll_seconds)]
+                   "--poll", str(self.poll_seconds),
+                   "--lease-seconds", str(self.lease_seconds)]
         if inject_fault and self.die_after is not None:
             command += ["--die-after", str(self.die_after)]
         self.logs_dir.mkdir(parents=True, exist_ok=True)

@@ -39,6 +39,20 @@ campaigns additionally share phase-1 traces and the random evidence side
 through the store's content-addressed reuse, so a fleet serving many
 tenants does strictly less work than the tenants running alone.
 
+Tenancy and fair admission: every submission carries a tenant identity
+(resolved by the front end's bearer token, or ``anonymous``).  A
+tenant's :class:`~repro.service.config.TenantQuota` caps its in-flight
+campaigns at submit time (over-cap submissions raise
+:class:`~repro.errors.QuotaError`, surfaced as HTTP 429) and its
+admitted-at-once units: a stage's units land in the campaign's
+*backlog*, and the scheduler admits them to the durable queue by
+weighted fair stride — among tenants with backlog and headroom, the one
+with the smallest accumulated pass (incremented by ``1/weight`` per
+admitted unit) goes next — so a heavy tenant saturating the fleet can
+delay but never starve a light one.  Admission order shapes only *when*
+units run; reports stay bit-identical because unit results are
+order-independent by construction.
+
 Bit-identity: the terminal report unit is a plain ``Owl.detect`` against
 the store the earlier units warmed, so "service report ≡ direct report"
 reduces to the store layer's proven warm ≡ cold contract — at any worker
@@ -52,7 +66,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from repro.core.pipeline import OwlConfig
-from repro.errors import CampaignError
+from repro.errors import CampaignError, QuotaError
 from repro.gpusim.device import DeviceConfig
 from repro.resilience.events import (
     FLEET_TO_LOCAL, UNIT_REQUEUED, WORKER_LOST, DegradationEvent)
@@ -61,8 +75,8 @@ from repro.service.execute import execute_unit
 from repro.service.fleet import WorkerFleet
 from repro.service.queue import JobQueue
 from repro.service.units import (
-    decide_unit, evidence_units, fold_unit, plan_unit, report_unit,
-    round_chunk_offsets, round_evidence_units, trace_units)
+    WorkUnit, decide_unit, evidence_units, fold_unit, plan_unit,
+    report_unit, round_chunk_offsets, round_evidence_units, trace_units)
 from repro.store.fingerprint import (
     analysis_fingerprint, fingerprint_inputs, fingerprint_value)
 from repro.store.store import TraceStore
@@ -78,6 +92,9 @@ STAGE_COMPLETE = "complete"
 STAGE_FAILED = "failed"
 
 _LOCAL = "scheduler"
+
+#: Tenant identity of unauthenticated submissions.
+DEFAULT_TENANT = "anonymous"
 
 
 def _num_chunks(total_runs: int, unit_runs: int) -> int:
@@ -110,8 +127,12 @@ class CampaignState:
     workload: str
     config_dict: Dict
     identity: str
+    tenant: str = DEFAULT_TENANT
     stage: str = STAGE_TRACING
+    #: admitted unit ids awaiting results (shrinks as results harvest)
     pending: List[str] = field(default_factory=list)
+    #: this stage's units not yet admitted to the queue (quota backlog)
+    backlog: List[WorkUnit] = field(default_factory=list)
     plan: Optional[Dict] = None
     report: Optional[Dict] = None
     error: Optional[str] = None
@@ -144,6 +165,8 @@ class CampaignScheduler:
         self._by_identity: Dict[str, str] = {}
         self._seq = 0
         self.events: List[DegradationEvent] = []
+        #: weighted fair stride state: tenant → accumulated pass
+        self._tenant_pass: Dict[str, float] = {}
         TraceStore(self.store_root)  # create/validate the shared store
 
     # ------------------------------------------------------------------
@@ -151,17 +174,33 @@ class CampaignScheduler:
     # ------------------------------------------------------------------
 
     def submit(self, workload: str,
-               config_overrides: Optional[Dict] = None) -> str:
-        """Register a campaign; returns its id immediately."""
+               config_overrides: Optional[Dict] = None,
+               tenant: str = DEFAULT_TENANT) -> str:
+        """Register a campaign for *tenant*; returns its id immediately.
+
+        Raises :class:`~repro.errors.QuotaError` when the tenant's
+        in-flight campaign cap is already met — the 429 path; nothing is
+        recorded, so the tenant can resubmit once a campaign finishes.
+        """
         import dataclasses
 
         config = OwlConfig(**(config_overrides or {}))
+        quota = self.config.quota_for(tenant)
+        if quota.max_campaigns is not None:
+            active = sum(1 for state in self.campaigns.values()
+                         if state.tenant == tenant and not state.done)
+            if active >= quota.max_campaigns:
+                raise QuotaError(
+                    f"tenant {tenant!r} already has {active} campaign(s) "
+                    f"in flight (quota: {quota.max_campaigns}); retry "
+                    f"after one completes")
         identity = campaign_identity(workload, config)
         self._seq += 1
         cid = f"c{self._seq:04d}"
         state = CampaignState(cid=cid, workload=workload,
                               config_dict=dataclasses.asdict(config),
-                              identity=identity, submitted_at=time.time())
+                              identity=identity, tenant=tenant,
+                              submitted_at=time.time())
         primary_cid = self._by_identity.get(identity)
         primary = (self.campaigns.get(primary_cid)
                    if primary_cid is not None else None)
@@ -171,13 +210,15 @@ class CampaignScheduler:
             state.stage = primary.stage
             self.campaigns[cid] = state
             self.queue.save_campaign(cid, dict(
-                state.spec(), coalesced_into=primary.cid))
-            self.queue.journal("coalesced", campaign=cid, into=primary.cid)
+                state.spec(), coalesced_into=primary.cid, tenant=tenant))
+            self.queue.journal("coalesced", campaign=cid, into=primary.cid,
+                               tenant=tenant)
             return cid
         self.campaigns[cid] = state
         self._by_identity[identity] = cid
-        self.queue.save_campaign(cid, state.spec())
-        self.queue.journal("submitted", campaign=cid, workload=workload)
+        self.queue.save_campaign(cid, dict(state.spec(), tenant=tenant))
+        self.queue.journal("submitted", campaign=cid, workload=workload,
+                           tenant=tenant)
         self._start(state)
         return cid
 
@@ -189,11 +230,67 @@ class CampaignScheduler:
         self._enqueue(state, trace_units(state.cid, state.spec(), num_inputs))
 
     def _enqueue(self, state: CampaignState, units) -> None:
-        state.pending = [unit.uid for unit in units]
-        for unit in units:
+        """Stage the units in the campaign's backlog and admit what the
+        tenant's quota allows right away (the rest follows per tick)."""
+        state.backlog = list(units)
+        state.pending = []
+        self._admit()
+
+    # -- weighted fair admission ---------------------------------------
+
+    def _admit(self) -> None:
+        """Move backlogged units into the durable queue, fairly.
+
+        In-flight is counted per tenant over admitted-but-unharvested
+        units; admission picks, among tenants with backlog and quota
+        headroom, the smallest accumulated stride pass (ties break by
+        name for determinism) and charges it ``1/weight`` per unit.
+        With no quotas and no admission window every unit is admitted
+        immediately — the pre-tenancy behaviour.
+        """
+        inflight: Dict[str, int] = {}
+        total_inflight = 0
+        backlogged: Dict[str, List[CampaignState]] = {}
+        for state in self.campaigns.values():
+            if state.done or state.coalesced_into is not None:
+                continue
+            count = len(state.pending)
+            inflight[state.tenant] = inflight.get(state.tenant, 0) + count
+            total_inflight += count
+            if state.backlog:
+                backlogged.setdefault(state.tenant, []).append(state)
+        for states in backlogged.values():
+            states.sort(key=lambda state: state.cid)
+        while backlogged:
+            if (self.config.admission_window is not None
+                    and total_inflight >= self.config.admission_window):
+                break
+            candidates = []
+            for tenant in backlogged:
+                cap = self.config.quota_for(tenant).max_inflight
+                if cap is None or inflight.get(tenant, 0) < cap:
+                    candidates.append(tenant)
+            if not candidates:
+                break
+            tenant = min(candidates,
+                         key=lambda t: (self._tenant_pass.get(t, 0.0), t))
+            states = backlogged[tenant]
+            state = states[0]
+            unit = state.backlog.pop(0)
+            if not state.backlog:
+                states.pop(0)
+                if not states:
+                    del backlogged[tenant]
             if self.queue.enqueue(unit):
                 self.queue.journal("enqueued", unit=unit.uid,
-                                   kind=unit.kind, campaign=state.cid)
+                                   kind=unit.kind, campaign=state.cid,
+                                   tenant=tenant)
+            state.pending.append(unit.uid)
+            inflight[tenant] = inflight.get(tenant, 0) + 1
+            total_inflight += 1
+            self._tenant_pass[tenant] = (
+                self._tenant_pass.get(tenant, 0.0)
+                + 1.0 / self.config.quota_for(tenant).weight)
 
     # ------------------------------------------------------------------
     # the drive loop
@@ -203,7 +300,9 @@ class CampaignScheduler:
         """One scheduling round: reap faults, run/harvest units, advance."""
         self._reap_fleet()
         self._reap_leases()
-        if self.fleet is None or self.config.workers == 0:
+        self._admit()
+        if (self.fleet is None or self.config.workers == 0) \
+                and not self.config.external_workers:
             self._run_local_pending()
         for state in list(self.campaigns.values()):
             if not state.done and state.coalesced_into is None:
@@ -316,6 +415,7 @@ class CampaignScheduler:
                 state.error = (f"unit {uid} failed: "
                                f"{result.get('error', 'unknown error')}")
                 state.pending = []
+                state.backlog = []
                 self.queue.journal("failed", campaign=state.cid,
                                    unit=uid, error=state.error)
                 return
@@ -323,7 +423,7 @@ class CampaignScheduler:
             payloads[uid] = payload
             for data in payload.get("degradations", []):
                 state.degradations.append(DegradationEvent.from_dict(data))
-        if remaining:
+        if remaining or state.backlog:
             state.pending = remaining
             return
         self._advance(state, payloads)
@@ -486,14 +586,32 @@ class CampaignScheduler:
                      "spawned": self.fleet.spawned,
                      "restarts": self.fleet.restarts}
         return {"campaigns": rows, "fleet": fleet,
+                "tenants": self._tenant_rows(),
                 "events": [event.to_dict() for event in self.events]}
 
     def _status_row(self, state: CampaignState) -> Dict:
         return {"cid": state.cid, "workload": state.workload,
+                "tenant": state.tenant,
                 "stage": state.stage, "pending_units": len(state.pending),
+                "backlog_units": len(state.backlog),
                 "coalesced_into": state.coalesced_into,
                 "degradations": len(state.degradations),
                 "error": state.error, "report": state.report}
+
+    def _tenant_rows(self) -> Dict:
+        """Per-tenant admission accounting for ``owl status``."""
+        rows: Dict[str, Dict] = {}
+        for state in self.campaigns.values():
+            row = rows.setdefault(state.tenant, {
+                "active_campaigns": 0, "inflight_units": 0,
+                "backlog_units": 0,
+                "weight": self.config.quota_for(state.tenant).weight})
+            if not state.done:
+                row["active_campaigns"] += 1
+                if state.coalesced_into is None:
+                    row["inflight_units"] += len(state.pending)
+                    row["backlog_units"] += len(state.backlog)
+        return rows
 
     def results(self, cid: str) -> Dict:
         """The completed campaign's report JSON (resolves coalescing)."""
@@ -538,6 +656,7 @@ class CampaignScheduler:
                 cid=cid, workload=spec["workload"],
                 config_dict=dataclasses.asdict(config),
                 identity=campaign_identity(spec["workload"], config),
+                tenant=spec.get("tenant", DEFAULT_TENANT),
                 submitted_at=time.time())
             self.campaigns[cid] = state
             seq = int(cid[1:]) if cid[1:].isdigit() else 0

@@ -1,51 +1,55 @@
 """``owl serve``'s front door: JSON-lines over a socket, many clients.
 
 One asyncio event loop multiplexes every connected client (unix-domain
-socket by default, TCP with ``--port``) against one
-:class:`~repro.service.scheduler.CampaignScheduler`.  The protocol is a
-JSON object per line, ``{"op": ...}`` in, one JSON object out:
+socket by default, TCP with ``tcp://``, the HTTP/JSON front end with
+``http://`` — see :mod:`repro.service.http`) against one
+:class:`~repro.service.scheduler.CampaignScheduler`.  The socket
+protocol is a JSON object per line, ``{"op": ...}`` in, one JSON object
+out:
 
 * ``ping``                         → ``{"ok": true, "pong": ...}``
 * ``submit {workload, config}``    → ``{"ok": true, "campaign": cid}``
 * ``status {campaign?}``           → the scheduler's status dict
 * ``results {campaign}``           → report JSON for a completed campaign
+* ``watch {campaign}``             → a *stream* of event lines (stage
+  transitions, then a terminal line carrying the results payload)
 * ``shutdown``                     → stop fleet + server
+
+Requests may carry ``token`` (bearer authentication) and — in open mode
+— ``tenant``; dispatch itself lives in
+:class:`~repro.service.api.ServiceAPI`, shared verbatim with the HTTP
+front end, so the scheduler is transport-agnostic.
 
 Scheduling runs on a background task that calls ``scheduler.tick()``
 between awaits, so submissions return immediately and clients poll
-``status`` — the CLI's ``owl submit --wait`` does exactly that.
+``status`` — the CLI's ``owl submit --wait`` does exactly that, and
+``owl results --watch`` holds a ``watch`` stream instead.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from typing import Optional, Tuple
+from typing import Dict, Optional
 
+from repro.service.address import (  # noqa: F401 — legacy import site
+    Address, format_address, parse_address, parse_connect)
+from repro.service.api import ServiceAPI
 from repro.service.scheduler import CampaignScheduler
-
-#: (kind, target): ("unix", path) or ("tcp", (host, port)).
-Address = Tuple[str, object]
-
-
-def parse_address(socket_path: Optional[str] = None,
-                  host: Optional[str] = None,
-                  port: Optional[int] = None) -> Address:
-    if port is not None:
-        return ("tcp", (host or "127.0.0.1", int(port)))
-    if socket_path is None:
-        raise ValueError("need either a unix socket path or a TCP port")
-    return ("unix", str(socket_path))
 
 
 class ServiceServer:
     """Asyncio front end over one scheduler."""
 
     def __init__(self, scheduler: CampaignScheduler, address: Address,
-                 tick_seconds: float = 0.05) -> None:
+                 tick_seconds: float = 0.05,
+                 tokens: Optional[Dict[str, str]] = None,
+                 api: Optional[ServiceAPI] = None) -> None:
         self.scheduler = scheduler
         self.address = address
         self.tick_seconds = tick_seconds
+        self.api = api if api is not None else ServiceAPI(
+            scheduler, tokens=tokens, poll_seconds=tick_seconds)
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopping = asyncio.Event()
 
@@ -56,10 +60,18 @@ class ServiceServer:
         if kind == "unix":
             self._server = await asyncio.start_unix_server(
                 self._handle, path=str(target))
-        else:
+        elif kind == "tcp":
             host, port = target  # type: ignore[misc]
             self._server = await asyncio.start_server(
                 self._handle, host=host, port=port)
+        elif kind == "http":
+            from repro.service.http import HttpFrontEnd
+            host, port = target  # type: ignore[misc]
+            front = HttpFrontEnd(self.api, self._stopping)
+            self._server = await asyncio.start_server(
+                front.handle, host=host, port=port)
+        else:
+            raise ValueError(f"unknown address kind {kind!r}")
 
     async def run(self) -> None:
         """Serve until a client asks for shutdown."""
@@ -72,8 +84,11 @@ class ServiceServer:
             ticker.cancel()
             self._server.close()
             await self._server.wait_closed()
-            if self.scheduler.fleet is not None:
+            if (self.scheduler.fleet is not None
+                    or self.scheduler.config.external_workers):
+                # the STOP sentinel also reaches workers on other hosts
                 self.scheduler.queue.request_stop()
+            if self.scheduler.fleet is not None:
                 self.scheduler.fleet.stop()
 
     async def _tick_loop(self) -> None:
@@ -90,12 +105,21 @@ class ServiceServer:
                 line = await reader.readline()
                 if not line:
                     break
-                response = self._dispatch(line)
+                request = self._decode(line)
+                if request is not None and request.get("op") == "watch":
+                    if not await self._stream_watch(request, writer):
+                        break
+                    continue
+                response = (self.api.handle(request) if request is not None
+                            else {"ok": False, "code": "bad_request",
+                                  "error": "malformed JSON request"})
                 writer.write(json.dumps(response).encode("utf-8") + b"\n")
                 await writer.drain()
                 if response.get("_shutdown"):
                     self._stopping.set()
                     break
+        except (ConnectionError, OSError):
+            pass  # client hung up mid-request; nothing to clean
         finally:
             writer.close()
             try:
@@ -103,36 +127,45 @@ class ServiceServer:
             except (ConnectionError, OSError):
                 pass
 
-    def _dispatch(self, line: bytes) -> dict:
+    @staticmethod
+    def _decode(line: bytes) -> Optional[Dict]:
         try:
             request = json.loads(line.decode("utf-8"))
-            op = request.get("op")
-            if op == "ping":
-                return {"ok": True, "pong": True}
-            if op == "submit":
-                cid = self.scheduler.submit(
-                    request["workload"], request.get("config") or {})
-                return {"ok": True, "campaign": cid}
-            if op == "status":
-                return {"ok": True,
-                        "status": self.scheduler.status(
-                            request.get("campaign"))}
-            if op == "results":
-                return {"ok": True,
-                        "results": self.scheduler.results(
-                            request["campaign"])}
-            if op == "shutdown":
-                return {"ok": True, "stopping": True, "_shutdown": True}
-            return {"ok": False, "error": f"unknown op {op!r}"}
-        except Exception as error:  # noqa: BLE001 — protocol boundary
-            return {"ok": False,
-                    "error": f"{type(error).__name__}: {error}"}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        return request if isinstance(request, dict) else None
+
+    async def _stream_watch(self, request: Dict,
+                            writer: asyncio.StreamWriter) -> bool:
+        """Stream one watch request; False when the client went away."""
+        try:
+            tenant_error = None
+            try:
+                self.api.authenticate(request.get("token"),
+                                      request.get("tenant"))
+            except Exception as error:  # noqa: BLE001 — protocol boundary
+                from repro.service.api import error_response
+                tenant_error = error_response(error)
+            if tenant_error is not None:
+                writer.write(json.dumps(tenant_error).encode("utf-8")
+                             + b"\n")
+                await writer.drain()
+                return True
+            async for event in self.api.watch_events(
+                    str(request.get("campaign"))):
+                writer.write(json.dumps(event).encode("utf-8") + b"\n")
+                await writer.drain()
+            return True
+        except (ConnectionError, OSError):
+            return False  # mid-stream disconnect: drop the stream quietly
 
 
 def serve_forever(scheduler: CampaignScheduler, address: Address,
-                  tick_seconds: float = 0.05) -> None:
-    """Blocking entry point for ``owl serve``."""
-    server = ServiceServer(scheduler, address, tick_seconds=tick_seconds)
+                  tick_seconds: float = 0.05,
+                  tokens: Optional[Dict[str, str]] = None) -> None:
+    """Blocking entry point for ``owl serve`` (any transport kind)."""
+    server = ServiceServer(scheduler, address, tick_seconds=tick_seconds,
+                           tokens=tokens)
 
     async def _main() -> None:
         await server.start()

@@ -28,7 +28,9 @@ migrates a whole store; :meth:`layout` reports what is on disk.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import os
+import threading
 import zlib
 from pathlib import Path
 from typing import Iterator, Union
@@ -42,6 +44,12 @@ __all__ = ["BlobStore", "LAYOUT_VERSION", "StoreCorruptionError",
 
 #: Current on-disk blob layout: digest-prefix sharded directories.
 LAYOUT_VERSION = 2
+
+#: Disambiguates concurrent same-digest writes from one process: pid
+#: alone is not unique when two *threads* (e.g. in-process workers) put
+#: the identical payload at once — they would share a tmp path and one
+#: ``os.replace`` would steal the other's file out from under it.
+_TMP_SERIAL = itertools.count()
 
 
 def sha256_hex(payload: bytes) -> str:
@@ -114,7 +122,9 @@ class BlobStore:
         path = self.path_for(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         compressed = zlib.compress(payload, level=6)
-        tmp_path = self.tmp_dir / f"{digest}.{os.getpid()}.tmp"
+        tmp_path = self.tmp_dir / (
+            f"{digest}.{os.getpid()}.{threading.get_ident()}."
+            f"{next(_TMP_SERIAL)}.tmp")
         try:
             with open(tmp_path, "wb") as handle:
                 handle.write(compressed)

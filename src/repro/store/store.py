@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 import warnings
 from contextlib import contextmanager
@@ -214,7 +215,8 @@ class TraceStore:
              "entries": {key: entry.to_dict()
                          for key, entry in sorted(self._entries.items())}},
             indent=2, sort_keys=True)
-        tmp_path = self.blobs.tmp_dir / f"manifest.{os.getpid()}.tmp"
+        tmp_path = self.blobs.tmp_dir / (
+            f"manifest.{os.getpid()}.{threading.get_ident()}.tmp")
         tmp_path.write_text(payload + "\n", encoding="utf-8")
         os.replace(tmp_path, self.manifest_path)
         self.manifest_saves += 1

@@ -146,7 +146,10 @@ class TestPermutationInvariance:
             assert moved.statistic == pytest.approx(base.statistic,
                                                     abs=1e-12)
             assert moved.mi_bits == pytest.approx(base.mi_bits, abs=1e-12)
-            assert moved.p_value == pytest.approx(base.p_value, abs=1e-12)
+            # chi2_sf(G) has an infinite-slope sqrt singularity at G=0:
+            # float-level reordering noise in the statistic (<=1e-12)
+            # legitimately moves p by up to ~sqrt(1e-12) near p=1
+            assert moved.p_value == pytest.approx(base.p_value, abs=1e-5)
 
 
 class TestMITest:

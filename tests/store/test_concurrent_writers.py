@@ -116,3 +116,41 @@ class TestConcurrentWriters:
         direct = owl.detect(fixed_inputs(), random_input=random_input,
                             store=tmp_path / "solo")
         assert direct.report.to_json() == report_a
+
+
+class TestSameProcessThreads:
+    def test_threads_putting_identical_payloads_never_collide(
+            self, tmp_path):
+        """Two *threads* (in-process workers share one pid) putting the
+        same bytes at once must not share a tmp path: the loser's
+        ``os.replace`` would find its file stolen (FileNotFoundError).
+        Regression test for the multi-host worker-thread race."""
+        import threading
+
+        from repro.store.blobs import BlobStore
+
+        store = BlobStore(tmp_path / "blobs")
+        payloads = [f"shared-payload-{index}".encode() for index in range(8)]
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def hammer():
+            try:
+                barrier.wait()
+                for _ in range(50):
+                    for payload in payloads:
+                        store.put(payload)
+            except Exception as error:  # noqa: BLE001 — collected below
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+        assert not errors, errors
+        for payload in payloads:
+            digest = store.put(payload)  # idempotent re-put
+            assert store.get(digest) == payload
+        assert not list(store.tmp_dir.glob("*.tmp"))
